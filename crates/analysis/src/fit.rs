@@ -1,0 +1,95 @@
+//! Helpers for comparing measurements against asymptotic reference curves.
+
+/// The ratio of a measurement to a reference curve value — e.g. measured
+/// interactions divided by `n log₂ n`.  A roughly constant ratio across `n`
+/// supports the corresponding asymptotic claim.
+#[must_use]
+pub fn ratio_to(measured: f64, reference: f64) -> f64 {
+    if reference == 0.0 {
+        f64::NAN
+    } else {
+        measured / reference
+    }
+}
+
+/// `n log₂ n` as a floating-point reference curve.
+#[must_use]
+pub fn n_log_n(n: usize) -> f64 {
+    let n = n as f64;
+    n * n.log2()
+}
+
+/// `n log₂² n` as a floating-point reference curve.
+#[must_use]
+pub fn n_log2_n(n: usize) -> f64 {
+    let n = n as f64;
+    n * n.log2() * n.log2()
+}
+
+/// `n²` as a floating-point reference curve.
+#[must_use]
+pub fn n_squared(n: usize) -> f64 {
+    let n = n as f64;
+    n * n
+}
+
+/// Least-squares slope of `log(y)` against `log(x)` — the empirical polynomial
+/// degree of a measured scaling curve.  A value close to 1 indicates linear
+/// scaling (up to polylog factors), close to 2 quadratic scaling.
+///
+/// # Panics
+///
+/// Panics if fewer than two points are provided or any coordinate is not positive.
+#[must_use]
+pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
+    assert!(points.len() >= 2, "need at least two points for a slope");
+    let logs: Vec<(f64, f64)> = points
+        .iter()
+        .map(|&(x, y)| {
+            assert!(x > 0.0 && y > 0.0, "log-log fit requires positive coordinates");
+            (x.ln(), y.ln())
+        })
+        .collect();
+    let n = logs.len() as f64;
+    let sx: f64 = logs.iter().map(|p| p.0).sum();
+    let sy: f64 = logs.iter().map(|p| p.1).sum();
+    let sxx: f64 = logs.iter().map(|p| p.0 * p.0).sum();
+    let sxy: f64 = logs.iter().map(|p| p.0 * p.1).sum();
+    (n * sxy - sx * sy) / (n * sxx - sx * sx)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_references() {
+        assert!((ratio_to(2048.0, 1024.0) - 2.0).abs() < 1e-12);
+        assert!(ratio_to(1.0, 0.0).is_nan());
+        assert!((n_log_n(1024) - 1024.0 * 10.0).abs() < 1e-9);
+        assert!((n_log2_n(1024) - 1024.0 * 100.0).abs() < 1e-9);
+        assert!((n_squared(100) - 10_000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_of_a_quadratic_is_two() {
+        let pts: Vec<(f64, f64)> = (1..=6).map(|i| (i as f64, (i * i) as f64)).collect();
+        assert!((log_log_slope(&pts) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn slope_of_n_log_n_is_slightly_above_one() {
+        let pts: Vec<(f64, f64)> = [256usize, 1024, 4096, 16384]
+            .iter()
+            .map(|&n| (n as f64, n_log_n(n)))
+            .collect();
+        let slope = log_log_slope(&pts);
+        assert!(slope > 1.0 && slope < 1.3, "slope {slope}");
+    }
+
+    #[test]
+    #[should_panic(expected = "at least two points")]
+    fn slope_needs_two_points() {
+        let _ = log_log_slope(&[(1.0, 1.0)]);
+    }
+}

@@ -1,0 +1,30 @@
+//! # `ppanalysis` — experiment harness for the counting-protocol reproduction
+//!
+//! The reproduced paper is a theory paper: its "evaluation" is the collection of
+//! lemmas and theorems listed in `DESIGN.md`.  This crate turns each of those
+//! claims into a measurable experiment (E01–E15): a workload, a parameter sweep
+//! over the population size `n`, repeated seeded trials, and a generated table that
+//! compares the measured quantity against the paper's asymptotic claim.
+//!
+//! Run all experiments with
+//!
+//! ```text
+//! cargo run --release -p ppanalysis --bin experiments -- --quick
+//! ```
+//!
+//! or a single one with `-- e08` etc.  The output of the full run is recorded in
+//! `EXPERIMENTS.md`.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod experiments;
+pub mod fit;
+pub mod stats;
+pub mod sweep;
+pub mod table;
+
+pub use fit::{log_log_slope, n_log2_n, n_log_n, n_squared, ratio_to};
+pub use stats::Summary;
+pub use sweep::{sweep, TrialResult};
+pub use table::Table;

@@ -1,0 +1,103 @@
+//! Summary statistics over repeated trials.
+
+/// Summary statistics of a sample (mean, median, min, max, standard deviation).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    /// Number of samples.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Median (average of the two middle elements for even sample sizes).
+    pub median: f64,
+    /// Smallest sample.
+    pub min: f64,
+    /// Largest sample.
+    pub max: f64,
+    /// Sample standard deviation (Bessel-corrected); 0 for fewer than 2 samples.
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Summarise a sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn of(values: &[f64]) -> Self {
+        assert!(!values.is_empty(), "cannot summarise an empty sample");
+        let count = values.len();
+        let mean = values.iter().sum::<f64>() / count as f64;
+        let mut sorted = values.to_vec();
+        sorted.sort_by(|a, b| a.partial_cmp(b).expect("samples must not be NaN"));
+        let median = if count % 2 == 1 {
+            sorted[count / 2]
+        } else {
+            (sorted[count / 2 - 1] + sorted[count / 2]) / 2.0
+        };
+        let var = if count > 1 {
+            values.iter().map(|v| (v - mean).powi(2)).sum::<f64>() / (count as f64 - 1.0)
+        } else {
+            0.0
+        };
+        Summary {
+            count,
+            mean,
+            median,
+            min: sorted[0],
+            max: sorted[count - 1],
+            std_dev: var.sqrt(),
+        }
+    }
+
+    /// Summarise an integer-valued sample.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values` is empty.
+    #[must_use]
+    pub fn of_u64(values: &[u64]) -> Self {
+        let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
+        Self::of(&floats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn summary_of_a_simple_sample() {
+        let s = Summary::of(&[1.0, 2.0, 3.0, 4.0]);
+        assert_eq!(s.count, 4);
+        assert!((s.mean - 2.5).abs() < 1e-12);
+        assert!((s.median - 2.5).abs() < 1e-12);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.max, 4.0);
+        assert!((s.std_dev - 1.2909944487358056).abs() < 1e-9);
+    }
+
+    #[test]
+    fn summary_of_odd_sample_uses_middle_element() {
+        let s = Summary::of(&[5.0, 1.0, 3.0]);
+        assert_eq!(s.median, 3.0);
+    }
+
+    #[test]
+    fn single_sample_has_zero_std_dev() {
+        let s = Summary::of(&[7.0]);
+        assert_eq!(s.std_dev, 0.0);
+        assert_eq!(s.mean, 7.0);
+    }
+
+    #[test]
+    fn integer_helper_matches_float_path() {
+        assert_eq!(Summary::of_u64(&[1, 2, 3]), Summary::of(&[1.0, 2.0, 3.0]));
+    }
+
+    #[test]
+    #[should_panic(expected = "empty sample")]
+    fn empty_sample_panics() {
+        let _ = Summary::of(&[]);
+    }
+}

@@ -1,0 +1,98 @@
+//! Parameter sweeps: repeated seeded trials across population sizes, run on worker
+//! threads.
+
+use ppsim::{derive_seed, run_trials};
+
+/// The result of one trial of an experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrialResult {
+    /// The population size the trial ran with.
+    pub n: usize,
+    /// The seed the trial ran with.
+    pub seed: u64,
+    /// Whether the run converged within its budget.
+    pub converged: bool,
+    /// Number of interactions at convergence (or at budget exhaustion).
+    pub interactions: u64,
+    /// An experiment-specific scalar (estimate error, junta size, state count, …).
+    pub metric: f64,
+}
+
+/// Run `trials` seeded trials of `job` for every population size in `sizes`,
+/// in parallel, and return the results grouped per size (in input order).
+///
+/// `job(n, seed)` must be deterministic in its arguments; seeds are derived from
+/// `master_seed` with [`derive_seed`] so the whole sweep is reproducible.
+pub fn sweep<F>(sizes: &[usize], trials: usize, master_seed: u64, job: F) -> Vec<Vec<TrialResult>>
+where
+    F: Fn(usize, u64) -> TrialResult + Sync,
+{
+    let mut jobs = Vec::new();
+    for (si, &n) in sizes.iter().enumerate() {
+        for t in 0..trials {
+            jobs.push((si, n, derive_seed(master_seed, (si * trials + t) as u64)));
+        }
+    }
+    let results = run_trials(jobs.len(), |i| {
+        let (si, n, seed) = jobs[i];
+        (si, job(n, seed))
+    });
+    let mut grouped: Vec<Vec<TrialResult>> = sizes.iter().map(|_| Vec::new()).collect();
+    for (si, r) in results {
+        grouped[si].push(r);
+    }
+    grouped
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sweep_runs_every_size_and_trial() {
+        let sizes = [10usize, 20, 30];
+        let grouped = sweep(&sizes, 4, 1, |n, seed| TrialResult {
+            n,
+            seed,
+            converged: true,
+            interactions: n as u64,
+            metric: n as f64,
+        });
+        assert_eq!(grouped.len(), 3);
+        for (i, group) in grouped.iter().enumerate() {
+            assert_eq!(group.len(), 4);
+            assert!(group.iter().all(|r| r.n == sizes[i]));
+        }
+    }
+
+    #[test]
+    fn sweep_is_reproducible() {
+        let a = sweep(&[16, 32], 3, 9, |n, seed| TrialResult {
+            n,
+            seed,
+            converged: true,
+            interactions: seed % 1000,
+            metric: 0.0,
+        });
+        let b = sweep(&[16, 32], 3, 9, |n, seed| TrialResult {
+            n,
+            seed,
+            converged: true,
+            interactions: seed % 1000,
+            metric: 0.0,
+        });
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn different_sizes_get_different_seeds() {
+        let grouped = sweep(&[8, 8], 2, 5, |n, seed| TrialResult {
+            n,
+            seed,
+            converged: true,
+            interactions: 0,
+            metric: 0.0,
+        });
+        assert_ne!(grouped[0][0].seed, grouped[1][0].seed);
+    }
+}

@@ -1,0 +1,25 @@
+//! E07/E08 — Theorem 1: protocol Approximate end to end.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popcount::{all_estimated, Approximate, ApproximateParams};
+use ppsim::Simulator;
+
+fn bench_approximate(c: &mut Criterion) {
+    let mut group = c.benchmark_group("approximate_theorem1");
+    group.sample_size(10);
+    for &n in &[200usize, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let proto = Approximate::new(ApproximateParams::default());
+                let mut sim = Simulator::new(proto, n, seed).unwrap();
+                sim.run_until(|s| all_estimated(s.states()), (n * 20) as u64, u64::MAX)
+                    .expect_converged("approximate")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_approximate);
+criterion_main!(benches);

@@ -1,0 +1,51 @@
+//! E12/E13 — the Θ(n²) baselines: token merging and the backup protocols.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popcount::{all_output_n, ApproximateBackup, ExactBackup, TokenMergingCounter};
+use ppsim::Simulator;
+
+fn bench_baselines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("baselines");
+    group.sample_size(10);
+    for &n in &[128usize, 512] {
+        group.bench_with_input(BenchmarkId::new("token_merging", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulator::new(TokenMergingCounter::new(), n, seed).unwrap();
+                sim.run_until(move |s| all_output_n(s.states(), n), (n * n / 8) as u64, u64::MAX)
+                    .expect_converged("baseline")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("approx_backup", n), &n, |b, &n| {
+            let mut seed = 10u64;
+            let expected = (n as f64).log2().floor() as i32;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulator::new(ApproximateBackup::new(), n, seed).unwrap();
+                sim.run_until(
+                    move |s| s.states().iter().all(|st| st.k_max == expected),
+                    (n * n / 8) as u64,
+                    u64::MAX,
+                )
+                .expect_converged("approx backup")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("exact_backup", n), &n, |b, &n| {
+            let mut seed = 20u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulator::new(ExactBackup::new(), n, seed).unwrap();
+                sim.run_until(
+                    move |s| s.states().iter().all(|st| st.count == n as u64),
+                    (n * n / 8) as u64,
+                    u64::MAX,
+                )
+                .expect_converged("exact backup")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_baselines);
+criterion_main!(benches);

@@ -1,0 +1,25 @@
+//! E01 — Lemma 3: wall-clock cost of simulating one-way epidemics to completion.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppproto::OneWayEpidemic;
+use ppsim::Simulator;
+
+fn bench_broadcast(c: &mut Criterion) {
+    let mut group = c.benchmark_group("broadcast_lemma3");
+    group.sample_size(10);
+    for &n in &[256usize, 1024, 4096] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulator::new(OneWayEpidemic::new(), n, seed).unwrap();
+                sim.states_mut()[0] = 1;
+                sim.run_until(|s| s.states().iter().all(|&x| x == 1), n as u64, u64::MAX)
+                    .expect_converged("broadcast")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_broadcast);
+criterion_main!(benches);

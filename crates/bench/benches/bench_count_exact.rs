@@ -1,0 +1,29 @@
+//! E09–E11 — Theorem 2: protocol CountExact end to end.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popcount::{all_counted, CountExact, CountExactParams};
+use ppsim::Simulator;
+
+fn bench_count_exact(c: &mut Criterion) {
+    let mut group = c.benchmark_group("count_exact_theorem2");
+    group.sample_size(10);
+    for &n in &[300usize, 1000] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let proto = CountExact::new(CountExactParams::default());
+                let mut sim = Simulator::new(proto, n, seed).unwrap();
+                sim.run_until(
+                    move |s| all_counted(s.protocol(), s.states(), n),
+                    (n * 20) as u64,
+                    u64::MAX,
+                )
+                .expect_converged("count exact")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_count_exact);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! E02 — Lemma 4: cost of running the junta process until all agents are inactive.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppproto::junta::{all_inactive, JuntaProtocol};
+use ppsim::Simulator;
+
+fn bench_junta(c: &mut Criterion) {
+    let mut group = c.benchmark_group("junta_lemma4");
+    group.sample_size(10);
+    for &n in &[512usize, 2048, 8192] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulator::new(JuntaProtocol::new(), n, seed).unwrap();
+                sim.run_until(|s| all_inactive(s.states()), n as u64, u64::MAX)
+                    .expect_converged("junta")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_junta);
+criterion_main!(benches);

@@ -1,0 +1,26 @@
+//! E06 — Lemma 8: powers-of-two load balancing from a single source.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppproto::PowersOfTwoLoadBalancing;
+use ppsim::Simulator;
+
+fn bench_load_balancing(c: &mut Criterion) {
+    let mut group = c.benchmark_group("po2_load_balancing_lemma8");
+    group.sample_size(10);
+    for &n in &[1024usize, 4096, 16384] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let kappa = ((0.75 * n as f64).log2().floor()) as i32;
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulator::new(PowersOfTwoLoadBalancing::new(), n, seed).unwrap();
+                sim.states_mut()[0] = kappa;
+                sim.run_until(|s| s.states().iter().all(|&k| k <= 0), n as u64, u64::MAX)
+                    .expect_converged("load balancing")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_load_balancing);
+criterion_main!(benches);

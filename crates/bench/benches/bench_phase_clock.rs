@@ -1,0 +1,28 @@
+//! E03 — Lemma 5: cost of three full phases of the junta-driven phase clock.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppproto::SynchronizedClockProtocol;
+use ppsim::Simulator;
+
+fn bench_phase_clock(c: &mut Criterion) {
+    let mut group = c.benchmark_group("phase_clock_lemma5");
+    group.sample_size(10);
+    for &n in &[512usize, 2048] {
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulator::new(SynchronizedClockProtocol::new(16), n, seed).unwrap();
+                sim.run_until(
+                    |s| s.states().iter().all(|a| a.clock.phase >= 3),
+                    n as u64,
+                    u64::MAX,
+                )
+                .expect_converged("phase clock")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_phase_clock);
+criterion_main!(benches);

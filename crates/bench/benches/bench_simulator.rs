@@ -1,0 +1,33 @@
+//! Raw simulator throughput: interactions per second for a trivial protocol and for
+//! the full CountExact composition.
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion, Throughput};
+use popcount::{CountExact, CountExactParams, TokenMergingCounter};
+use ppsim::Simulator;
+
+fn bench_simulator(c: &mut Criterion) {
+    let mut group = c.benchmark_group("simulator_throughput");
+    group.sample_size(10);
+    let steps = 200_000u64;
+    group.throughput(Throughput::Elements(steps));
+    for &n in &[1024usize, 16384] {
+        group.bench_with_input(BenchmarkId::new("token_merging_steps", n), &n, |b, &n| {
+            b.iter(|| {
+                let mut sim = Simulator::new(TokenMergingCounter::new(), n, 1).unwrap();
+                sim.run(steps);
+                sim.interactions()
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("count_exact_steps", n), &n, |b, &n| {
+            b.iter(|| {
+                let proto = CountExact::new(CountExactParams::default());
+                let mut sim = Simulator::new(proto, n, 1).unwrap();
+                sim.run(steps);
+                sim.interactions()
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_simulator);
+criterion_main!(benches);

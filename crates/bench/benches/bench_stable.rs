@@ -1,0 +1,41 @@
+//! E14 — the stable hybrid variants (error detection + backup).
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popcount::{all_estimates_valid, all_exact, StableApproximate, StableCountExact};
+use ppsim::Simulator;
+
+fn bench_stable(c: &mut Criterion) {
+    let mut group = c.benchmark_group("stable_variants");
+    group.sample_size(10);
+    for &n in &[200usize, 400] {
+        group.bench_with_input(BenchmarkId::new("stable_approximate", n), &n, |b, &n| {
+            let mut seed = 0u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulator::new(StableApproximate::default(), n, seed).unwrap();
+                sim.run_until(
+                    move |s| all_estimates_valid(s.protocol(), s.states(), n),
+                    (n * 20) as u64,
+                    u64::MAX,
+                )
+                .expect_converged("stable approximate")
+            });
+        });
+        group.bench_with_input(BenchmarkId::new("stable_count_exact", n), &n, |b, &n| {
+            let mut seed = 50u64;
+            b.iter(|| {
+                seed += 1;
+                let mut sim = Simulator::new(StableCountExact::default(), n, seed).unwrap();
+                sim.run_until(
+                    move |s| all_exact(s.protocol(), s.states(), n),
+                    (n * 20) as u64,
+                    u64::MAX,
+                )
+                .expect_converged("stable count exact")
+            });
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_stable);
+criterion_main!(benches);

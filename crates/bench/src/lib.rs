@@ -1,0 +1,6 @@
+//! `ppbench` — Criterion benchmarks for the population-size-counting reproduction.
+//!
+//! The crate itself only hosts the bench targets (one per experiment family, see
+//! `benches/`); the measurements that reproduce the paper's claims in terms of
+//! *interaction counts* are produced by the `ppanalysis` experiment harness.
+#![forbid(unsafe_code)]

@@ -1,0 +1,42 @@
+//! Diagnostic runner for CountExact (not part of the public API).
+use popcount::{CountExact, CountExactParams};
+use ppsim::Simulator;
+
+fn main() {
+    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
+    let seed: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let proto = CountExact::new(CountExactParams::default());
+    let mut sim = Simulator::new(proto, n, seed).unwrap();
+    for _ in 0..4000 {
+        sim.run(50_000);
+        let states = sim.states();
+        let leaders = states.iter().filter(|a| a.is_leader()).count();
+        let done = states.iter().filter(|a| a.election.done).count();
+        let apx = states.iter().filter(|a| a.stage.apx_done).count();
+        let mult = states.iter().filter(|a| a.stage.multiplied).count();
+        let phase = states.iter().map(|a| a.sync.clock.phase).max().unwrap();
+        let level = states.iter().map(|a| a.sync.junta.level).max().unwrap();
+        let k = states.iter().find(|a| a.stage.apx_done).map(|a| a.stage.k);
+        let leader = states.iter().find(|a| a.is_leader());
+        let (li, ll) = leader.map(|a| (a.stage.explosions(), a.stage.l)).unwrap_or((0, 0));
+        let total_l: u128 = states.iter().map(|a| a.stage.l as u128).sum();
+        let outputs: Vec<u64> = {
+            let p = CountExact::new(CountExactParams::default());
+            let mut set: Vec<u64> = states.iter().filter_map(|a| p.agent_output(a)).collect();
+            set.sort_unstable();
+            set.dedup();
+            set.truncate(5);
+            set
+        };
+        println!(
+            "t={:>9} phase={:>3} lvl={} leaders={} eldone={:>4} apx={:>4} mult={:>4} leader(i={},l={}) k={:?} totalL={} out={:?}",
+            sim.interactions(), phase, level, leaders, done, apx, mult, li, ll, k, total_l, outputs
+        );
+        let proto2 = CountExact::new(CountExactParams::default());
+        if states.iter().all(|a| proto2.agent_output(a) == Some(n as u64)) {
+            println!("CONVERGED to {n} at {} interactions", sim.interactions());
+            break;
+        }
+        if sim.interactions() > 40_000_000 { break; }
+    }
+}

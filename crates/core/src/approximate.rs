@@ -1,0 +1,314 @@
+//! Protocol `Approximate` — Algorithm 2, Theorem 1.1 of the paper.
+//!
+//! `Approximate` is a uniform population protocol whose agents all output either
+//! `⌊log₂ n⌋` or `⌈log₂ n⌉` w.h.p., converging within `O(n log² n)` interactions and
+//! using `O(log n · log log n)` states.  It is the composition of
+//!
+//! 1. the junta process and the phase clocks ([`ppproto::junta`],
+//!    [`ppproto::phase_clock`]), which every agent runs all the time,
+//! 2. the leader election of [18] ([`ppproto::leader_election`]) — *Stage 1*,
+//! 3. the Search Protocol ([`crate::search`], Algorithm 1) — *Stage 2*,
+//! 4. a broadcasting stage in which the leader's estimate spreads by one-way
+//!    epidemics — *Stage 3*.
+//!
+//! Whenever an agent meets a partner on a higher junta level (or advances its own
+//! level), it re-initialises the phase clock, the leader election and the Search
+//! Protocol, so that eventually all agents run the composition on the maximal junta
+//! level from a clean state.
+
+use rand::RngCore;
+
+use ppsim::Protocol;
+use ppproto::leader_election::{LeaderElection, LeaderState};
+use ppproto::phase_clock::{sync_interact, PhaseClock, SyncState};
+
+use crate::params::ApproximateParams;
+use crate::search::{search_interact, SearchContext, SearchState};
+
+/// Per-agent state of protocol `Approximate` (Figure 2 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ApproximateAgent {
+    /// Junta process + phase clock.
+    pub sync: SyncState,
+    /// Leader-election component (`leader_v`, `leaderDone_v`, …).
+    pub election: LeaderState,
+    /// Search Protocol component (`k_v`, `searchDone_v`).
+    pub search: SearchState,
+}
+
+impl ApproximateAgent {
+    /// The common initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        ApproximateAgent {
+            sync: SyncState::new(),
+            election: LeaderState::new(),
+            search: SearchState::new(),
+        }
+    }
+
+    /// Whether this agent currently considers itself the leader.
+    #[must_use]
+    pub fn is_leader(&self) -> bool {
+        self.election.contender
+    }
+
+    /// The agent's current estimate of `log₂ n`, if the search has concluded and
+    /// the estimate has reached it.
+    #[must_use]
+    pub fn estimate(&self) -> Option<i32> {
+        if self.search.done {
+            Some(self.search.k)
+        } else {
+            None
+        }
+    }
+}
+
+/// Result of the shared stage-1/2 dispatch, consumed by the broadcasting stage of
+/// the plain protocol or the error-detection stage of the stable variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) struct StagePass {
+    /// The initiator was re-initialised (met or created a higher junta level).
+    pub u_reset: bool,
+    /// The responder was re-initialised.
+    pub v_reset: bool,
+    /// The initiator's pending `firstTick` flag (not yet cleared).
+    pub u_first_tick: bool,
+    /// The initiator has completed stages 1 and 2 (`leaderDone ∧ searchDone`).
+    pub stage3: bool,
+}
+
+/// Protocol `Approximate` (Algorithm 2).
+///
+/// # Examples
+///
+/// ```rust,no_run
+/// use popcount::{Approximate, ApproximateParams};
+/// use ppsim::Simulator;
+///
+/// # fn main() -> Result<(), ppsim::SimError> {
+/// let n = 1000;
+/// let protocol = Approximate::new(ApproximateParams::default());
+/// let mut sim = Simulator::new(protocol, n, 7)?;
+/// let outcome = sim.run_until(
+///     |s| s.states().iter().all(|a| a.estimate().is_some()),
+///     n as u64,
+///     200_000_000,
+/// );
+/// assert!(outcome.converged());
+/// // All agents now output ⌊log₂ n⌋ or ⌈log₂ n⌉ w.h.p.
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Approximate {
+    clock: PhaseClock,
+    election: LeaderElection,
+    params: ApproximateParams,
+}
+
+impl Approximate {
+    /// Create the protocol from its parameters.
+    #[must_use]
+    pub fn new(params: ApproximateParams) -> Self {
+        Approximate {
+            clock: PhaseClock::new(params.clock_hours),
+            election: LeaderElection::new(params.leader_election()),
+            params,
+        }
+    }
+
+    /// The parameters this instance runs with.
+    #[must_use]
+    pub fn params(&self) -> &ApproximateParams {
+        &self.params
+    }
+
+    /// Per-interaction preamble (re-initialisation, junta, clocks) and dispatch of
+    /// stages 1 and 2.  Stage 3 — the broadcasting stage, or error detection in the
+    /// stable variant — is left to the caller, who must also clear the initiator's
+    /// `firstTick` flag afterwards.
+    pub(crate) fn dispatch_stages_1_2(
+        &self,
+        initiator: &mut ApproximateAgent,
+        responder: &mut ApproximateAgent,
+    ) -> StagePass {
+        // Lines 1–4 of Algorithm 2: re-initialisation, junta process, phase clocks.
+        let outcome = sync_interact(&self.clock, &mut initiator.sync, &mut responder.sync);
+        if outcome.u_reset {
+            initiator.election.reset();
+            initiator.search.reset();
+        }
+        if outcome.v_reset {
+            responder.election.reset();
+            responder.search.reset();
+        }
+
+        let u_first_tick = initiator.sync.clock.first_tick;
+        let mut stage3 = false;
+
+        if !initiator.election.done {
+            // Stage 1: leader election [18].
+            self.election.interact(
+                &mut initiator.election,
+                &mut responder.election,
+                u_first_tick,
+                initiator.sync.clock.phase,
+                responder.sync.clock.phase,
+                initiator.sync.junta.level,
+                responder.sync.junta.level,
+                initiator.sync.junta.junta,
+                responder.sync.junta.junta,
+            );
+        } else if !initiator.search.done {
+            // Stage 2: the Search Protocol (Algorithm 1).
+            let ctx = SearchContext {
+                u_leader: initiator.election.contender,
+                v_leader: responder.election.contender,
+                u_phase: initiator.sync.clock.phase,
+                v_phase: responder.sync.clock.phase,
+                u_first_tick,
+            };
+            search_interact(&mut initiator.search, &mut responder.search, &ctx);
+        } else {
+            stage3 = true;
+        }
+
+        StagePass {
+            u_reset: outcome.u_reset,
+            v_reset: outcome.v_reset,
+            u_first_tick,
+            stage3,
+        }
+    }
+
+    /// Shared per-interaction logic of the w.h.p.-correct protocol.  Returns `true`
+    /// if the initiator's clock or protocol state was re-initialised.
+    pub(crate) fn staged_interact(
+        &self,
+        initiator: &mut ApproximateAgent,
+        responder: &mut ApproximateAgent,
+    ) -> bool {
+        let pass = self.dispatch_stages_1_2(initiator, responder);
+        if pass.stage3 {
+            // Stage 3: broadcasting stage — the initiator pushes the estimate.
+            responder.search.k = initiator.search.k;
+            responder.search.done = true;
+        }
+        // The initiator consumes its firstTick flag when it initiates.
+        initiator.sync.clock.first_tick = false;
+        pass.u_reset
+    }
+}
+
+impl Default for Approximate {
+    fn default() -> Self {
+        Self::new(ApproximateParams::default())
+    }
+}
+
+impl Protocol for Approximate {
+    type State = ApproximateAgent;
+    type Output = Option<i32>;
+
+    fn initial_state(&self) -> ApproximateAgent {
+        ApproximateAgent::new()
+    }
+
+    fn interact(
+        &self,
+        initiator: &mut ApproximateAgent,
+        responder: &mut ApproximateAgent,
+        _rng: &mut dyn RngCore,
+    ) {
+        self.staged_interact(initiator, responder);
+    }
+
+    fn output(&self, state: &ApproximateAgent) -> Option<i32> {
+        state.estimate()
+    }
+
+    fn name(&self) -> &'static str {
+        "approximate"
+    }
+}
+
+/// Convergence predicate: every agent outputs an estimate (the broadcasting stage
+/// has reached everyone).
+#[must_use]
+pub fn all_estimated(states: &[ApproximateAgent]) -> bool {
+    states.iter().all(|a| a.estimate().is_some())
+}
+
+/// The valid outputs for a population of size `n`: `⌊log₂ n⌋` and `⌈log₂ n⌉`.
+#[must_use]
+pub fn valid_estimates(n: usize) -> (i32, i32) {
+    let log = (n as f64).log2();
+    (log.floor() as i32, log.ceil() as i32)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::Simulator;
+
+    #[test]
+    fn valid_estimates_are_floor_and_ceil() {
+        assert_eq!(valid_estimates(1000), (9, 10));
+        assert_eq!(valid_estimates(1024), (10, 10));
+        assert_eq!(valid_estimates(100), (6, 7));
+    }
+
+    #[test]
+    fn initial_agent_has_no_estimate_and_is_contender() {
+        let a = ApproximateAgent::new();
+        assert!(a.is_leader());
+        assert_eq!(a.estimate(), None);
+    }
+
+    #[test]
+    fn broadcast_stage_pushes_the_estimate() {
+        let proto = Approximate::default();
+        let mut done = ApproximateAgent::new();
+        done.sync.junta.active = false;
+        done.election.done = true;
+        done.search.done = true;
+        done.search.k = 9;
+        let mut fresh = ApproximateAgent::new();
+        fresh.sync.junta.active = false;
+        fresh.election.done = true;
+        let mut rng = ppsim::seeded_rng(0);
+        proto.interact(&mut done, &mut fresh, &mut rng);
+        assert_eq!(fresh.estimate(), Some(9));
+    }
+
+    #[test]
+    fn approximate_converges_to_floor_or_ceil_of_log_n() {
+        let n = 300usize;
+        let proto = Approximate::default();
+        let mut sim = Simulator::new(proto, n, 20_240_601).unwrap();
+        let outcome = sim.run_until(|s| all_estimated(s.states()), (n * 50) as u64, 60_000_000);
+        assert!(outcome.converged(), "Approximate did not converge within the budget");
+
+        let (floor, ceil) = valid_estimates(n);
+        let stats = sim.output_stats();
+        let unanimous = stats.unanimous().cloned().flatten();
+        assert!(
+            unanimous == Some(floor) || unanimous == Some(ceil),
+            "expected a unanimous estimate of {floor} or {ceil}, got {:?}",
+            sim.output_stats().plurality()
+        );
+    }
+
+    #[test]
+    fn approximate_exercises_exactly_one_leader_at_convergence() {
+        let n = 300usize;
+        let proto = Approximate::default();
+        let mut sim = Simulator::new(proto, n, 77).unwrap();
+        let outcome = sim.run_until(|s| all_estimated(s.states()), (n * 50) as u64, 60_000_000);
+        assert!(outcome.converged());
+        let leaders = sim.states().iter().filter(|a| a.is_leader()).count();
+        assert_eq!(leaders, 1);
+    }
+}

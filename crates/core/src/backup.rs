@@ -1,0 +1,316 @@
+//! Slow, always-correct backup protocols — Appendix C of the paper.
+//!
+//! The stable variants of `Approximate` and `CountExact` are hybrid protocols: the
+//! fast protocol runs first and an error-detection stage validates its result; if an
+//! error is detected, the agents fall back to one of the backup protocols defined
+//! here, which are slow (`Θ(n² polylog n)` interactions) but correct with
+//! probability 1.
+//!
+//! * [`ApproximateBackup`] (Appendix C.1) computes `⌊log₂ n⌋` with at most
+//!   `(log n + 1)²` states, stabilising within `O(n² log² n)` interactions w.h.p.
+//!   (Lemma 12).
+//! * [`ExactBackup`] (Appendix C.2) computes the exact size `n` and stabilises
+//!   within `O(n² log n)` interactions w.h.p. (Lemma 13).
+
+use rand::RngCore;
+
+use ppsim::Protocol;
+
+/// Per-agent state of the approximate backup protocol (Appendix C.1):
+/// `(k_v, kmax_v)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ApproximateBackupState {
+    /// Logarithm of the number of tokens held (`−1` = no tokens).
+    pub k: i32,
+    /// The largest `k` this agent is aware of; the agent's output.
+    pub k_max: i32,
+}
+
+impl ApproximateBackupState {
+    /// The common initial state `(0, 0)`: every agent holds one token.
+    #[must_use]
+    pub fn new() -> Self {
+        ApproximateBackupState { k: 0, k_max: 0 }
+    }
+}
+
+impl Default for ApproximateBackupState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One interaction of the approximate backup protocol (Equation (3) of the paper).
+///
+/// If both agents hold the same number of tokens (`k_u = k_v ≥ 0`), the initiator
+/// takes all of them (its `k` increases by one) and the responder becomes empty.
+/// Both agents always propagate the maximum `k` they have seen.
+pub fn approximate_backup_interact(
+    u: &mut ApproximateBackupState,
+    v: &mut ApproximateBackupState,
+) {
+    let merged = u.k == v.k && u.k >= 0;
+    if merged {
+        u.k += 1;
+        v.k = -1;
+    }
+    let k_max = u.k_max.max(v.k_max).max(u.k).max(v.k);
+    u.k_max = k_max;
+    v.k_max = k_max;
+}
+
+/// The approximate backup protocol (Appendix C.1) as a standalone protocol.
+///
+/// Output: the agent's `kmax`, which converges to `⌊log₂ n⌋`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ApproximateBackup;
+
+impl ApproximateBackup {
+    /// Create the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        ApproximateBackup
+    }
+}
+
+impl Protocol for ApproximateBackup {
+    type State = ApproximateBackupState;
+    type Output = i32;
+
+    fn initial_state(&self) -> ApproximateBackupState {
+        ApproximateBackupState::new()
+    }
+
+    fn interact(
+        &self,
+        initiator: &mut ApproximateBackupState,
+        responder: &mut ApproximateBackupState,
+        _rng: &mut dyn RngCore,
+    ) {
+        approximate_backup_interact(initiator, responder);
+    }
+
+    fn output(&self, state: &ApproximateBackupState) -> i32 {
+        state.k_max
+    }
+
+    fn name(&self) -> &'static str {
+        "approximate-backup"
+    }
+}
+
+/// Per-agent state of the exact backup protocol (Appendix C.2): `(c_u, n_u)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExactBackupState {
+    /// Whether this agent's token has already been counted (`c_u`).
+    pub counted: bool,
+    /// The largest count this agent is aware of (`n_u`); the agent's output.
+    pub count: u64,
+}
+
+impl ExactBackupState {
+    /// The common initial state `(false, 1)`.
+    #[must_use]
+    pub fn new() -> Self {
+        ExactBackupState { counted: false, count: 1 }
+    }
+}
+
+impl Default for ExactBackupState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One interaction of the exact backup protocol (Equation (4) of the paper).
+///
+/// Two uncounted agents combine their token counts (the initiator keeps collecting,
+/// the responder is marked as counted); **counted** agents propagate the maximum
+/// count they have observed.
+///
+/// Equation (4) of the paper lets an *uncounted* agent also overwrite its value with
+/// the observed maximum; taken literally that loses track of how many tokens the
+/// agent actually holds and can over-count (the adopted maximum would be added to
+/// another uncounted agent's tokens in a later merge).  This implementation keeps an
+/// uncounted agent's token count untouched, which preserves the intended invariant
+/// that the uncounted agents jointly hold exactly `n` tokens, and still converges to
+/// every agent outputting `n` (the last uncounted agent holds all `n` tokens and
+/// every counted agent adopts that maximum).
+pub fn exact_backup_interact(u: &mut ExactBackupState, v: &mut ExactBackupState) {
+    if !u.counted && !v.counted {
+        let total = u.count + v.count;
+        u.count = total;
+        v.count = total;
+        v.counted = true;
+    } else {
+        let m = u.count.max(v.count);
+        if u.counted {
+            u.count = m;
+        }
+        if v.counted {
+            v.count = m;
+        }
+    }
+}
+
+/// The exact backup protocol (Appendix C.2) as a standalone protocol.
+///
+/// Output: the agent's `n_u`, which converges to the exact population size `n`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ExactBackup;
+
+impl ExactBackup {
+    /// Create the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        ExactBackup
+    }
+}
+
+impl Protocol for ExactBackup {
+    type State = ExactBackupState;
+    type Output = u64;
+
+    fn initial_state(&self) -> ExactBackupState {
+        ExactBackupState::new()
+    }
+
+    fn interact(
+        &self,
+        initiator: &mut ExactBackupState,
+        responder: &mut ExactBackupState,
+        _rng: &mut dyn RngCore,
+    ) {
+        exact_backup_interact(initiator, responder);
+    }
+
+    fn output(&self, state: &ExactBackupState) -> u64 {
+        state.count
+    }
+
+    fn name(&self) -> &'static str {
+        "exact-backup"
+    }
+}
+
+/// Total number of tokens represented in a configuration of the approximate backup
+/// protocol (must always equal `n`).
+#[must_use]
+pub fn approximate_backup_tokens(states: &[ApproximateBackupState]) -> u64 {
+    states
+        .iter()
+        .filter(|s| s.k >= 0)
+        .map(|s| 1u64 << u32::try_from(s.k).expect("token exponents stay small"))
+        .sum()
+}
+
+/// Total number of tokens still held by *uncounted* agents in a configuration of
+/// the exact backup protocol (must always equal `n`: counted agents have handed
+/// their tokens over, so the uncounted agents jointly hold all of them).
+#[must_use]
+pub fn exact_backup_tokens(states: &[ExactBackupState]) -> u64 {
+    states.iter().filter(|s| !s.counted).map(|s| s.count).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::Simulator;
+
+    #[test]
+    fn equal_bags_merge_and_unequal_bags_do_not() {
+        let mut u = ApproximateBackupState { k: 2, k_max: 2 };
+        let mut v = ApproximateBackupState { k: 2, k_max: 3 };
+        approximate_backup_interact(&mut u, &mut v);
+        assert_eq!(u.k, 3);
+        assert_eq!(v.k, -1);
+        assert_eq!(u.k_max, 3);
+        assert_eq!(v.k_max, 3);
+
+        let mut a = ApproximateBackupState { k: 1, k_max: 1 };
+        let mut b = ApproximateBackupState { k: 2, k_max: 2 };
+        approximate_backup_interact(&mut a, &mut b);
+        assert_eq!(a.k, 1);
+        assert_eq!(b.k, 2);
+        assert_eq!(a.k_max, 2);
+    }
+
+    #[test]
+    fn empty_agents_do_not_merge() {
+        let mut u = ApproximateBackupState { k: -1, k_max: 4 };
+        let mut v = ApproximateBackupState { k: -1, k_max: 2 };
+        approximate_backup_interact(&mut u, &mut v);
+        assert_eq!(u.k, -1);
+        assert_eq!(v.k, -1);
+        assert_eq!(u.k_max, 4);
+        assert_eq!(v.k_max, 4);
+    }
+
+    #[test]
+    fn approximate_backup_converges_to_floor_log_n() {
+        for &n in &[64usize, 100, 200] {
+            let mut sim = Simulator::new(ApproximateBackup::new(), n, n as u64).unwrap();
+            let expected = (n as f64).log2().floor() as i32;
+            // Lemma 12: in the stable configuration every agent outputs ⌊log₂ n⌋ and
+            // the multiset of bag sizes matches the binary representation of n.
+            let stable = move |states: &[ApproximateBackupState]| {
+                states.iter().all(|st| st.k_max == expected)
+                    && (0..=expected).all(|bit| {
+                        states.iter().filter(|s| s.k == bit).count() == (n >> bit) & 1
+                    })
+            };
+            let outcome = sim.run_until(
+                move |s| stable(s.states()),
+                (n * n / 4) as u64,
+                500_000_000,
+            );
+            assert!(
+                outcome.converged(),
+                "approximate backup did not stabilise for n = {n}"
+            );
+            assert_eq!(approximate_backup_tokens(sim.states()), n as u64, "tokens conserved");
+        }
+    }
+
+    #[test]
+    fn exact_backup_counts_and_broadcasts() {
+        let mut u = ExactBackupState { counted: false, count: 3 };
+        let mut v = ExactBackupState { counted: false, count: 4 };
+        exact_backup_interact(&mut u, &mut v);
+        assert_eq!(u.count, 7);
+        assert_eq!(v.count, 7);
+        assert!(!u.counted);
+        assert!(v.counted);
+
+        let mut a = ExactBackupState { counted: true, count: 3 };
+        let mut b = ExactBackupState { counted: false, count: 5 };
+        exact_backup_interact(&mut a, &mut b);
+        assert_eq!(a.count, 5, "counted agents track the maximum they observe");
+        assert_eq!(b.count, 5, "uncounted agents keep their own token count");
+        assert!(!b.counted, "a counted agent never absorbs further tokens");
+    }
+
+    #[test]
+    fn exact_backup_converges_to_n() {
+        for &n in &[50usize, 128, 333] {
+            let mut sim = Simulator::new(ExactBackup::new(), n, 3 * n as u64).unwrap();
+            let expected = n as u64;
+            let outcome = sim.run_until(
+                move |s| s.states().iter().all(|st| st.count == expected),
+                (n * n / 4) as u64,
+                2_000_000_000,
+            );
+            assert!(outcome.converged(), "exact backup did not converge for n = {n}");
+        }
+    }
+
+    #[test]
+    fn exact_backup_never_overcounts() {
+        let n = 200usize;
+        let mut sim = Simulator::new(ExactBackup::new(), n, 1).unwrap();
+        for _ in 0..50 {
+            sim.run(10_000);
+            assert!(sim.states().iter().all(|s| s.count <= n as u64));
+        }
+    }
+}

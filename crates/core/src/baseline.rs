@@ -1,0 +1,170 @@
+//! The simple uniform baseline counter described in the introduction of the paper.
+//!
+//! > *"There is a simple and uniform protocol for exact population counting, which
+//! > completes in expected `Θ(n²)` interactions and uses `Θ(n²)` states: the agents
+//! > start with one token each and keep combining the tokens into bags, propagating
+//! > at the same time the maximum size of a bag and using that maximum as their
+//! > current output."*
+//!
+//! This protocol is the natural comparison point for `CountExact`: it needs no
+//! leader, no clock and no junta, but pays with quadratically many interactions and
+//! a state space of size `Θ(n²)` (bag size × best-seen maximum).  Experiment E13
+//! reproduces the comparison.
+
+use rand::RngCore;
+
+use ppsim::Protocol;
+
+/// Per-agent state of the token-merging baseline: the agent's own bag of tokens and
+/// the largest bag size it has seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct TokenMergingState {
+    /// Number of tokens currently held by this agent.
+    pub bag: u64,
+    /// The largest bag size observed so far — the agent's output.
+    pub best: u64,
+}
+
+impl TokenMergingState {
+    /// The common initial state: one token, best = 1.
+    #[must_use]
+    pub fn new() -> Self {
+        TokenMergingState { bag: 1, best: 1 }
+    }
+}
+
+impl Default for TokenMergingState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// The token-merging baseline counter.
+///
+/// Transition: if both agents hold non-empty bags, the initiator takes all tokens;
+/// both agents then adopt the maximum bag size seen as their output.  Eventually a
+/// single agent holds all `n` tokens and the maximum `n` spreads to everyone.
+///
+/// # Examples
+///
+/// ```rust
+/// use popcount::TokenMergingCounter;
+/// use ppsim::{Protocol, Simulator};
+///
+/// # fn main() -> Result<(), ppsim::SimError> {
+/// let n = 64;
+/// let mut sim = Simulator::new(TokenMergingCounter::new(), n, 5)?;
+/// let outcome = sim.run_until(
+///     |s| s.states().iter().all(|a| a.best == n as u64),
+///     64,
+///     50_000_000,
+/// );
+/// assert!(outcome.converged());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TokenMergingCounter;
+
+impl TokenMergingCounter {
+    /// Create the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        TokenMergingCounter
+    }
+}
+
+impl Protocol for TokenMergingCounter {
+    type State = TokenMergingState;
+    type Output = u64;
+
+    fn initial_state(&self) -> TokenMergingState {
+        TokenMergingState::new()
+    }
+
+    fn interact(
+        &self,
+        initiator: &mut TokenMergingState,
+        responder: &mut TokenMergingState,
+        _rng: &mut dyn RngCore,
+    ) {
+        if initiator.bag > 0 && responder.bag > 0 {
+            initiator.bag += responder.bag;
+            responder.bag = 0;
+        }
+        let best = initiator.best.max(responder.best).max(initiator.bag);
+        initiator.best = best;
+        responder.best = best;
+    }
+
+    fn output(&self, state: &TokenMergingState) -> u64 {
+        state.best
+    }
+
+    fn name(&self) -> &'static str {
+        "token-merging-baseline"
+    }
+}
+
+/// Convergence predicate for a population of size `n`: all agents output `n`.
+#[must_use]
+pub fn all_output_n(states: &[TokenMergingState], n: usize) -> bool {
+    states.iter().all(|s| s.best == n as u64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::{seeded_rng, Simulator};
+
+    #[test]
+    fn merging_moves_all_tokens_to_the_initiator() {
+        let p = TokenMergingCounter::new();
+        let mut rng = seeded_rng(0);
+        let mut u = TokenMergingState { bag: 3, best: 3 };
+        let mut v = TokenMergingState { bag: 5, best: 5 };
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.bag, 8);
+        assert_eq!(v.bag, 0);
+        assert_eq!(u.best, 8);
+        assert_eq!(v.best, 8);
+    }
+
+    #[test]
+    fn empty_bags_only_exchange_the_maximum() {
+        let p = TokenMergingCounter::new();
+        let mut rng = seeded_rng(0);
+        let mut u = TokenMergingState { bag: 0, best: 6 };
+        let mut v = TokenMergingState { bag: 4, best: 4 };
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!(u.bag, 0);
+        assert_eq!(v.bag, 4);
+        assert_eq!(u.best, 6);
+        assert_eq!(v.best, 6);
+    }
+
+    #[test]
+    fn tokens_are_conserved_along_a_run() {
+        let n = 150usize;
+        let mut sim = Simulator::new(TokenMergingCounter::new(), n, 9).unwrap();
+        for _ in 0..20 {
+            sim.run(5_000);
+            let total: u64 = sim.states().iter().map(|s| s.bag).sum();
+            assert_eq!(total, n as u64);
+            assert!(sim.states().iter().all(|s| s.best <= n as u64), "never overcounts");
+        }
+    }
+
+    #[test]
+    fn baseline_counts_exactly() {
+        let n = 120usize;
+        let mut sim = Simulator::new(TokenMergingCounter::new(), n, 31).unwrap();
+        let outcome = sim.run_until(
+            move |s| all_output_n(s.states(), n),
+            (n * n / 8) as u64,
+            500_000_000,
+        );
+        assert!(outcome.converged(), "baseline did not converge");
+        assert!(sim.outputs().iter().all(|&o| o == n as u64));
+    }
+}

@@ -1,0 +1,280 @@
+//! The error-detection stage of the stable `Approximate` protocol — Algorithm 7,
+//! Appendix B of the paper.
+//!
+//! After the Search Protocol has concluded, the leader validates its estimate `k`
+//! by re-running a load-balancing experiment with `2^{k−2}` tokens and `32` units of
+//! secondary load per token:
+//!
+//! | phase′ | action |
+//! |---|---|
+//! | 0 | the leader injects `2^{k−2}` tokens (powers-of-two representation) |
+//! | 1 | powers-of-two load balancing on the `k` values |
+//! | 2 | every agent converts its token (if any) into 32 units of secondary load; an agent left with more than one token raises the error flag |
+//! | 3 | classical load balancing on the secondary load |
+//! | 4 | the leader recomputes `k ← ⌊k + 3 − log₂ ℓ⌉`; every agent checks `ℓ ≥ 3` and that the remaining discrepancy is at most 2, raising the error flag otherwise; the result spreads by maximum broadcast and the stage stops |
+//!
+//! If the estimate produced by the Search Protocol was too small, some agent ends up
+//! with fewer than 3 units of load; if it was too large, the powers-of-two balancing
+//! cannot complete and some agent keeps more than one token — either way the error
+//! flag is raised, spreads by one-way epidemics, and every agent switches its output
+//! to the always-correct backup protocol (Appendix C.1).
+
+use ppproto::load_balancing::{po2_balance, split_evenly, EMPTY_LOAD};
+
+use crate::search::SearchState;
+
+/// Number of phases of the error-detection stage.
+pub const ERROR_DETECTION_PHASES: u32 = 5;
+
+/// Secondary load assigned per token in phase′ 2 (the paper's constant 32).
+pub const SECONDARY_LOAD: u64 = 32;
+
+/// Per-agent bookkeeping of the error-detection stage (in addition to the Search
+/// Protocol state whose `k` field it reuses, exactly as Algorithm 7 does).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ErrorDetectionState {
+    /// Whether this agent has entered the error-detection stage.
+    pub entered: bool,
+    /// The phase in which the stage was entered (adopted from the leader so that
+    /// all agents agree on the relative phase′ numbering).
+    pub start_phase: u32,
+    /// Secondary load `ℓ_v ∈ {0, …, 32·…}` used in phases′ 2–4.
+    pub l: u64,
+    /// Error flag raised by any of the checks.
+    pub error: bool,
+}
+
+impl ErrorDetectionState {
+    /// The initial state (stage not yet entered).
+    #[must_use]
+    pub fn new() -> Self {
+        ErrorDetectionState::default()
+    }
+
+    /// Relative phase′ of this agent, capped at 4 ("the phase clock stops").
+    #[must_use]
+    pub fn relative_phase(&self, clock_phase: u32) -> u32 {
+        clock_phase
+            .saturating_sub(self.start_phase + 1)
+            .min(ERROR_DETECTION_PHASES - 1)
+    }
+}
+
+/// Context of one error-detection interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ErrorDetectionContext {
+    /// Whether the initiator is the leader.
+    pub u_leader: bool,
+    /// Whether the responder is the leader.
+    pub v_leader: bool,
+    /// The initiator's pending `firstTick` flag.
+    pub u_first_tick: bool,
+    /// The initiator's current phase number.
+    pub u_phase: u32,
+    /// The responder's current phase number.
+    pub v_phase: u32,
+}
+
+/// Apply one interaction of the error-detection stage (Algorithm 7).
+///
+/// `u_search`/`v_search` are the Search Protocol states (whose `k` and `done`
+/// fields the stage reuses); `u_ed`/`v_ed` the additional error-detection state.
+/// The initiator must already have entered the stage.
+pub fn error_detection_interact(
+    u_search: &mut SearchState,
+    u_ed: &mut ErrorDetectionState,
+    v_search: &mut SearchState,
+    v_ed: &mut ErrorDetectionState,
+    ctx: &ErrorDetectionContext,
+) {
+    debug_assert!(u_ed.entered);
+
+    // Algorithm 7, lines 1–2: a partner that has not yet entered the stage is
+    // initialised with an empty token load and joins the relative phase numbering.
+    if !v_ed.entered {
+        v_search.k = EMPTY_LOAD;
+        v_search.done = true;
+        v_ed.entered = true;
+        v_ed.start_phase = u_ed.start_phase;
+        v_ed.l = 0;
+        return;
+    }
+
+    let u_rel = u_ed.relative_phase(ctx.u_phase);
+    let v_rel = v_ed.relative_phase(ctx.v_phase);
+
+    // Synchronisation check (Appendix B): interacting agents whose relative phases
+    // have drifted apart signal an error.  The paper compares for exact equality;
+    // a slack of one phase is allowed here because adjacent agents routinely differ
+    // by one during a phase boundary even when the clock works perfectly.
+    if u_rel.abs_diff(v_rel) > 1 {
+        u_ed.error = true;
+        v_ed.error = true;
+    }
+
+    match u_rel {
+        0 => {
+            // Phase′ 0: load infusion by the leader.
+            if ctx.u_first_tick && ctx.u_leader && !ctx.v_leader {
+                v_search.k = u_search.k - 2;
+            }
+        }
+        1 => {
+            // Phase′ 1: powers-of-two load balancing among non-leaders.
+            if !ctx.u_leader && !ctx.v_leader && u_rel == v_rel {
+                po2_balance(&mut u_search.k, &mut v_search.k);
+            }
+        }
+        2 => {
+            // Phase′ 2: convert tokens into secondary load.
+            if ctx.u_first_tick {
+                if u_search.k == EMPTY_LOAD || ctx.u_leader {
+                    u_ed.l = 0;
+                } else if u_search.k == 0 {
+                    u_ed.l = SECONDARY_LOAD;
+                } else {
+                    // More than one token left: the injected load exceeded n, so the
+                    // estimate was too large (or balancing failed).
+                    u_ed.error = true;
+                }
+            }
+        }
+        3 => {
+            // Phase′ 3: classical load balancing on the secondary load.
+            if u_rel == v_rel {
+                split_evenly(&mut u_ed.l, &mut v_ed.l);
+            }
+        }
+        _ => {
+            // Phase′ 4: recompute the estimate, validate, broadcast, stop.
+            if ctx.u_leader && ctx.u_first_tick {
+                let l = u_ed.l.max(1) as f64;
+                u_search.k = (u_search.k as f64 + 3.0 - l.log2()).round() as i32;
+            }
+            if v_rel == u_rel {
+                if u_ed.l < 3 || u_ed.l.abs_diff(v_ed.l) > 2 {
+                    u_ed.error = true;
+                    v_ed.error = true;
+                }
+                // Broadcast the leader's validated result.
+                let k = u_search.k.max(v_search.k);
+                u_search.k = k;
+                v_search.k = k;
+            }
+        }
+    }
+
+    // The error flag always spreads by one-way epidemics.
+    if u_ed.error || v_ed.error {
+        u_ed.error = true;
+        v_ed.error = true;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn entered(start: u32) -> ErrorDetectionState {
+        ErrorDetectionState { entered: true, start_phase: start, l: 0, error: false }
+    }
+
+    fn ctx(u_leader: bool, first: bool, u_phase: u32, v_phase: u32) -> ErrorDetectionContext {
+        ErrorDetectionContext { u_leader, v_leader: false, u_first_tick: first, u_phase, v_phase }
+    }
+
+    #[test]
+    fn relative_phase_is_capped_at_four() {
+        let ed = entered(10);
+        assert_eq!(ed.relative_phase(10), 0);
+        assert_eq!(ed.relative_phase(11), 0);
+        assert_eq!(ed.relative_phase(13), 2);
+        assert_eq!(ed.relative_phase(100), 4);
+    }
+
+    #[test]
+    fn new_agents_are_initialised_into_the_stage() {
+        let mut us = SearchState { k: 9, done: true };
+        let mut ue = entered(10);
+        let mut vs = SearchState { k: 0, done: false };
+        let mut ve = ErrorDetectionState::new();
+        error_detection_interact(&mut us, &mut ue, &mut vs, &mut ve, &ctx(true, false, 11, 11));
+        assert!(ve.entered);
+        assert!(vs.done);
+        assert_eq!(vs.k, EMPTY_LOAD);
+        assert_eq!(ve.start_phase, 10);
+    }
+
+    #[test]
+    fn phase0_leader_infuses_k_minus_two() {
+        let mut us = SearchState { k: 9, done: true };
+        let mut ue = entered(10);
+        let mut vs = SearchState { k: EMPTY_LOAD, done: true };
+        let mut ve = entered(10);
+        error_detection_interact(&mut us, &mut ue, &mut vs, &mut ve, &ctx(true, true, 11, 11));
+        assert_eq!(vs.k, 7);
+        assert_eq!(us.k, 9);
+    }
+
+    #[test]
+    fn phase2_converts_tokens_and_detects_oversized_loads() {
+        // An agent holding exactly one token gets 32 units of secondary load.
+        let mut us = SearchState { k: 0, done: true };
+        let mut ue = entered(10);
+        let mut vs = SearchState { k: EMPTY_LOAD, done: true };
+        let mut ve = entered(10);
+        error_detection_interact(&mut us, &mut ue, &mut vs, &mut ve, &ctx(false, true, 13, 13));
+        assert_eq!(ue.l, SECONDARY_LOAD);
+        assert!(!ue.error);
+
+        // An agent still holding more than one token raises the error flag.
+        let mut ws = SearchState { k: 2, done: true };
+        let mut we = entered(10);
+        let mut xs = SearchState { k: EMPTY_LOAD, done: true };
+        let mut xe = entered(10);
+        error_detection_interact(&mut ws, &mut we, &mut xs, &mut xe, &ctx(false, true, 13, 13));
+        assert!(we.error);
+        assert!(xe.error, "the error spreads to the partner immediately");
+    }
+
+    #[test]
+    fn phase4_detects_underloaded_agents_and_broadcasts_the_result() {
+        // Underloaded agent: error.
+        let mut us = SearchState { k: 0, done: true };
+        let mut ue = ErrorDetectionState { l: 2, ..entered(10) };
+        let mut vs = SearchState { k: 0, done: true };
+        let mut ve = ErrorDetectionState { l: 4, ..entered(10) };
+        error_detection_interact(&mut us, &mut ue, &mut vs, &mut ve, &ctx(false, false, 15, 15));
+        assert!(ue.error && ve.error);
+
+        // Healthy agents: the maximum (the leader's validated estimate) spreads.
+        let mut as_ = SearchState { k: 9, done: true };
+        let mut ae = ErrorDetectionState { l: 5, ..entered(10) };
+        let mut bs = SearchState { k: 0, done: true };
+        let mut be = ErrorDetectionState { l: 6, ..entered(10) };
+        error_detection_interact(&mut as_, &mut ae, &mut bs, &mut be, &ctx(false, false, 15, 15));
+        assert!(!ae.error && !be.error);
+        assert_eq!(bs.k, 9);
+    }
+
+    #[test]
+    fn leader_recomputes_its_estimate_in_phase4() {
+        // k = 9, l = 8  ⇒  k ← round(9 + 3 − 3) = 9.
+        let mut us = SearchState { k: 9, done: true };
+        let mut ue = ErrorDetectionState { l: 8, ..entered(10) };
+        let mut vs = SearchState { k: 0, done: true };
+        let mut ve = ErrorDetectionState { l: 8, ..entered(10) };
+        error_detection_interact(&mut us, &mut ue, &mut vs, &mut ve, &ctx(true, true, 15, 15));
+        assert_eq!(us.k, 9);
+    }
+
+    #[test]
+    fn drifted_phases_raise_the_error_flag() {
+        let mut us = SearchState { k: 0, done: true };
+        let mut ue = entered(10);
+        let mut vs = SearchState { k: 0, done: true };
+        let mut ve = entered(16);
+        error_detection_interact(&mut us, &mut ue, &mut vs, &mut ve, &ctx(false, false, 16, 16));
+        assert!(ue.error && ve.error);
+    }
+}

@@ -1,0 +1,340 @@
+//! The approximation stage of `CountExact` — Algorithm 4, Lemma 10.
+//!
+//! Assuming a unique leader and synchronised phase clocks, the stage computes an
+//! approximation `k = log₂ n ± 3`.  The leader starts with a single token; once per
+//! phase every agent multiplies its load by `2^(2^(level−γ))` (the "load
+//! explosion"); during the rest of the phase the agents run classical load
+//! balancing [10].  As soon as the leader's balanced load reaches `4`, the total
+//! load `M` must be at least `2n` w.h.p., and the leader computes
+//! `k = log₂ M − ⌊log₂ ℓ_u⌋`, which is `log₂ n ± 3` (Lemma 10).  The `ApxDone` flag
+//! (together with `k`) then spreads to every agent by one-way epidemics.
+//!
+//! # Differences from the pseudo-code of Algorithm 4
+//!
+//! The paper's analysis relies on the identity `M = 2^{i·2^{level−γ}}` — every token
+//! is multiplied exactly once per phase.  Taken literally, the pseudo-code does not
+//! guarantee this at simulable sizes: agents cross a phase boundary at slightly
+//! different interactions, so a token can be handed from an agent that has already
+//! multiplied to one that has not (and be multiplied twice), or vice versa.  With
+//! the paper's asymptotic multiplier (`γ = 8`, a factor `1 + o(1)`) the resulting
+//! drift is negligible; with the practical multiplier (`γ = 2`, a factor of 2 or
+//! more) it is not.  This implementation therefore
+//!
+//! 1. tags every agent's load with the phase it is current for and performs the
+//!    explosion lazily when the tag falls behind the agent's clock (equivalent to
+//!    the paper's `firstTick` rule, but robust to missed ticks), and
+//! 2. balances loads only between agents whose tags agree, so that every token is
+//!    multiplied exactly once per phase and `M = 2^{(tag − origin)·2^{level−γ}}`
+//!    holds exactly,
+//! 3. concludes only when the leader's load has stayed at `≥ 4` throughout the
+//!    preceding phase (a single sample can be inflated right after the explosion),
+//!    which delays the conclusion by `O(1)` phases and leaves Lemma 10 unchanged.
+//!
+//! The paper's level offset is `γ = 8`; the default here is `γ = 2`
+//! (see [`CountExactParams::level_offset`](crate::params::CountExactParams)).
+
+use ppproto::load_balancing::split_evenly;
+
+/// Per-agent state shared by the approximation and refinement stages
+/// (`i_v`, `k_v`, `ℓ_v`, `ApxDone_v` plus bookkeeping for the refinement phases).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ExactStageState {
+    /// The phase this agent's load is current for (the paper's phase counter `i_v`
+    /// expressed on the shared clock).
+    pub tag: u32,
+    /// The phase in which the leader injected its initial token; `tag − origin`
+    /// explosions have been applied to the load pool.
+    pub origin_phase: u32,
+    /// Whether the leader has injected its initial token (`i_u = 0` initialisation
+    /// of Algorithm 4, line 2–3).
+    pub seeded: bool,
+    /// The approximation of `log₂ n` (`k_v`); computed by the leader, then spread.
+    pub k: i64,
+    /// Load used for balancing (`ℓ_v`).
+    pub l: u64,
+    /// The smallest load observed since this agent's last explosion (see the module
+    /// documentation).
+    pub l_min: u64,
+    /// Whether the approximation stage has concluded (`ApxDone_v`).
+    pub apx_done: bool,
+    /// The phase number at which `ApxDone` was raised by the leader; adopted
+    /// together with the flag so that all agents agree on the refinement stage's
+    /// relative phases.
+    pub start_phase: u32,
+    /// Whether this agent has performed the refinement stage's load multiplication
+    /// (gates the output function).
+    pub multiplied: bool,
+}
+
+impl ExactStageState {
+    /// The common initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        ExactStageState {
+            tag: 0,
+            origin_phase: 0,
+            seeded: false,
+            k: 0,
+            l: 0,
+            l_min: 0,
+            apx_done: false,
+            start_phase: 0,
+            multiplied: false,
+        }
+    }
+
+    /// Re-initialise (used when an agent meets a higher junta level).
+    pub fn reset(&mut self) {
+        *self = ExactStageState::new();
+    }
+
+    /// Adopt the "approximation finished" information from a partner: the flag, the
+    /// approximation `k` and the phase at which the stage concluded.  The load is
+    /// cleared so that leftovers from the approximation stage cannot leak into the
+    /// refinement stage.
+    pub fn enter_refinement_from(&mut self, other: &ExactStageState) {
+        self.apx_done = true;
+        self.k = other.k;
+        self.start_phase = other.start_phase;
+        self.l = 0;
+        self.multiplied = false;
+    }
+
+    /// The number of explosions applied to this agent's load pool so far
+    /// (the paper's `i_u`).
+    #[must_use]
+    pub fn explosions(&self) -> u32 {
+        self.tag.saturating_sub(self.origin_phase)
+    }
+}
+
+impl Default for ExactStageState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Context of one approximation-stage interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproximationContext {
+    /// Whether the initiator is the leader.
+    pub u_leader: bool,
+    /// The initiator's junta level (`level_u`), which determines the per-phase
+    /// multiplier `2^(2^(level−γ))`.
+    pub u_level: u8,
+    /// The level offset `γ` (paper value 8, practical default 2).
+    pub level_offset: u8,
+    /// The initiator's current phase number.
+    pub u_phase: u32,
+    /// The responder's current phase number.
+    pub v_phase: u32,
+}
+
+impl ApproximationContext {
+    /// The per-phase exponent step `2^(level − γ)`, clamped to `[1, 32]` so that the
+    /// per-phase multiplier always fits in a `u64` shift.
+    #[must_use]
+    pub fn exponent_step(&self) -> u32 {
+        let exp = self.u_level.saturating_sub(self.level_offset);
+        1u32 << u32::from(exp).min(5)
+    }
+}
+
+/// Bring one agent's load pool up to date with its clock: apply the pending load
+/// explosions.  Returns the tag (phase) the sampled pre-explosion load belonged to.
+fn catch_up(state: &mut ExactStageState, phase: u32, step: u32) -> u32 {
+    let old_tag = state.tag;
+    if phase > state.tag {
+        let missed = u64::from(phase - state.tag);
+        let shift = (missed * u64::from(step)).min(63) as u32;
+        state.l = state.l.checked_shl(shift).unwrap_or(u64::MAX);
+        state.tag = phase;
+        state.l_min = state.l;
+    }
+    old_tag
+}
+
+/// Apply one interaction of the approximation stage (Algorithm 4).
+///
+/// `u` is the initiator and `v` the responder.  Returns `true` if the initiator
+/// raised `ApxDone` in this interaction.
+pub fn approximation_interact(
+    u: &mut ExactStageState,
+    v: &mut ExactStageState,
+    ctx: &ApproximationContext,
+) -> bool {
+    // One-way epidemics on ApxDone (Algorithm 4, line 9): an agent that has not yet
+    // finished adopts the conclusion (and the approximation k) from a partner that
+    // has.  Nothing else happens in such an interaction — the partner is already in
+    // the refinement stage and its load must not be mixed with approximation loads.
+    if !u.apx_done && v.apx_done {
+        u.enter_refinement_from(v);
+        return false;
+    }
+    if u.apx_done {
+        if !v.apx_done {
+            v.enter_refinement_from(u);
+        }
+        return false;
+    }
+
+    let step = ctx.exponent_step();
+    let mut raised = false;
+
+    // Line 2–3: the leader initialises the stage with a single token.
+    if ctx.u_leader && !u.seeded {
+        u.seeded = true;
+        u.l = 1;
+        u.l_min = 1;
+        u.tag = ctx.u_phase;
+        u.origin_phase = ctx.u_phase;
+    }
+
+    // Lines 4–7: once per phase, check for conclusion and apply the load explosion.
+    if ctx.u_leader && u.seeded && ctx.u_phase > u.tag && u.l >= 4 && u.l_min >= 4 {
+        // The balanced load stayed at 4 or above throughout the previous phase, so
+        // the total load is ≥ 2n w.h.p.; conclude with k = log₂ M − ⌊log₂ ℓ⌋ where
+        // log₂ M = (tag − origin) · 2^(level−γ).
+        u.apx_done = true;
+        u.start_phase = ctx.u_phase;
+        let log_m = i64::from(u.explosions()) * i64::from(step);
+        let log_l = (63 - i64::from(u.l.leading_zeros())).max(0);
+        u.k = log_m - log_l;
+        return true;
+    }
+    catch_up(u, ctx.u_phase, step);
+    catch_up(v, ctx.v_phase, step);
+
+    // Line 8: classical load balancing, restricted to agents whose load pools are
+    // current for the same phase so that every token is multiplied exactly once per
+    // phase (see the module documentation).
+    if u.tag == v.tag {
+        split_evenly(&mut u.l, &mut v.l);
+        u.l_min = u.l_min.min(u.l);
+        v.l_min = v.l_min.min(v.l);
+    }
+    raised |= false;
+    raised
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(leader: bool, level: u8, u_phase: u32, v_phase: u32) -> ApproximationContext {
+        ApproximationContext {
+            u_leader: leader,
+            u_level: level,
+            level_offset: 2,
+            u_phase,
+            v_phase,
+        }
+    }
+
+    #[test]
+    fn exponent_step_follows_the_level() {
+        assert_eq!(ctx(true, 2, 0, 0).exponent_step(), 1);
+        assert_eq!(ctx(true, 3, 0, 0).exponent_step(), 2);
+        assert_eq!(ctx(true, 4, 0, 0).exponent_step(), 4);
+        assert_eq!(ctx(true, 5, 0, 0).exponent_step(), 8);
+        // Clamped so that 2^step fits comfortably in u64.
+        assert_eq!(ctx(true, 12, 0, 0).exponent_step(), 32);
+        assert_eq!(ctx(true, 0, 0, 0).exponent_step(), 1);
+    }
+
+    #[test]
+    fn leader_seeds_a_single_token() {
+        let mut leader = ExactStageState::new();
+        let mut other = ExactStageState::new();
+        approximation_interact(&mut leader, &mut other, &ctx(true, 4, 10, 10));
+        assert!(leader.seeded);
+        assert_eq!(leader.origin_phase, 10);
+        assert_eq!(leader.explosions(), 0);
+        // The single token may have been handed over by balancing but is conserved.
+        assert_eq!(leader.l + other.l, 1);
+    }
+
+    #[test]
+    fn pending_explosions_are_applied_lazily_and_exactly_once_per_phase() {
+        // An agent whose load is current for phase 10 and whose clock reached
+        // phase 12 multiplies by 2^(2·step) in one go.
+        let mut u = ExactStageState { seeded: true, l: 3, l_min: 3, tag: 10, origin_phase: 8, ..ExactStageState::new() };
+        let mut v = ExactStageState { tag: 12, ..ExactStageState::new() };
+        approximation_interact(&mut u, &mut v, &ctx(false, 4, 12, 12));
+        assert_eq!(u.tag, 12);
+        assert_eq!(u.explosions(), 4);
+        // 3 · 2^(2·4) = 768, then balanced with the (empty, same-tag) partner.
+        assert_eq!(u.l + v.l, 768);
+    }
+
+    #[test]
+    fn balancing_is_restricted_to_matching_pools() {
+        let mut u = ExactStageState { l: 10, l_min: 10, tag: 5, ..ExactStageState::new() };
+        let mut v = ExactStageState { l: 0, tag: 7, ..ExactStageState::new() };
+        // The initiator's clock is still at phase 5, the responder's at 7: no
+        // balancing across pools.
+        approximation_interact(&mut u, &mut v, &ctx(false, 4, 5, 7));
+        assert_eq!(u.l, 10);
+        assert_eq!(v.l, 0);
+    }
+
+    #[test]
+    fn leader_concludes_once_its_load_stayed_at_four_for_a_phase() {
+        let mut leader = ExactStageState {
+            seeded: true,
+            l: 6,
+            l_min: 4,
+            tag: 13,
+            origin_phase: 8,
+            ..ExactStageState::new()
+        };
+        let mut other = ExactStageState { l: 5, tag: 13, ..ExactStageState::new() };
+        let raised = approximation_interact(&mut leader, &mut other, &ctx(true, 4, 14, 14));
+        assert!(raised);
+        assert!(leader.apx_done);
+        assert_eq!(leader.start_phase, 14);
+        // k = (tag − origin)·2^(level−γ) − ⌊log₂ l⌋ = 5·4 − 2 = 18.
+        assert_eq!(leader.k, 18);
+        // The concluded leader no longer balances its load.
+        assert_eq!(other.l, 5);
+    }
+
+    #[test]
+    fn leader_does_not_conclude_on_a_transient_spike() {
+        // A single inflated sample (l = 6) is not enough when the load dipped below
+        // 4 earlier in the phase: the stage continues with another explosion.
+        let mut leader = ExactStageState {
+            seeded: true,
+            l: 6,
+            l_min: 1,
+            tag: 13,
+            origin_phase: 8,
+            ..ExactStageState::new()
+        };
+        let mut other = ExactStageState { l: 0, tag: 14, ..ExactStageState::new() };
+        let raised = approximation_interact(&mut leader, &mut other, &ctx(true, 4, 14, 14));
+        assert!(!raised);
+        assert!(!leader.apx_done);
+        assert_eq!(leader.explosions(), 6, "the stage continues with another load explosion");
+        assert_eq!(leader.l + other.l, 6 << 4, "the exploded load is conserved by balancing");
+    }
+
+    #[test]
+    fn apx_done_spreads_and_resets_the_load() {
+        let done = ExactStageState {
+            apx_done: true,
+            k: 9,
+            start_phase: 17,
+            l: 123,
+            ..ExactStageState::new()
+        };
+        let mut u = ExactStageState { l: 55, tag: 3, ..ExactStageState::new() };
+        let mut v = done;
+        approximation_interact(&mut u, &mut v, &ctx(false, 4, 18, 18));
+        assert!(u.apx_done);
+        assert_eq!(u.k, 9);
+        assert_eq!(u.start_phase, 17);
+        assert_eq!(u.l, 0, "approximation-stage leftovers are cleared");
+        assert_eq!(v.l, 123, "the refinement-stage partner keeps its own load");
+    }
+}

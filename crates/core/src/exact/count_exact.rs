@@ -1,0 +1,286 @@
+//! Protocol `CountExact` — Algorithm 3, Theorem 2 of the paper.
+//!
+//! `CountExact` is a uniform population protocol in which every agent outputs the
+//! exact population size `n`.  It stabilises within the asymptotically optimal
+//! `O(n log n)` interactions and uses `Õ(n)` states, w.h.p.  The composition
+//! (Algorithm 3):
+//!
+//! 1. junta process + phase clocks (lines 1–4),
+//! 2. `FastLeaderElection` (Stage 1, lines 5–6),
+//! 3. the approximation stage (Stage 2, lines 7–8) computing `log₂ n ± 3`,
+//! 4. the refinement stage (Stage 3, lines 9–10) computing the exact `n`.
+
+use rand::RngCore;
+
+use ppsim::Protocol;
+use ppproto::fast_leader_election::{FastLeaderElection, FastLeaderState};
+use ppproto::phase_clock::{sync_interact, PhaseClock, SyncState};
+
+use crate::params::CountExactParams;
+
+use super::approximation_stage::{approximation_interact, ApproximationContext, ExactStageState};
+use super::refinement_stage::{refinement_interact, refinement_output, RefinementContext};
+
+/// Per-agent state of protocol `CountExact` (Figure 3 of the paper).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CountExactAgent {
+    /// Junta process + phase clock.
+    pub sync: SyncState,
+    /// Fast leader-election component.
+    pub election: FastLeaderState,
+    /// Approximation- and refinement-stage state (`i_u`, `k_u`, `ℓ_u`, `ApxDone_u`).
+    pub stage: ExactStageState,
+}
+
+impl CountExactAgent {
+    /// The common initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        CountExactAgent {
+            sync: SyncState::new(),
+            election: FastLeaderState::new(),
+            stage: ExactStageState::new(),
+        }
+    }
+
+    /// Whether this agent currently considers itself the leader.
+    #[must_use]
+    pub fn is_leader(&self) -> bool {
+        self.election.contender
+    }
+
+    /// The leader's approximation of `log₂ n` (Lemma 10), once the approximation
+    /// stage has concluded.
+    #[must_use]
+    pub fn approximation(&self) -> Option<i64> {
+        if self.stage.apx_done {
+            Some(self.stage.k)
+        } else {
+            None
+        }
+    }
+}
+
+/// Protocol `CountExact` (Algorithm 3).
+///
+/// # Examples
+///
+/// ```rust,no_run
+/// use popcount::{CountExact, CountExactParams};
+/// use ppsim::Simulator;
+///
+/// # fn main() -> Result<(), ppsim::SimError> {
+/// let n = 1000;
+/// let protocol = CountExact::new(CountExactParams::default());
+/// let mut sim = Simulator::new(protocol, n, 3)?;
+/// let outcome = sim.run_until(
+///     |s| {
+///         let p = s.protocol().clone();
+///         s.states().iter().all(|a| p.agent_output(a) == Some(1000))
+///     },
+///     n as u64,
+///     500_000_000,
+/// );
+/// assert!(outcome.converged());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountExact {
+    clock: PhaseClock,
+    election: FastLeaderElection,
+    params: CountExactParams,
+}
+
+impl CountExact {
+    /// Create the protocol from its parameters.
+    #[must_use]
+    pub fn new(params: CountExactParams) -> Self {
+        CountExact {
+            clock: PhaseClock::new(params.clock_hours),
+            election: FastLeaderElection::new(params.fast_leader_election()),
+            params,
+        }
+    }
+
+    /// The parameters this instance runs with.
+    #[must_use]
+    pub fn params(&self) -> &CountExactParams {
+        &self.params
+    }
+
+    /// The output function applied to a single agent (exposed so that harness code
+    /// can inspect outputs without constructing the protocol's associated type).
+    #[must_use]
+    pub fn agent_output(&self, agent: &CountExactAgent) -> Option<u64> {
+        refinement_output(&agent.stage, self.params.refinement_constant())
+    }
+
+    /// Shared per-interaction preamble and staged dispatch, reused by the stable
+    /// variant.  Returns `true` if the initiator was re-initialised.
+    pub(crate) fn staged_interact(
+        &self,
+        initiator: &mut CountExactAgent,
+        responder: &mut CountExactAgent,
+    ) -> bool {
+        // Lines 1–4 of Algorithm 3.
+        let outcome = sync_interact(&self.clock, &mut initiator.sync, &mut responder.sync);
+        if outcome.u_reset {
+            initiator.election.reset();
+            initiator.stage.reset();
+        }
+        if outcome.v_reset {
+            responder.election.reset();
+            responder.stage.reset();
+        }
+
+        let u_first_tick = initiator.sync.clock.first_tick;
+
+        if !initiator.election.done {
+            // Stage 1: fast leader election.
+            self.election.interact(
+                &mut initiator.election,
+                &mut responder.election,
+                u_first_tick,
+                initiator.sync.clock.phase,
+                responder.sync.clock.phase,
+                initiator.sync.junta.level,
+                responder.sync.junta.level,
+            );
+        } else if !initiator.stage.apx_done {
+            // Stage 2: approximation stage (Algorithm 4).
+            let ctx = ApproximationContext {
+                u_leader: initiator.election.contender,
+                u_level: initiator.sync.junta.level,
+                level_offset: self.params.level_offset,
+                u_phase: initiator.sync.clock.phase,
+                v_phase: responder.sync.clock.phase,
+            };
+            approximation_interact(&mut initiator.stage, &mut responder.stage, &ctx);
+        } else {
+            // Stage 3: refinement stage (Algorithm 5).
+            let ctx = RefinementContext {
+                u_leader: initiator.election.contender,
+                u_first_tick,
+                u_phase: initiator.sync.clock.phase,
+                v_phase: responder.sync.clock.phase,
+                constant: self.params.refinement_constant(),
+            };
+            refinement_interact(&mut initiator.stage, &mut responder.stage, &ctx);
+        }
+
+        initiator.sync.clock.first_tick = false;
+        outcome.u_reset
+    }
+}
+
+impl Default for CountExact {
+    fn default() -> Self {
+        Self::new(CountExactParams::default())
+    }
+}
+
+impl Protocol for CountExact {
+    type State = CountExactAgent;
+    type Output = Option<u64>;
+
+    fn initial_state(&self) -> CountExactAgent {
+        CountExactAgent::new()
+    }
+
+    fn interact(
+        &self,
+        initiator: &mut CountExactAgent,
+        responder: &mut CountExactAgent,
+        _rng: &mut dyn RngCore,
+    ) {
+        self.staged_interact(initiator, responder);
+    }
+
+    fn output(&self, state: &CountExactAgent) -> Option<u64> {
+        refinement_output(&state.stage, self.params.refinement_constant())
+    }
+
+    fn name(&self) -> &'static str {
+        "count-exact"
+    }
+}
+
+/// Convergence predicate for a population of size `n`: every agent outputs exactly
+/// `n`.
+#[must_use]
+pub fn all_counted(protocol: &CountExact, states: &[CountExactAgent], n: usize) -> bool {
+    states
+        .iter()
+        .all(|a| protocol.agent_output(a) == Some(n as u64))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::Simulator;
+
+    #[test]
+    fn initial_agent_has_no_output() {
+        let p = CountExact::default();
+        let a = CountExactAgent::new();
+        assert_eq!(p.agent_output(&a), None);
+        assert_eq!(a.approximation(), None);
+        assert!(a.is_leader());
+    }
+
+    #[test]
+    fn count_exact_outputs_the_exact_population_size() {
+        for &(n, seed) in &[(200usize, 11u64), (300, 12)] {
+            let proto = CountExact::default();
+            let mut sim = Simulator::new(proto, n, seed).unwrap();
+            let outcome = sim.run_until(
+                move |s| all_counted(s.protocol(), s.states(), n),
+                (n * 50) as u64,
+                80_000_000,
+            );
+            assert!(
+                outcome.converged(),
+                "CountExact did not converge to {n} (seed {seed}); outputs: {:?}",
+                sim.output_stats().plurality()
+            );
+        }
+    }
+
+    #[test]
+    fn approximation_stage_result_is_within_three_of_log_n() {
+        let n = 400usize;
+        let proto = CountExact::default();
+        let mut sim = Simulator::new(proto, n, 99).unwrap();
+        let outcome = sim.run_until(
+            |s| s.states().iter().any(|a| a.stage.apx_done),
+            (n * 10) as u64,
+            80_000_000,
+        );
+        assert!(outcome.converged(), "the approximation stage never concluded");
+        let k = sim
+            .states()
+            .iter()
+            .find_map(|a| a.approximation())
+            .expect("some agent finished the approximation stage");
+        let log_n = (n as f64).log2();
+        assert!(
+            (k as f64 - log_n).abs() <= 3.0,
+            "approximation k = {k} is more than 3 away from log2 n = {log_n:.2}"
+        );
+    }
+
+    #[test]
+    fn exactly_one_leader_at_convergence() {
+        let n = 250usize;
+        let proto = CountExact::default();
+        let mut sim = Simulator::new(proto, n, 5).unwrap();
+        let outcome = sim.run_until(
+            move |s| all_counted(s.protocol(), s.states(), n),
+            (n * 50) as u64,
+            80_000_000,
+        );
+        assert!(outcome.converged());
+        assert_eq!(sim.states().iter().filter(|a| a.is_leader()).count(), 1);
+    }
+}

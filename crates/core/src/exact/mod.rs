@@ -1,0 +1,25 @@
+//! Exact population counting — Section 4 of the paper.
+//!
+//! Protocol `CountExact` (Algorithm 3, Theorem 2) outputs the exact population size
+//! `n`, stabilising in the asymptotically optimal `O(n log n)` interactions with
+//! `Õ(n)` states w.h.p.  It is the composition of
+//!
+//! 1. the junta process and phase clocks (shared with `Approximate`),
+//! 2. `FastLeaderElection` (Lemma 7, Appendix D) — *Stage 1*,
+//! 3. the **approximation stage** (Algorithm 4, Lemma 10), which computes
+//!    `log₂ n ± 3` — *Stage 2*,
+//! 4. the **refinement stage** (Algorithm 5, Lemma 11), which turns the rough
+//!    estimate into the exact count — *Stage 3*.
+//!
+//! The stable variant (Appendix F) additionally runs error detection and the exact
+//! backup protocol; see [`stable`].
+
+pub mod approximation_stage;
+pub mod count_exact;
+pub mod refinement_stage;
+pub mod stable;
+
+pub use approximation_stage::{approximation_interact, ApproximationContext, ExactStageState};
+pub use count_exact::{all_counted, CountExact, CountExactAgent};
+pub use refinement_stage::{refinement_interact, refinement_output, RefinementContext};
+pub use stable::{StableCountExact, StableCountExactAgent};

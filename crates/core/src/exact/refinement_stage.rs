@@ -1,0 +1,208 @@
+//! The refinement stage of `CountExact` — Algorithm 5, Lemma 11.
+//!
+//! Starting from the leader's approximation `k = log₂ n ± 3`, the stage computes the
+//! exact population size.  It runs in three phases (relative to the phase in which
+//! the approximation stage concluded):
+//!
+//! * **Phase 0** — initialisation: the approximation `k` spreads to every agent and
+//!   all loads are cleared.
+//! * **Phase 1** — the leader injects `C · 2^k` tokens (with `C = 2⁸` in the paper);
+//!   classical load balancing spreads them so that every agent holds `Θ(1)` tokens.
+//! * **Phase 2** — every agent multiplies its load by `2^k`; after balancing, the
+//!   total load is `M = C · 2^{2k} ≥ 4n²` and every agent holds
+//!   `ℓ_v = C · 2^{2k}/n ± 1.5` tokens w.h.p.
+//!
+//! Every agent then outputs `ω(v) = ⌊C · 2^{2k_v} / ℓ_v⌉`, which equals `n` exactly
+//! (Lemma 11; the rounding analysis is reproduced in [`refinement_output`]).
+
+use ppproto::load_balancing::split_evenly;
+use ppproto::max_broadcast;
+
+use super::approximation_stage::ExactStageState;
+
+/// Context of one refinement-stage interaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RefinementContext {
+    /// Whether the initiator is the leader.
+    pub u_leader: bool,
+    /// The initiator's consumed `firstTick` flag.
+    pub u_first_tick: bool,
+    /// The initiator's current phase number.
+    pub u_phase: u32,
+    /// The responder's current phase number.
+    pub v_phase: u32,
+    /// The refinement constant `C` (the paper uses `2⁸ = 256`).
+    pub constant: u64,
+}
+
+/// Apply one interaction of the refinement stage (Algorithm 5).
+///
+/// Both agents must already have `apx_done` set (the caller dispatches on the
+/// initiator; a responder that has not yet finished the approximation stage is
+/// brought into the refinement stage first, mirroring the `ApxDone` epidemic).
+pub fn refinement_interact(
+    u: &mut ExactStageState,
+    v: &mut ExactStageState,
+    ctx: &RefinementContext,
+) {
+    if !v.apx_done {
+        // The partner has not learned about the conclusion of the approximation
+        // stage yet: bring it in (one-way epidemics on ApxDone and k).
+        v.enter_refinement_from(u);
+        return;
+    }
+
+    let u_rel = ctx.u_phase.saturating_sub(u.start_phase);
+    let v_rel = ctx.v_phase.saturating_sub(v.start_phase);
+
+    if u_rel == 0 || v_rel == 0 {
+        // Phase 0: initialise agents and broadcast k (Algorithm 5, lines 1–2).
+        max_broadcast(&mut u.k, &mut v.k);
+        if u_rel == 0 {
+            u.l = 0;
+        }
+        if v_rel == 0 {
+            v.l = 0;
+        }
+    }
+
+    if ctx.u_first_tick {
+        if u_rel == 1 && ctx.u_leader {
+            // Phase 1: the leader injects C · 2^k tokens (line 4–5).
+            u.l = ctx
+                .constant
+                .checked_shl(u32::try_from(u.k.max(0)).unwrap_or(u32::MAX).min(50))
+                .unwrap_or(u64::MAX);
+        }
+        if u_rel == 2 && !u.multiplied {
+            // Phase 2: multiply the load by 2^k (lines 6–7).
+            u.l = u
+                .l
+                .checked_shl(u32::try_from(u.k.max(0)).unwrap_or(u32::MAX).min(50))
+                .unwrap_or(u64::MAX);
+            u.multiplied = true;
+        }
+    }
+
+    // Line 8: classical load balancing.  Balancing is restricted to pairs in the
+    // same "multiplication pool": either both agents still hold un-multiplied
+    // (phase-1) loads, or both have already performed their phase-2 multiplication.
+    // The paper's pseudo-code balances unconditionally; restricting it to one pool
+    // guarantees that every token is multiplied by `2^k` exactly once even though
+    // agents cross the phase boundary at slightly different times (without the
+    // restriction, tokens handed from a multiplied agent to a not-yet-multiplied one
+    // would be multiplied twice, inflating the total and deflating every output).
+    let same_pool = (u_rel == 1 && v_rel == 1 && !u.multiplied && !v.multiplied)
+        || (u.multiplied && v.multiplied);
+    if same_pool {
+        split_evenly(&mut u.l, &mut v.l);
+    }
+}
+
+/// The output function `ω(v) = ⌊C · 2^{2k_v} / ℓ_v⌉` of the refinement stage.
+///
+/// Returns `None` while the agent has not yet completed its phase-2 multiplication
+/// or holds no load (the value would be meaningless).
+#[must_use]
+pub fn refinement_output(state: &ExactStageState, constant: u64) -> Option<u64> {
+    if !state.apx_done || !state.multiplied || state.l == 0 {
+        return None;
+    }
+    let k = u32::try_from(state.k.max(0)).unwrap_or(0).min(60);
+    let numerator = u128::from(constant) << (2 * k);
+    let l = u128::from(state.l);
+    // Round to the nearest integer.
+    Some(u64::try_from((numerator + l / 2) / l).unwrap_or(u64::MAX))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn done_state(k: i64, l: u64, start_phase: u32, multiplied: bool) -> ExactStageState {
+        ExactStageState { k, l, apx_done: true, start_phase, multiplied, ..ExactStageState::new() }
+    }
+
+    fn ctx(leader: bool, first: bool, u_phase: u32, v_phase: u32) -> RefinementContext {
+        RefinementContext {
+            u_leader: leader,
+            u_first_tick: first,
+            u_phase,
+            v_phase,
+            constant: 256,
+        }
+    }
+
+    #[test]
+    fn phase0_broadcasts_k_and_clears_loads() {
+        let mut u = done_state(9, 55, 10, false);
+        let mut v = done_state(0, 77, 10, false);
+        refinement_interact(&mut u, &mut v, &ctx(false, false, 10, 10));
+        assert_eq!(u.k, 9);
+        assert_eq!(v.k, 9);
+        assert_eq!(u.l, 0);
+        assert_eq!(v.l, 0);
+    }
+
+    #[test]
+    fn phase1_leader_injects_c_times_two_to_the_k() {
+        let mut u = done_state(4, 0, 10, false);
+        let mut v = done_state(4, 0, 10, false);
+        refinement_interact(&mut u, &mut v, &ctx(true, true, 11, 11));
+        // 256 · 2^4 = 4096, split evenly with the partner.
+        assert_eq!(u.l + v.l, 4096);
+    }
+
+    #[test]
+    fn phase2_multiplies_exactly_once() {
+        let mut u = done_state(3, 10, 10, false);
+        let mut v = done_state(3, 0, 10, false);
+        refinement_interact(&mut u, &mut v, &ctx(false, true, 12, 12));
+        assert!(u.multiplied);
+        // 10 · 2^3 = 80, split evenly.
+        assert_eq!(u.l + v.l, 80);
+
+        // A second firstTick in the same relative phase must not multiply again.
+        let mut w = done_state(3, 10, 10, true);
+        let mut x = done_state(3, 0, 10, false);
+        refinement_interact(&mut w, &mut x, &ctx(false, true, 12, 12));
+        assert_eq!(w.l + x.l, 10);
+    }
+
+    #[test]
+    fn straggler_partner_is_brought_into_the_stage() {
+        let mut u = done_state(7, 3, 10, false);
+        let mut v = ExactStageState { l: 99, ..ExactStageState::new() };
+        refinement_interact(&mut u, &mut v, &ctx(false, false, 11, 11));
+        assert!(v.apx_done);
+        assert_eq!(v.k, 7);
+        assert_eq!(v.l, 0);
+        assert_eq!(u.l, 3, "the straggler adoption does not disturb the initiator");
+    }
+
+    #[test]
+    fn output_formula_recovers_n_from_a_perfect_balance() {
+        // If M = C·2^{2k} tokens are perfectly balanced over n agents, the output is n.
+        let n: u64 = 1000;
+        let k = 12i64; // 2^12 = 4096 ≥ n/8
+        let constant = 256u64;
+        let total = u128::from(constant) << (2 * k as u32);
+        let per_agent = (total / u128::from(n)) as u64;
+        for delta in [-1i64, 0, 1] {
+            let l = (per_agent as i64 + delta) as u64;
+            let state = done_state(k, l, 0, true);
+            let out = refinement_output(&state, constant).unwrap();
+            assert_eq!(out, n, "output with per-agent load {l}");
+        }
+    }
+
+    #[test]
+    fn output_is_absent_before_the_multiplication() {
+        let state = done_state(5, 100, 0, false);
+        assert_eq!(refinement_output(&state, 256), None);
+        let empty = done_state(5, 0, 0, true);
+        assert_eq!(refinement_output(&empty, 256), None);
+        let not_done = ExactStageState { l: 10, multiplied: true, ..ExactStageState::new() };
+        assert_eq!(refinement_output(&not_done, 256), None);
+    }
+}

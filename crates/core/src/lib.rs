@@ -1,0 +1,73 @@
+//! # `popcount` — uniform population protocols for counting the population size
+//!
+//! This crate implements the protocols of *On Counting the Population Size*
+//! (Berenbrink, Kaaser, Radzik — PODC 2019): uniform population protocols with
+//! which `n` anonymous, randomly interacting agents learn how many of them there
+//! are.
+//!
+//! | protocol | paper | output | interactions | states |
+//! |---|---|---|---|---|
+//! | [`Approximate`] | Algorithm 2, Theorem 1.1 | `⌊log₂ n⌋` or `⌈log₂ n⌉` w.h.p. | `O(n log² n)` | `O(log n · log log n)` |
+//! | [`StableApproximate`] | Appendix B, Theorem 1.2/1.3 | `⌊log₂ n⌋` or `⌈log₂ n⌉`, correct with probability 1 | `O(n log² n)` | `O(log² n · log log n)` |
+//! | [`CountExact`] | Algorithm 3, Theorem 2 | exactly `n` w.h.p. | `O(n log n)` | `Õ(n)` |
+//! | [`StableCountExact`] | Appendix F | exactly `n`, correct with probability 1 | `O(n log n)` | `Õ(n)` |
+//! | [`ApproximateBackup`] | Appendix C.1 | `⌊log₂ n⌋`, probability 1 | `O(n² log² n)` | `≤ (log n + 1)²` |
+//! | [`ExactBackup`] | Appendix C.2 | exactly `n`, probability 1 | `O(n² log n)` | `O(n log n)` |
+//! | [`TokenMergingCounter`] | Section 1 (baseline) | exactly `n`, probability 1 | `Θ(n²)` | `Θ(n²)` |
+//!
+//! All protocols are **uniform**: their transition functions do not depend on `n`.
+//! They are executed on the probabilistic population model implemented by the
+//! [`ppsim`] crate and are composed from the auxiliary protocols of the
+//! [`ppproto`] crate (junta process, phase clocks, leader election, load
+//! balancing).
+//!
+//! # Quick start
+//!
+//! ```rust,no_run
+//! use popcount::{CountExact, CountExactParams};
+//! use ppsim::Simulator;
+//!
+//! # fn main() -> Result<(), ppsim::SimError> {
+//! let n = 5_000;
+//! let protocol = CountExact::new(CountExactParams::default());
+//! let mut sim = Simulator::new(protocol, n, 42)?;
+//! let outcome = sim.run_until(
+//!     |s| {
+//!         s.output_stats().unanimous().cloned().flatten() == Some(n as u64)
+//!     },
+//!     n as u64,
+//!     2_000_000_000,
+//! );
+//! println!(
+//!     "counted {n} agents after {} interactions",
+//!     outcome.interactions().unwrap()
+//! );
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod approximate;
+pub mod approximate_stable;
+pub mod backup;
+pub mod baseline;
+pub mod error_detection;
+pub mod exact;
+pub mod params;
+pub mod search;
+
+pub use approximate::{all_estimated, valid_estimates, Approximate, ApproximateAgent};
+pub use approximate_stable::{all_estimates_valid, StableApproximate, StableApproximateAgent};
+pub use backup::{
+    approximate_backup_interact, approximate_backup_tokens, exact_backup_interact,
+    exact_backup_tokens, ApproximateBackup, ApproximateBackupState, ExactBackup, ExactBackupState,
+};
+pub use baseline::{all_output_n, TokenMergingCounter, TokenMergingState};
+pub use error_detection::{ErrorDetectionContext, ErrorDetectionState};
+pub use exact::approximation_stage::ExactStageState;
+pub use exact::count_exact::{all_counted, CountExact, CountExactAgent};
+pub use exact::stable::{all_exact, StableCountExact, StableCountExactAgent};
+pub use params::{ApproximateParams, CountExactParams};
+pub use search::{search_interact, SearchContext, SearchState};

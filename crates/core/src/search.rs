@@ -1,0 +1,216 @@
+//! The Search Protocol — Algorithm 1, the centrepiece of protocol `Approximate`
+//! (Section 3.1 of the paper).
+//!
+//! A unique leader performs a linear search over `k ∈ {0, 1, 2, …}`: in round `k`
+//! it injects `2^k` tokens into the system; the non-leader agents balance the load
+//! with the powers-of-two process; if some agent ends up with more than one token
+//! (`k_v > 0`), the injected load must have exceeded `3n/4` (Lemma 8) and the search
+//! stops with `3n/4 < 2^{k_u} ≤ 2^{⌈log n⌉}` (Lemma 9), i.e.
+//! `k_u ∈ {⌊log n⌋, ⌈log n⌉}`.
+//!
+//! Each round consists of five phases measured by the phase clock
+//! (`phase mod 5`):
+//!
+//! | phase | active agents | action |
+//! |---|---|---|
+//! | 0 | non-leaders | reset the load to empty (`k = −1`) |
+//! | 1 | leader | inject `2^{k_u}` tokens into its interaction partner |
+//! | 2 | non-leaders | powers-of-two load balancing |
+//! | 3 | non-leaders | one-way epidemics on the maximum `k` |
+//! | 4 | leader | decide: continue with `k_u + 1` or set `searchDone` |
+
+use ppproto::load_balancing::{po2_balance, EMPTY_LOAD};
+use ppproto::max_broadcast;
+
+/// Number of phases in one round of the Search Protocol.
+pub const PHASES_PER_ROUND: u32 = 5;
+
+/// Per-agent state of the Search Protocol: `(k_v, searchDone_v)`.
+///
+/// For a non-leader agent, `k` is the logarithmic load of the powers-of-two
+/// balancing process (`−1` = empty).  For the leader, `k` is the exponent of the
+/// load injected in the current round and, once `done` is set, the estimate of
+/// `log₂ n`.  After the broadcasting stage every agent's `k` holds the leader's
+/// estimate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct SearchState {
+    /// Logarithmic load / search exponent (`k_v` in the paper, `−1` = empty).
+    pub k: i32,
+    /// Whether the search has concluded (`searchDone_v`).
+    pub done: bool,
+}
+
+impl SearchState {
+    /// The common initial state `(−1, false)`.
+    #[must_use]
+    pub fn new() -> Self {
+        SearchState { k: EMPTY_LOAD, done: false }
+    }
+
+    /// Re-initialise (used when an agent meets a higher junta level).
+    pub fn reset(&mut self) {
+        *self = SearchState::new();
+    }
+}
+
+impl Default for SearchState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Context of one Search Protocol interaction, derived from the surrounding
+/// synchronisation and leader-election components.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SearchContext {
+    /// Whether the initiator is the leader.
+    pub u_leader: bool,
+    /// Whether the responder is the leader.
+    pub v_leader: bool,
+    /// The initiator's current phase number (absolute; reduced mod 5 internally).
+    pub u_phase: u32,
+    /// The responder's current phase number.
+    pub v_phase: u32,
+    /// The initiator's consumed `firstTick` flag.
+    pub u_first_tick: bool,
+}
+
+/// Apply one interaction of the Search Protocol (Algorithm 1).
+///
+/// `u` is the initiator and `v` the responder; `ctx` carries the phase and
+/// leadership information maintained by the composed protocol.
+pub fn search_interact(u: &mut SearchState, v: &mut SearchState, ctx: &SearchContext) {
+    let u_phase = ctx.u_phase % PHASES_PER_ROUND;
+    let v_phase = ctx.v_phase % PHASES_PER_ROUND;
+
+    if ctx.u_leader && !u.done {
+        // Leader actions (Algorithm 1, lines 1–8).
+        if u_phase == 1 && ctx.u_first_tick && !ctx.v_leader {
+            // Phase 1: load infusion — transfer 2^{k_u} tokens to the partner.
+            v.k = u.k;
+        }
+        if u_phase == 4 && ctx.u_first_tick && !ctx.v_leader {
+            // Phase 4: decision.
+            if v.k <= 0 {
+                u.k += 1;
+            } else {
+                u.done = true;
+            }
+        }
+    }
+
+    if !ctx.u_leader && !ctx.v_leader && !u.done && !v.done {
+        // Follower actions (Algorithm 1, lines 9–16).  An agent whose `searchDone`
+        // flag is already set holds the leader's final estimate in `k`, not a load,
+        // so it no longer takes part in resets, balancing or epidemics.
+        if u_phase == 0 {
+            // Phase 0: initialise.  The paper resets the initiator; resetting each
+            // agent when *it* is in phase 0 is the same rule applied from both
+            // roles and removes the dependence on who initiates first.
+            u.k = EMPTY_LOAD;
+        }
+        if v_phase == 0 {
+            v.k = EMPTY_LOAD;
+        }
+        if u_phase == 2 {
+            // Phase 2: powers-of-two load balancing.
+            po2_balance(&mut u.k, &mut v.k);
+        }
+        if u_phase == 3 {
+            // Phase 3: one-way epidemics on the maximum logarithmic load.
+            max_broadcast(&mut u.k, &mut v.k);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ctx(u_leader: bool, v_leader: bool, phase: u32, first: bool) -> SearchContext {
+        SearchContext { u_leader, v_leader, u_phase: phase, v_phase: phase, u_first_tick: first }
+    }
+
+    #[test]
+    fn initial_state_is_empty_and_not_done() {
+        let s = SearchState::new();
+        assert_eq!(s.k, EMPTY_LOAD);
+        assert!(!s.done);
+    }
+
+    #[test]
+    fn phase1_leader_injects_its_exponent_into_the_partner() {
+        let mut leader = SearchState { k: 5, done: false };
+        let mut follower = SearchState::new();
+        search_interact(&mut leader, &mut follower, &ctx(true, false, 1, true));
+        assert_eq!(follower.k, 5);
+        assert_eq!(leader.k, 5, "the leader keeps its exponent");
+    }
+
+    #[test]
+    fn phase1_without_first_tick_does_not_inject() {
+        let mut leader = SearchState { k: 5, done: false };
+        let mut follower = SearchState::new();
+        search_interact(&mut leader, &mut follower, &ctx(true, false, 1, false));
+        assert_eq!(follower.k, EMPTY_LOAD);
+    }
+
+    #[test]
+    fn phase4_decision_continues_on_small_load() {
+        let mut leader = SearchState { k: 3, done: false };
+        let mut follower = SearchState { k: 0, done: false };
+        search_interact(&mut leader, &mut follower, &ctx(true, false, 4, true));
+        assert_eq!(leader.k, 4, "k_v ≤ 0 means the injected load was too small");
+        assert!(!leader.done);
+    }
+
+    #[test]
+    fn phase4_decision_stops_on_overload() {
+        let mut leader = SearchState { k: 9, done: false };
+        let mut follower = SearchState { k: 1, done: false };
+        search_interact(&mut leader, &mut follower, &ctx(true, false, 4, true));
+        assert_eq!(leader.k, 9);
+        assert!(leader.done, "k_v > 0 concludes the search");
+    }
+
+    #[test]
+    fn phase0_resets_followers_only() {
+        let mut u = SearchState { k: 3, done: false };
+        let mut v = SearchState { k: 2, done: false };
+        search_interact(&mut u, &mut v, &ctx(false, false, 0, false));
+        assert_eq!(u.k, EMPTY_LOAD);
+        assert_eq!(v.k, EMPTY_LOAD);
+
+        // A done agent (carrying the final estimate) is never reset.
+        let mut w = SearchState { k: 9, done: true };
+        let mut x = SearchState { k: 1, done: false };
+        search_interact(&mut w, &mut x, &ctx(false, false, 0, false));
+        assert_eq!(w.k, 9);
+    }
+
+    #[test]
+    fn phase2_balances_and_phase3_broadcasts() {
+        let mut u = SearchState { k: 4, done: false };
+        let mut v = SearchState { k: EMPTY_LOAD, done: false };
+        search_interact(&mut u, &mut v, &ctx(false, false, 2, false));
+        assert_eq!((u.k, v.k), (3, 3));
+
+        let mut a = SearchState { k: 1, done: false };
+        let mut b = SearchState { k: -1, done: false };
+        search_interact(&mut a, &mut b, &ctx(false, false, 3, false));
+        assert_eq!((a.k, b.k), (1, 1));
+    }
+
+    #[test]
+    fn leader_is_excluded_from_balancing_and_epidemics() {
+        // The leader's k is its search exponent, not a load: a follower interacting
+        // with the leader in phases 2/3 must not mix the two.
+        let mut follower = SearchState { k: EMPTY_LOAD, done: false };
+        let mut leader = SearchState { k: 7, done: false };
+        search_interact(&mut follower, &mut leader, &ctx(false, true, 2, false));
+        assert_eq!(follower.k, EMPTY_LOAD);
+        assert_eq!(leader.k, 7);
+        search_interact(&mut follower, &mut leader, &ctx(false, true, 3, false));
+        assert_eq!(follower.k, EMPTY_LOAD);
+    }
+}

@@ -1,0 +1,163 @@
+//! Helpers for inspecting configurations (the vector of all agent states).
+
+use std::collections::HashMap;
+use std::hash::Hash;
+
+use crate::protocol::Protocol;
+
+/// Summary statistics over a configuration, computed against a protocol's output
+/// function.
+///
+/// Constructed with [`ConfigurationStats::from_states`]; used by convergence
+/// predicates and by the experiment harness to ask questions like "do all agents
+/// currently output the same value?".
+#[derive(Debug, Clone)]
+pub struct ConfigurationStats<O> {
+    histogram: Vec<(O, usize)>,
+    n: usize,
+}
+
+impl<O: Clone + PartialEq> ConfigurationStats<O> {
+    /// Compute the output histogram of `states` under `protocol`.
+    pub fn from_states<P>(protocol: &P, states: &[P::State]) -> Self
+    where
+        P: Protocol<Output = O>,
+    {
+        let mut histogram: Vec<(O, usize)> = Vec::new();
+        for s in states {
+            let o = protocol.output(s);
+            match histogram.iter_mut().find(|(v, _)| *v == o) {
+                Some((_, c)) => *c += 1,
+                None => histogram.push((o, 1)),
+            }
+        }
+        ConfigurationStats { histogram, n: states.len() }
+    }
+
+    /// The population size.
+    #[must_use]
+    pub fn population(&self) -> usize {
+        self.n
+    }
+
+    /// The number of distinct outputs currently present.
+    #[must_use]
+    pub fn distinct_outputs(&self) -> usize {
+        self.histogram.len()
+    }
+
+    /// Returns the single common output if *all* agents agree, `None` otherwise.
+    #[must_use]
+    pub fn unanimous(&self) -> Option<&O> {
+        if self.histogram.len() == 1 {
+            Some(&self.histogram[0].0)
+        } else {
+            None
+        }
+    }
+
+    /// Number of agents currently outputting `value`.
+    #[must_use]
+    pub fn count_of(&self, value: &O) -> usize {
+        self.histogram
+            .iter()
+            .find(|(v, _)| v == value)
+            .map_or(0, |(_, c)| *c)
+    }
+
+    /// The most common output and its multiplicity; `None` for an empty population.
+    #[must_use]
+    pub fn plurality(&self) -> Option<(&O, usize)> {
+        self.histogram
+            .iter()
+            .max_by_key(|(_, c)| *c)
+            .map(|(v, c)| (v, *c))
+    }
+
+    /// Iterate over `(output, count)` pairs.
+    pub fn iter(&self) -> impl Iterator<Item = (&O, usize)> {
+        self.histogram.iter().map(|(v, c)| (v, *c))
+    }
+}
+
+/// Count how many agents satisfy `pred`.
+pub fn count_matching<S>(states: &[S], mut pred: impl FnMut(&S) -> bool) -> usize {
+    states.iter().filter(|s| pred(s)).count()
+}
+
+/// Build a multiset (state → multiplicity) view of a configuration.
+///
+/// Population protocols are invariant under permutations of the agents, so the
+/// multiset of states is the canonical representation of a configuration.
+pub fn state_multiset<S: Clone + Eq + Hash>(states: &[S]) -> HashMap<S, usize> {
+    let mut map = HashMap::new();
+    for s in states {
+        *map.entry(s.clone()).or_insert(0) += 1;
+    }
+    map
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::RngCore;
+
+    struct Parity;
+    impl Protocol for Parity {
+        type State = u8;
+        type Output = bool;
+        fn initial_state(&self) -> u8 {
+            0
+        }
+        fn interact(&self, u: &mut u8, v: &mut u8, _rng: &mut dyn RngCore) {
+            *u ^= 1;
+            *v ^= 1;
+        }
+        fn output(&self, s: &u8) -> bool {
+            *s % 2 == 0
+        }
+    }
+
+    #[test]
+    fn histogram_counts_outputs() {
+        let states = vec![0u8, 1, 2, 3, 4];
+        let stats = ConfigurationStats::from_states(&Parity, &states);
+        assert_eq!(stats.population(), 5);
+        assert_eq!(stats.distinct_outputs(), 2);
+        assert_eq!(stats.count_of(&true), 3);
+        assert_eq!(stats.count_of(&false), 2);
+        assert_eq!(stats.plurality(), Some((&true, 3)));
+        assert!(stats.unanimous().is_none());
+    }
+
+    #[test]
+    fn unanimous_detects_agreement() {
+        let states = vec![0u8, 2, 4];
+        let stats = ConfigurationStats::from_states(&Parity, &states);
+        assert_eq!(stats.unanimous(), Some(&true));
+    }
+
+    #[test]
+    fn count_matching_counts() {
+        let states = vec![1u8, 2, 3, 4, 5];
+        assert_eq!(count_matching(&states, |s| *s > 2), 3);
+    }
+
+    #[test]
+    fn state_multiset_collects_multiplicities() {
+        let states = vec![1u8, 2, 2, 3, 3, 3];
+        let ms = state_multiset(&states);
+        assert_eq!(ms[&1], 1);
+        assert_eq!(ms[&2], 2);
+        assert_eq!(ms[&3], 3);
+        assert_eq!(ms.values().sum::<usize>(), states.len());
+    }
+
+    #[test]
+    fn empty_population_has_no_plurality() {
+        let states: Vec<u8> = vec![];
+        let stats = ConfigurationStats::from_states(&Parity, &states);
+        assert!(stats.plurality().is_none());
+        assert_eq!(stats.distinct_outputs(), 0);
+    }
+}

@@ -1,0 +1,85 @@
+//! Convergence and stabilisation bookkeeping.
+//!
+//! The paper distinguishes the *convergence time* `T_C` (first interaction after
+//! which the system is in a desired configuration and never leaves the set of desired
+//! configurations again) from the *stabilisation time* `T_S` (first interaction after
+//! which **no** interaction sequence can leave the desired set).  A simulation can
+//! measure `T_C` directly (first hit of a monotone predicate, or first hit that holds
+//! until the end of a long run) and can probe `T_S` by exhaustively applying all
+//! ordered pairs from the reached configuration (see
+//! [`AllPairsScheduler`](crate::scheduler::AllPairsScheduler)).
+
+/// The result of driving a simulation towards a predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The predicate held at the recorded interaction count.
+    Converged {
+        /// Number of interactions executed when the predicate was first observed
+        /// to hold (measured at the configured check granularity).
+        interactions: u64,
+    },
+    /// The interaction budget was exhausted before the predicate held.
+    Exhausted {
+        /// The interaction budget that was exhausted.
+        budget: u64,
+    },
+}
+
+impl RunOutcome {
+    /// Whether the run converged within its budget.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        matches!(self, RunOutcome::Converged { .. })
+    }
+
+    /// The number of interactions at convergence, if the run converged.
+    #[must_use]
+    pub fn interactions(&self) -> Option<u64> {
+        match self {
+            RunOutcome::Converged { interactions } => Some(*interactions),
+            RunOutcome::Exhausted { .. } => None,
+        }
+    }
+
+    /// The number of interactions at convergence.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the run did not converge; use in tests and experiments where
+    /// non-convergence is itself a failure.
+    #[must_use]
+    pub fn expect_converged(&self, context: &str) -> u64 {
+        match self {
+            RunOutcome::Converged { interactions } => *interactions,
+            RunOutcome::Exhausted { budget } => {
+                panic!("{context}: did not converge within a budget of {budget} interactions")
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn converged_accessors() {
+        let o = RunOutcome::Converged { interactions: 1234 };
+        assert!(o.converged());
+        assert_eq!(o.interactions(), Some(1234));
+        assert_eq!(o.expect_converged("test"), 1234);
+    }
+
+    #[test]
+    fn exhausted_accessors() {
+        let o = RunOutcome::Exhausted { budget: 10 };
+        assert!(!o.converged());
+        assert_eq!(o.interactions(), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "did not converge")]
+    fn expect_converged_panics_on_exhaustion() {
+        RunOutcome::Exhausted { budget: 10 }.expect_converged("test");
+    }
+}

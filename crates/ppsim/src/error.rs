@@ -1,0 +1,62 @@
+//! Error type of the simulator.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced when constructing or driving a simulation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum SimError {
+    /// The population must contain at least two agents so that an ordered pair of
+    /// distinct agents can be selected by the scheduler.
+    PopulationTooSmall {
+        /// The offending population size.
+        n: usize,
+    },
+    /// A parameter was outside its valid range.
+    InvalidParameter {
+        /// Name of the offending parameter.
+        name: &'static str,
+        /// Human-readable description of the violated constraint.
+        reason: String,
+    },
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SimError::PopulationTooSmall { n } => {
+                write!(f, "population size {n} is too small, at least 2 agents are required")
+            }
+            SimError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for SimError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_population_too_small() {
+        let e = SimError::PopulationTooSmall { n: 1 };
+        assert!(e.to_string().contains("population size 1"));
+    }
+
+    #[test]
+    fn display_invalid_parameter() {
+        let e = SimError::InvalidParameter { name: "m", reason: "must be positive".into() };
+        assert!(e.to_string().contains("`m`"));
+        assert!(e.to_string().contains("must be positive"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<SimError>();
+    }
+}

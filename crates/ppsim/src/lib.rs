@@ -1,0 +1,72 @@
+//! # `ppsim` — a simulator for the probabilistic population-protocol model
+//!
+//! This crate implements the computation model used by the paper
+//! *On Counting the Population Size* (Berenbrink, Kaaser, Radzik — PODC 2019):
+//! a population of `n` anonymous agents, each holding a state from a common state
+//! space, interacting in ordered pairs `(initiator, responder)` chosen independently
+//! and uniformly at random in every discrete time step.  During an interaction both
+//! agents update their states according to a transition function that is *common to
+//! all agents* and — for uniform protocols — does not depend on `n`.
+//!
+//! The crate provides:
+//!
+//! * the [`Protocol`] trait describing a population protocol (transition function,
+//!   initial state, output function),
+//! * [`Scheduler`] implementations, most importantly the uniformly random scheduler
+//!   of the probabilistic model ([`UniformScheduler`]),
+//! * the [`Simulator`] driving a single execution, with convergence detection,
+//! * measurement utilities ([`metrics`]) such as empirical state-space tracking,
+//! * a multi-threaded independent-trial runner ([`parallel`]) for parameter sweeps.
+//!
+//! # Quick example
+//!
+//! ```rust
+//! use ppsim::{Protocol, Simulator};
+//! use rand::RngCore;
+//!
+//! /// One-way epidemic: a single `1` spreads to the whole population.
+//! struct Epidemic;
+//!
+//! impl Protocol for Epidemic {
+//!     type State = u8;
+//!     type Output = u8;
+//!     fn initial_state(&self) -> u8 { 0 }
+//!     fn interact(&self, u: &mut u8, v: &mut u8, _rng: &mut dyn RngCore) {
+//!         let m = (*u).max(*v);
+//!         *u = m;
+//!         *v = m;
+//!     }
+//!     fn output(&self, s: &u8) -> u8 { *s }
+//! }
+//!
+//! # fn main() -> Result<(), ppsim::SimError> {
+//! let mut sim = Simulator::new(Epidemic, 100, 42)?;
+//! sim.states_mut()[0] = 1; // plant the rumour
+//! let outcome = sim.run_until(|sim| sim.states().iter().all(|&s| s == 1), 100, 1_000_000);
+//! assert!(outcome.converged());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod convergence;
+pub mod error;
+pub mod metrics;
+pub mod parallel;
+pub mod protocol;
+pub mod rng;
+pub mod scheduler;
+pub mod simulator;
+
+pub use config::ConfigurationStats;
+pub use convergence::RunOutcome;
+pub use error::SimError;
+pub use metrics::{StateSpaceTracker, TimeSeries};
+pub use parallel::{run_trials, run_trials_with_threads};
+pub use protocol::Protocol;
+pub use rng::{derive_seed, seeded_rng};
+pub use scheduler::{AllPairsScheduler, Scheduler, UniformScheduler};
+pub use simulator::Simulator;

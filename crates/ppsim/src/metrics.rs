@@ -1,0 +1,162 @@
+//! Measurement utilities: empirical state-space usage and time series.
+
+use std::collections::HashSet;
+use std::hash::Hash;
+
+/// Tracks the set of distinct agent states observed during an execution.
+///
+/// The paper's space bounds ("the protocol uses `O(log n · log log n)` states
+/// w.h.p.") refer to the number of distinct states that actually occur during the
+/// execution, because the pseudo-code variables have ranges that are only bounded
+/// w.h.p.  This tracker records exactly that quantity: feed it the configuration at
+/// regular checkpoints (and at the end) and read off [`distinct_states`].
+///
+/// [`distinct_states`]: StateSpaceTracker::distinct_states
+#[derive(Debug, Clone, Default)]
+pub struct StateSpaceTracker<S: Eq + Hash + Clone> {
+    seen: HashSet<S>,
+}
+
+impl<S: Eq + Hash + Clone> StateSpaceTracker<S> {
+    /// Create an empty tracker.
+    #[must_use]
+    pub fn new() -> Self {
+        StateSpaceTracker { seen: HashSet::new() }
+    }
+
+    /// Record every state of a configuration.
+    pub fn record(&mut self, states: &[S]) {
+        for s in states {
+            if !self.seen.contains(s) {
+                self.seen.insert(s.clone());
+            }
+        }
+    }
+
+    /// Record a single state.
+    pub fn record_state(&mut self, state: &S) {
+        if !self.seen.contains(state) {
+            self.seen.insert(state.clone());
+        }
+    }
+
+    /// The number of distinct states observed so far.
+    #[must_use]
+    pub fn distinct_states(&self) -> usize {
+        self.seen.len()
+    }
+
+    /// Whether a particular state has been observed.
+    #[must_use]
+    pub fn contains(&self, state: &S) -> bool {
+        self.seen.contains(state)
+    }
+}
+
+/// A sampled time series `(interaction count, value)`.
+///
+/// Used by the experiment harness to record, e.g., the number of informed agents
+/// over time or the maximum load during balancing.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TimeSeries<T> {
+    points: Vec<(u64, T)>,
+}
+
+impl<T> TimeSeries<T> {
+    /// Create an empty time series.
+    #[must_use]
+    pub fn new() -> Self {
+        TimeSeries { points: Vec::new() }
+    }
+
+    /// Append a sample taken at `interactions`.
+    pub fn push(&mut self, interactions: u64, value: T) {
+        self.points.push((interactions, value));
+    }
+
+    /// The recorded samples in insertion order.
+    #[must_use]
+    pub fn points(&self) -> &[(u64, T)] {
+        &self.points
+    }
+
+    /// Number of recorded samples.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Whether the series is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// The last recorded sample.
+    #[must_use]
+    pub fn last(&self) -> Option<&(u64, T)> {
+        self.points.last()
+    }
+
+    /// Iterate over the samples.
+    pub fn iter(&self) -> impl Iterator<Item = &(u64, T)> {
+        self.points.iter()
+    }
+}
+
+impl<T> FromIterator<(u64, T)> for TimeSeries<T> {
+    fn from_iter<I: IntoIterator<Item = (u64, T)>>(iter: I) -> Self {
+        TimeSeries { points: iter.into_iter().collect() }
+    }
+}
+
+impl<T> Extend<(u64, T)> for TimeSeries<T> {
+    fn extend<I: IntoIterator<Item = (u64, T)>>(&mut self, iter: I) {
+        self.points.extend(iter);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracker_counts_distinct_states_only() {
+        let mut t = StateSpaceTracker::new();
+        t.record(&[1u32, 2, 2, 3]);
+        assert_eq!(t.distinct_states(), 3);
+        t.record(&[3, 4]);
+        assert_eq!(t.distinct_states(), 4);
+        t.record_state(&4);
+        assert_eq!(t.distinct_states(), 4);
+        assert!(t.contains(&1));
+        assert!(!t.contains(&99));
+    }
+
+    #[test]
+    fn tracker_default_is_empty() {
+        let t: StateSpaceTracker<u8> = StateSpaceTracker::default();
+        assert_eq!(t.distinct_states(), 0);
+    }
+
+    #[test]
+    fn time_series_records_in_order() {
+        let mut ts = TimeSeries::new();
+        assert!(ts.is_empty());
+        ts.push(0, 1.0);
+        ts.push(100, 2.0);
+        ts.push(200, 3.0);
+        assert_eq!(ts.len(), 3);
+        assert_eq!(ts.last(), Some(&(200, 3.0)));
+        let xs: Vec<u64> = ts.iter().map(|(t, _)| *t).collect();
+        assert_eq!(xs, vec![0, 100, 200]);
+    }
+
+    #[test]
+    fn time_series_from_iterator_and_extend() {
+        let mut ts: TimeSeries<u32> = (0..3).map(|i| (i as u64, i)).collect();
+        ts.extend([(10, 10u32)]);
+        assert_eq!(ts.len(), 4);
+        assert_eq!(ts.points()[3], (10, 10));
+    }
+}

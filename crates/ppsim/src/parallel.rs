@@ -1,0 +1,118 @@
+//! Multi-threaded execution of independent simulation trials.
+//!
+//! Experiments run many independent executions (different seeds, different
+//! population sizes).  Trials are embarrassingly parallel, so the harness fans them
+//! out over a fixed number of worker threads.  Results are returned in trial order
+//! regardless of completion order.
+
+use parking_lot::Mutex;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+/// Run `trials` independent jobs on as many worker threads as there are available
+/// CPUs (capped at the number of trials), returning the results in trial order.
+///
+/// The closure receives the trial index `0..trials` and must be deterministic given
+/// that index for reproducibility (derive per-trial seeds from the index with
+/// [`derive_seed`](crate::rng::derive_seed)).
+///
+/// # Examples
+///
+/// ```rust
+/// let squares = ppsim::run_trials(8, |i| i * i);
+/// assert_eq!(squares, vec![0, 1, 4, 9, 16, 25, 36, 49]);
+/// ```
+pub fn run_trials<T, F>(trials: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    run_trials_with_threads(trials, threads, job)
+}
+
+/// Run `trials` independent jobs on at most `threads` worker threads, returning the
+/// results in trial order.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics; the panic of the job is propagated.
+pub fn run_trials_with_threads<T, F>(trials: usize, threads: usize, job: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    if trials == 0 {
+        return Vec::new();
+    }
+    let threads = threads.clamp(1, trials);
+    if threads == 1 {
+        return (0..trials).map(&job).collect();
+    }
+
+    let next = AtomicUsize::new(0);
+    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
+
+    crossbeam::thread::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= trials {
+                    break;
+                }
+                let out = job(i);
+                results.lock()[i] = Some(out);
+            });
+        }
+    })
+    .expect("a simulation worker thread panicked");
+
+    results
+        .into_inner()
+        .into_iter()
+        .map(|r| r.expect("every trial index is processed exactly once"))
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+    use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn results_are_in_trial_order() {
+        let out = run_trials_with_threads(100, 8, |i| i * 3);
+        assert_eq!(out, (0..100).map(|i| i * 3).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn zero_trials_returns_empty() {
+        let out: Vec<u32> = run_trials_with_threads(0, 4, |_| 1);
+        assert!(out.is_empty());
+    }
+
+    #[test]
+    fn single_thread_path_matches_parallel_path() {
+        let seq = run_trials_with_threads(25, 1, |i| i as u64 * 7 + 1);
+        let par = run_trials_with_threads(25, 5, |i| i as u64 * 7 + 1);
+        assert_eq!(seq, par);
+    }
+
+    #[test]
+    fn every_trial_runs_exactly_once() {
+        let counter = AtomicU64::new(0);
+        let out = run_trials_with_threads(64, 8, |i| {
+            counter.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(counter.load(Ordering::Relaxed), 64);
+        let distinct: HashSet<usize> = out.into_iter().collect();
+        assert_eq!(distinct.len(), 64);
+    }
+
+    #[test]
+    fn default_thread_count_runs_all_trials() {
+        let out = run_trials(10, |i| i + 1);
+        assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,172 @@
+//! The [`Protocol`] trait: transition function, initial state and output function.
+
+use std::fmt::Debug;
+use std::hash::Hash;
+
+use rand::RngCore;
+
+/// A population protocol.
+///
+/// A protocol is specified by a state space `Q` (the associated type [`State`]),
+/// an output domain `O` ([`Output`]), a transition function `δ : Q × Q → Q × Q`
+/// ([`interact`]) and an output function `ω : Q → O` ([`output`]).
+///
+/// All of the protocols of the reproduced paper are **uniform**: their transition
+/// function does not depend on the population size `n`.  The trait cannot enforce
+/// this syntactically, but every protocol in this workspace documents whether it is
+/// uniform and which parameters (if any) are population-size independent constants.
+///
+/// # Randomness
+///
+/// The classic population model is deterministic at the transition level — all
+/// randomness comes from the scheduler.  The paper's `FastLeaderElection` obtains
+/// random bits *uniformly* through **synthetic coins** (the parity of the partner's
+/// interaction counter, Appendix D of the paper).  For convenience the transition
+/// function nevertheless receives an RNG; faithful protocols simply ignore it, while
+/// tests and pragmatic variants may draw from it.
+///
+/// [`State`]: Protocol::State
+/// [`Output`]: Protocol::Output
+/// [`interact`]: Protocol::interact
+/// [`output`]: Protocol::output
+///
+/// # Examples
+///
+/// ```rust
+/// use ppsim::Protocol;
+/// use rand::RngCore;
+///
+/// /// The textbook two-state "rumour spreading" protocol.
+/// struct Rumour;
+///
+/// impl Protocol for Rumour {
+///     type State = bool;
+///     type Output = bool;
+///     fn initial_state(&self) -> bool { false }
+///     fn interact(&self, u: &mut bool, v: &mut bool, _rng: &mut dyn RngCore) {
+///         let informed = *u || *v;
+///         *u = informed;
+///         *v = informed;
+///     }
+///     fn output(&self, s: &bool) -> bool { *s }
+/// }
+/// ```
+pub trait Protocol {
+    /// The per-agent state space `Q`.
+    ///
+    /// States are kept in a dense `Vec` by the simulator, so they should be cheap to
+    /// clone (ideally `Copy`).  `Hash`/`Eq` are required so that the empirical
+    /// state-space usage of an execution can be measured
+    /// (see [`StateSpaceTracker`](crate::metrics::StateSpaceTracker)).
+    type State: Clone + Debug + PartialEq + Eq + Hash + Send;
+
+    /// The output domain `O` of the output function `ω`.
+    type Output: Clone + Debug + PartialEq;
+
+    /// The common initial state `q₀` every agent starts in.
+    ///
+    /// The counting problem requires all agents to start in the same state, which is
+    /// why the initial state does not depend on the agent identity.  Executions that
+    /// need a distinguished agent (e.g. a pre-elected leader in component-level
+    /// experiments) modify the configuration after construction via
+    /// [`Simulator::states_mut`](crate::Simulator::states_mut).
+    fn initial_state(&self) -> Self::State;
+
+    /// The transition function `δ`, applied to the ordered pair
+    /// `(initiator, responder)` selected by the scheduler.
+    ///
+    /// Both states are updated in place; `(initiator, responder)` after the call is
+    /// the pair `δ(initiator, responder)` of the paper.
+    fn interact(
+        &self,
+        initiator: &mut Self::State,
+        responder: &mut Self::State,
+        rng: &mut dyn RngCore,
+    );
+
+    /// The output function `ω` mapping an agent state to its current output.
+    fn output(&self, state: &Self::State) -> Self::Output;
+
+    /// A short human-readable protocol name used in reports and error messages.
+    fn name(&self) -> &'static str {
+        "unnamed-protocol"
+    }
+}
+
+/// Blanket implementation so that `&P` can be used wherever a protocol is expected.
+impl<P: Protocol + ?Sized> Protocol for &P {
+    type State = P::State;
+    type Output = P::Output;
+
+    fn initial_state(&self) -> Self::State {
+        (**self).initial_state()
+    }
+
+    fn interact(
+        &self,
+        initiator: &mut Self::State,
+        responder: &mut Self::State,
+        rng: &mut dyn RngCore,
+    ) {
+        (**self).interact(initiator, responder, rng);
+    }
+
+    fn output(&self, state: &Self::State) -> Self::Output {
+        (**self).output(state)
+    }
+
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    struct Or;
+
+    impl Protocol for Or {
+        type State = bool;
+        type Output = bool;
+        fn initial_state(&self) -> bool {
+            false
+        }
+        fn interact(&self, u: &mut bool, v: &mut bool, _rng: &mut dyn RngCore) {
+            let o = *u || *v;
+            *u = o;
+            *v = o;
+        }
+        fn output(&self, s: &bool) -> bool {
+            *s
+        }
+        fn name(&self) -> &'static str {
+            "or"
+        }
+    }
+
+    #[test]
+    fn transition_is_applied_in_place() {
+        let p = Or;
+        let mut rng = seeded_rng(1);
+        let mut a = true;
+        let mut b = false;
+        p.interact(&mut a, &mut b, &mut rng);
+        assert!(a && b);
+    }
+
+    #[test]
+    fn reference_delegation_preserves_behaviour() {
+        let p = Or;
+        let r = &p;
+        assert_eq!(r.name(), "or");
+        assert_eq!(r.initial_state(), false);
+        assert_eq!(r.output(&true), true);
+        let mut rng = seeded_rng(2);
+        let mut a = false;
+        let mut b = true;
+        r.interact(&mut a, &mut b, &mut rng);
+        assert!(a && b);
+    }
+}

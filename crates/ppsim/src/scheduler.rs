@@ -1,0 +1,192 @@
+//! Interaction schedulers.
+//!
+//! The probabilistic population model selects, in every time step, an ordered pair of
+//! distinct agents `(initiator, responder)` independently and uniformly at random —
+//! this is [`UniformScheduler`], the scheduler used by all experiments.
+//!
+//! Stability (correctness with probability 1) is a statement about *every possible*
+//! interaction sequence, so the crate additionally offers [`AllPairsScheduler`], a
+//! deterministic scheduler that cycles through all ordered pairs.  It is used by the
+//! stabilisation probes in the test suites: once a protocol claims to have stabilised,
+//! applying every ordered pair must not change any agent's output.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// A source of ordered interaction pairs.
+pub trait Scheduler {
+    /// Produce the next ordered pair `(initiator, responder)` of *distinct* agent
+    /// indices in `0..n`.
+    ///
+    /// # Panics
+    ///
+    /// Implementations may panic if `n < 2`.
+    fn next_pair(&mut self, n: usize, rng: &mut SmallRng) -> (usize, usize);
+
+    /// Short name for reports.
+    fn name(&self) -> &'static str {
+        "scheduler"
+    }
+}
+
+/// The uniformly random scheduler of the probabilistic population model.
+///
+/// Each call draws an ordered pair of distinct indices independently and uniformly at
+/// random from the `n·(n−1)` possible pairs.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UniformScheduler;
+
+impl UniformScheduler {
+    /// Create a new uniform scheduler.
+    #[must_use]
+    pub fn new() -> Self {
+        UniformScheduler
+    }
+}
+
+impl Scheduler for UniformScheduler {
+    #[inline]
+    fn next_pair(&mut self, n: usize, rng: &mut SmallRng) -> (usize, usize) {
+        debug_assert!(n >= 2);
+        let i = rng.gen_range(0..n);
+        // Draw j uniformly from the remaining n-1 indices.
+        let mut j = rng.gen_range(0..n - 1);
+        if j >= i {
+            j += 1;
+        }
+        (i, j)
+    }
+
+    fn name(&self) -> &'static str {
+        "uniform"
+    }
+}
+
+/// Deterministic scheduler cycling through every ordered pair `(i, j)`, `i ≠ j`,
+/// in lexicographic order.
+///
+/// One full cycle applies all `n·(n−1)` ordered pairs exactly once.  This is *not*
+/// the probabilistic scheduler of the model; it exists to probe stabilisation:
+/// a configuration is stable if and only if no sequence of interactions can change
+/// any output, and cycling through all pairs (repeatedly) is a practical, exhaustive
+/// one-step test of that property.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AllPairsScheduler {
+    next: usize,
+}
+
+impl AllPairsScheduler {
+    /// Create a new all-pairs scheduler starting at pair `(0, 1)`.
+    #[must_use]
+    pub fn new() -> Self {
+        AllPairsScheduler { next: 0 }
+    }
+
+    /// The number of ordered pairs in one full cycle for a population of size `n`.
+    #[must_use]
+    pub fn cycle_len(n: usize) -> u64 {
+        (n as u64) * (n as u64 - 1)
+    }
+}
+
+impl Scheduler for AllPairsScheduler {
+    fn next_pair(&mut self, n: usize, _rng: &mut SmallRng) -> (usize, usize) {
+        debug_assert!(n >= 2);
+        let per_initiator = n - 1;
+        let total = n * per_initiator;
+        let k = self.next % total;
+        self.next = (self.next + 1) % total;
+        let i = k / per_initiator;
+        let mut j = k % per_initiator;
+        if j >= i {
+            j += 1;
+        }
+        (i, j)
+    }
+
+    fn name(&self) -> &'static str {
+        "all-pairs"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use std::collections::HashSet;
+
+    #[test]
+    fn uniform_pairs_are_distinct_and_in_range() {
+        let mut s = UniformScheduler::new();
+        let mut rng = seeded_rng(3);
+        for _ in 0..10_000 {
+            let (i, j) = s.next_pair(17, &mut rng);
+            assert!(i < 17 && j < 17);
+            assert_ne!(i, j);
+        }
+    }
+
+    #[test]
+    fn uniform_pairs_cover_all_ordered_pairs() {
+        let n = 6;
+        let mut s = UniformScheduler::new();
+        let mut rng = seeded_rng(11);
+        let mut seen = HashSet::new();
+        for _ in 0..20_000 {
+            seen.insert(s.next_pair(n, &mut rng));
+        }
+        assert_eq!(seen.len(), n * (n - 1), "every ordered pair should eventually appear");
+    }
+
+    #[test]
+    fn uniform_pairs_are_roughly_uniform() {
+        // Chi-squared style sanity check: no ordered pair should be wildly over- or
+        // under-represented.
+        let n = 5;
+        let draws = 200_000usize;
+        let mut counts = vec![0u32; n * n];
+        let mut s = UniformScheduler::new();
+        let mut rng = seeded_rng(7);
+        for _ in 0..draws {
+            let (i, j) = s.next_pair(n, &mut rng);
+            counts[i * n + j] += 1;
+        }
+        let expected = draws as f64 / (n * (n - 1)) as f64;
+        for i in 0..n {
+            for j in 0..n {
+                let c = f64::from(counts[i * n + j]);
+                if i == j {
+                    assert_eq!(c, 0.0);
+                } else {
+                    assert!(
+                        (c - expected).abs() < 0.1 * expected,
+                        "pair ({i},{j}) count {c} deviates more than 10% from {expected}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_pairs_cycle_visits_each_ordered_pair_once() {
+        let n = 7;
+        let mut s = AllPairsScheduler::new();
+        let mut rng = seeded_rng(0);
+        let mut seen = HashSet::new();
+        for _ in 0..AllPairsScheduler::cycle_len(n) {
+            let (i, j) = s.next_pair(n, &mut rng);
+            assert_ne!(i, j);
+            assert!(seen.insert((i, j)), "pair repeated within a cycle");
+        }
+        assert_eq!(seen.len(), n * (n - 1));
+        // The next cycle repeats the same pairs.
+        let (i, j) = s.next_pair(n, &mut rng);
+        assert_eq!((i, j), (0, 1));
+    }
+
+    #[test]
+    fn scheduler_names() {
+        assert_eq!(UniformScheduler::new().name(), "uniform");
+        assert_eq!(AllPairsScheduler::new().name(), "all-pairs");
+    }
+}

@@ -1,0 +1,173 @@
+//! One-way epidemics (broadcast) and maximum broadcast — Lemma 3 of the paper.
+//!
+//! The goal of a one-way epidemic is to spread a piece of information to all members
+//! of the population.  With states `{0, x}` and transitions
+//! `δ(u, v) = (max{u, v}, v)` the value `x` spreads from at least one initial holder
+//! to every agent within `O(n log n)` interactions w.h.p. (Lemma 3).  The natural
+//! extension, *maximum broadcast*, lets every agent start with its own value and
+//! spreads the maximum.
+//!
+//! Inside the composed counting protocols the epidemic is used as a **component**:
+//! two agents simply adopt the maximum (or logical OR) of a field.  The paper's
+//! transition is one-way (only the initiator learns); the composed protocols of the
+//! paper apply it to both agents (e.g. Algorithm 1 line 16 sets both `k_u` and `k_v`
+//! to the maximum), which can only be faster.  Both variants are provided.
+
+use rand::RngCore;
+
+use ppsim::Protocol;
+
+/// Two-way maximum broadcast: both agents adopt the maximum of the two values.
+///
+/// This is the form used inside the counting protocols (e.g. Algorithm 1, Phase 3).
+///
+/// # Examples
+///
+/// ```rust
+/// let mut a = 3u32;
+/// let mut b = 7u32;
+/// ppproto::max_broadcast(&mut a, &mut b);
+/// assert_eq!((a, b), (7, 7));
+/// ```
+pub fn max_broadcast<T: Ord + Copy>(u: &mut T, v: &mut T) {
+    let m = (*u).max(*v);
+    *u = m;
+    *v = m;
+}
+
+/// Two-way OR broadcast for boolean flags (a special case of maximum broadcast).
+///
+/// # Examples
+///
+/// ```rust
+/// let mut a = false;
+/// let mut b = true;
+/// ppproto::or_broadcast(&mut a, &mut b);
+/// assert!(a && b);
+/// ```
+pub fn or_broadcast(u: &mut bool, v: &mut bool) {
+    let o = *u || *v;
+    *u = o;
+    *v = o;
+}
+
+/// The standalone one-way epidemic protocol of Lemma 3.
+///
+/// The state space is `{0, …, x}` for values of type `u64`; the faithful *one-way*
+/// transition `δ(u, v) = (max{u, v}, v)` is used: only the **initiator** learns.
+/// Experiments plant one (or more) non-zero values via
+/// [`Simulator::states_mut`](ppsim::Simulator::states_mut) and measure the number of
+/// interactions until every agent holds the maximum.
+///
+/// Lemma 3: w.h.p. the broadcast completes within `O(n log n)` interactions.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct OneWayEpidemic;
+
+impl OneWayEpidemic {
+    /// Create the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        OneWayEpidemic
+    }
+}
+
+impl Protocol for OneWayEpidemic {
+    type State = u64;
+    type Output = u64;
+
+    fn initial_state(&self) -> u64 {
+        0
+    }
+
+    fn interact(&self, initiator: &mut u64, responder: &mut u64, _rng: &mut dyn RngCore) {
+        // One-way: δ(u, v) = (max{u, v}, v).
+        if *responder > *initiator {
+            *initiator = *responder;
+        }
+    }
+
+    fn output(&self, state: &u64) -> u64 {
+        *state
+    }
+
+    fn name(&self) -> &'static str {
+        "one-way-epidemic"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::{seeded_rng, Simulator};
+
+    #[test]
+    fn max_broadcast_is_symmetric_and_idempotent() {
+        let mut a = 5u32;
+        let mut b = 9u32;
+        max_broadcast(&mut a, &mut b);
+        assert_eq!((a, b), (9, 9));
+        max_broadcast(&mut a, &mut b);
+        assert_eq!((a, b), (9, 9));
+    }
+
+    #[test]
+    fn or_broadcast_spreads_true() {
+        let mut a = true;
+        let mut b = false;
+        or_broadcast(&mut a, &mut b);
+        assert!(a && b);
+        let mut c = false;
+        let mut d = false;
+        or_broadcast(&mut c, &mut d);
+        assert!(!c && !d);
+    }
+
+    #[test]
+    fn one_way_transition_only_updates_initiator() {
+        let p = OneWayEpidemic::new();
+        let mut rng = seeded_rng(0);
+        let mut u = 0u64;
+        let mut v = 3u64;
+        p.interact(&mut u, &mut v, &mut rng);
+        assert_eq!((u, v), (3, 3 /* unchanged */));
+        // Responder with the smaller value learns nothing.
+        let mut u2 = 4u64;
+        let mut v2 = 1u64;
+        p.interact(&mut u2, &mut v2, &mut rng);
+        assert_eq!((u2, v2), (4, 1));
+    }
+
+    #[test]
+    fn epidemic_reaches_everyone() {
+        let n = 300;
+        let mut sim = Simulator::new(OneWayEpidemic::new(), n, 7).unwrap();
+        sim.states_mut()[0] = 42;
+        let outcome = sim.run_until(
+            |s| s.states().iter().all(|&x| x == 42),
+            n as u64,
+            20_000_000,
+        );
+        let t = outcome.expect_converged("one-way epidemic");
+        // Sanity: completion cannot be faster than n-1 informing interactions and
+        // should comfortably finish within ~8 n ln n interactions at this size.
+        let n_f = n as f64;
+        assert!(t >= (n as u64) - 1);
+        assert!((t as f64) < 8.0 * n_f * n_f.ln(), "broadcast took {t} interactions");
+    }
+
+    #[test]
+    fn maximum_broadcast_spreads_the_maximum_of_many_values() {
+        let n = 200;
+        let mut sim = Simulator::new(OneWayEpidemic::new(), n, 3).unwrap();
+        for (i, s) in sim.states_mut().iter_mut().enumerate() {
+            *s = i as u64;
+        }
+        let max = (n - 1) as u64;
+        let outcome = sim.run_until(
+            move |s| s.states().iter().all(|&x| x == max),
+            n as u64,
+            20_000_000,
+        );
+        assert!(outcome.converged());
+    }
+}

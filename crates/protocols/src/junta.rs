@@ -1,0 +1,252 @@
+//! The junta (level) process — Lemma 4 of the paper, originally from [8, 18].
+//!
+//! The junta process marks a small group of `Θ(nᵉ)` agents — the *junta* — which is
+//! subsequently used to drive the phase clocks.  Each agent keeps a triplet
+//! `(level, active, junta)`, initially `(0, 1, 1)`:
+//!
+//! * an **active** agent that interacts with an active agent *on the same level*
+//!   increases its level; interacting with anyone else makes it inactive;
+//! * whenever an agent meets a partner on a **higher** level it clears its `junta`
+//!   bit (it learns that it did not win the level race);
+//! * **inactive** agents adopt the partner's level if that is higher (so that the
+//!   maximum level spreads by epidemic and lagging agents learn about it).
+//!
+//! Lemma 4 (adapted from [8]): all agents become inactive within `O(n log n)`
+//! interactions, the maximum level `level*` satisfies
+//! `log log n − 4 ≤ level* ≤ log log n + 8`, and the number of agents on the maximal
+//! level is `O(√n · log n)`, w.h.p.
+//!
+//! An agent locally *believes* it is a junta member while its `junta` bit is set;
+//! composed protocols use that belief to drive phase clocks and re-initialise
+//! themselves whenever they meet an agent on a higher level (Algorithm 2/3, line 1).
+
+use rand::RngCore;
+
+use ppsim::Protocol;
+
+/// Per-agent state of the junta process: `(level, active, junta)`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct JuntaState {
+    /// The level reached in the level race; bounded by `log log n + 8` w.h.p.
+    pub level: u8,
+    /// Whether the agent is still actively racing.
+    pub active: bool,
+    /// Whether the agent still believes it belongs to the junta
+    /// (it has never met an agent on a strictly higher level).
+    pub junta: bool,
+}
+
+impl JuntaState {
+    /// The common initial state `(0, 1, 1)`.
+    #[must_use]
+    pub fn new() -> Self {
+        JuntaState { level: 0, active: true, junta: true }
+    }
+}
+
+impl Default for JuntaState {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// One interaction of the junta process, applied symmetrically to both agents.
+///
+/// The update uses the pre-interaction states of both agents, exactly as the
+/// transition function `δ` of the model prescribes.
+///
+/// # Examples
+///
+/// ```rust
+/// use ppproto::{junta_interact, JuntaState};
+/// let mut u = JuntaState::new();
+/// let mut v = JuntaState::new();
+/// junta_interact(&mut u, &mut v);
+/// // Two active level-0 agents both advance to level 1.
+/// assert_eq!((u.level, v.level), (1, 1));
+/// assert!(u.active && v.active);
+/// ```
+pub fn junta_interact(u: &mut JuntaState, v: &mut JuntaState) {
+    let before_u = *u;
+    let before_v = *v;
+    junta_update_one(u, &before_u, &before_v);
+    junta_update_one(v, &before_v, &before_u);
+}
+
+/// Update a single agent given its own pre-state and the partner's pre-state.
+fn junta_update_one(state: &mut JuntaState, me: &JuntaState, other: &JuntaState) {
+    if me.active {
+        if other.active && other.level == me.level {
+            // Win this round of the level race.
+            state.level = me.level.saturating_add(1);
+        } else {
+            state.active = false;
+        }
+    } else if other.level > me.level {
+        // Inactive agents adopt higher levels so the maximum spreads by epidemic.
+        state.level = other.level;
+    }
+    if other.level > me.level {
+        // Having seen a higher level, this agent cannot be in the junta.
+        state.junta = false;
+    }
+}
+
+/// The maximum level present in a configuration.
+#[must_use]
+pub fn max_level(states: &[JuntaState]) -> u8 {
+    states.iter().map(|s| s.level).max().unwrap_or(0)
+}
+
+/// The number of agents that currently believe they are junta members *and* sit on
+/// the maximal level — the junta in the sense of Lemma 4.
+#[must_use]
+pub fn junta_size(states: &[JuntaState]) -> usize {
+    let top = max_level(states);
+    states.iter().filter(|s| s.junta && s.level == top).count()
+}
+
+/// Whether every agent has become inactive (the junta process has stabilised).
+#[must_use]
+pub fn all_inactive(states: &[JuntaState]) -> bool {
+    states.iter().all(|s| !s.active)
+}
+
+/// The standalone junta protocol used to validate Lemma 4 (experiment E02).
+///
+/// Output of an agent is its current level.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct JuntaProtocol;
+
+impl JuntaProtocol {
+    /// Create the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        JuntaProtocol
+    }
+}
+
+impl Protocol for JuntaProtocol {
+    type State = JuntaState;
+    type Output = u8;
+
+    fn initial_state(&self) -> JuntaState {
+        JuntaState::new()
+    }
+
+    fn interact(&self, initiator: &mut JuntaState, responder: &mut JuntaState, _rng: &mut dyn RngCore) {
+        junta_interact(initiator, responder);
+    }
+
+    fn output(&self, state: &JuntaState) -> u8 {
+        state.level
+    }
+
+    fn name(&self) -> &'static str {
+        "junta-process"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::Simulator;
+
+    #[test]
+    fn two_active_same_level_agents_advance() {
+        let mut u = JuntaState::new();
+        let mut v = JuntaState::new();
+        junta_interact(&mut u, &mut v);
+        assert_eq!(u.level, 1);
+        assert_eq!(v.level, 1);
+        assert!(u.active && v.active);
+        assert!(u.junta && v.junta);
+    }
+
+    #[test]
+    fn active_agent_meeting_different_level_becomes_inactive() {
+        let mut u = JuntaState { level: 2, active: true, junta: true };
+        let mut v = JuntaState { level: 5, active: true, junta: true };
+        junta_interact(&mut u, &mut v);
+        assert!(!u.active, "lower-level active agent must become inactive");
+        assert!(!v.active, "the higher-level agent saw a non-matching partner and also stops");
+        assert!(!u.junta, "the lower agent saw a higher level and leaves the junta");
+        assert!(v.junta, "the higher agent keeps its junta bit");
+        assert_eq!(u.level, 2, "an active agent does not adopt levels");
+        assert_eq!(v.level, 5);
+    }
+
+    #[test]
+    fn active_agent_meeting_inactive_same_level_becomes_inactive() {
+        let mut u = JuntaState { level: 3, active: true, junta: true };
+        let mut v = JuntaState { level: 3, active: false, junta: false };
+        junta_interact(&mut u, &mut v);
+        assert!(!u.active);
+        assert_eq!(u.level, 3);
+        assert!(u.junta, "equal level does not clear the junta bit");
+    }
+
+    #[test]
+    fn inactive_agent_adopts_higher_level_and_leaves_junta() {
+        let mut u = JuntaState { level: 1, active: false, junta: true };
+        let mut v = JuntaState { level: 4, active: false, junta: true };
+        junta_interact(&mut u, &mut v);
+        assert_eq!(u.level, 4);
+        assert!(!u.junta);
+        assert_eq!(v.level, 4);
+        assert!(v.junta);
+    }
+
+    #[test]
+    fn levels_never_decrease() {
+        let mut u = JuntaState { level: 6, active: false, junta: false };
+        let mut v = JuntaState { level: 2, active: false, junta: false };
+        junta_interact(&mut u, &mut v);
+        assert_eq!(u.level, 6);
+        assert!(v.level >= 2);
+    }
+
+    #[test]
+    fn junta_process_stabilises_with_small_junta_and_plausible_level() {
+        // Lemma 4 at a concrete size: n = 2000, log2 log2 n ≈ 3.46.
+        let n = 2000usize;
+        let mut sim = Simulator::new(JuntaProtocol::new(), n, 99).unwrap();
+        let outcome = sim.run_until(
+            |s| all_inactive(s.states()),
+            n as u64,
+            200_000_000,
+        );
+        let t = outcome.expect_converged("junta process");
+        let n_f = n as f64;
+        assert!(
+            (t as f64) < 40.0 * n_f * n_f.ln(),
+            "junta took suspiciously long to stabilise: {t} interactions"
+        );
+
+        let top = max_level(sim.states());
+        let loglog = n_f.log2().log2();
+        assert!(
+            f64::from(top) >= loglog - 4.0 && f64::from(top) <= loglog + 8.0,
+            "maximal level {top} outside Lemma 4 band around log log n = {loglog:.2}"
+        );
+
+        let junta = junta_size(sim.states());
+        assert!(junta >= 1, "the junta must never be empty");
+        assert!(
+            (junta as f64) <= 4.0 * n_f.sqrt() * n_f.log2(),
+            "junta of size {junta} is larger than O(sqrt(n) log n) suggests"
+        );
+    }
+
+    #[test]
+    fn there_is_always_at_least_one_junta_believer() {
+        // Invariant: an agent on the maximal level never clears its junta bit, so the
+        // junta (in the believe-sense) can never become empty.  Check along a run.
+        let n = 300usize;
+        let mut sim = Simulator::new(JuntaProtocol::new(), n, 5).unwrap();
+        for _ in 0..200 {
+            sim.run(100);
+            assert!(junta_size(sim.states()) >= 1);
+        }
+    }
+}

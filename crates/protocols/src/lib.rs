@@ -1,0 +1,53 @@
+//! # `ppproto` — auxiliary population protocols
+//!
+//! The counting protocols of *On Counting the Population Size* (PODC 2019) are
+//! compositions of a small set of auxiliary protocols described in Section 2 of the
+//! paper.  This crate implements each of them, both as **components** (plain state
+//! structs plus interaction functions that a composed protocol can call) and — where
+//! it is meaningful on its own — as a **standalone [`ppsim::Protocol`]** used to
+//! validate the corresponding lemma in isolation:
+//!
+//! | module | paper | claim validated |
+//! |---|---|---|
+//! | [`epidemic`] | Lemma 3 | one-way epidemics complete in `O(n log n)` interactions |
+//! | [`junta`] | Lemma 4 | junta levels reach `log log n ± O(1)`, junta is small |
+//! | [`phase_clock`] | Lemma 5 | phases of `Θ(n log n)` interactions |
+//! | [`synthetic_coin`] | Appendix D / [11] | uniform random bits from the schedule |
+//! | [`leader_election`] | Lemma 6 / [18] | unique leader in `O(n log² n)` interactions |
+//! | [`fast_leader_election`] | Lemma 7 / Appendix D / [8] | unique leader in `O(n log n)` interactions |
+//! | [`load_balancing`] | Lemma 8 / [10] | classical and powers-of-two load balancing |
+//!
+//! All components are uniform: none of their transition rules depends on the
+//! population size.  Constants that the paper fixes for asymptotic convenience
+//! (clock hours `m`, junta-level offsets, round counts) are exposed as parameters
+//! with the paper's value documented.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod epidemic;
+pub mod fast_leader_election;
+pub mod junta;
+pub mod leader_election;
+pub mod load_balancing;
+pub mod phase_clock;
+pub mod synthetic_coin;
+
+pub use epidemic::{max_broadcast, or_broadcast, OneWayEpidemic};
+pub use fast_leader_election::{
+    FastLeaderAgent, FastLeaderElection, FastLeaderElectionConfig, FastLeaderElectionProtocol,
+    FastLeaderState,
+};
+pub use junta::{all_inactive, junta_interact, junta_size, max_level, JuntaProtocol, JuntaState};
+pub use leader_election::{
+    contender_count, LeaderElection, LeaderElectionAgent, LeaderElectionConfig,
+    LeaderElectionProtocol, LeaderState,
+};
+pub use load_balancing::{
+    po2_balance, po2_total_tokens, split_evenly, ClassicalLoadBalancing,
+    PowersOfTwoLoadBalancing, EMPTY_LOAD,
+};
+pub use phase_clock::{
+    sync_interact, PhaseClock, PhaseClockState, SyncOutcome, SyncState, SynchronizedClockProtocol,
+};
+pub use synthetic_coin::{coin_interact, CoinMode, CoinState};

@@ -1,0 +1,273 @@
+//! Load balancing — the classical process of [10] and the powers-of-two variant of
+//! Lemma 8.
+//!
+//! * **Classical load balancing** ([10], used by the `CountExact` stages): when two
+//!   agents with loads `ℓ_u`, `ℓ_v` interact, the loads become
+//!   `(⌊(ℓ_u+ℓ_v)/2⌋, ⌈(ℓ_u+ℓ_v)/2⌉)`.  After `O(n log n)` interactions the
+//!   discrepancy is constant w.h.p.
+//! * **Powers-of-two load balancing** (Section 3.1, Lemma 8): agents store only the
+//!   *logarithm* `k` of their load (`k = −1` denotes an empty agent).  A balancing
+//!   step is permitted only when exactly one of the two agents is empty and the
+//!   other holds more than one token; then a load of `2^k` splits into two loads of
+//!   `2^{k−1}`.  Lemma 8: if a single agent starts with `2^κ ≤ 3n/4` tokens and all
+//!   others are empty, then after `16 n log n` interactions the maximum logarithmic
+//!   load is `0` w.h.p. (every non-empty agent holds exactly one token).
+
+use rand::RngCore;
+
+use ppsim::Protocol;
+
+/// The logarithmic-load value that denotes an empty agent in the powers-of-two
+/// process (`k = −1`).
+pub const EMPTY_LOAD: i32 = -1;
+
+/// Classical load-balancing step of [10]: split the combined load as evenly as
+/// possible, the initiator receiving the smaller half.
+///
+/// # Examples
+///
+/// ```rust
+/// let mut u = 7u64;
+/// let mut v = 2u64;
+/// ppproto::split_evenly(&mut u, &mut v);
+/// assert_eq!((u, v), (4, 5));
+/// assert_eq!(u + v, 9, "the total load is conserved");
+/// ```
+pub fn split_evenly(u: &mut u64, v: &mut u64) {
+    let total = *u + *v;
+    *u = total / 2;
+    *v = total - total / 2;
+}
+
+/// Powers-of-two load-balancing step (Equation (1) of the paper).
+///
+/// `k` values are logarithmic loads: an agent with `k ≥ 0` holds `2^k` tokens, an
+/// agent with `k = −1` ([`EMPTY_LOAD`]) holds none.  A split happens only when one
+/// agent is empty and the other holds more than one token (`k > 0`); both end up
+/// with `k − 1`.
+///
+/// # Examples
+///
+/// ```rust
+/// use ppproto::{po2_balance, EMPTY_LOAD};
+/// let mut u = 5i32;          // 32 tokens
+/// let mut v = EMPTY_LOAD;    // empty
+/// po2_balance(&mut u, &mut v);
+/// assert_eq!((u, v), (4, 4)); // 16 + 16 tokens
+///
+/// let mut a = 0i32;          // one token: may not split further
+/// let mut b = EMPTY_LOAD;
+/// po2_balance(&mut a, &mut b);
+/// assert_eq!((a, b), (0, EMPTY_LOAD));
+/// ```
+pub fn po2_balance(ku: &mut i32, kv: &mut i32) {
+    let min = (*ku).min(*kv);
+    let max = (*ku).max(*kv);
+    if min == EMPTY_LOAD && max > 0 {
+        *ku = max - 1;
+        *kv = max - 1;
+    }
+}
+
+/// Total number of tokens represented by a slice of logarithmic loads.
+#[must_use]
+pub fn po2_total_tokens(ks: &[i32]) -> u128 {
+    ks.iter()
+        .filter(|&&k| k >= 0)
+        .map(|&k| 1u128 << u32::try_from(k).expect("logarithmic loads are small"))
+        .sum()
+}
+
+/// The standalone classical load-balancing protocol of [10].
+///
+/// States are plain token counts; experiments seed an arbitrary initial load vector
+/// and measure the number of interactions until the discrepancy (max − min) drops to
+/// a constant.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ClassicalLoadBalancing;
+
+impl ClassicalLoadBalancing {
+    /// Create the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        ClassicalLoadBalancing
+    }
+}
+
+impl Protocol for ClassicalLoadBalancing {
+    type State = u64;
+    type Output = u64;
+
+    fn initial_state(&self) -> u64 {
+        0
+    }
+
+    fn interact(&self, initiator: &mut u64, responder: &mut u64, _rng: &mut dyn RngCore) {
+        split_evenly(initiator, responder);
+    }
+
+    fn output(&self, state: &u64) -> u64 {
+        *state
+    }
+
+    fn name(&self) -> &'static str {
+        "classical-load-balancing"
+    }
+}
+
+/// The standalone powers-of-two load-balancing protocol of Lemma 8.
+///
+/// States are logarithmic loads `k ∈ {−1, 0, 1, …}`; the output is the actual number
+/// of tokens held (`2^k`, or `0` for an empty agent).  Experiments seed one agent
+/// with `k = κ` and measure the number of interactions until `max_v k_v ≤ 0`.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct PowersOfTwoLoadBalancing;
+
+impl PowersOfTwoLoadBalancing {
+    /// Create the protocol.
+    #[must_use]
+    pub fn new() -> Self {
+        PowersOfTwoLoadBalancing
+    }
+}
+
+impl Protocol for PowersOfTwoLoadBalancing {
+    type State = i32;
+    type Output = u64;
+
+    fn initial_state(&self) -> i32 {
+        EMPTY_LOAD
+    }
+
+    fn interact(&self, initiator: &mut i32, responder: &mut i32, _rng: &mut dyn RngCore) {
+        po2_balance(initiator, responder);
+    }
+
+    fn output(&self, state: &i32) -> u64 {
+        if *state >= 0 {
+            1u64 << u32::try_from(*state).expect("logarithmic loads are small")
+        } else {
+            0
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "powers-of-two-load-balancing"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::Simulator;
+
+    #[test]
+    fn split_evenly_conserves_and_orders() {
+        let mut u = 10u64;
+        let mut v = 3u64;
+        split_evenly(&mut u, &mut v);
+        assert_eq!(u + v, 13);
+        assert_eq!(u, 6);
+        assert_eq!(v, 7);
+        assert!(v >= u, "the responder receives the rounding surplus");
+    }
+
+    #[test]
+    fn split_evenly_is_idempotent_on_balanced_loads() {
+        let mut u = 4u64;
+        let mut v = 4u64;
+        split_evenly(&mut u, &mut v);
+        assert_eq!((u, v), (4, 4));
+    }
+
+    #[test]
+    fn po2_balance_only_splits_into_an_empty_agent() {
+        // Non-empty pair: nothing happens.
+        let mut u = 2i32;
+        let mut v = 3i32;
+        po2_balance(&mut u, &mut v);
+        assert_eq!((u, v), (2, 3));
+
+        // Empty + single token: nothing happens (k = 0 may not split).
+        let mut u = EMPTY_LOAD;
+        let mut v = 0i32;
+        po2_balance(&mut u, &mut v);
+        assert_eq!((u, v), (EMPTY_LOAD, 0));
+
+        // Empty + 2^3 tokens: both get 2^2.
+        let mut u = EMPTY_LOAD;
+        let mut v = 3i32;
+        po2_balance(&mut u, &mut v);
+        assert_eq!((u, v), (2, 2));
+
+        // Two empty agents: nothing happens.
+        let mut u = EMPTY_LOAD;
+        let mut v = EMPTY_LOAD;
+        po2_balance(&mut u, &mut v);
+        assert_eq!((u, v), (EMPTY_LOAD, EMPTY_LOAD));
+    }
+
+    #[test]
+    fn po2_balance_conserves_tokens() {
+        let mut u = 6i32;
+        let mut v = EMPTY_LOAD;
+        let before = po2_total_tokens(&[u, v]);
+        po2_balance(&mut u, &mut v);
+        assert_eq!(po2_total_tokens(&[u, v]), before);
+    }
+
+    #[test]
+    fn po2_total_tokens_sums_powers() {
+        assert_eq!(po2_total_tokens(&[EMPTY_LOAD, 0, 1, 3]), 1 + 2 + 8);
+        assert_eq!(po2_total_tokens(&[]), 0);
+    }
+
+    #[test]
+    fn classical_balancing_flattens_a_point_load() {
+        let n = 256usize;
+        let mut sim = Simulator::new(ClassicalLoadBalancing::new(), n, 21).unwrap();
+        sim.states_mut()[0] = 4 * n as u64; // average load 4
+        let outcome = sim.run_until(
+            |s| {
+                let max = s.states().iter().max().unwrap();
+                let min = s.states().iter().min().unwrap();
+                max - min <= 1
+            },
+            n as u64,
+            50_000_000,
+        );
+        let t = outcome.expect_converged("classical load balancing");
+        let total: u64 = sim.states().iter().sum();
+        assert_eq!(total, 4 * n as u64, "tokens are conserved");
+        let n_f = n as f64;
+        assert!(
+            (t as f64) < 60.0 * n_f * n_f.log2(),
+            "discrepancy reduction took {t} interactions"
+        );
+    }
+
+    #[test]
+    fn po2_balancing_from_single_source_reaches_unit_loads_within_lemma8_budget() {
+        // Lemma 8: 2^κ ≤ 3n/4 tokens on one agent spread to unit loads within
+        // 16 n log n interactions w.h.p.
+        let n = 1024usize;
+        let kappa = 9; // 512 = n/2 ≤ 3n/4 tokens
+        let mut sim = Simulator::new(PowersOfTwoLoadBalancing::new(), n, 77).unwrap();
+        sim.states_mut()[0] = kappa;
+        let budget = (16.0 * n as f64 * (n as f64).log2()) as u64;
+        let outcome = sim.run_until(|s| s.states().iter().all(|&k| k <= 0), n as u64, budget);
+        assert!(
+            outcome.converged(),
+            "powers-of-two balancing did not finish within the Lemma 8 budget of {budget}"
+        );
+        assert_eq!(po2_total_tokens(sim.states()), 1u128 << kappa, "tokens conserved");
+    }
+
+    #[test]
+    fn po2_output_is_the_actual_load() {
+        let p = PowersOfTwoLoadBalancing::new();
+        assert_eq!(p.output(&EMPTY_LOAD), 0);
+        assert_eq!(p.output(&0), 1);
+        assert_eq!(p.output(&5), 32);
+    }
+}

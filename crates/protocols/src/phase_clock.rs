@@ -1,0 +1,448 @@
+//! Junta-driven phase clocks — Lemma 5 of the paper, following [6, 18].
+//!
+//! A phase clock lets all agents divide time into *phases* of `Θ(n log n)`
+//! interactions without knowing `n`.  Every agent keeps a clock value
+//! (`hour ∈ {0, …, m−1}` for a constant `m`).  In every interaction both agents
+//! adopt the *later* of their two hours with respect to the circular order modulo
+//! `m`; to keep the clock running, **junta members** (agents whose junta belief bit
+//! is still set, see [`crate::junta`]) additionally advance by one step when they
+//! meet an agent showing the same hour.  An agent *ticks* — enters a new phase —
+//! whenever its hour wraps around from `m − 1` to `0`.
+//!
+//! Lemma 5 ([18]): for any constant `c ≥ 0` there is a constant `m = m(c)` such that
+//! w.h.p. every phase overlap `[D_start, D_end]` (from the moment the last agent
+//! enters the phase until the first agent leaves it) lasts between `c·n·log n` and
+//! `c·n·log n + Θ(n log n)` interactions.  Larger `m` buys longer phases; the
+//! experiments calibrate `m` so that a phase is long enough for one-way epidemics
+//! (Lemma 3) and for powers-of-two load balancing (Lemma 8) to complete.
+//!
+//! The `first_tick` flag mirrors the paper's `firstTick_v`: it is raised when the
+//! agent's phase counter is incremented and is consumed by the composed protocol the
+//! next time the agent *initiates* an interaction (the paper's special per-phase
+//! actions are guarded by `firstTick_u` of the initiator).
+
+use rand::RngCore;
+
+use ppsim::Protocol;
+
+use crate::junta::{junta_interact, JuntaState};
+
+/// Per-agent phase-clock state.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct PhaseClockState {
+    /// Position on the clock face, `0 ≤ hour < m`.
+    pub hour: u8,
+    /// Number of completed revolutions (phases) since the last (re-)initialisation.
+    ///
+    /// The paper keeps only a constant-size phase counter (`phase mod 5` for the
+    /// Search Protocol, a stopped counter for error detection); composed protocols
+    /// reduce this absolute counter modulo whatever they need.  The state-space
+    /// accounting experiment (E15) performs the same reduction before counting
+    /// distinct states.
+    pub phase: u32,
+    /// Raised when `phase` was incremented; consumed (cleared) by the composed
+    /// protocol when this agent next initiates an interaction.
+    pub first_tick: bool,
+}
+
+impl PhaseClockState {
+    /// A freshly initialised clock (hour 0, phase 0).
+    #[must_use]
+    pub fn new() -> Self {
+        PhaseClockState { hour: 0, phase: 0, first_tick: false }
+    }
+
+    /// Re-initialise the clock (used when an agent meets a higher junta level,
+    /// Algorithm 2/3 line 1–2).
+    pub fn reset(&mut self) {
+        *self = PhaseClockState::new();
+    }
+}
+
+/// The phase-clock transition rule, parameterised by the number of hours `m`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PhaseClock {
+    hours: u8,
+}
+
+impl PhaseClock {
+    /// Default number of hours for a standalone clock.
+    pub const DEFAULT_HOURS: u8 = 16;
+
+    /// Create a clock with `hours = m` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hours < 4`; the circular-order comparison needs at least four
+    /// positions to be meaningful.
+    #[must_use]
+    pub fn new(hours: u8) -> Self {
+        assert!(hours >= 4, "a phase clock needs at least 4 hours, got {hours}");
+        PhaseClock { hours }
+    }
+
+    /// The number of hours `m` on the clock face.
+    #[must_use]
+    pub fn hours(&self) -> u8 {
+        self.hours
+    }
+
+    /// Apply one interaction of the phase clock to both agents.
+    ///
+    /// `u_junta` / `v_junta` indicate whether the respective agent currently
+    /// believes it is a junta member and therefore drives the clock.  Returns
+    /// `(u_ticked, v_ticked)` — whether each agent entered a new phase.
+    ///
+    /// In addition to the hour, the *phase counter* is synchronised: an agent that
+    /// adopts the partner's (later) hour also adopts the partner's phase number if
+    /// that is larger.  This is how an agent whose clock was re-initialised (because
+    /// it met a higher junta level) re-joins the common phase count instead of
+    /// keeping a permanent offset; the paper keeps only a small modular counter, and
+    /// the adoption rule induces exactly the modular behaviour its algorithms rely
+    /// on.
+    pub fn interact(
+        &self,
+        u: &mut PhaseClockState,
+        u_junta: bool,
+        v: &mut PhaseClockState,
+        v_junta: bool,
+    ) -> (bool, bool) {
+        let m = i32::from(self.hours);
+        let hu = i32::from(u.hour);
+        let hv = i32::from(v.hour);
+        let d = (hv - hu).rem_euclid(m);
+        let mut u_ticked = false;
+        let mut v_ticked = false;
+        if d == 0 {
+            // Same hour: first reconcile possibly diverged phase counters (this can
+            // only happen right after a re-initialisation), then junta members take
+            // one extra step to keep the clock running.
+            u_ticked |= Self::adopt_phase(u, v.phase);
+            v_ticked |= Self::adopt_phase(v, u.phase);
+            if u_junta {
+                u_ticked |= self.advance(u);
+            }
+            if v_junta {
+                v_ticked |= self.advance(v);
+            }
+        } else if d <= m / 2 {
+            // v is ahead of u in circular order: u catches up.
+            u_ticked = Self::adopt(u, v);
+        } else {
+            // u is ahead of v: v catches up.
+            v_ticked = Self::adopt(v, u);
+        }
+        (u_ticked, v_ticked)
+    }
+
+    /// Advance a clock by one hour; returns `true` if it wrapped (ticked).
+    fn advance(&self, s: &mut PhaseClockState) -> bool {
+        let wrapped = s.hour + 1 == self.hours;
+        s.hour = (s.hour + 1) % self.hours;
+        if wrapped {
+            Self::enter_phase(s, s.phase.saturating_add(1));
+        }
+        wrapped
+    }
+
+    /// Adopt the hour and phase of a partner that is ahead in circular order;
+    /// returns `true` if this agent entered a new phase.
+    fn adopt(behind: &mut PhaseClockState, ahead: &PhaseClockState) -> bool {
+        let wrapped = ahead.hour < behind.hour;
+        behind.hour = ahead.hour;
+        let target_phase = if wrapped {
+            // Crossing the m−1 → 0 boundary is a tick even if the partner's absolute
+            // counter lags (which it cannot after synchronisation, but a freshly
+            // reset partner could carry 0).
+            ahead.phase.max(behind.phase.saturating_add(1))
+        } else {
+            ahead.phase
+        };
+        Self::adopt_phase(behind, target_phase)
+    }
+
+    /// Raise this agent's phase counter to `phase` if larger; returns `true` if it
+    /// increased (the agent entered a new phase).
+    fn adopt_phase(s: &mut PhaseClockState, phase: u32) -> bool {
+        if phase > s.phase {
+            Self::enter_phase(s, phase);
+            true
+        } else {
+            false
+        }
+    }
+
+    fn enter_phase(s: &mut PhaseClockState, phase: u32) {
+        s.phase = phase;
+        s.first_tick = true;
+    }
+}
+
+impl Default for PhaseClock {
+    fn default() -> Self {
+        PhaseClock::new(Self::DEFAULT_HOURS)
+    }
+}
+
+/// Combined per-agent state of the junta process plus a phase clock.
+///
+/// This is the synchronisation base shared by both counting protocols
+/// (Algorithms 2 and 3, lines 1–4): junta election, re-initialisation on meeting a
+/// higher level, and the junta-driven clock.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct SyncState {
+    /// Junta (level) process state.
+    pub junta: JuntaState,
+    /// Phase-clock state.
+    pub clock: PhaseClockState,
+}
+
+impl SyncState {
+    /// The common initial state.
+    #[must_use]
+    pub fn new() -> Self {
+        SyncState { junta: JuntaState::new(), clock: PhaseClockState::new() }
+    }
+}
+
+/// Outcome of one synchronisation step for the two participants.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SyncOutcome {
+    /// The initiator's clock was re-initialised because it met a higher junta level.
+    pub u_reset: bool,
+    /// The responder's clock was re-initialised because it met a higher junta level.
+    pub v_reset: bool,
+    /// The initiator's clock ticked into a new phase during this interaction.
+    pub u_ticked: bool,
+    /// The responder's clock ticked into a new phase during this interaction.
+    pub v_ticked: bool,
+}
+
+/// Perform the shared synchronisation preamble of the counting protocols on the two
+/// agents: re-initialise the clock of an agent whose junta level is superseded, run
+/// the junta process, then run the phase clock.
+///
+/// An agent's clock (and, in the composed protocols, all downstream protocol state)
+/// is re-initialised when
+///
+/// 1. it meets an agent on a strictly **higher** junta level (Algorithm 2/3,
+///    line 1 of the paper — applied here to whichever agent sees the higher level,
+///    which is the same rule under exchange of initiator/responder roles), or
+/// 2. its **own** level increases in this interaction (it is still winning the
+///    level race).
+///
+/// Rule 2 is not spelled out in the paper's pseudo-code but is required for the
+/// clean-state property its analysis relies on ("all agents start the protocols at
+/// the maximal junta level from a clean state"): without it, the `O(√n log n)`
+/// agents that *create* the maximal level would carry clock state accumulated while
+/// the level race was still in progress.  Resetting on every own-level increase only
+/// strengthens the property and does not change any asymptotic bound.
+pub fn sync_interact(clock: &PhaseClock, u: &mut SyncState, v: &mut SyncState) -> SyncOutcome {
+    let u_level_before = u.junta.level;
+    let v_level_before = v.junta.level;
+    junta_interact(&mut u.junta, &mut v.junta);
+    let u_reset = v_level_before > u_level_before || u.junta.level > u_level_before;
+    let v_reset = u_level_before > v_level_before || v.junta.level > v_level_before;
+    if u_reset {
+        u.clock.reset();
+    }
+    if v_reset {
+        v.clock.reset();
+    }
+    let (u_ticked, v_ticked) =
+        clock.interact(&mut u.clock, u.junta.junta, &mut v.clock, v.junta.junta);
+    SyncOutcome { u_reset, v_reset, u_ticked, v_ticked }
+}
+
+/// Standalone protocol running the junta process plus a phase clock — used to
+/// validate Lemma 5 (experiment E03) and as a reference for the composed protocols.
+///
+/// The output of an agent is its current phase number.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SynchronizedClockProtocol {
+    clock: PhaseClock,
+}
+
+impl SynchronizedClockProtocol {
+    /// Create the protocol with a clock of `hours` positions.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hours < 4` (see [`PhaseClock::new`]).
+    #[must_use]
+    pub fn new(hours: u8) -> Self {
+        SynchronizedClockProtocol { clock: PhaseClock::new(hours) }
+    }
+
+    /// The underlying clock rule.
+    #[must_use]
+    pub fn clock(&self) -> &PhaseClock {
+        &self.clock
+    }
+}
+
+impl Default for SynchronizedClockProtocol {
+    fn default() -> Self {
+        Self::new(PhaseClock::DEFAULT_HOURS)
+    }
+}
+
+impl Protocol for SynchronizedClockProtocol {
+    type State = SyncState;
+    type Output = u32;
+
+    fn initial_state(&self) -> SyncState {
+        SyncState::new()
+    }
+
+    fn interact(&self, initiator: &mut SyncState, responder: &mut SyncState, _rng: &mut dyn RngCore) {
+        sync_interact(&self.clock, initiator, responder);
+        // The standalone protocol has no per-phase actions, so the firstTick flags
+        // are consumed immediately by the initiator.
+        initiator.clock.first_tick = false;
+    }
+
+    fn output(&self, state: &SyncState) -> u32 {
+        state.clock.phase
+    }
+
+    fn name(&self) -> &'static str {
+        "junta-phase-clock"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ppsim::Simulator;
+
+    fn clock() -> PhaseClock {
+        PhaseClock::new(8)
+    }
+
+    #[test]
+    #[should_panic(expected = "at least 4 hours")]
+    fn too_few_hours_is_rejected() {
+        let _ = PhaseClock::new(3);
+    }
+
+    #[test]
+    fn equal_hours_only_junta_advances() {
+        let c = clock();
+        let mut u = PhaseClockState::new();
+        let mut v = PhaseClockState::new();
+        let (tu, tv) = c.interact(&mut u, true, &mut v, false);
+        assert_eq!((u.hour, v.hour), (1, 0));
+        assert!(!tu && !tv);
+    }
+
+    #[test]
+    fn behind_agent_adopts_the_later_hour() {
+        let c = clock();
+        let mut u = PhaseClockState { hour: 2, ..PhaseClockState::new() };
+        let mut v = PhaseClockState { hour: 4, ..PhaseClockState::new() };
+        c.interact(&mut u, false, &mut v, false);
+        assert_eq!((u.hour, v.hour), (4, 4));
+
+        // Symmetric case: the responder is behind.
+        let mut u = PhaseClockState { hour: 5, ..PhaseClockState::new() };
+        let mut v = PhaseClockState { hour: 4, ..PhaseClockState::new() };
+        c.interact(&mut u, false, &mut v, false);
+        assert_eq!((u.hour, v.hour), (5, 5));
+    }
+
+    #[test]
+    fn circular_comparison_handles_wraparound() {
+        let c = clock(); // m = 8
+        // u at 7, v at 1: v is *ahead* by 2 in circular order, so u adopts 1 and ticks.
+        let mut u = PhaseClockState { hour: 7, ..PhaseClockState::new() };
+        let mut v = PhaseClockState { hour: 1, ..PhaseClockState::new() };
+        let (tu, tv) = c.interact(&mut u, false, &mut v, false);
+        assert_eq!((u.hour, v.hour), (1, 1));
+        assert!(tu, "wrapping from hour 7 to hour 1 is a tick");
+        assert!(!tv);
+        assert_eq!(u.phase, 1);
+        assert!(u.first_tick);
+    }
+
+    #[test]
+    fn junta_member_ticks_when_advancing_over_the_boundary() {
+        let c = clock();
+        let mut u = PhaseClockState { hour: 7, ..PhaseClockState::new() };
+        let mut v = PhaseClockState { hour: 7, ..PhaseClockState::new() };
+        let (tu, tv) = c.interact(&mut u, true, &mut v, false);
+        assert!(tu);
+        assert!(!tv);
+        assert_eq!(u.hour, 0);
+        assert_eq!(u.phase, 1);
+        assert_eq!(v.hour, 7);
+    }
+
+    #[test]
+    fn reset_clears_clock() {
+        let mut s = PhaseClockState { hour: 5, phase: 3, first_tick: true };
+        s.reset();
+        assert_eq!(s, PhaseClockState::new());
+    }
+
+    #[test]
+    fn sync_interact_resets_the_lower_level_agent() {
+        let c = clock();
+        let mut u = SyncState::new();
+        let mut v = SyncState::new();
+        v.junta.level = 3;
+        u.clock.hour = 6;
+        u.clock.phase = 2;
+        let out = sync_interact(&c, &mut u, &mut v);
+        assert!(out.u_reset);
+        assert!(!out.v_reset);
+        assert_eq!(u.clock.phase, 0, "reset clears the phase counter");
+    }
+
+    #[test]
+    fn phases_advance_and_stay_synchronised() {
+        // After the junta process settles, phases must advance and the spread between
+        // the slowest and fastest agent should stay within one phase almost always.
+        let n = 500usize;
+        let proto = SynchronizedClockProtocol::new(16);
+        let mut sim = Simulator::new(proto, n, 13).unwrap();
+
+        // Let the junta settle and the clock start running.
+        sim.run(200_000);
+        let start: Vec<u32> = sim.states().iter().map(|s| s.clock.phase).collect();
+        let start_max = *start.iter().max().unwrap();
+
+        sim.run(2_000_000);
+        let phases: Vec<u32> = sim.states().iter().map(|s| s.clock.phase).collect();
+        let max = *phases.iter().max().unwrap();
+        let min = *phases.iter().min().unwrap();
+        assert!(max > start_max, "the clock must keep ticking");
+        assert!(max - min <= 1, "phase spread too large: {min}..{max}");
+    }
+
+    #[test]
+    fn phase_lengths_scale_like_n_log_n() {
+        // Rough Lemma 5 check at one size: measure the number of interactions per
+        // phase once the clock is running and compare against n log2 n.
+        let n = 400usize;
+        let proto = SynchronizedClockProtocol::new(16);
+        let mut sim = Simulator::new(proto, n, 4).unwrap();
+        sim.run(200_000); // settle
+        let phase0 = sim.states().iter().map(|s| s.clock.phase).min().unwrap();
+        let start = sim.interactions();
+        // Wait for every agent to advance by 3 phases.
+        let target = phase0 + 3;
+        let outcome = sim.run_until(
+            move |s| s.states().iter().all(|st| st.clock.phase >= target),
+            (n / 2) as u64,
+            200_000_000,
+        );
+        let t = outcome.expect_converged("phase clock progress") - start;
+        let per_phase = t as f64 / 3.0;
+        let nlogn = n as f64 * (n as f64).log2();
+        assert!(
+            per_phase > 0.2 * nlogn && per_phase < 30.0 * nlogn,
+            "per-phase interaction count {per_phase:.0} is far from Θ(n log n) = {nlogn:.0}"
+        );
+    }
+}

@@ -1,0 +1,117 @@
+//! Property-based tests for the auxiliary protocols.
+
+use proptest::prelude::*;
+
+use ppproto::junta::{junta_interact, JuntaState};
+use ppproto::load_balancing::{po2_balance, po2_total_tokens, split_evenly, EMPTY_LOAD};
+use ppproto::phase_clock::{PhaseClock, PhaseClockState};
+use ppproto::synthetic_coin::{coin_interact, CoinState};
+use ppproto::{max_broadcast, or_broadcast};
+
+fn junta_state_strategy() -> impl Strategy<Value = JuntaState> {
+    (0u8..12, any::<bool>(), any::<bool>())
+        .prop_map(|(level, active, junta)| JuntaState { level, active, junta })
+}
+
+fn clock_state_strategy(hours: u8) -> impl Strategy<Value = PhaseClockState> {
+    (0..hours, 0u32..100, any::<bool>())
+        .prop_map(|(hour, phase, first_tick)| PhaseClockState { hour, phase, first_tick })
+}
+
+proptest! {
+    /// Maximum broadcast always results in both agents holding the maximum of the inputs.
+    #[test]
+    fn max_broadcast_holds_maximum(a in any::<u64>(), b in any::<u64>()) {
+        let (mut x, mut y) = (a, b);
+        max_broadcast(&mut x, &mut y);
+        prop_assert_eq!(x, a.max(b));
+        prop_assert_eq!(y, a.max(b));
+    }
+
+    /// OR broadcast is the boolean special case of maximum broadcast.
+    #[test]
+    fn or_broadcast_is_max(a in any::<bool>(), b in any::<bool>()) {
+        let (mut x, mut y) = (a, b);
+        or_broadcast(&mut x, &mut y);
+        prop_assert_eq!(x, a || b);
+        prop_assert_eq!(y, a || b);
+    }
+
+    /// Classical load balancing conserves the total load and leaves a discrepancy of at
+    /// most one between the two participants.
+    #[test]
+    fn split_evenly_conserves_load(a in 0u64..1_000_000, b in 0u64..1_000_000) {
+        let (mut x, mut y) = (a, b);
+        split_evenly(&mut x, &mut y);
+        prop_assert_eq!(x + y, a + b);
+        prop_assert!(y >= x);
+        prop_assert!(y - x <= 1);
+    }
+
+    /// Powers-of-two balancing conserves tokens and never creates a load above the
+    /// pre-interaction maximum.
+    #[test]
+    fn po2_balance_conserves_tokens(a in -1i32..40, b in -1i32..40) {
+        let before = po2_total_tokens(&[a, b]);
+        let max_before = a.max(b);
+        let (mut x, mut y) = (a, b);
+        po2_balance(&mut x, &mut y);
+        prop_assert_eq!(po2_total_tokens(&[x, y]), before);
+        prop_assert!(x.max(y) <= max_before.max(0));
+        prop_assert!(x >= EMPTY_LOAD && y >= EMPTY_LOAD);
+    }
+
+    /// The junta process never decreases levels, never resurrects the junta bit and
+    /// never reactivates an inactive agent.
+    #[test]
+    fn junta_update_is_monotone(u in junta_state_strategy(), v in junta_state_strategy()) {
+        let (mut a, mut b) = (u, v);
+        junta_interact(&mut a, &mut b);
+        prop_assert!(a.level >= u.level);
+        prop_assert!(b.level >= v.level);
+        prop_assert!(!(a.junta && !u.junta), "the junta bit can never be re-gained");
+        prop_assert!(!(b.junta && !v.junta));
+        prop_assert!(!(a.active && !u.active), "an inactive agent never becomes active");
+        prop_assert!(!(b.active && !v.active));
+        // Levels advance by at most one per interaction.
+        prop_assert!(a.level <= u.level.max(v.level) + 1);
+        prop_assert!(b.level <= u.level.max(v.level) + 1);
+    }
+
+    /// Phase-clock interactions never decrease a phase counter, never move an hour
+    /// outside the clock face, and advance the phase by at most the partner's phase + 1.
+    #[test]
+    fn phase_clock_is_monotone(
+        hours in 4u8..32,
+        u in clock_state_strategy(31),
+        v in clock_state_strategy(31),
+        u_junta in any::<bool>(),
+        v_junta in any::<bool>(),
+    ) {
+        let clock = PhaseClock::new(hours);
+        let u0 = PhaseClockState { hour: u.hour % hours, ..u };
+        let v0 = PhaseClockState { hour: v.hour % hours, ..v };
+        let (mut a, mut b) = (u0, v0);
+        clock.interact(&mut a, u_junta, &mut b, v_junta);
+        prop_assert!(a.hour < hours);
+        prop_assert!(b.hour < hours);
+        prop_assert!(a.phase >= u0.phase);
+        prop_assert!(b.phase >= v0.phase);
+        let max_phase = u0.phase.max(v0.phase) + 1;
+        prop_assert!(a.phase <= max_phase);
+        prop_assert!(b.phase <= max_phase);
+    }
+
+    /// The synthetic coin hands each agent exactly the partner's previous parity and
+    /// always flips both parities.
+    #[test]
+    fn synthetic_coin_reports_partner_parity(pu in any::<bool>(), pv in any::<bool>()) {
+        let mut u = CoinState { parity: pu };
+        let mut v = CoinState { parity: pv };
+        let (bu, bv) = coin_interact(&mut u, &mut v);
+        prop_assert_eq!(bu, pv);
+        prop_assert_eq!(bv, pu);
+        prop_assert_eq!(u.parity, !pu);
+        prop_assert_eq!(v.parity, !pv);
+    }
+}

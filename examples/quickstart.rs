@@ -1,0 +1,32 @@
+//! Quickstart: count a population exactly with `CountExact` (Theorem 2).
+//!
+//! ```text
+//! cargo run --release --example quickstart -- 2000
+//! ```
+
+use popcount::{all_counted, CountExact, CountExactParams};
+use ppsim::Simulator;
+
+fn main() -> Result<(), ppsim::SimError> {
+    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1_000);
+    let seed: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(42);
+
+    println!("simulating CountExact on a population of {n} anonymous agents (seed {seed})");
+    let protocol = CountExact::new(CountExactParams::default());
+    let mut sim = Simulator::new(protocol, n, seed)?;
+
+    let outcome = sim.run_until(
+        move |s| all_counted(s.protocol(), s.states(), n),
+        (n * 20) as u64,
+        20_000_000_000,
+    );
+
+    let interactions = outcome.expect_converged("CountExact");
+    let n_f = n as f64;
+    println!("every agent outputs {n} after {interactions} interactions");
+    println!(
+        "that is {:.1} × n·log2(n)  (Theorem 2: O(n log n) interactions)",
+        interactions as f64 / (n_f * n_f.log2())
+    );
+    Ok(())
+}

@@ -1,0 +1,115 @@
+//! Cross-crate integration tests: the full protocol compositions driven through the
+//! public APIs of `ppsim`, `ppproto` and `popcount`.
+
+use popcount::{
+    all_counted, all_estimated, all_estimates_valid, all_exact, valid_estimates, Approximate,
+    ApproximateParams, CountExact, CountExactParams, StableApproximate, StableCountExact,
+    TokenMergingCounter,
+};
+use ppsim::{derive_seed, AllPairsScheduler, Simulator};
+
+#[test]
+fn approximate_matches_the_baseline_story() {
+    // The fast protocol and the naive baseline agree on what they are counting.
+    let n = 350usize;
+    let proto = Approximate::new(ApproximateParams::default());
+    let mut sim = Simulator::new(proto, n, 99).unwrap();
+    let outcome = sim.run_until(|s| all_estimated(s.states()), (n * 20) as u64, 120_000_000);
+    assert!(outcome.converged());
+    let estimate = sim.output_stats().unanimous().cloned().flatten().unwrap();
+    let (floor, ceil) = valid_estimates(n);
+    assert!(estimate == floor || estimate == ceil);
+
+    let mut baseline = Simulator::new(TokenMergingCounter::new(), n, 100).unwrap();
+    let outcome = baseline.run_until(
+        move |s| s.states().iter().all(|a| a.best == n as u64),
+        (n * n / 8) as u64,
+        400_000_000,
+    );
+    assert!(outcome.converged());
+    // The baseline output n is consistent with the fast estimate 2^k up to factor 2.
+    let est = 2f64.powi(estimate);
+    assert!(est >= n as f64 / 2.0 && est <= 2.0 * n as f64);
+}
+
+#[test]
+fn count_exact_is_exact_across_population_sizes_and_seeds() {
+    for (i, &n) in [150usize, 400, 700].iter().enumerate() {
+        let proto = CountExact::new(CountExactParams::default());
+        let mut sim = Simulator::new(proto, n, derive_seed(7, i as u64)).unwrap();
+        let outcome = sim.run_until(
+            move |s| all_counted(s.protocol(), s.states(), n),
+            (n * 30) as u64,
+            200_000_000,
+        );
+        assert!(outcome.converged(), "CountExact failed for n = {n}");
+    }
+}
+
+#[test]
+fn count_exact_interactions_scale_quasilinearly() {
+    // Doubling the population should far less than quadruple the interaction count
+    // (Theorem 2: O(n log n); the baseline would quadruple).
+    let mut costs = Vec::new();
+    for (i, &n) in [300usize, 1200].iter().enumerate() {
+        let proto = CountExact::new(CountExactParams::default());
+        let mut sim = Simulator::new(proto, n, derive_seed(21, i as u64)).unwrap();
+        let outcome = sim.run_until(
+            move |s| all_counted(s.protocol(), s.states(), n),
+            (n * 30) as u64,
+            400_000_000,
+        );
+        costs.push(outcome.expect_converged("CountExact") as f64);
+    }
+    let growth = costs[1] / costs[0];
+    assert!(
+        growth < 9.0,
+        "quadrupling-or-worse growth ({growth:.1}×) contradicts the O(n log n) claim"
+    );
+}
+
+#[test]
+fn stable_variants_reach_correct_outputs() {
+    let n = 220usize;
+    let mut approx = Simulator::new(StableApproximate::default(), n, 5).unwrap();
+    let outcome = approx.run_until(
+        move |s| all_estimates_valid(s.protocol(), s.states(), n),
+        (n * 20) as u64,
+        300_000_000,
+    );
+    assert!(outcome.converged(), "stable Approximate did not converge");
+
+    let mut exact = Simulator::new(StableCountExact::default(), n, 6).unwrap();
+    let outcome = exact.run_until(
+        move |s| all_exact(s.protocol(), s.states(), n),
+        (n * 20) as u64,
+        300_000_000,
+    );
+    assert!(outcome.converged(), "stable CountExact did not converge");
+}
+
+#[test]
+fn converged_count_exact_output_is_stable_under_an_adversarial_schedule() {
+    // Stabilisation probe: once CountExact has converged, replaying every ordered
+    // pair of agents (an adversarial schedule) must not change any output.
+    let n = 120usize;
+    let proto = CountExact::new(CountExactParams::default());
+    let mut sim = Simulator::new(proto, n, 11).unwrap();
+    let outcome = sim.run_until(
+        move |s| all_counted(s.protocol(), s.states(), n),
+        (n * 30) as u64,
+        200_000_000,
+    );
+    assert!(outcome.converged());
+
+    let states = sim.states().to_vec();
+    let proto = CountExact::new(CountExactParams::default());
+    let mut adversarial =
+        Simulator::with_scheduler(proto, n, 0, AllPairsScheduler::new()).unwrap();
+    adversarial.states_mut().clone_from_slice(&states);
+    adversarial.run(AllPairsScheduler::cycle_len(n) * 3);
+    assert!(
+        all_counted(adversarial.protocol(), adversarial.states(), n),
+        "an adversarial schedule changed a converged output"
+    );
+}
