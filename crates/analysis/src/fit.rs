@@ -46,7 +46,10 @@ pub fn log_log_slope(points: &[(f64, f64)]) -> f64 {
     let logs: Vec<(f64, f64)> = points
         .iter()
         .map(|&(x, y)| {
-            assert!(x > 0.0 && y > 0.0, "log-log fit requires positive coordinates");
+            assert!(
+                x > 0.0 && y > 0.0,
+                "log-log fit requires positive coordinates"
+            );
             (x.ln(), y.ln())
         })
         .collect();

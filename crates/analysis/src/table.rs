@@ -27,7 +27,11 @@ impl Table {
     ///
     /// Panics if the number of cells does not match the number of headers.
     pub fn push_row(&mut self, cells: Vec<String>) {
-        assert_eq!(cells.len(), self.headers.len(), "row width must match the header");
+        assert_eq!(
+            cells.len(),
+            self.headers.len(),
+            "row width must match the header"
+        );
         self.rows.push(cells);
     }
 
@@ -55,7 +59,15 @@ impl Table {
         let mut out = String::new();
         let _ = writeln!(out, "### {}\n", self.title);
         let _ = writeln!(out, "| {} |", self.headers.join(" | "));
-        let _ = writeln!(out, "|{}|", self.headers.iter().map(|_| "---").collect::<Vec<_>>().join("|"));
+        let _ = writeln!(
+            out,
+            "|{}|",
+            self.headers
+                .iter()
+                .map(|_| "---")
+                .collect::<Vec<_>>()
+                .join("|")
+        );
         for row in &self.rows {
             let _ = writeln!(out, "| {} |", row.join(" | "));
         }

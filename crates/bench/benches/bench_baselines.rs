@@ -12,8 +12,12 @@ fn bench_baselines(c: &mut Criterion) {
             b.iter(|| {
                 seed += 1;
                 let mut sim = Simulator::new(TokenMergingCounter::new(), n, seed).unwrap();
-                sim.run_until(move |s| all_output_n(s.states(), n), (n * n / 8) as u64, u64::MAX)
-                    .expect_converged("baseline")
+                sim.run_until(
+                    move |s| all_output_n(s.states(), n),
+                    (n * n / 8) as u64,
+                    u64::MAX,
+                )
+                .expect_converged("baseline")
             });
         });
         group.bench_with_input(BenchmarkId::new("approx_backup", n), &n, |b, &n| {

@@ -1,0 +1,51 @@
+//! Sequential vs batched engine: epidemic convergence wall-clock at growing
+//! population sizes.
+//!
+//! The protocols are the *same transition system* (the dense epidemic run via
+//! `DenseAdapter` on the sequential engine), so differences are pure engine
+//! overhead.  `bench_batched_json` (a `ppbench` binary) emits the same
+//! comparison as machine-readable `BENCH_batched.json`.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use ppproto::DenseEpidemic;
+use ppsim::{BatchedSimulator, DenseAdapter, Simulator};
+
+fn epidemic_batched(n: usize, seed: u64) -> u64 {
+    let mut sim = BatchedSimulator::new(DenseEpidemic, n, seed).unwrap();
+    sim.transfer(0, 1, 1).unwrap();
+    sim.run_until(|s| s.count_of(1) == s.population(), n as u64, u64::MAX >> 1)
+        .expect_converged("batched epidemic")
+}
+
+fn epidemic_sequential(n: usize, seed: u64) -> u64 {
+    let mut sim = Simulator::new(DenseAdapter(DenseEpidemic), n, seed).unwrap();
+    sim.states_mut()[0] = 1;
+    sim.run_until(
+        |s| s.states().iter().all(|&x| x == 1),
+        n as u64,
+        u64::MAX >> 1,
+    )
+    .expect_converged("sequential epidemic")
+}
+
+fn bench_engines(c: &mut Criterion) {
+    let mut group = c.benchmark_group("engine_epidemic_convergence");
+    group.sample_size(5);
+    for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
+        group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
+            b.iter(|| epidemic_batched(n, 1));
+        });
+        // The sequential engine is benchmarked up to 10⁵ only; at 10⁶ a single
+        // converged run costs ~10⁸ scheduler draws and dominates the suite
+        // (that point lives in BENCH_batched.json, measured once).
+        if n <= 100_000 {
+            group.bench_with_input(BenchmarkId::new("sequential", n), &n, |b, &n| {
+                b.iter(|| epidemic_sequential(n, 1));
+            });
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines);
+criterion_main!(benches);

@@ -13,10 +13,15 @@ fn bench_leader_election(c: &mut Criterion) {
             let mut seed = 0u64;
             b.iter(|| {
                 seed += 1;
-                let proto = LeaderElectionProtocol::new(16, LeaderElectionConfig { outer_hours: 32 });
+                let proto =
+                    LeaderElectionProtocol::new(16, LeaderElectionConfig { outer_hours: 32 });
                 let mut sim = Simulator::new(proto, n, seed).unwrap();
-                sim.run_until(|s| s.states().iter().all(|a| a.election.done), (n * 10) as u64, u64::MAX)
-                    .expect_converged("leader election")
+                sim.run_until(
+                    |s| s.states().iter().all(|a| a.election.done),
+                    (n * 10) as u64,
+                    u64::MAX,
+                )
+                .expect_converged("leader election")
             });
         });
         group.bench_with_input(BenchmarkId::new("fast_lemma7", n), &n, |b, &n| {
@@ -25,11 +30,18 @@ fn bench_leader_election(c: &mut Criterion) {
                 seed += 1;
                 let proto = FastLeaderElectionProtocol::new(
                     16,
-                    FastLeaderElectionConfig { level_offset: 2, total_phases: 32 },
+                    FastLeaderElectionConfig {
+                        level_offset: 2,
+                        total_phases: 32,
+                    },
                 );
                 let mut sim = Simulator::new(proto, n, seed).unwrap();
-                sim.run_until(|s| s.states().iter().all(|a| a.election.done), (n * 10) as u64, u64::MAX)
-                    .expect_converged("fast leader election")
+                sim.run_until(
+                    |s| s.states().iter().all(|a| a.election.done),
+                    (n * 10) as u64,
+                    u64::MAX,
+                )
+                .expect_converged("fast leader election")
             });
         });
     }

@@ -1,0 +1,142 @@
+//! Emit `BENCH_batched.json`: wall-clock comparison of the sequential and
+//! batched engines on the epidemic workload across population sizes.
+//!
+//! ```text
+//! cargo run --release -p ppbench --bin bench_batched_json [--full] > BENCH_batched.json
+//! ```
+//!
+//! The workload is the one-way epidemic run to full convergence — the same
+//! transition system on both engines (`DenseAdapter` on the sequential side),
+//! so the ratio column is pure engine speedup.  `--full` adds `n = 10⁷`
+//! (batched only: a sequential run at that size takes minutes).
+
+use std::time::Instant;
+
+use ppproto::DenseEpidemic;
+use ppsim::{derive_seed, BatchedSimulator, DenseAdapter, Simulator};
+
+struct Measurement {
+    n: usize,
+    engine: &'static str,
+    trials: usize,
+    mean_seconds: f64,
+    min_seconds: f64,
+    mean_interactions: f64,
+    interactions_per_second: f64,
+}
+
+fn time_batched(n: usize, seed: u64) -> (f64, u64) {
+    let start = Instant::now();
+    let mut sim = BatchedSimulator::new(DenseEpidemic, n, seed).unwrap();
+    sim.transfer(0, 1, 1).unwrap();
+    let t = sim
+        .run_until(|s| s.count_of(1) == s.population(), n as u64, u64::MAX >> 1)
+        .expect_converged("batched epidemic");
+    (start.elapsed().as_secs_f64(), t)
+}
+
+fn time_sequential(n: usize, seed: u64) -> (f64, u64) {
+    let start = Instant::now();
+    let mut sim = Simulator::new(DenseAdapter(DenseEpidemic), n, seed).unwrap();
+    sim.states_mut()[0] = 1;
+    let t = sim
+        .run_until(
+            |s| s.states().iter().all(|&x| x == 1),
+            n as u64,
+            u64::MAX >> 1,
+        )
+        .expect_converged("sequential epidemic");
+    (start.elapsed().as_secs_f64(), t)
+}
+
+fn measure(
+    n: usize,
+    engine: &'static str,
+    trials: usize,
+    f: impl Fn(usize, u64) -> (f64, u64),
+) -> Measurement {
+    // Warm-up run (page faults, branch predictors), then timed trials.
+    let _ = f(n, derive_seed(0xBEEF, 999));
+    let mut secs = Vec::with_capacity(trials);
+    let mut inters = Vec::with_capacity(trials);
+    for t in 0..trials {
+        let (s, i) = f(n, derive_seed(0xBEEF, t as u64));
+        secs.push(s);
+        inters.push(i as f64);
+    }
+    let mean_seconds = secs.iter().sum::<f64>() / trials as f64;
+    let mean_interactions = inters.iter().sum::<f64>() / trials as f64;
+    Measurement {
+        n,
+        engine,
+        trials,
+        mean_seconds,
+        min_seconds: secs.iter().copied().fold(f64::INFINITY, f64::min),
+        mean_interactions,
+        interactions_per_second: mean_interactions / mean_seconds,
+    }
+}
+
+fn main() {
+    let full = std::env::args().any(|a| a == "--full");
+    let sizes: &[usize] = if full {
+        &[1_000, 10_000, 100_000, 1_000_000, 10_000_000]
+    } else {
+        &[1_000, 10_000, 100_000, 1_000_000]
+    };
+
+    let mut measurements: Vec<Measurement> = Vec::new();
+    for &n in sizes {
+        let trials = if n >= 1_000_000 { 3 } else { 5 };
+        eprintln!("measuring batched engine at n = {n} ...");
+        measurements.push(measure(n, "batched", trials, time_batched));
+        // The sequential engine becomes impractical beyond 10⁶.
+        if n <= 1_000_000 {
+            eprintln!("measuring sequential engine at n = {n} ...");
+            measurements.push(measure(n, "sequential", trials, time_sequential));
+        }
+    }
+
+    // Hand-rolled JSON (the workspace deliberately carries no serde).
+    println!("{{");
+    println!("  \"benchmark\": \"epidemic_convergence_seq_vs_batched\",");
+    println!("  \"workload\": \"one-way epidemic (DenseEpidemic) run until all agents informed\",");
+    println!("  \"units\": {{ \"time\": \"seconds\", \"throughput\": \"interactions/second\" }},");
+    println!("  \"results\": [");
+    for (i, m) in measurements.iter().enumerate() {
+        let comma = if i + 1 == measurements.len() { "" } else { "," };
+        println!(
+            "    {{ \"n\": {}, \"engine\": \"{}\", \"trials\": {}, \"mean_seconds\": {:.6}, \
+             \"min_seconds\": {:.6}, \"mean_interactions\": {:.0}, \
+             \"interactions_per_second\": {:.0} }}{}",
+            m.n,
+            m.engine,
+            m.trials,
+            m.mean_seconds,
+            m.min_seconds,
+            m.mean_interactions,
+            m.interactions_per_second,
+            comma
+        );
+    }
+    println!("  ],");
+    println!("  \"speedups\": [");
+    let pairs: Vec<(usize, f64)> = sizes
+        .iter()
+        .filter_map(|&n| {
+            let b = measurements
+                .iter()
+                .find(|m| m.n == n && m.engine == "batched")?;
+            let s = measurements
+                .iter()
+                .find(|m| m.n == n && m.engine == "sequential")?;
+            Some((n, s.mean_seconds / b.mean_seconds))
+        })
+        .collect();
+    for (i, (n, speedup)) in pairs.iter().enumerate() {
+        let comma = if i + 1 == pairs.len() { "" } else { "," };
+        println!("    {{ \"n\": {n}, \"batched_over_sequential\": {speedup:.2} }}{comma}");
+    }
+    println!("  ]");
+    println!("}}");
+}

@@ -3,8 +3,14 @@ use popcount::{CountExact, CountExactParams};
 use ppsim::Simulator;
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|s| s.parse().ok()).unwrap_or(300);
-    let seed: u64 = std::env::args().nth(2).and_then(|s| s.parse().ok()).unwrap_or(12);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(300);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|s| s.parse().ok())
+        .unwrap_or(12);
     let proto = CountExact::new(CountExactParams::default());
     let mut sim = Simulator::new(proto, n, seed).unwrap();
     for _ in 0..4000 {
@@ -18,7 +24,9 @@ fn main() {
         let level = states.iter().map(|a| a.sync.junta.level).max().unwrap();
         let k = states.iter().find(|a| a.stage.apx_done).map(|a| a.stage.k);
         let leader = states.iter().find(|a| a.is_leader());
-        let (li, ll) = leader.map(|a| (a.stage.explosions(), a.stage.l)).unwrap_or((0, 0));
+        let (li, ll) = leader
+            .map(|a| (a.stage.explosions(), a.stage.l))
+            .unwrap_or((0, 0));
         let total_l: u128 = states.iter().map(|a| a.stage.l as u128).sum();
         let outputs: Vec<u64> = {
             let p = CountExact::new(CountExactParams::default());
@@ -33,10 +41,15 @@ fn main() {
             sim.interactions(), phase, level, leaders, done, apx, mult, li, ll, k, total_l, outputs
         );
         let proto2 = CountExact::new(CountExactParams::default());
-        if states.iter().all(|a| proto2.agent_output(a) == Some(n as u64)) {
+        if states
+            .iter()
+            .all(|a| proto2.agent_output(a) == Some(n as u64))
+        {
             println!("CONVERGED to {n} at {} interactions", sim.interactions());
             break;
         }
-        if sim.interactions() > 40_000_000 { break; }
+        if sim.interactions() > 40_000_000 {
+            break;
+        }
     }
 }

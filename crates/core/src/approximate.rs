@@ -16,11 +16,11 @@
 //! Protocol, so that eventually all agents run the composition on the maximal junta
 //! level from a clean state.
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
-use ppsim::Protocol;
 use ppproto::leader_election::{LeaderElection, LeaderState};
 use ppproto::phase_clock::{sync_interact, PhaseClock, SyncState};
+use ppsim::Protocol;
 
 use crate::params::ApproximateParams;
 use crate::search::{search_interact, SearchContext, SearchState};
@@ -220,7 +220,7 @@ impl Protocol for Approximate {
         &self,
         initiator: &mut ApproximateAgent,
         responder: &mut ApproximateAgent,
-        _rng: &mut dyn RngCore,
+        _rng: &mut SmallRng,
     ) {
         self.staged_interact(initiator, responder);
     }
@@ -289,7 +289,10 @@ mod tests {
         let proto = Approximate::default();
         let mut sim = Simulator::new(proto, n, 20_240_601).unwrap();
         let outcome = sim.run_until(|s| all_estimated(s.states()), (n * 50) as u64, 60_000_000);
-        assert!(outcome.converged(), "Approximate did not converge within the budget");
+        assert!(
+            outcome.converged(),
+            "Approximate did not converge within the budget"
+        );
 
         let (floor, ceil) = valid_estimates(n);
         let stats = sim.output_stats();

@@ -17,7 +17,7 @@
 //! simpler, has the same asymptotic state bound of Theorem 1.2
 //! (`O(log² n · log log n)`), and only strengthens stability.
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
 use ppsim::Protocol;
 
@@ -70,10 +70,7 @@ impl StableApproximateAgent {
     pub fn uses_fast_path(&self) -> bool {
         !self.error
             && self.ed.entered
-            && self
-                .ed
-                .relative_phase(self.fast.sync.clock.phase)
-                >= ERROR_DETECTION_PHASES - 1
+            && self.ed.relative_phase(self.fast.sync.clock.phase) >= ERROR_DETECTION_PHASES - 1
     }
 }
 
@@ -87,7 +84,9 @@ impl StableApproximate {
     /// Create the protocol from the parameters of the underlying fast protocol.
     #[must_use]
     pub fn new(params: ApproximateParams) -> Self {
-        StableApproximate { fast: Approximate::new(params) }
+        StableApproximate {
+            fast: Approximate::new(params),
+        }
     }
 
     /// The underlying fast protocol.
@@ -115,13 +114,15 @@ impl Protocol for StableApproximate {
         &self,
         initiator: &mut StableApproximateAgent,
         responder: &mut StableApproximateAgent,
-        _rng: &mut dyn RngCore,
+        _rng: &mut SmallRng,
     ) {
         // The slow backup protocol runs in parallel throughout.
         approximate_backup_interact(&mut initiator.backup, &mut responder.backup);
 
         // Stages 1 and 2 of Algorithm 2 (with re-initialisation and clocks).
-        let pass = self.fast.dispatch_stages_1_2(&mut initiator.fast, &mut responder.fast);
+        let pass = self
+            .fast
+            .dispatch_stages_1_2(&mut initiator.fast, &mut responder.fast);
         if pass.u_reset {
             initiator.ed = ErrorDetectionState::new();
         }
@@ -189,7 +190,11 @@ impl Protocol for StableApproximate {
 /// Convergence predicate for a population of size `n`: every agent outputs
 /// `⌊log₂ n⌋` or `⌈log₂ n⌉`.
 #[must_use]
-pub fn all_estimates_valid(protocol: &StableApproximate, states: &[StableApproximateAgent], n: usize) -> bool {
+pub fn all_estimates_valid(
+    protocol: &StableApproximate,
+    states: &[StableApproximateAgent],
+    n: usize,
+) -> bool {
     let floor = (n as f64).log2().floor() as i32;
     let ceil = (n as f64).log2().ceil() as i32;
     states.iter().all(|a| {
@@ -262,14 +267,17 @@ mod tests {
         let outcome = sim.run_until(
             move |s| {
                 s.states().iter().all(|a| a.error)
-                    && s.states().iter().all(|a| {
-                        a.backup.k_max == (n as f64).log2().floor() as i32
-                    })
+                    && s.states()
+                        .iter()
+                        .all(|a| a.backup.k_max == (n as f64).log2().floor() as i32)
             },
             (n * n / 8) as u64,
             2_000_000_000,
         );
-        assert!(outcome.converged(), "the backup did not take over after an injected error");
+        assert!(
+            outcome.converged(),
+            "the backup did not take over after an injected error"
+        );
         let floor = (n as f64).log2().floor() as i32;
         assert!(sim.states().iter().all(|a| {
             let p = StableApproximate::default();

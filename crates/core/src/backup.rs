@@ -12,7 +12,7 @@
 //! * [`ExactBackup`] (Appendix C.2) computes the exact size `n` and stabilises
 //!   within `O(n² log n)` interactions w.h.p. (Lemma 13).
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
 use ppsim::Protocol;
 
@@ -45,10 +45,7 @@ impl Default for ApproximateBackupState {
 /// If both agents hold the same number of tokens (`k_u = k_v ≥ 0`), the initiator
 /// takes all of them (its `k` increases by one) and the responder becomes empty.
 /// Both agents always propagate the maximum `k` they have seen.
-pub fn approximate_backup_interact(
-    u: &mut ApproximateBackupState,
-    v: &mut ApproximateBackupState,
-) {
+pub fn approximate_backup_interact(u: &mut ApproximateBackupState, v: &mut ApproximateBackupState) {
     let merged = u.k == v.k && u.k >= 0;
     if merged {
         u.k += 1;
@@ -85,7 +82,7 @@ impl Protocol for ApproximateBackup {
         &self,
         initiator: &mut ApproximateBackupState,
         responder: &mut ApproximateBackupState,
-        _rng: &mut dyn RngCore,
+        _rng: &mut SmallRng,
     ) {
         approximate_backup_interact(initiator, responder);
     }
@@ -112,7 +109,10 @@ impl ExactBackupState {
     /// The common initial state `(false, 1)`.
     #[must_use]
     pub fn new() -> Self {
-        ExactBackupState { counted: false, count: 1 }
+        ExactBackupState {
+            counted: false,
+            count: 1,
+        }
     }
 }
 
@@ -179,7 +179,7 @@ impl Protocol for ExactBackup {
         &self,
         initiator: &mut ExactBackupState,
         responder: &mut ExactBackupState,
-        _rng: &mut dyn RngCore,
+        _rng: &mut SmallRng,
     ) {
         exact_backup_interact(initiator, responder);
     }
@@ -212,10 +212,151 @@ pub fn exact_backup_tokens(states: &[ExactBackupState]) -> u64 {
     states.iter().filter(|s| !s.counted).map(|s| s.count).sum()
 }
 
+/// The approximate backup counter over an enumerated state space, for the
+/// batched count-based engine ([`BatchedSimulator`](ppsim::BatchedSimulator)).
+///
+/// This is the counting protocol best suited to the count-based
+/// representation: Appendix C.1 bounds its state space by `(log n + 1)²`
+/// states *total*, so even populations of 10⁹ agents fit in a few thousand
+/// counts.  An [`ApproximateBackupState`] `(k, k_max)` with `k ∈ {−1, …, K}`
+/// and `k_max ∈ {0, …, K}` is encoded as `(k + 1)·(K + 1) + k_max`, giving
+/// `q = (K + 2)(K + 1)` for the exponent cap `K = max_k`.
+///
+/// The cap only matters for populations of at least `2^K` agents (a bag of
+/// `2^K` tokens would need `k = K + 1` after a merge); the default
+/// [`DenseApproximateBackup::DEFAULT_MAX_K`] = 48 is beyond any simulable
+/// population, making the dense process exactly the protocol of Appendix C.1.
+///
+/// Output: `k_max`, which converges to `⌊log₂ n⌋`.
+///
+/// ```rust
+/// use popcount::DenseApproximateBackup;
+/// use ppsim::BatchedSimulator;
+///
+/// # fn main() -> Result<(), ppsim::SimError> {
+/// let n = 6_000usize;
+/// let proto = DenseApproximateBackup::new();
+/// let mut sim = BatchedSimulator::new(proto, n, 7)?;
+/// let expected = (n as f64).log2().floor() as i32;
+/// let outcome = sim.run_until(
+///     |s| s.output_stats().unanimous() == Some(&expected),
+///     (n * n / 4) as u64,
+///     u64::MAX >> 1,
+/// );
+/// assert!(outcome.converged());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseApproximateBackup {
+    max_k: i32,
+}
+
+impl DenseApproximateBackup {
+    /// Default exponent cap: reachable only by populations of ≥ 2⁴⁸ agents.
+    pub const DEFAULT_MAX_K: i32 = 48;
+
+    /// Create the dense approximate backup counter with the default cap.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_max_k(Self::DEFAULT_MAX_K)
+    }
+
+    /// Create the dense approximate backup counter with exponent cap `max_k`
+    /// (tokens per bag up to `2^max_k`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `max_k < 1`.
+    #[must_use]
+    pub fn with_max_k(max_k: i32) -> Self {
+        assert!(max_k >= 1, "the exponent cap must be positive, got {max_k}");
+        DenseApproximateBackup { max_k }
+    }
+
+    /// The exponent cap `K`.
+    #[must_use]
+    pub fn max_k(&self) -> i32 {
+        self.max_k
+    }
+
+    /// Decode a dense index into an [`ApproximateBackupState`].
+    #[must_use]
+    pub fn decode(&self, index: usize) -> ApproximateBackupState {
+        let stride = (self.max_k + 1) as usize;
+        ApproximateBackupState {
+            k: (index / stride) as i32 - 1,
+            k_max: (index % stride) as i32,
+        }
+    }
+
+    /// Encode an [`ApproximateBackupState`] as a dense index, saturating both
+    /// exponents at the cap.
+    #[must_use]
+    pub fn encode(&self, state: ApproximateBackupState) -> usize {
+        let stride = (self.max_k + 1) as usize;
+        let k = state.k.clamp(-1, self.max_k);
+        let k_max = state.k_max.clamp(0, self.max_k);
+        (k + 1) as usize * stride + k_max as usize
+    }
+}
+
+impl Default for DenseApproximateBackup {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ppsim::DenseProtocol for DenseApproximateBackup {
+    type Output = i32;
+
+    fn num_states(&self) -> usize {
+        ((self.max_k + 2) * (self.max_k + 1)) as usize
+    }
+
+    fn initial_state(&self) -> usize {
+        self.encode(ApproximateBackupState::new())
+    }
+
+    fn transition(&self, initiator: usize, responder: usize) -> (usize, usize) {
+        let mut u = self.decode(initiator);
+        let mut v = self.decode(responder);
+        approximate_backup_interact(&mut u, &mut v);
+        (self.encode(u), self.encode(v))
+    }
+
+    fn output(&self, state: usize) -> i32 {
+        self.decode(state).k_max
+    }
+
+    fn name(&self) -> &'static str {
+        "dense-approximate-backup"
+    }
+}
+
+/// Total number of tokens represented in a counts configuration of
+/// [`DenseApproximateBackup`] (must always equal `n`).
+#[must_use]
+pub fn dense_approximate_backup_tokens(protocol: &DenseApproximateBackup, counts: &[u64]) -> u64 {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(s, &c)| {
+            let k = protocol.decode(s).k;
+            if k >= 0 {
+                c * (1u64 << u32::try_from(k).expect("token exponents stay small"))
+            } else {
+                0
+            }
+        })
+        .sum()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppsim::Simulator;
+    use ppsim::{BatchedSimulator, DenseProtocol, Simulator};
 
     #[test]
     fn equal_bags_merge_and_unequal_bags_do_not() {
@@ -255,35 +396,104 @@ mod tests {
             // the multiset of bag sizes matches the binary representation of n.
             let stable = move |states: &[ApproximateBackupState]| {
                 states.iter().all(|st| st.k_max == expected)
-                    && (0..=expected).all(|bit| {
-                        states.iter().filter(|s| s.k == bit).count() == (n >> bit) & 1
-                    })
+                    && (0..=expected)
+                        .all(|bit| states.iter().filter(|s| s.k == bit).count() == (n >> bit) & 1)
             };
-            let outcome = sim.run_until(
-                move |s| stable(s.states()),
-                (n * n / 4) as u64,
-                500_000_000,
-            );
+            let outcome =
+                sim.run_until(move |s| stable(s.states()), (n * n / 4) as u64, 500_000_000);
             assert!(
                 outcome.converged(),
                 "approximate backup did not stabilise for n = {n}"
             );
-            assert_eq!(approximate_backup_tokens(sim.states()), n as u64, "tokens conserved");
+            assert_eq!(
+                approximate_backup_tokens(sim.states()),
+                n as u64,
+                "tokens conserved"
+            );
         }
     }
 
     #[test]
+    fn dense_backup_encoding_roundtrips_and_matches_the_component() {
+        let d = DenseApproximateBackup::with_max_k(6);
+        for index in 0..d.num_states() {
+            assert_eq!(d.encode(d.decode(index)), index, "roundtrip at {index}");
+        }
+        assert_eq!(d.num_states(), 8 * 7);
+        for i in 0..d.num_states() {
+            for j in 0..d.num_states() {
+                let (a, b) = d.transition(i, j);
+                let mut u = d.decode(i);
+                let mut v = d.decode(j);
+                approximate_backup_interact(&mut u, &mut v);
+                u.k = u.k.clamp(-1, 6);
+                u.k_max = u.k_max.clamp(0, 6);
+                v.k = v.k.clamp(-1, 6);
+                v.k_max = v.k_max.clamp(0, 6);
+                assert_eq!(d.decode(a), u, "initiator mismatch at ({i}, {j})");
+                assert_eq!(d.decode(b), v, "responder mismatch at ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_backup_counts_on_the_batched_engine() {
+        // Lemma 12 on the batched engine, at a size the sequential test
+        // cannot afford (Θ(n² log² n) interactions): every agent converges to
+        // ⌊log₂ n⌋ and the bag multiset encodes n in binary.
+        let n = 3000usize;
+        let d = DenseApproximateBackup::new();
+        let mut sim = BatchedSimulator::new(d, n, 5).unwrap();
+        let expected = (n as f64).log2().floor() as i32;
+        let stable = move |s: &BatchedSimulator<DenseApproximateBackup>| {
+            s.output_stats().unanimous() == Some(&expected)
+                && (0..=expected).all(|bit| {
+                    let holders: u64 = s
+                        .counts()
+                        .iter()
+                        .enumerate()
+                        .filter(|(idx, &c)| c > 0 && s.protocol().decode(*idx).k == bit)
+                        .map(|(_, &c)| c)
+                        .sum();
+                    holders == ((n >> bit) & 1) as u64
+                })
+        };
+        let outcome = sim.run_until(stable, (n * n / 4) as u64, u64::MAX >> 1);
+        assert!(
+            outcome.converged(),
+            "dense approximate backup did not stabilise"
+        );
+        assert_eq!(
+            dense_approximate_backup_tokens(sim.protocol(), sim.counts()),
+            n as u64,
+            "tokens conserved"
+        );
+    }
+
+    #[test]
     fn exact_backup_counts_and_broadcasts() {
-        let mut u = ExactBackupState { counted: false, count: 3 };
-        let mut v = ExactBackupState { counted: false, count: 4 };
+        let mut u = ExactBackupState {
+            counted: false,
+            count: 3,
+        };
+        let mut v = ExactBackupState {
+            counted: false,
+            count: 4,
+        };
         exact_backup_interact(&mut u, &mut v);
         assert_eq!(u.count, 7);
         assert_eq!(v.count, 7);
         assert!(!u.counted);
         assert!(v.counted);
 
-        let mut a = ExactBackupState { counted: true, count: 3 };
-        let mut b = ExactBackupState { counted: false, count: 5 };
+        let mut a = ExactBackupState {
+            counted: true,
+            count: 3,
+        };
+        let mut b = ExactBackupState {
+            counted: false,
+            count: 5,
+        };
         exact_backup_interact(&mut a, &mut b);
         assert_eq!(a.count, 5, "counted agents track the maximum they observe");
         assert_eq!(b.count, 5, "uncounted agents keep their own token count");
@@ -300,7 +510,10 @@ mod tests {
                 (n * n / 4) as u64,
                 2_000_000_000,
             );
-            assert!(outcome.converged(), "exact backup did not converge for n = {n}");
+            assert!(
+                outcome.converged(),
+                "exact backup did not converge for n = {n}"
+            );
         }
     }
 

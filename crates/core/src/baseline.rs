@@ -11,7 +11,7 @@
 //! a state space of size `Θ(n²)` (bag size × best-seen maximum).  Experiment E13
 //! reproduces the comparison.
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
 use ppsim::Protocol;
 
@@ -86,7 +86,7 @@ impl Protocol for TokenMergingCounter {
         &self,
         initiator: &mut TokenMergingState,
         responder: &mut TokenMergingState,
-        _rng: &mut dyn RngCore,
+        _rng: &mut SmallRng,
     ) {
         if initiator.bag > 0 && responder.bag > 0 {
             initiator.bag += responder.bag;
@@ -151,7 +151,10 @@ mod tests {
             sim.run(5_000);
             let total: u64 = sim.states().iter().map(|s| s.bag).sum();
             assert_eq!(total, n as u64);
-            assert!(sim.states().iter().all(|s| s.best <= n as u64), "never overcounts");
+            assert!(
+                sim.states().iter().all(|s| s.best <= n as u64),
+                "never overcounts"
+            );
         }
     }
 

@@ -176,11 +176,22 @@ mod tests {
     use super::*;
 
     fn entered(start: u32) -> ErrorDetectionState {
-        ErrorDetectionState { entered: true, start_phase: start, l: 0, error: false }
+        ErrorDetectionState {
+            entered: true,
+            start_phase: start,
+            l: 0,
+            error: false,
+        }
     }
 
     fn ctx(u_leader: bool, first: bool, u_phase: u32, v_phase: u32) -> ErrorDetectionContext {
-        ErrorDetectionContext { u_leader, v_leader: false, u_first_tick: first, u_phase, v_phase }
+        ErrorDetectionContext {
+            u_leader,
+            v_leader: false,
+            u_first_tick: first,
+            u_phase,
+            v_phase,
+        }
     }
 
     #[test]
@@ -198,7 +209,13 @@ mod tests {
         let mut ue = entered(10);
         let mut vs = SearchState { k: 0, done: false };
         let mut ve = ErrorDetectionState::new();
-        error_detection_interact(&mut us, &mut ue, &mut vs, &mut ve, &ctx(true, false, 11, 11));
+        error_detection_interact(
+            &mut us,
+            &mut ue,
+            &mut vs,
+            &mut ve,
+            &ctx(true, false, 11, 11),
+        );
         assert!(ve.entered);
         assert!(vs.done);
         assert_eq!(vs.k, EMPTY_LOAD);
@@ -209,7 +226,10 @@ mod tests {
     fn phase0_leader_infuses_k_minus_two() {
         let mut us = SearchState { k: 9, done: true };
         let mut ue = entered(10);
-        let mut vs = SearchState { k: EMPTY_LOAD, done: true };
+        let mut vs = SearchState {
+            k: EMPTY_LOAD,
+            done: true,
+        };
         let mut ve = entered(10);
         error_detection_interact(&mut us, &mut ue, &mut vs, &mut ve, &ctx(true, true, 11, 11));
         assert_eq!(vs.k, 7);
@@ -221,18 +241,36 @@ mod tests {
         // An agent holding exactly one token gets 32 units of secondary load.
         let mut us = SearchState { k: 0, done: true };
         let mut ue = entered(10);
-        let mut vs = SearchState { k: EMPTY_LOAD, done: true };
+        let mut vs = SearchState {
+            k: EMPTY_LOAD,
+            done: true,
+        };
         let mut ve = entered(10);
-        error_detection_interact(&mut us, &mut ue, &mut vs, &mut ve, &ctx(false, true, 13, 13));
+        error_detection_interact(
+            &mut us,
+            &mut ue,
+            &mut vs,
+            &mut ve,
+            &ctx(false, true, 13, 13),
+        );
         assert_eq!(ue.l, SECONDARY_LOAD);
         assert!(!ue.error);
 
         // An agent still holding more than one token raises the error flag.
         let mut ws = SearchState { k: 2, done: true };
         let mut we = entered(10);
-        let mut xs = SearchState { k: EMPTY_LOAD, done: true };
+        let mut xs = SearchState {
+            k: EMPTY_LOAD,
+            done: true,
+        };
         let mut xe = entered(10);
-        error_detection_interact(&mut ws, &mut we, &mut xs, &mut xe, &ctx(false, true, 13, 13));
+        error_detection_interact(
+            &mut ws,
+            &mut we,
+            &mut xs,
+            &mut xe,
+            &ctx(false, true, 13, 13),
+        );
         assert!(we.error);
         assert!(xe.error, "the error spreads to the partner immediately");
     }
@@ -241,18 +279,42 @@ mod tests {
     fn phase4_detects_underloaded_agents_and_broadcasts_the_result() {
         // Underloaded agent: error.
         let mut us = SearchState { k: 0, done: true };
-        let mut ue = ErrorDetectionState { l: 2, ..entered(10) };
+        let mut ue = ErrorDetectionState {
+            l: 2,
+            ..entered(10)
+        };
         let mut vs = SearchState { k: 0, done: true };
-        let mut ve = ErrorDetectionState { l: 4, ..entered(10) };
-        error_detection_interact(&mut us, &mut ue, &mut vs, &mut ve, &ctx(false, false, 15, 15));
+        let mut ve = ErrorDetectionState {
+            l: 4,
+            ..entered(10)
+        };
+        error_detection_interact(
+            &mut us,
+            &mut ue,
+            &mut vs,
+            &mut ve,
+            &ctx(false, false, 15, 15),
+        );
         assert!(ue.error && ve.error);
 
         // Healthy agents: the maximum (the leader's validated estimate) spreads.
         let mut as_ = SearchState { k: 9, done: true };
-        let mut ae = ErrorDetectionState { l: 5, ..entered(10) };
+        let mut ae = ErrorDetectionState {
+            l: 5,
+            ..entered(10)
+        };
         let mut bs = SearchState { k: 0, done: true };
-        let mut be = ErrorDetectionState { l: 6, ..entered(10) };
-        error_detection_interact(&mut as_, &mut ae, &mut bs, &mut be, &ctx(false, false, 15, 15));
+        let mut be = ErrorDetectionState {
+            l: 6,
+            ..entered(10)
+        };
+        error_detection_interact(
+            &mut as_,
+            &mut ae,
+            &mut bs,
+            &mut be,
+            &ctx(false, false, 15, 15),
+        );
         assert!(!ae.error && !be.error);
         assert_eq!(bs.k, 9);
     }
@@ -261,9 +323,15 @@ mod tests {
     fn leader_recomputes_its_estimate_in_phase4() {
         // k = 9, l = 8  ⇒  k ← round(9 + 3 − 3) = 9.
         let mut us = SearchState { k: 9, done: true };
-        let mut ue = ErrorDetectionState { l: 8, ..entered(10) };
+        let mut ue = ErrorDetectionState {
+            l: 8,
+            ..entered(10)
+        };
         let mut vs = SearchState { k: 0, done: true };
-        let mut ve = ErrorDetectionState { l: 8, ..entered(10) };
+        let mut ve = ErrorDetectionState {
+            l: 8,
+            ..entered(10)
+        };
         error_detection_interact(&mut us, &mut ue, &mut vs, &mut ve, &ctx(true, true, 15, 15));
         assert_eq!(us.k, 9);
     }
@@ -274,7 +342,13 @@ mod tests {
         let mut ue = entered(10);
         let mut vs = SearchState { k: 0, done: true };
         let mut ve = entered(16);
-        error_detection_interact(&mut us, &mut ue, &mut vs, &mut ve, &ctx(false, false, 16, 16));
+        error_detection_interact(
+            &mut us,
+            &mut ue,
+            &mut vs,
+            &mut ve,
+            &ctx(false, false, 16, 16),
+        );
         assert!(ue.error && ve.error);
     }
 }

@@ -258,8 +258,18 @@ mod tests {
     fn pending_explosions_are_applied_lazily_and_exactly_once_per_phase() {
         // An agent whose load is current for phase 10 and whose clock reached
         // phase 12 multiplies by 2^(2·step) in one go.
-        let mut u = ExactStageState { seeded: true, l: 3, l_min: 3, tag: 10, origin_phase: 8, ..ExactStageState::new() };
-        let mut v = ExactStageState { tag: 12, ..ExactStageState::new() };
+        let mut u = ExactStageState {
+            seeded: true,
+            l: 3,
+            l_min: 3,
+            tag: 10,
+            origin_phase: 8,
+            ..ExactStageState::new()
+        };
+        let mut v = ExactStageState {
+            tag: 12,
+            ..ExactStageState::new()
+        };
         approximation_interact(&mut u, &mut v, &ctx(false, 4, 12, 12));
         assert_eq!(u.tag, 12);
         assert_eq!(u.explosions(), 4);
@@ -269,8 +279,17 @@ mod tests {
 
     #[test]
     fn balancing_is_restricted_to_matching_pools() {
-        let mut u = ExactStageState { l: 10, l_min: 10, tag: 5, ..ExactStageState::new() };
-        let mut v = ExactStageState { l: 0, tag: 7, ..ExactStageState::new() };
+        let mut u = ExactStageState {
+            l: 10,
+            l_min: 10,
+            tag: 5,
+            ..ExactStageState::new()
+        };
+        let mut v = ExactStageState {
+            l: 0,
+            tag: 7,
+            ..ExactStageState::new()
+        };
         // The initiator's clock is still at phase 5, the responder's at 7: no
         // balancing across pools.
         approximation_interact(&mut u, &mut v, &ctx(false, 4, 5, 7));
@@ -288,7 +307,11 @@ mod tests {
             origin_phase: 8,
             ..ExactStageState::new()
         };
-        let mut other = ExactStageState { l: 5, tag: 13, ..ExactStageState::new() };
+        let mut other = ExactStageState {
+            l: 5,
+            tag: 13,
+            ..ExactStageState::new()
+        };
         let raised = approximation_interact(&mut leader, &mut other, &ctx(true, 4, 14, 14));
         assert!(raised);
         assert!(leader.apx_done);
@@ -311,12 +334,24 @@ mod tests {
             origin_phase: 8,
             ..ExactStageState::new()
         };
-        let mut other = ExactStageState { l: 0, tag: 14, ..ExactStageState::new() };
+        let mut other = ExactStageState {
+            l: 0,
+            tag: 14,
+            ..ExactStageState::new()
+        };
         let raised = approximation_interact(&mut leader, &mut other, &ctx(true, 4, 14, 14));
         assert!(!raised);
         assert!(!leader.apx_done);
-        assert_eq!(leader.explosions(), 6, "the stage continues with another load explosion");
-        assert_eq!(leader.l + other.l, 6 << 4, "the exploded load is conserved by balancing");
+        assert_eq!(
+            leader.explosions(),
+            6,
+            "the stage continues with another load explosion"
+        );
+        assert_eq!(
+            leader.l + other.l,
+            6 << 4,
+            "the exploded load is conserved by balancing"
+        );
     }
 
     #[test]
@@ -328,7 +363,11 @@ mod tests {
             l: 123,
             ..ExactStageState::new()
         };
-        let mut u = ExactStageState { l: 55, tag: 3, ..ExactStageState::new() };
+        let mut u = ExactStageState {
+            l: 55,
+            tag: 3,
+            ..ExactStageState::new()
+        };
         let mut v = done;
         approximation_interact(&mut u, &mut v, &ctx(false, 4, 18, 18));
         assert!(u.apx_done);

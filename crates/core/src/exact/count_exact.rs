@@ -10,11 +10,11 @@
 //! 3. the approximation stage (Stage 2, lines 7–8) computing `log₂ n ± 3`,
 //! 4. the refinement stage (Stage 3, lines 9–10) computing the exact `n`.
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
-use ppsim::Protocol;
 use ppproto::fast_leader_election::{FastLeaderElection, FastLeaderState};
 use ppproto::phase_clock::{sync_interact, PhaseClock, SyncState};
+use ppsim::Protocol;
 
 use crate::params::CountExactParams;
 
@@ -192,7 +192,7 @@ impl Protocol for CountExact {
         &self,
         initiator: &mut CountExactAgent,
         responder: &mut CountExactAgent,
-        _rng: &mut dyn RngCore,
+        _rng: &mut SmallRng,
     ) {
         self.staged_interact(initiator, responder);
     }
@@ -257,7 +257,10 @@ mod tests {
             (n * 10) as u64,
             80_000_000,
         );
-        assert!(outcome.converged(), "the approximation stage never concluded");
+        assert!(
+            outcome.converged(),
+            "the approximation stage never concluded"
+        );
         let k = sim
             .states()
             .iter()

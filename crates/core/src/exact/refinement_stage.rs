@@ -76,10 +76,9 @@ pub fn refinement_interact(
         }
         if u_rel == 2 && !u.multiplied {
             // Phase 2: multiply the load by 2^k (lines 6–7).
-            u.l = u
-                .l
-                .checked_shl(u32::try_from(u.k.max(0)).unwrap_or(u32::MAX).min(50))
-                .unwrap_or(u64::MAX);
+            u.l =
+                u.l.checked_shl(u32::try_from(u.k.max(0)).unwrap_or(u32::MAX).min(50))
+                    .unwrap_or(u64::MAX);
             u.multiplied = true;
         }
     }
@@ -120,7 +119,14 @@ mod tests {
     use super::*;
 
     fn done_state(k: i64, l: u64, start_phase: u32, multiplied: bool) -> ExactStageState {
-        ExactStageState { k, l, apx_done: true, start_phase, multiplied, ..ExactStageState::new() }
+        ExactStageState {
+            k,
+            l,
+            apx_done: true,
+            start_phase,
+            multiplied,
+            ..ExactStageState::new()
+        }
     }
 
     fn ctx(leader: bool, first: bool, u_phase: u32, v_phase: u32) -> RefinementContext {
@@ -172,12 +178,18 @@ mod tests {
     #[test]
     fn straggler_partner_is_brought_into_the_stage() {
         let mut u = done_state(7, 3, 10, false);
-        let mut v = ExactStageState { l: 99, ..ExactStageState::new() };
+        let mut v = ExactStageState {
+            l: 99,
+            ..ExactStageState::new()
+        };
         refinement_interact(&mut u, &mut v, &ctx(false, false, 11, 11));
         assert!(v.apx_done);
         assert_eq!(v.k, 7);
         assert_eq!(v.l, 0);
-        assert_eq!(u.l, 3, "the straggler adoption does not disturb the initiator");
+        assert_eq!(
+            u.l, 3,
+            "the straggler adoption does not disturb the initiator"
+        );
     }
 
     #[test]
@@ -202,7 +214,11 @@ mod tests {
         assert_eq!(refinement_output(&state, 256), None);
         let empty = done_state(5, 0, 0, true);
         assert_eq!(refinement_output(&empty, 256), None);
-        let not_done = ExactStageState { l: 10, multiplied: true, ..ExactStageState::new() };
+        let not_done = ExactStageState {
+            l: 10,
+            multiplied: true,
+            ..ExactStageState::new()
+        };
         assert_eq!(refinement_output(&not_done, 256), None);
     }
 }

@@ -19,7 +19,7 @@
 //! The error flag spreads by one-way epidemics; agents that have seen it output the
 //! backup count, which converges to the exact `n` with probability 1.
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
 use ppsim::Protocol;
 
@@ -62,7 +62,9 @@ impl StableCountExact {
     /// Create the protocol from the parameters of the underlying fast protocol.
     #[must_use]
     pub fn new(params: CountExactParams) -> Self {
-        StableCountExact { fast: CountExact::new(params) }
+        StableCountExact {
+            fast: CountExact::new(params),
+        }
     }
 
     /// The underlying fast protocol.
@@ -102,7 +104,7 @@ impl Protocol for StableCountExact {
         &self,
         initiator: &mut StableCountExactAgent,
         responder: &mut StableCountExactAgent,
-        _rng: &mut dyn RngCore,
+        _rng: &mut SmallRng,
     ) {
         // The slow backup protocol runs in parallel throughout.
         exact_backup_interact(&mut initiator.backup, &mut responder.backup);
@@ -130,7 +132,8 @@ impl Protocol for StableCountExact {
         }
 
         // The fast protocol (Algorithm 3) itself.
-        self.fast.staged_interact(&mut initiator.fast, &mut responder.fast);
+        self.fast
+            .staged_interact(&mut initiator.fast, &mut responder.fast);
 
         // Error source 1: two finished leaders meet.
         if initiator.fast.election.done
@@ -230,7 +233,10 @@ mod tests {
             (n * 50) as u64,
             120_000_000,
         );
-        assert!(outcome.converged(), "stable CountExact did not converge to n = {n}");
+        assert!(
+            outcome.converged(),
+            "stable CountExact did not converge to n = {n}"
+        );
     }
 
     #[test]
@@ -241,7 +247,9 @@ mod tests {
         sim.states_mut()[0].error = true;
         let outcome = sim.run_until(
             move |s| {
-                s.states().iter().all(|a| a.error && a.backup.count == n as u64)
+                s.states()
+                    .iter()
+                    .all(|a| a.error && a.backup.count == n as u64)
             },
             (n * n / 8) as u64,
             2_000_000_000,

@@ -61,8 +61,9 @@ pub mod search;
 pub use approximate::{all_estimated, valid_estimates, Approximate, ApproximateAgent};
 pub use approximate_stable::{all_estimates_valid, StableApproximate, StableApproximateAgent};
 pub use backup::{
-    approximate_backup_interact, approximate_backup_tokens, exact_backup_interact,
-    exact_backup_tokens, ApproximateBackup, ApproximateBackupState, ExactBackup, ExactBackupState,
+    approximate_backup_interact, approximate_backup_tokens, dense_approximate_backup_tokens,
+    exact_backup_interact, exact_backup_tokens, ApproximateBackup, ApproximateBackupState,
+    DenseApproximateBackup, ExactBackup, ExactBackupState,
 };
 pub use baseline::{all_output_n, TokenMergingCounter, TokenMergingState};
 pub use error_detection::{ErrorDetectionContext, ErrorDetectionState};

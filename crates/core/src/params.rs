@@ -25,7 +25,10 @@ pub struct ApproximateParams {
 
 impl Default for ApproximateParams {
     fn default() -> Self {
-        ApproximateParams { clock_hours: 64, outer_clock_hours: 48 }
+        ApproximateParams {
+            clock_hours: 64,
+            outer_clock_hours: 48,
+        }
     }
 }
 
@@ -33,7 +36,9 @@ impl ApproximateParams {
     /// Leader-election configuration derived from these parameters.
     #[must_use]
     pub fn leader_election(&self) -> LeaderElectionConfig {
-        LeaderElectionConfig { outer_hours: self.outer_clock_hours }
+        LeaderElectionConfig {
+            outer_hours: self.outer_clock_hours,
+        }
     }
 }
 
@@ -122,11 +127,18 @@ mod tests {
 
     #[test]
     fn derived_configs_propagate_fields() {
-        let c = CountExactParams { level_offset: 3, election_phases: 10, ..CountExactParams::default() };
+        let c = CountExactParams {
+            level_offset: 3,
+            election_phases: 10,
+            ..CountExactParams::default()
+        };
         let fle = c.fast_leader_election();
         assert_eq!(fle.level_offset, 3);
         assert_eq!(fle.total_phases, 10);
-        let a = ApproximateParams { outer_clock_hours: 24, ..ApproximateParams::default() };
+        let a = ApproximateParams {
+            outer_clock_hours: 24,
+            ..ApproximateParams::default()
+        };
         assert_eq!(a.leader_election().outer_hours, 24);
     }
 }

@@ -44,7 +44,10 @@ impl SearchState {
     /// The common initial state `(−1, false)`.
     #[must_use]
     pub fn new() -> Self {
-        SearchState { k: EMPTY_LOAD, done: false }
+        SearchState {
+            k: EMPTY_LOAD,
+            done: false,
+        }
     }
 
     /// Re-initialise (used when an agent meets a higher junta level).
@@ -128,7 +131,13 @@ mod tests {
     use super::*;
 
     fn ctx(u_leader: bool, v_leader: bool, phase: u32, first: bool) -> SearchContext {
-        SearchContext { u_leader, v_leader, u_phase: phase, v_phase: phase, u_first_tick: first }
+        SearchContext {
+            u_leader,
+            v_leader,
+            u_phase: phase,
+            v_phase: phase,
+            u_first_tick: first,
+        }
     }
 
     #[test]
@@ -191,7 +200,10 @@ mod tests {
     #[test]
     fn phase2_balances_and_phase3_broadcasts() {
         let mut u = SearchState { k: 4, done: false };
-        let mut v = SearchState { k: EMPTY_LOAD, done: false };
+        let mut v = SearchState {
+            k: EMPTY_LOAD,
+            done: false,
+        };
         search_interact(&mut u, &mut v, &ctx(false, false, 2, false));
         assert_eq!((u.k, v.k), (3, 3));
 
@@ -205,7 +217,10 @@ mod tests {
     fn leader_is_excluded_from_balancing_and_epidemics() {
         // The leader's k is its search exponent, not a load: a follower interacting
         // with the leader in phases 2/3 must not mix the two.
-        let mut follower = SearchState { k: EMPTY_LOAD, done: false };
+        let mut follower = SearchState {
+            k: EMPTY_LOAD,
+            done: false,
+        };
         let mut leader = SearchState { k: 7, done: false };
         search_interact(&mut follower, &mut leader, &ctx(false, true, 2, false));
         assert_eq!(follower.k, EMPTY_LOAD);

@@ -98,10 +98,10 @@ proptest! {
     ) {
         let mut u = ExactBackupState { counted: cu, count: nu };
         let mut v = ExactBackupState { counted: cv, count: nv };
-        let uncounted_before = (!cu).then_some(nu).unwrap_or(0) + (!cv).then_some(nv).unwrap_or(0);
+        let uncounted_before = (if !cu { nu } else { 0 }) + if !cv { nv } else { 0 };
         exact_backup_interact(&mut u, &mut v);
-        let uncounted_after = (!u.counted).then_some(u.count).unwrap_or(0)
-            + (!v.counted).then_some(v.count).unwrap_or(0);
+        let uncounted_after = (if !u.counted { u.count } else { 0 })
+            + if !v.counted { v.count } else { 0 };
         prop_assert_eq!(uncounted_after, uncounted_before);
         prop_assert!(u.count <= nu.max(nv).max(nu + nv));
         prop_assert!(v.count <= nu.max(nv).max(nu + nv));

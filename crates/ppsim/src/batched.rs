@@ -1,0 +1,901 @@
+//! The batched count-based simulation engine.
+//!
+//! [`BatchedSimulator`] represents a configuration as a multiset — `counts[s]`
+//! agents currently in state `s` — instead of a per-agent array, and advances
+//! time in **collision-free batches**: it samples how many of the next
+//! interactions touch pairwise-distinct agents (`Θ(√n)` in expectation, by the
+//! birthday paradox), samples the multiset of participating state pairs with
+//! multivariate hypergeometric draws, and applies each distinct transition
+//! once per state-pair class.  The per-batch cost is `O(q²)` in the number of
+//! **occupied** states `q` (states with at least one agent; the engine tracks
+//! occupancy and never scans empty states) — independent of `n` — versus
+//! `Θ(√n)` interactions advanced per batch, so large populations with small
+//! state spaces run orders of magnitude faster than under the sequential
+//! per-interaction engine.
+//!
+//! The batching is **exact**, not approximate: interactions on disjoint agents
+//! commute, the participating agents of a collision-free block form a uniform
+//! without-replacement sample (sampled by state via hypergeometrics), and the
+//! block boundary — the first interaction that re-uses an agent — is sampled
+//! from its true distribution and executed explicitly against the multiset of
+//! already-touched agents (see [`sample`](crate::sample)).  Both engines
+//! therefore simulate the same stochastic process, which the
+//! distributional-equivalence tests verify.
+//!
+//! # When to use which engine
+//!
+//! * [`Simulator`](crate::Simulator): arbitrary state types, RNG-consulting
+//!   transitions, small populations, or when per-agent trajectories matter.
+//! * [`BatchedSimulator`]: enumerable state spaces ([`DenseProtocol`]) and
+//!   large `n` — the regime where the paper's asymptotics (and the related
+//!   self-stabilizing / coalescence workloads) become visible.
+//!
+//! # Example
+//!
+//! ```rust
+//! use ppsim::{BatchedSimulator, DenseProtocol};
+//!
+//! /// One-way epidemic: state 1 spreads to every agent.
+//! struct Rumor;
+//! impl DenseProtocol for Rumor {
+//!     type Output = bool;
+//!     fn num_states(&self) -> usize { 2 }
+//!     fn initial_state(&self) -> usize { 0 }
+//!     fn transition(&self, u: usize, v: usize) -> (usize, usize) { (u.max(v), v) }
+//!     fn output(&self, s: usize) -> bool { s == 1 }
+//! }
+//!
+//! # fn main() -> Result<(), ppsim::SimError> {
+//! let mut sim = BatchedSimulator::new(Rumor, 1_000_000, 42)?;
+//! sim.transfer(0, 1, 1)?; // plant the rumour
+//! let outcome = sim.run_until(|s| s.count_of(1) == s.population(), 1_000_000, u64::MAX);
+//! assert!(outcome.converged());
+//! # Ok(())
+//! # }
+//! ```
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+use crate::config::ConfigurationStats;
+use crate::convergence::RunOutcome;
+use crate::dense::DenseProtocol;
+use crate::error::SimError;
+use crate::rng::seeded_rng;
+use crate::sample::{conditional_class_draw, multivariate_hypergeometric_sparse, CollisionSampler};
+
+/// Precompute the `q × q` transition table only while it stays comfortably in
+/// cache; beyond this, transitions are evaluated on the fly for the occupied
+/// state pairs only.
+const TABLE_MAX_STATES: usize = 256;
+
+/// A single execution of a [`DenseProtocol`] on the batched count-based engine.
+///
+/// Mirrors the [`Simulator`](crate::Simulator) driving surface (`run`,
+/// `run_until`, `run_until_observed`, `output_stats`, seeded construction) on
+/// a configuration stored as state counts.
+#[derive(Debug, Clone)]
+pub struct BatchedSimulator<P: DenseProtocol> {
+    protocol: P,
+    q: usize,
+    counts: Vec<u64>,
+    n: u64,
+    rng: SmallRng,
+    interactions: u64,
+    /// Dense `δ` table (`table[i * q + j]`), precomputed for small `q`.
+    table: Option<Vec<(u32, u32)>>,
+    /// Cached batch-length sampler for this population size.
+    collisions: CollisionSampler,
+    /// Precomputed `ω` per state.
+    outputs: Vec<P::Output>,
+    /// States that may be occupied: a duplicate-free superset of
+    /// `{s : counts[s] > 0}`, compacted every batch.  All per-batch work
+    /// iterates this list, so empty regions of large state spaces cost
+    /// nothing.
+    occupied: Vec<u32>,
+    /// Membership flags backing `occupied` (`in_occupied[s]` ⇔ `s ∈ occupied`).
+    in_occupied: Vec<bool>,
+    // Scratch buffers reused across batches.
+    init_pairs: Vec<(u32, u64)>,
+    resp_pairs: Vec<(u32, u64)>,
+    touched: Vec<u64>,
+    touched_list: Vec<u32>,
+}
+
+/// Remove one uniformly random agent from the multiset `counts` restricted to
+/// `list` (with total mass `total`) and return its state.
+fn draw_one(rng: &mut SmallRng, counts: &mut [u64], list: &[u32], total: u64) -> usize {
+    debug_assert!(total > 0);
+    let mut x = rng.gen_range(0..total);
+    for &s in list {
+        let c = counts[s as usize];
+        if x < c {
+            counts[s as usize] -= 1;
+            return s as usize;
+        }
+        x -= c;
+    }
+    unreachable!("categorical draw beyond total mass");
+}
+
+impl<P: DenseProtocol> BatchedSimulator<P> {
+    /// Create a batched simulator for `n` agents, all in the protocol's
+    /// initial state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::PopulationTooSmall`] if `n < 2`, and
+    /// [`SimError::InvalidParameter`] if the protocol declares an empty state
+    /// space, an out-of-range initial state, or (for table-sized state spaces,
+    /// where `δ` is precomputed eagerly) a transition leaving `0..q`.
+    pub fn new(protocol: P, n: usize, seed: u64) -> Result<Self, SimError> {
+        if n < 2 {
+            return Err(SimError::PopulationTooSmall { n });
+        }
+        let q = protocol.num_states();
+        if q == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "num_states",
+                reason: "the state space must not be empty".into(),
+            });
+        }
+        let q0 = protocol.initial_state();
+        if q0 >= q {
+            return Err(SimError::InvalidParameter {
+                name: "initial_state",
+                reason: format!("initial state {q0} outside the state space 0..{q}"),
+            });
+        }
+        let table = if q <= TABLE_MAX_STATES {
+            let mut t = Vec::with_capacity(q * q);
+            for i in 0..q {
+                for j in 0..q {
+                    let (a, b) = protocol.transition(i, j);
+                    if a >= q || b >= q {
+                        return Err(SimError::InvalidParameter {
+                            name: "transition",
+                            reason: format!(
+                                "δ({i}, {j}) = ({a}, {b}) leaves the state space 0..{q}"
+                            ),
+                        });
+                    }
+                    t.push((a as u32, b as u32));
+                }
+            }
+            Some(t)
+        } else {
+            None
+        };
+        let outputs = (0..q).map(|s| protocol.output(s)).collect();
+        let mut counts = vec![0u64; q];
+        counts[q0] = n as u64;
+        let mut in_occupied = vec![false; q];
+        in_occupied[q0] = true;
+        Ok(BatchedSimulator {
+            protocol,
+            q,
+            counts,
+            n: n as u64,
+            rng: seeded_rng(seed),
+            interactions: 0,
+            table,
+            collisions: CollisionSampler::new(n as u64),
+            outputs,
+            occupied: vec![q0 as u32],
+            in_occupied,
+            init_pairs: Vec::new(),
+            resp_pairs: Vec::new(),
+            touched: vec![0; q],
+            touched_list: Vec::new(),
+        })
+    }
+
+    /// The population size `n`.
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// The number of interactions executed so far.
+    #[must_use]
+    pub fn interactions(&self) -> u64 {
+        self.interactions
+    }
+
+    /// The protocol being executed.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        &self.protocol
+    }
+
+    /// The number of states `q` of the protocol.
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        self.q
+    }
+
+    /// The number of currently occupied states (states holding ≥ 1 agent).
+    #[must_use]
+    pub fn occupied_states(&self) -> usize {
+        self.occupied
+            .iter()
+            .filter(|&&s| self.counts[s as usize] > 0)
+            .count()
+    }
+
+    /// The current configuration as state counts (`counts[s]` agents in state
+    /// `s`; sums to `n`).
+    #[must_use]
+    pub fn counts(&self) -> &[u64] {
+        &self.counts
+    }
+
+    /// Number of agents currently in state `state`.
+    #[must_use]
+    pub fn count_of(&self, state: usize) -> u64 {
+        self.counts.get(state).copied().unwrap_or(0)
+    }
+
+    /// Move `k` agents from state `from` to state `to` — the counts analogue
+    /// of poking [`Simulator::states_mut`](crate::Simulator::states_mut) for
+    /// experiment setup (planting a rumour, pre-electing a leader).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if either state is out of range
+    /// or fewer than `k` agents are in `from`.
+    pub fn transfer(&mut self, from: usize, to: usize, k: u64) -> Result<(), SimError> {
+        if from >= self.q || to >= self.q {
+            return Err(SimError::InvalidParameter {
+                name: "transfer",
+                reason: format!(
+                    "states ({from}, {to}) outside the state space 0..{}",
+                    self.q
+                ),
+            });
+        }
+        if self.counts[from] < k {
+            return Err(SimError::InvalidParameter {
+                name: "transfer",
+                reason: format!(
+                    "cannot move {k} agents out of state {from} holding {}",
+                    self.counts[from]
+                ),
+            });
+        }
+        self.counts[from] -= k;
+        self.counts[to] += k;
+        self.mark_occupied(to);
+        Ok(())
+    }
+
+    /// Replace the whole configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if `counts` has the wrong length
+    /// or does not sum to the population size.
+    pub fn set_counts(&mut self, counts: Vec<u64>) -> Result<(), SimError> {
+        if counts.len() != self.q {
+            return Err(SimError::InvalidParameter {
+                name: "counts",
+                reason: format!("expected {} state counts, got {}", self.q, counts.len()),
+            });
+        }
+        let total: u64 = counts.iter().sum();
+        if total != self.n {
+            return Err(SimError::InvalidParameter {
+                name: "counts",
+                reason: format!("counts sum to {total}, the population is {}", self.n),
+            });
+        }
+        self.counts = counts;
+        self.occupied.clear();
+        self.in_occupied.fill(false);
+        for s in 0..self.q {
+            if self.counts[s] > 0 {
+                self.occupied.push(s as u32);
+                self.in_occupied[s] = true;
+            }
+        }
+        Ok(())
+    }
+
+    /// Output histogram of the current configuration, computed in `O(q)` over
+    /// the occupied states — the batched engine's convergence checks do not
+    /// touch `n` at all.
+    #[must_use]
+    pub fn output_stats(&self) -> ConfigurationStats<P::Output> {
+        ConfigurationStats::from_counts(self.occupied.iter().filter_map(|&s| {
+            let c = self.counts[s as usize];
+            (c > 0).then(|| (self.outputs[s as usize].clone(), c as usize))
+        }))
+    }
+
+    /// `δ(i, j)`, via the precomputed table when available.
+    #[inline]
+    fn delta(&self, i: usize, j: usize) -> (usize, usize) {
+        match &self.table {
+            Some(t) => {
+                let (a, b) = t[i * self.q + j];
+                (a as usize, b as usize)
+            }
+            None => {
+                let (a, b) = self.protocol.transition(i, j);
+                assert!(
+                    a < self.q && b < self.q,
+                    "δ({i}, {j}) = ({a}, {b}) leaves the state space 0..{}",
+                    self.q
+                );
+                (a, b)
+            }
+        }
+    }
+
+    #[inline]
+    fn mark_occupied(&mut self, s: usize) {
+        if !self.in_occupied[s] {
+            self.in_occupied[s] = true;
+            self.occupied.push(s as u32);
+        }
+    }
+
+    /// Add `k` agents in state `s` to the touched multiset.
+    #[inline]
+    fn touch(&mut self, s: usize, k: u64) {
+        if self.touched[s] == 0 {
+            self.touched_list.push(s as u32);
+        }
+        self.touched[s] += k;
+    }
+
+    /// Execute exactly one interaction (sequentially, against the counts).
+    ///
+    /// Equivalent to one [`Simulator::step`](crate::Simulator::step); used for
+    /// fine-grained control and as the reference path in tests.
+    pub fn step(&mut self) {
+        let i = draw_one(&mut self.rng, &mut self.counts, &self.occupied, self.n);
+        let j = draw_one(&mut self.rng, &mut self.counts, &self.occupied, self.n - 1);
+        let (a, b) = self.delta(i, j);
+        self.counts[a] += 1;
+        self.counts[b] += 1;
+        self.mark_occupied(a);
+        self.mark_occupied(b);
+        self.interactions += 1;
+    }
+
+    /// Execute one collision-free batch of at most `cap` interactions; returns
+    /// the number of interactions executed (at least 1).
+    fn run_batch(&mut self, cap: u64) -> u64 {
+        debug_assert!(cap >= 1);
+        let draw = self.collisions.sample(&mut self.rng, cap);
+        let clean = draw.clean;
+        debug_assert!(clean >= 1);
+
+        // Which states do the 2·clean pairwise-distinct agents hold?  Sample
+        // `clean` initiators, then `clean` responders from the remainder —
+        // the roles of a uniform without-replacement agent sample.
+        let mut init_pairs = std::mem::take(&mut self.init_pairs);
+        let mut resp_pairs = std::mem::take(&mut self.resp_pairs);
+        multivariate_hypergeometric_sparse(
+            &mut self.rng,
+            &self.counts,
+            &self.occupied,
+            self.n,
+            clean,
+            &mut init_pairs,
+        );
+        for &(s, k) in &init_pairs {
+            self.counts[s as usize] -= k;
+        }
+        multivariate_hypergeometric_sparse(
+            &mut self.rng,
+            &self.counts,
+            &self.occupied,
+            self.n - clean,
+            clean,
+            &mut resp_pairs,
+        );
+        for &(s, k) in &resp_pairs {
+            self.counts[s as usize] -= k;
+        }
+
+        // Pair initiator classes with responder classes uniformly at random
+        // (a random contingency table with the sampled margins) and apply each
+        // transition once per class, multiplied by its multiplicity.
+        self.touched_list.clear();
+        let mut resp_left = clean;
+        for &(i, di) in &init_pairs {
+            // Invariant: the responder pool still holds exactly `resp_left`
+            // agents, of which this initiator class draws `di ≤ resp_left`.
+            let mut rem_total = resp_left;
+            let mut need = di;
+            for pair in resp_pairs.iter_mut() {
+                if need == 0 {
+                    break;
+                }
+                let (j, rj) = *pair;
+                if rj == 0 {
+                    continue;
+                }
+                let k = conditional_class_draw(&mut self.rng, rj, rem_total, need);
+                rem_total -= rj;
+                if k > 0 {
+                    pair.1 -= k;
+                    need -= k;
+                    let (a, b) = self.delta(i as usize, j as usize);
+                    self.touch(a, k);
+                    self.touch(b, k);
+                }
+            }
+            debug_assert_eq!(need, 0);
+            resp_left -= di;
+        }
+        self.init_pairs = init_pairs;
+        self.resp_pairs = resp_pairs;
+
+        // The collision interaction, executed against the multiset of agents
+        // that already interacted in this batch (their *post*-transition
+        // states, which is what a re-used agent carries).
+        let mut executed = clean;
+        if let Some(c) = draw.collision {
+            let mut touched_total = 2 * clean;
+            let untouched_total = self.n - 2 * clean;
+            let touched_list = std::mem::take(&mut self.touched_list);
+            let i = if c.initiator_used {
+                let s = draw_one(
+                    &mut self.rng,
+                    &mut self.touched,
+                    &touched_list,
+                    touched_total,
+                );
+                touched_total -= 1;
+                s
+            } else {
+                draw_one(
+                    &mut self.rng,
+                    &mut self.counts,
+                    &self.occupied,
+                    untouched_total,
+                )
+            };
+            let j = if c.responder_used {
+                draw_one(
+                    &mut self.rng,
+                    &mut self.touched,
+                    &touched_list,
+                    touched_total,
+                )
+            } else {
+                let left = if c.initiator_used {
+                    untouched_total
+                } else {
+                    untouched_total - 1
+                };
+                draw_one(&mut self.rng, &mut self.counts, &self.occupied, left)
+            };
+            self.touched_list = touched_list;
+            let (a, b) = self.delta(i, j);
+            self.touch(a, 1);
+            self.touch(b, 1);
+            executed += 1;
+        }
+
+        // Merge the touched agents back into the configuration, then compact
+        // the occupancy list (dropping states the batch emptied).
+        let touched_list = std::mem::take(&mut self.touched_list);
+        for &s in &touched_list {
+            let s = s as usize;
+            self.counts[s] += self.touched[s];
+            self.touched[s] = 0;
+            self.mark_occupied(s);
+        }
+        self.touched_list = touched_list;
+        let mut occupied = std::mem::take(&mut self.occupied);
+        occupied.retain(|&s| {
+            let keep = self.counts[s as usize] > 0;
+            if !keep {
+                self.in_occupied[s as usize] = false;
+            }
+            keep
+        });
+        self.occupied = occupied;
+
+        self.interactions += executed;
+        executed
+    }
+
+    /// Execute `budget` further interactions unconditionally.
+    pub fn run(&mut self, budget: u64) {
+        let mut remaining = budget;
+        while remaining > 0 {
+            remaining -= self.run_batch(remaining);
+        }
+    }
+
+    /// Run until `pred` holds (checked every `check_every` interactions, and
+    /// once before the first step) or until `max_interactions` *total*
+    /// interactions have been executed — the same contract as
+    /// [`Simulator::run_until`](crate::Simulator::run_until).
+    pub fn run_until<F>(
+        &mut self,
+        mut pred: F,
+        check_every: u64,
+        max_interactions: u64,
+    ) -> RunOutcome
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        let check_every = check_every.max(1);
+        if pred(self) {
+            return RunOutcome::Converged {
+                interactions: self.interactions,
+            };
+        }
+        while self.interactions < max_interactions {
+            let chunk = check_every.min(max_interactions - self.interactions);
+            self.run(chunk);
+            if pred(self) {
+                return RunOutcome::Converged {
+                    interactions: self.interactions,
+                };
+            }
+        }
+        RunOutcome::Exhausted {
+            budget: max_interactions,
+        }
+    }
+
+    /// Run until `pred` holds, invoking `observer` after every check interval —
+    /// the same contract as
+    /// [`Simulator::run_until_observed`](crate::Simulator::run_until_observed).
+    pub fn run_until_observed<F, Obs>(
+        &mut self,
+        mut pred: F,
+        mut observer: Obs,
+        check_every: u64,
+        max_interactions: u64,
+    ) -> RunOutcome
+    where
+        F: FnMut(&Self) -> bool,
+        Obs: FnMut(&Self),
+    {
+        let check_every = check_every.max(1);
+        observer(self);
+        if pred(self) {
+            return RunOutcome::Converged {
+                interactions: self.interactions,
+            };
+        }
+        while self.interactions < max_interactions {
+            let chunk = check_every.min(max_interactions - self.interactions);
+            self.run(chunk);
+            observer(self);
+            if pred(self) {
+                return RunOutcome::Converged {
+                    interactions: self.interactions,
+                };
+            }
+        }
+        RunOutcome::Exhausted {
+            budget: max_interactions,
+        }
+    }
+
+    /// Consume the simulator and return the final configuration counts.
+    #[must_use]
+    pub fn into_counts(self) -> Vec<u64> {
+        self.counts
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::dense::DenseAdapter;
+    use crate::simulator::Simulator;
+
+    /// One-way epidemic on two dense states.
+    #[derive(Debug, Clone, Copy)]
+    struct Rumor;
+    impl DenseProtocol for Rumor {
+        type Output = bool;
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn initial_state(&self) -> usize {
+            0
+        }
+        fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+            (u.max(v), v)
+        }
+        fn output(&self, s: usize) -> bool {
+            s == 1
+        }
+        fn name(&self) -> &'static str {
+            "rumor"
+        }
+    }
+
+    /// A protocol with a conserved quantity: state index = number of tokens
+    /// (0..=3); the initiator steals one token from the responder when it can
+    /// hold it.
+    #[derive(Debug, Clone, Copy)]
+    struct TokenDrift;
+    impl DenseProtocol for TokenDrift {
+        type Output = usize;
+        fn num_states(&self) -> usize {
+            4
+        }
+        fn initial_state(&self) -> usize {
+            1
+        }
+        fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+            if v > 0 && u < 3 {
+                (u + 1, v - 1)
+            } else {
+                (u, v)
+            }
+        }
+        fn output(&self, s: usize) -> usize {
+            s
+        }
+        fn name(&self) -> &'static str {
+            "token-drift"
+        }
+    }
+
+    #[test]
+    fn rejects_tiny_population() {
+        assert_eq!(
+            BatchedSimulator::new(Rumor, 1, 0).err(),
+            Some(SimError::PopulationTooSmall { n: 1 })
+        );
+        assert!(BatchedSimulator::new(Rumor, 2, 0).is_ok());
+    }
+
+    #[test]
+    fn rejects_broken_protocols() {
+        struct Empty;
+        impl DenseProtocol for Empty {
+            type Output = ();
+            fn num_states(&self) -> usize {
+                0
+            }
+            fn initial_state(&self) -> usize {
+                0
+            }
+            fn transition(&self, _: usize, _: usize) -> (usize, usize) {
+                (0, 0)
+            }
+            fn output(&self, _: usize) {}
+        }
+        assert!(matches!(
+            BatchedSimulator::new(Empty, 10, 0),
+            Err(SimError::InvalidParameter {
+                name: "num_states",
+                ..
+            })
+        ));
+
+        struct Escapes;
+        impl DenseProtocol for Escapes {
+            type Output = ();
+            fn num_states(&self) -> usize {
+                2
+            }
+            fn initial_state(&self) -> usize {
+                0
+            }
+            fn transition(&self, _: usize, _: usize) -> (usize, usize) {
+                (5, 0)
+            }
+            fn output(&self, _: usize) {}
+        }
+        assert!(matches!(
+            BatchedSimulator::new(Escapes, 10, 0),
+            Err(SimError::InvalidParameter {
+                name: "transition",
+                ..
+            })
+        ));
+    }
+
+    #[test]
+    fn run_executes_exactly_the_budget() {
+        let mut sim = BatchedSimulator::new(Rumor, 1000, 3).unwrap();
+        sim.transfer(0, 1, 1).unwrap();
+        sim.run(12_345);
+        assert_eq!(sim.interactions(), 12_345);
+        sim.step();
+        assert_eq!(sim.interactions(), 12_346);
+    }
+
+    #[test]
+    fn counts_always_sum_to_n() {
+        let mut sim = BatchedSimulator::new(TokenDrift, 500, 7).unwrap();
+        for _ in 0..50 {
+            sim.run(1000);
+            assert_eq!(sim.counts().iter().sum::<u64>(), 500);
+        }
+    }
+
+    #[test]
+    fn conserved_quantities_stay_conserved() {
+        // Total token count (Σ state·count) is invariant under TokenDrift.
+        let mut sim = BatchedSimulator::new(TokenDrift, 300, 11).unwrap();
+        let total = |s: &BatchedSimulator<TokenDrift>| -> u64 {
+            s.counts()
+                .iter()
+                .enumerate()
+                .map(|(st, c)| st as u64 * c)
+                .sum()
+        };
+        let before = total(&sim);
+        sim.run(100_000);
+        assert_eq!(total(&sim), before);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let mut a = BatchedSimulator::new(TokenDrift, 256, 77).unwrap();
+        let mut b = BatchedSimulator::new(TokenDrift, 256, 77).unwrap();
+        a.run(50_000);
+        b.run(50_000);
+        assert_eq!(a.counts(), b.counts());
+        assert_eq!(a.interactions(), b.interactions());
+    }
+
+    #[test]
+    fn epidemic_reaches_everyone_in_n_log_n_time() {
+        let n = 100_000u64;
+        let mut sim = BatchedSimulator::new(Rumor, n as usize, 5).unwrap();
+        sim.transfer(0, 1, 1).unwrap();
+        let outcome = sim.run_until(|s| s.count_of(1) == n, n, u64::MAX >> 1);
+        let t = outcome.expect_converged("batched epidemic");
+        let nf = n as f64;
+        assert!(
+            t >= n - 1,
+            "an epidemic needs at least n-1 informing interactions"
+        );
+        assert!(
+            (t as f64) < 8.0 * nf * nf.ln(),
+            "epidemic took {t} interactions, far beyond O(n log n)"
+        );
+    }
+
+    #[test]
+    fn output_stats_track_counts_in_constant_population_work() {
+        let mut sim = BatchedSimulator::new(Rumor, 10_000, 9).unwrap();
+        sim.transfer(0, 1, 123).unwrap();
+        let stats = sim.output_stats();
+        assert_eq!(stats.population(), 10_000);
+        assert_eq!(stats.count_of(&true), 123);
+        assert_eq!(stats.count_of(&false), 9877);
+        assert_eq!(stats.distinct_outputs(), 2);
+        assert!(stats.unanimous().is_none());
+    }
+
+    #[test]
+    fn run_until_contract_matches_sequential_engine() {
+        let mut sim = BatchedSimulator::new(Rumor, 100, 1).unwrap();
+        // Predicate already true: no interactions executed.
+        let outcome = sim.run_until(|_| true, 10, 1000);
+        assert_eq!(outcome, RunOutcome::Converged { interactions: 0 });
+        // Budget exhaustion is exact.
+        let outcome = sim.run_until(|_| false, 7, 100);
+        assert_eq!(outcome, RunOutcome::Exhausted { budget: 100 });
+        assert_eq!(sim.interactions(), 100);
+    }
+
+    #[test]
+    fn observer_sees_monotone_interaction_counts() {
+        let mut sim = BatchedSimulator::new(Rumor, 5000, 13).unwrap();
+        sim.transfer(0, 1, 1).unwrap();
+        let mut checkpoints = Vec::new();
+        let _ = sim.run_until_observed(
+            |s| s.count_of(1) == s.population(),
+            |s| checkpoints.push(s.interactions()),
+            1000,
+            50_000_000,
+        );
+        assert_eq!(checkpoints[0], 0);
+        assert!(checkpoints.windows(2).all(|w| w[0] <= w[1]));
+    }
+
+    #[test]
+    fn transfer_and_set_counts_validate() {
+        let mut sim = BatchedSimulator::new(Rumor, 10, 0).unwrap();
+        assert!(
+            sim.transfer(0, 1, 11).is_err(),
+            "cannot move more agents than present"
+        );
+        assert!(sim.transfer(0, 7, 1).is_err(), "destination out of range");
+        assert!(sim.set_counts(vec![5, 4]).is_err(), "sum must equal n");
+        assert!(
+            sim.set_counts(vec![5, 5, 0]).is_err(),
+            "length must equal q"
+        );
+        assert!(sim.set_counts(vec![4, 6]).is_ok());
+        assert_eq!(sim.count_of(1), 6);
+    }
+
+    #[test]
+    fn into_counts_returns_final_configuration() {
+        let mut sim = BatchedSimulator::new(Rumor, 64, 2).unwrap();
+        sim.transfer(0, 1, 1).unwrap();
+        sim.run(100_000);
+        let counts = sim.into_counts();
+        assert_eq!(counts, vec![0, 64], "the rumour saturates eventually");
+    }
+
+    #[test]
+    fn sparse_occupancy_tracks_a_huge_state_space() {
+        // A state space of 100_001 states of which only a handful are ever
+        // occupied: the occupancy list must stay small and the engine fast.
+        #[derive(Debug, Clone, Copy)]
+        struct WideDrift;
+        impl DenseProtocol for WideDrift {
+            type Output = usize;
+            fn num_states(&self) -> usize {
+                100_001
+            }
+            fn initial_state(&self) -> usize {
+                50_000
+            }
+            fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+                // Initiator moves one step towards the responder.
+                match u.cmp(&v) {
+                    std::cmp::Ordering::Less => (u + 1, v),
+                    std::cmp::Ordering::Greater => (u - 1, v),
+                    std::cmp::Ordering::Equal => (u, v),
+                }
+            }
+            fn output(&self, s: usize) -> usize {
+                s
+            }
+        }
+        let mut sim = BatchedSimulator::new(WideDrift, 10_000, 21).unwrap();
+        sim.transfer(50_000, 50_003, 5).unwrap();
+        sim.run(200_000);
+        assert_eq!(sim.counts().iter().sum::<u64>(), 10_000);
+        // The random walk stays near the seed states; occupancy must not leak.
+        assert!(
+            sim.occupied_states() < 200,
+            "occupancy list grew to {}",
+            sim.occupied_states()
+        );
+    }
+
+    #[test]
+    fn step_only_runs_match_sequential_statistics() {
+        // With batching disabled (pure step()), the batched engine is a
+        // textbook sequential simulator over counts; epidemic progress after a
+        // fixed horizon should match the per-agent engine closely on average.
+        let n = 400usize;
+        let horizon = 4000u64;
+        let trials = 40u64;
+        let mut informed_batched = 0u64;
+        let mut informed_seq = 0u64;
+        for t in 0..trials {
+            let mut bs = BatchedSimulator::new(Rumor, n, 1000 + t).unwrap();
+            bs.transfer(0, 1, 1).unwrap();
+            for _ in 0..horizon {
+                bs.step();
+            }
+            informed_batched += bs.count_of(1);
+
+            let mut ss = Simulator::new(DenseAdapter(Rumor), n, 5000 + t).unwrap();
+            ss.states_mut()[0] = 1;
+            ss.run(horizon);
+            informed_seq += ss.states().iter().filter(|&&s| s == 1).count() as u64;
+        }
+        let a = informed_batched as f64 / trials as f64;
+        let b = informed_seq as f64 / trials as f64;
+        let rel = (a - b).abs() / b.max(1.0);
+        assert!(
+            rel < 0.15,
+            "mean informed counts diverge: batched {a:.1} vs sequential {b:.1}"
+        );
+    }
+}

@@ -31,7 +31,36 @@ impl<O: Clone + PartialEq> ConfigurationStats<O> {
                 None => histogram.push((o, 1)),
             }
         }
-        ConfigurationStats { histogram, n: states.len() }
+        ConfigurationStats {
+            histogram,
+            n: states.len(),
+        }
+    }
+
+    /// Build the histogram directly from `(output, count)` pairs — the `O(q)`
+    /// path used by the batched count-based engine, where `q` is the number of
+    /// occupied states rather than the population size.
+    ///
+    /// Pairs with equal outputs are aggregated; zero counts are kept out of
+    /// the histogram so `distinct_outputs` only reports outputs that are
+    /// actually present.
+    pub fn from_counts<I>(pairs: I) -> Self
+    where
+        I: IntoIterator<Item = (O, usize)>,
+    {
+        let mut histogram: Vec<(O, usize)> = Vec::new();
+        let mut n = 0;
+        for (o, c) in pairs {
+            if c == 0 {
+                continue;
+            }
+            n += c;
+            match histogram.iter_mut().find(|(v, _)| *v == o) {
+                Some((_, total)) => *total += c,
+                None => histogram.push((o, c)),
+            }
+        }
+        ConfigurationStats { histogram, n }
     }
 
     /// The population size.
@@ -100,7 +129,7 @@ pub fn state_multiset<S: Clone + Eq + Hash>(states: &[S]) -> HashMap<S, usize> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngCore;
+    use rand::rngs::SmallRng;
 
     struct Parity;
     impl Protocol for Parity {
@@ -109,12 +138,12 @@ mod tests {
         fn initial_state(&self) -> u8 {
             0
         }
-        fn interact(&self, u: &mut u8, v: &mut u8, _rng: &mut dyn RngCore) {
+        fn interact(&self, u: &mut u8, v: &mut u8, _rng: &mut SmallRng) {
             *u ^= 1;
             *v ^= 1;
         }
         fn output(&self, s: &u8) -> bool {
-            *s % 2 == 0
+            (*s).is_multiple_of(2)
         }
     }
 

@@ -80,6 +80,6 @@ mod tests {
     #[test]
     #[should_panic(expected = "did not converge")]
     fn expect_converged_panics_on_exhaustion() {
-        RunOutcome::Exhausted { budget: 10 }.expect_converged("test");
+        let _ = RunOutcome::Exhausted { budget: 10 }.expect_converged("test");
     }
 }

@@ -1,0 +1,168 @@
+//! The [`DenseProtocol`] trait: protocols over an enumerated state space.
+//!
+//! The sequential [`Simulator`](crate::Simulator) works with arbitrary
+//! `Protocol::State` types held in a per-agent `Vec`.  The batched
+//! count-based engine ([`BatchedSimulator`](crate::BatchedSimulator)) instead
+//! represents a configuration as a multiset — `counts[s]` agents in state `s`
+//! — which requires the state space to be enumerable: states are dense
+//! indices `0..q` and the transition function is a deterministic map
+//! `δ : q × q → q × q`.
+//!
+//! Determinism is not a restriction for the protocols of the reproduced paper:
+//! the probabilistic population model puts all randomness in the *scheduler*,
+//! and the paper's protocols draw any random bits they need from the schedule
+//! itself (synthetic coins).  Protocols whose transitions consult an RNG
+//! cannot be batched with this trait.
+//!
+//! [`DenseAdapter`] lifts a `DenseProtocol` back into a regular [`Protocol`]
+//! so the *same* transition system can be driven by both engines — this is how
+//! the distributional-equivalence tests pin the two engines against each
+//! other.
+
+use std::fmt::Debug;
+
+use rand::rngs::SmallRng;
+
+use crate::protocol::Protocol;
+
+/// A population protocol over an enumerated state space `0..q` with a
+/// deterministic transition function.
+pub trait DenseProtocol {
+    /// The output domain `O` of the output function `ω`.
+    type Output: Clone + Debug + PartialEq;
+
+    /// The number of states `q`.  State indices are `0..q`.
+    fn num_states(&self) -> usize;
+
+    /// The common initial state index `q₀ < q`.
+    fn initial_state(&self) -> usize;
+
+    /// The deterministic transition function `δ(initiator, responder)`,
+    /// returning the pair of post-interaction state indices.
+    ///
+    /// Must be a pure function of its arguments: the batched engine applies it
+    /// once per *state-pair class* and multiplies, so any hidden dependence on
+    /// interaction order or an RNG would change the simulated process.
+    fn transition(&self, initiator: usize, responder: usize) -> (usize, usize);
+
+    /// The output function `ω` on state indices.
+    fn output(&self, state: usize) -> Self::Output;
+
+    /// A short human-readable protocol name used in reports and error messages.
+    fn name(&self) -> &'static str {
+        "dense-protocol"
+    }
+}
+
+/// Blanket implementation so `&P` can be used wherever a dense protocol is
+/// expected.
+impl<P: DenseProtocol + ?Sized> DenseProtocol for &P {
+    type Output = P::Output;
+
+    fn num_states(&self) -> usize {
+        (**self).num_states()
+    }
+    fn initial_state(&self) -> usize {
+        (**self).initial_state()
+    }
+    fn transition(&self, initiator: usize, responder: usize) -> (usize, usize) {
+        (**self).transition(initiator, responder)
+    }
+    fn output(&self, state: usize) -> Self::Output {
+        (**self).output(state)
+    }
+    fn name(&self) -> &'static str {
+        (**self).name()
+    }
+}
+
+/// Adapter running a [`DenseProtocol`] on the sequential per-agent engine.
+///
+/// The agent state is the dense index itself (`u32`), so a
+/// `Simulator<DenseAdapter<P>>` executes exactly the same transition system as
+/// a `BatchedSimulator<P>` — the two engines then differ only in how they
+/// sample the schedule, which is what the equivalence tests exercise.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseAdapter<P>(pub P);
+
+impl<P: DenseProtocol> Protocol for DenseAdapter<P> {
+    type State = u32;
+    type Output = P::Output;
+
+    fn initial_state(&self) -> u32 {
+        u32::try_from(self.0.initial_state()).expect("dense state spaces fit in u32")
+    }
+
+    fn interact(&self, initiator: &mut u32, responder: &mut u32, _rng: &mut SmallRng) {
+        let (a, b) = self.0.transition(*initiator as usize, *responder as usize);
+        *initiator = a as u32;
+        *responder = b as u32;
+    }
+
+    fn output(&self, state: &u32) -> Self::Output {
+        self.0.output(*state as usize)
+    }
+
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+    use crate::simulator::Simulator;
+
+    /// Two-state one-way epidemic on dense indices.
+    struct Rumor;
+
+    impl DenseProtocol for Rumor {
+        type Output = bool;
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn initial_state(&self) -> usize {
+            0
+        }
+        fn transition(&self, initiator: usize, responder: usize) -> (usize, usize) {
+            (initiator.max(responder), responder)
+        }
+        fn output(&self, state: usize) -> bool {
+            state == 1
+        }
+        fn name(&self) -> &'static str {
+            "rumor"
+        }
+    }
+
+    #[test]
+    fn adapter_runs_dense_transitions_on_the_sequential_engine() {
+        let mut sim = Simulator::new(DenseAdapter(Rumor), 100, 3).unwrap();
+        sim.states_mut()[0] = 1;
+        let outcome = sim.run_until(|s| s.states().iter().all(|&x| x == 1), 100, 10_000_000);
+        assert!(outcome.converged());
+        assert!(sim.outputs().iter().all(|&o| o));
+    }
+
+    #[test]
+    fn reference_delegation_preserves_dense_behaviour() {
+        let p = Rumor;
+        let r = &p;
+        assert_eq!(r.num_states(), 2);
+        assert_eq!(r.initial_state(), 0);
+        assert_eq!(r.transition(0, 1), (1, 1));
+        assert!(r.output(1));
+        assert_eq!(r.name(), "rumor");
+    }
+
+    #[test]
+    fn adapter_interact_applies_delta_in_place() {
+        let adapter = DenseAdapter(Rumor);
+        let mut rng = seeded_rng(0);
+        let mut u = 0u32;
+        let mut v = 1u32;
+        adapter.interact(&mut u, &mut v, &mut rng);
+        assert_eq!((u, v), (1, 1));
+    }
+}

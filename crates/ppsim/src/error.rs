@@ -26,7 +26,10 @@ impl fmt::Display for SimError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             SimError::PopulationTooSmall { n } => {
-                write!(f, "population size {n} is too small, at least 2 agents are required")
+                write!(
+                    f,
+                    "population size {n} is too small, at least 2 agents are required"
+                )
             }
             SimError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
@@ -49,7 +52,10 @@ mod tests {
 
     #[test]
     fn display_invalid_parameter() {
-        let e = SimError::InvalidParameter { name: "m", reason: "must be positive".into() };
+        let e = SimError::InvalidParameter {
+            name: "m",
+            reason: "must be positive".into(),
+        };
         assert!(e.to_string().contains("`m`"));
         assert!(e.to_string().contains("must be positive"));
     }

@@ -15,6 +15,11 @@
 //! * [`Scheduler`] implementations, most importantly the uniformly random scheduler
 //!   of the probabilistic model ([`UniformScheduler`]),
 //! * the [`Simulator`] driving a single execution, with convergence detection,
+//! * the **batched count-based engine** [`BatchedSimulator`] for protocols with an
+//!   enumerable state space ([`DenseProtocol`]): it stores the configuration as
+//!   state counts and advances whole collision-free blocks of `Θ(√n)` interactions
+//!   in `O(q²)` work via exact hypergeometric sampling ([`sample`]) — the engine of
+//!   choice for populations of 10⁵ agents and beyond,
 //! * measurement utilities ([`metrics`]) such as empirical state-space tracking,
 //! * a multi-threaded independent-trial runner ([`parallel`]) for parameter sweeps.
 //!
@@ -22,7 +27,7 @@
 //!
 //! ```rust
 //! use ppsim::{Protocol, Simulator};
-//! use rand::RngCore;
+//! use rand::rngs::SmallRng;
 //!
 //! /// One-way epidemic: a single `1` spreads to the whole population.
 //! struct Epidemic;
@@ -31,7 +36,7 @@
 //!     type State = u8;
 //!     type Output = u8;
 //!     fn initial_state(&self) -> u8 { 0 }
-//!     fn interact(&self, u: &mut u8, v: &mut u8, _rng: &mut dyn RngCore) {
+//!     fn interact(&self, u: &mut u8, v: &mut u8, _rng: &mut SmallRng) {
 //!         let m = (*u).max(*v);
 //!         *u = m;
 //!         *v = m;
@@ -51,18 +56,23 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod batched;
 pub mod config;
 pub mod convergence;
+pub mod dense;
 pub mod error;
 pub mod metrics;
 pub mod parallel;
 pub mod protocol;
 pub mod rng;
+pub mod sample;
 pub mod scheduler;
 pub mod simulator;
 
+pub use batched::BatchedSimulator;
 pub use config::ConfigurationStats;
 pub use convergence::RunOutcome;
+pub use dense::{DenseAdapter, DenseProtocol};
 pub use error::SimError;
 pub use metrics::{StateSpaceTracker, TimeSeries};
 pub use parallel::{run_trials, run_trials_with_threads};

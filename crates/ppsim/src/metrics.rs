@@ -21,7 +21,9 @@ impl<S: Eq + Hash + Clone> StateSpaceTracker<S> {
     /// Create an empty tracker.
     #[must_use]
     pub fn new() -> Self {
-        StateSpaceTracker { seen: HashSet::new() }
+        StateSpaceTracker {
+            seen: HashSet::new(),
+        }
     }
 
     /// Record every state of a configuration.
@@ -106,7 +108,9 @@ impl<T> TimeSeries<T> {
 
 impl<T> FromIterator<(u64, T)> for TimeSeries<T> {
     fn from_iter<I: IntoIterator<Item = (u64, T)>>(iter: I) -> Self {
-        TimeSeries { points: iter.into_iter().collect() }
+        TimeSeries {
+            points: iter.into_iter().collect(),
+        }
     }
 }
 

@@ -4,6 +4,11 @@
 //! population sizes).  Trials are embarrassingly parallel, so the harness fans them
 //! out over a fixed number of worker threads.  Results are returned in trial order
 //! regardless of completion order.
+//!
+//! Work is distributed dynamically (an atomic cursor), so long trials do not
+//! stall whole chunks; results are written through **per-slot** locks, so the
+//! fan-out does not serialise on a single shared collection and scales with the
+//! number of cores.
 
 use parking_lot::Mutex;
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -33,6 +38,10 @@ where
 /// Run `trials` independent jobs on at most `threads` worker threads, returning the
 /// results in trial order.
 ///
+/// Each result is written to its own pre-allocated slot — there is no shared
+/// results lock, so completion of cheap trials is never blocked behind another
+/// thread's write.
+///
 /// # Panics
 ///
 /// Panics if a worker thread panics; the panic of the job is propagated.
@@ -50,7 +59,11 @@ where
     }
 
     let next = AtomicUsize::new(0);
-    let results: Mutex<Vec<Option<T>>> = Mutex::new((0..trials).map(|_| None).collect());
+    // One slot per trial: a worker takes a trial index from the atomic cursor and
+    // writes into the slot it now exclusively owns.  The per-slot mutexes are
+    // never contended (each is locked exactly once); they exist only to satisfy
+    // the borrow checker without `unsafe`.
+    let slots: Vec<Mutex<Option<T>>> = (0..trials).map(|_| Mutex::new(None)).collect();
 
     crossbeam::thread::scope(|scope| {
         for _ in 0..threads {
@@ -60,16 +73,18 @@ where
                     break;
                 }
                 let out = job(i);
-                results.lock()[i] = Some(out);
+                *slots[i].lock() = Some(out);
             });
         }
     })
     .expect("a simulation worker thread panicked");
 
-    results
-        .into_inner()
+    slots
         .into_iter()
-        .map(|r| r.expect("every trial index is processed exactly once"))
+        .map(|slot| {
+            slot.into_inner()
+                .expect("every trial index is processed exactly once")
+        })
         .collect()
 }
 
@@ -114,5 +129,18 @@ mod tests {
     fn default_thread_count_runs_all_trials() {
         let out = run_trials(10, |i| i + 1);
         assert_eq!(out, (1..=10).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn uneven_job_durations_still_fill_every_slot() {
+        // Dynamic scheduling: slow early trials must not prevent later ones from
+        // being picked up by idle workers.
+        let out = run_trials_with_threads(32, 4, |i| {
+            if i % 7 == 0 {
+                std::thread::sleep(std::time::Duration::from_millis(5));
+            }
+            i * i
+        });
+        assert_eq!(out, (0..32).map(|i| i * i).collect::<Vec<_>>());
     }
 }

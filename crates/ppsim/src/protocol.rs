@@ -3,7 +3,7 @@
 use std::fmt::Debug;
 use std::hash::Hash;
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
 /// A population protocol.
 ///
@@ -34,7 +34,7 @@ use rand::RngCore;
 ///
 /// ```rust
 /// use ppsim::Protocol;
-/// use rand::RngCore;
+/// use rand::rngs::SmallRng;
 ///
 /// /// The textbook two-state "rumour spreading" protocol.
 /// struct Rumour;
@@ -43,7 +43,7 @@ use rand::RngCore;
 ///     type State = bool;
 ///     type Output = bool;
 ///     fn initial_state(&self) -> bool { false }
-///     fn interact(&self, u: &mut bool, v: &mut bool, _rng: &mut dyn RngCore) {
+///     fn interact(&self, u: &mut bool, v: &mut bool, _rng: &mut SmallRng) {
 ///         let informed = *u || *v;
 ///         *u = informed;
 ///         *v = informed;
@@ -81,7 +81,7 @@ pub trait Protocol {
         &self,
         initiator: &mut Self::State,
         responder: &mut Self::State,
-        rng: &mut dyn RngCore,
+        rng: &mut SmallRng,
     );
 
     /// The output function `ω` mapping an agent state to its current output.
@@ -106,7 +106,7 @@ impl<P: Protocol + ?Sized> Protocol for &P {
         &self,
         initiator: &mut Self::State,
         responder: &mut Self::State,
-        rng: &mut dyn RngCore,
+        rng: &mut SmallRng,
     ) {
         (**self).interact(initiator, responder, rng);
     }
@@ -133,7 +133,7 @@ mod tests {
         fn initial_state(&self) -> bool {
             false
         }
-        fn interact(&self, u: &mut bool, v: &mut bool, _rng: &mut dyn RngCore) {
+        fn interact(&self, u: &mut bool, v: &mut bool, _rng: &mut SmallRng) {
             let o = *u || *v;
             *u = o;
             *v = o;
@@ -161,8 +161,8 @@ mod tests {
         let p = Or;
         let r = &p;
         assert_eq!(r.name(), "or");
-        assert_eq!(r.initial_state(), false);
-        assert_eq!(r.output(&true), true);
+        assert!(!r.initial_state());
+        assert!(r.output(&true));
         let mut rng = seeded_rng(2);
         let mut a = false;
         let mut b = true;

@@ -1,0 +1,637 @@
+//! Exact samplers used by the batched count-based engine.
+//!
+//! The batched engine ([`BatchedSimulator`](crate::BatchedSimulator)) advances
+//! time in *collision-free* blocks: it first samples how many consecutive
+//! interactions involve pairwise-distinct agents (the birthday-process
+//! distribution, [`CollisionSampler`]), then samples *which* states those
+//! agents hold via multivariate hypergeometric draws from the configuration's
+//! state counts ([`multivariate_hypergeometric_sparse`]; the dense
+//! [`multivariate_hypergeometric`] is the same decomposition over a full
+//! counts vector).  Both samplers are exact
+//! (up to `f64` rounding in the inverse-transform step), so the batched engine
+//! simulates the *same* stochastic process as the sequential per-interaction
+//! engine — not an approximation of it.
+
+use rand::rngs::SmallRng;
+use rand::Rng;
+
+/// `ln Γ(z)` for `z > 0` via the Lanczos approximation (g = 7, 9 terms),
+/// accurate to ~15 significant digits — plenty for inverse-transform sampling.
+#[must_use]
+pub fn ln_gamma(z: f64) -> f64 {
+    debug_assert!(z > 0.0, "ln_gamma requires a positive argument, got {z}");
+    const COEF: [f64; 9] = [
+        0.999_999_999_999_809_9,
+        676.520_368_121_885_1,
+        -1_259.139_216_722_402_8,
+        771.323_428_777_653_1,
+        -176.615_029_162_140_6,
+        12.507_343_278_686_905,
+        -0.138_571_095_265_720_12,
+        9.984_369_578_019_572e-6,
+        1.505_632_735_149_311_6e-7,
+    ];
+    const G: f64 = 7.0;
+    let z = z - 1.0;
+    let mut x = COEF[0];
+    for (i, &c) in COEF.iter().enumerate().skip(1) {
+        x += c / (z + i as f64);
+    }
+    let t = z + G + 0.5;
+    0.5 * (2.0 * std::f64::consts::PI).ln() + (z + 0.5) * t.ln() - t + x.ln()
+}
+
+/// Exact-by-summation `ln(n!)` for small `n`, filled once on first use.
+fn small_ln_factorials() -> &'static [f64; 128] {
+    use std::sync::OnceLock;
+    static TABLE: OnceLock<[f64; 128]> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        let mut t = [0.0f64; 128];
+        for n in 2..t.len() {
+            t[n] = t[n - 1] + (n as f64).ln();
+        }
+        t
+    })
+}
+
+/// `ln(n!)`, accurate to ~1e-12 relative error.
+///
+/// Hot enough to matter: the batched engine evaluates this a handful of times
+/// per collision-free block, so small arguments come from a summation table
+/// and large ones from a Stirling series (both far cheaper than the Lanczos
+/// path used by [`ln_gamma`]).
+#[must_use]
+pub fn ln_factorial(n: u64) -> f64 {
+    let table = small_ln_factorials();
+    if (n as usize) < table.len() {
+        return table[n as usize];
+    }
+    // Stirling series: error < 1/(1680 n⁷), far below f64 noise for n ≥ 128.
+    let nf = n as f64;
+    let inv = 1.0 / nf;
+    let inv2 = inv * inv;
+    (nf + 0.5) * nf.ln() - nf
+        + 0.5 * (2.0 * std::f64::consts::PI).ln()
+        + inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 / 1260.0))
+}
+
+/// `ln C(n, k)` (natural log of the binomial coefficient).
+#[must_use]
+fn ln_choose(n: u64, k: u64) -> f64 {
+    debug_assert!(k <= n);
+    ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
+}
+
+/// Draw from the hypergeometric distribution: the number of *successes* in
+/// `draws` draws **without replacement** from a population of `total` items of
+/// which `success` are successes.
+///
+/// Uses inverse transform from the mode with pmf-ratio recurrences, so the
+/// expected cost is `O(σ)` (a few iterations for the batch sizes the engine
+/// uses), independent of `total`.
+///
+/// # Panics
+///
+/// Panics if `draws > total` or `success > total` — a batch can never draw
+/// more agents than the population holds.
+#[must_use]
+pub fn hypergeometric(rng: &mut SmallRng, total: u64, success: u64, draws: u64) -> u64 {
+    assert!(
+        draws <= total,
+        "cannot draw {draws} items without replacement from a population of {total}"
+    );
+    assert!(
+        success <= total,
+        "success count {success} exceeds population {total}"
+    );
+    // Degenerate supports first: they are common in the engine's inner loop.
+    if draws == 0 || success == 0 {
+        return 0;
+    }
+    if success == total {
+        return draws;
+    }
+    if draws == total {
+        return success;
+    }
+
+    let failure = total - success;
+    let lo = draws.saturating_sub(failure); // max(0, draws - (total - success))
+    let hi = success.min(draws);
+    if lo == hi {
+        return lo;
+    }
+
+    // Mode of the hypergeometric: floor((draws+1)(success+1)/(total+2)).
+    let mode = (((draws + 1) as u128 * (success + 1) as u128) / (total + 2) as u128) as u64;
+    let mode = mode.clamp(lo, hi);
+    let ln_p_mode =
+        ln_choose(success, mode) + ln_choose(failure, draws - mode) - ln_choose(total, draws);
+    let p_mode = ln_p_mode.exp();
+
+    // p(k+1)/p(k) = (success-k)(draws-k) / ((k+1)(failure-draws+k+1)).
+    // On the valid support k ≥ lo the mixed terms are non-negative, but they
+    // must be summed before subtracting to avoid unsigned underflow.
+    let ratio_up = |k: u64| -> f64 {
+        ((success - k) as f64 * (draws - k) as f64)
+            / ((k + 1) as f64 * (failure + k + 1 - draws) as f64)
+    };
+    // p(k-1)/p(k) = k(failure-draws+k) / ((success-k+1)(draws-k+1))
+    let ratio_down = |k: u64| -> f64 {
+        (k as f64 * (failure + k - draws) as f64)
+            / ((success - k + 1) as f64 * (draws - k + 1) as f64)
+    };
+
+    let u: f64 = rng.gen();
+    let mut acc = p_mode;
+    if u < acc {
+        return mode;
+    }
+    let (mut up_k, mut up_p) = (mode, p_mode);
+    let (mut down_k, mut down_p) = (mode, p_mode);
+    loop {
+        let mut advanced = false;
+        if up_k < hi {
+            up_p *= ratio_up(up_k);
+            up_k += 1;
+            acc += up_p;
+            if u < acc {
+                return up_k;
+            }
+            advanced = true;
+        }
+        if down_k > lo {
+            down_p *= ratio_down(down_k);
+            down_k -= 1;
+            acc += down_p;
+            if u < acc {
+                return down_k;
+            }
+            advanced = true;
+        }
+        if !advanced {
+            // The accumulated mass fell a few ulps short of 1; u landed in the
+            // rounding gap.  Returning the mode keeps the bias below ~1e-13.
+            return mode;
+        }
+    }
+}
+
+/// Draw a multivariate hypergeometric sample: `draws` items without
+/// replacement from a population whose composition is `counts`, writing the
+/// per-class sample sizes into `out` (resized to `counts.len()`).
+///
+/// Conditional decomposition: class `i` receives
+/// `Hypergeometric(remaining_total, counts[i], remaining_draws)` items.
+///
+/// # Panics
+///
+/// Panics if `draws` exceeds the population size `counts.iter().sum()`.
+pub fn multivariate_hypergeometric(
+    rng: &mut SmallRng,
+    counts: &[u64],
+    draws: u64,
+    out: &mut Vec<u64>,
+) {
+    let mut remaining_total: u64 = counts.iter().sum();
+    assert!(
+        draws <= remaining_total,
+        "cannot draw {draws} agents from a population of {remaining_total}"
+    );
+    out.clear();
+    out.resize(counts.len(), 0);
+    let mut remaining_draws = draws;
+    for (i, &c) in counts.iter().enumerate() {
+        if remaining_draws == 0 {
+            break;
+        }
+        if c == 0 {
+            continue;
+        }
+        let k = conditional_class_draw(rng, c, remaining_total, remaining_draws);
+        out[i] = k;
+        remaining_draws -= k;
+        remaining_total -= c;
+    }
+    debug_assert_eq!(
+        remaining_draws, 0,
+        "the population composition was exhausted early"
+    );
+}
+
+/// One step of the conditional decomposition shared by every multivariate
+/// hypergeometric loop in this crate: how many of the `remaining_draws` items
+/// land in the current class of size `class_count`, out of `remaining_total`
+/// items still in the pool.  The last non-empty class takes whatever is left.
+#[inline]
+pub(crate) fn conditional_class_draw(
+    rng: &mut SmallRng,
+    class_count: u64,
+    remaining_total: u64,
+    remaining_draws: u64,
+) -> u64 {
+    if class_count == remaining_total {
+        remaining_draws
+    } else {
+        hypergeometric(rng, remaining_total, class_count, remaining_draws)
+    }
+}
+
+/// Sparse multivariate hypergeometric draw, as used by the batched engine:
+/// `draws` agents without replacement from the sub-population
+/// `total = Σ counts[s]` over `s ∈ occupied`, appended to `out` as
+/// `(state, k)` pairs with `k > 0`.
+///
+/// Only the listed states are visited, so the cost is `O(|occupied|)`
+/// regardless of how large (and empty) the full state space is.  `occupied`
+/// may contain states with zero count; they are skipped.
+pub fn multivariate_hypergeometric_sparse(
+    rng: &mut SmallRng,
+    counts: &[u64],
+    occupied: &[u32],
+    total: u64,
+    draws: u64,
+    out: &mut Vec<(u32, u64)>,
+) {
+    debug_assert!(draws <= total);
+    out.clear();
+    let mut remaining_total = total;
+    let mut remaining_draws = draws;
+    for &s in occupied {
+        if remaining_draws == 0 {
+            break;
+        }
+        let c = counts[s as usize];
+        if c == 0 {
+            continue;
+        }
+        let k = conditional_class_draw(rng, c, remaining_total, remaining_draws);
+        if k > 0 {
+            out.push((s, k));
+        }
+        remaining_draws -= k;
+        remaining_total -= c;
+    }
+    debug_assert_eq!(remaining_draws, 0, "the occupied list lost agents");
+}
+
+/// Where the first colliding agent of a batch appears.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Collision {
+    /// The initiator of the colliding interaction had already interacted
+    /// earlier in the batch.
+    pub initiator_used: bool,
+    /// The responder of the colliding interaction had already interacted
+    /// earlier in the batch.
+    pub responder_used: bool,
+}
+
+/// Result of sampling the length of one collision-free batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BatchDraw {
+    /// Number of leading interactions whose `2·clean` agents are pairwise
+    /// distinct.
+    pub clean: u64,
+    /// The collision terminating the batch, or `None` if the batch was
+    /// truncated at the caller's cap before any collision occurred.
+    pub collision: Option<Collision>,
+}
+
+/// Sampler for the length of collision-free batches in a population of fixed
+/// size `n`.
+///
+/// Caches the population-dependent constants of the birthday-process survival
+/// function so that each draw costs only a couple of [`ln_factorial`]
+/// evaluations (the inversion starts from a closed-form approximation and
+/// walks at most a few steps).
+#[derive(Debug, Clone)]
+pub struct CollisionSampler {
+    n: u64,
+    t_max: u64,
+    ln_fact_n: f64,
+    /// `ln(n (n-1))` — the per-interaction denominator.
+    ln_pair: f64,
+}
+
+impl CollisionSampler {
+    /// Create a sampler for populations of `n` agents.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n < 2`.
+    #[must_use]
+    pub fn new(n: u64) -> Self {
+        assert!(n >= 2, "the birthday process needs at least two agents");
+        CollisionSampler {
+            n,
+            t_max: n / 2, // after t_max clean interactions a collision is forced
+            ln_fact_n: ln_factorial(n),
+            ln_pair: (n as f64).ln() + (n as f64 - 1.0).ln(),
+        }
+    }
+
+    /// `ln P(first 2t agent draws are pairwise distinct)`:
+    /// `ln [ n! / (n-2t)! / (n^t (n-1)^t) ]` (within each interaction the two
+    /// agents are distinct by construction, hence the `n(n-1)` denominator).
+    fn ln_no_collision(&self, t: u64) -> f64 {
+        debug_assert!(2 * t <= self.n);
+        self.ln_fact_n - ln_factorial(self.n - 2 * t) - t as f64 * self.ln_pair
+    }
+
+    /// Sample how many interactions the next collision-free batch contains.
+    ///
+    /// Simulates — in expected `O(1)` time — the prefix of the sequential
+    /// schedule up to the first interaction that re-uses an agent: `clean`
+    /// interactions touch `2·clean` pairwise-distinct agents, then (unless the
+    /// caller's `cap` truncates the batch first) one further interaction
+    /// involves at least one agent that already interacted, as described by
+    /// [`Collision`].
+    ///
+    /// `cap` bounds the number of interactions the caller is willing to
+    /// execute in this batch (budget/check-granularity); the returned batch
+    /// satisfies `clean + collision.is_some() as u64 <= cap`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap == 0`.
+    pub fn sample(&self, rng: &mut SmallRng, cap: u64) -> BatchDraw {
+        assert!(cap > 0, "an empty batch is meaningless");
+
+        // Invert the survival function: T = min { t : Q(t) < u } is the index
+        // of the first interaction containing a repeated agent; equivalently,
+        // find the largest t with ln Q(t) >= ln u.
+        let u: f64 = rng.gen();
+        let ln_u = u.max(f64::MIN_POSITIVE).ln();
+
+        // Second-order approximation ln Q(t) ≈ -(2t² - t)/n gives the starting
+        // guess t ≈ (1 + sqrt(1 - 8 n ln u)) / 4; the exact survival function
+        // deviates from it only by O(t³/n²) ~ O(1/√n) at the birthday scale,
+        // so the subsequent exact walk almost always takes 0–2 steps.
+        let nf = self.n as f64;
+        let guess = ((1.0 + (1.0 - 8.0 * nf * ln_u).sqrt()) / 4.0) as u64;
+        let mut t = guess.min(self.t_max);
+        while self.ln_no_collision(t) < ln_u {
+            t -= 1; // terminates: ln Q(0) = 0 >= ln_u
+        }
+        while t < self.t_max && self.ln_no_collision(t + 1) >= ln_u {
+            t += 1;
+        }
+        let first_collision_at = t + 1; // interaction index of the collision
+
+        if first_collision_at > cap {
+            // The whole cap-limited batch is clean; the collision (if any)
+            // lies beyond what we execute now and is resampled fresh next
+            // batch.
+            return BatchDraw {
+                clean: cap,
+                collision: None,
+            };
+        }
+
+        let clean = first_collision_at - 1;
+        let r = 2 * clean; // agents already used when the collision happens
+        debug_assert!(r >= 1, "a collision cannot happen in the first interaction");
+
+        // Conditioned on "interaction clean+1 collides", decide where:
+        //   a = P(initiator is a used agent)                = r/n
+        //   b = P(initiator new, responder used)            = (n-r)/n * r/(n-1)
+        let r_f = r as f64;
+        let a = r_f / nf;
+        let b = (nf - r_f) / nf * r_f / (nf - 1.0);
+        let initiator_used = rng.gen::<f64>() * (a + b) < a;
+        let responder_used = if initiator_used {
+            // Responder is uniform over the n-1 agents other than the
+            // initiator, r-1 of which are used.
+            rng.gen::<f64>() * (nf - 1.0) < r_f - 1.0
+        } else {
+            true
+        };
+        BatchDraw {
+            clean,
+            collision: Some(Collision {
+                initiator_used,
+                responder_used,
+            }),
+        }
+    }
+}
+
+/// One-shot convenience wrapper around [`CollisionSampler`]; prefer holding a
+/// sampler when drawing repeatedly for the same population size.
+///
+/// # Panics
+///
+/// Panics if `n < 2` or `cap == 0`.
+pub fn sample_collision(rng: &mut SmallRng, n: u64, cap: u64) -> BatchDraw {
+    CollisionSampler::new(n).sample(rng, cap)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn ln_gamma_matches_known_values() {
+        // Γ(1) = Γ(2) = 1, Γ(5) = 24, Γ(11) = 10!.
+        assert!(ln_gamma(1.0).abs() < 1e-12);
+        assert!(ln_gamma(2.0).abs() < 1e-12);
+        assert!((ln_gamma(5.0) - 24f64.ln()).abs() < 1e-12);
+        assert!((ln_gamma(11.0) - 3_628_800f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn ln_factorial_is_consistent() {
+        assert_eq!(ln_factorial(0), 0.0);
+        assert_eq!(ln_factorial(1), 0.0);
+        let mut direct = 0.0f64;
+        for n in 2..50u64 {
+            direct += (n as f64).ln();
+            assert!((ln_factorial(n) - direct).abs() < 1e-9, "n = {n}");
+        }
+    }
+
+    #[test]
+    fn hypergeometric_degenerate_cases() {
+        let mut rng = seeded_rng(1);
+        assert_eq!(hypergeometric(&mut rng, 10, 4, 0), 0);
+        assert_eq!(hypergeometric(&mut rng, 10, 0, 7), 0);
+        assert_eq!(hypergeometric(&mut rng, 10, 10, 7), 7);
+        assert_eq!(hypergeometric(&mut rng, 10, 4, 10), 4);
+        // Forced support: drawing 9 of 10 with 4 successes must hit [3, 4].
+        for _ in 0..100 {
+            let k = hypergeometric(&mut rng, 10, 4, 9);
+            assert!((3..=4).contains(&k));
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn hypergeometric_rejects_draws_beyond_population() {
+        let mut rng = seeded_rng(1);
+        let _ = hypergeometric(&mut rng, 10, 4, 11);
+    }
+
+    #[test]
+    fn hypergeometric_mean_and_range_are_correct() {
+        let mut rng = seeded_rng(42);
+        let (total, success, draws) = (1000u64, 300u64, 50u64);
+        let trials = 20_000;
+        let mut sum = 0u64;
+        for _ in 0..trials {
+            let k = hypergeometric(&mut rng, total, success, draws);
+            assert!(k <= draws && k <= success);
+            sum += k;
+        }
+        let mean = sum as f64 / trials as f64;
+        let expected = draws as f64 * success as f64 / total as f64; // 15
+                                                                     // σ ≈ 3.2, standard error ≈ 0.023: a ±0.15 window is ~6σ of the mean.
+        assert!(
+            (mean - expected).abs() < 0.15,
+            "empirical mean {mean:.3} too far from {expected}"
+        );
+    }
+
+    #[test]
+    fn hypergeometric_matches_exact_pmf() {
+        // Chi-squared-style check against exactly computed probabilities.
+        let (total, success, draws) = (30u64, 12u64, 10u64);
+        let mut rng = seeded_rng(7);
+        let trials = 50_000usize;
+        let mut counts = vec![0u32; draws as usize + 1];
+        for _ in 0..trials {
+            counts[hypergeometric(&mut rng, total, success, draws) as usize] += 1;
+        }
+        for k in 0..=draws {
+            let ln_p = ln_choose(success, k.min(success)) + ln_choose(total - success, draws - k)
+                - ln_choose(total, draws);
+            let p = if k <= success && draws - k <= total - success {
+                ln_p.exp()
+            } else {
+                0.0
+            };
+            let expected = p * trials as f64;
+            let got = f64::from(counts[k as usize]);
+            // Allow 5 sigma plus a small absolute slack for tiny bins.
+            let sigma = (expected.max(1.0)).sqrt();
+            assert!(
+                (got - expected).abs() < 5.0 * sigma + 3.0,
+                "k = {k}: got {got}, expected {expected:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_sums_and_bounds() {
+        let mut rng = seeded_rng(3);
+        let counts = vec![5u64, 0, 17, 3, 0, 25];
+        for draws in [0u64, 1, 10, 50] {
+            let mut out = Vec::new();
+            multivariate_hypergeometric(&mut rng, &counts, draws, &mut out);
+            assert_eq!(out.len(), counts.len());
+            assert_eq!(out.iter().sum::<u64>(), draws);
+            for (o, c) in out.iter().zip(&counts) {
+                assert!(o <= c, "class over-drawn: {out:?} from {counts:?}");
+            }
+            assert_eq!(out[1], 0);
+            assert_eq!(out[4], 0);
+        }
+    }
+
+    #[test]
+    fn multivariate_hypergeometric_single_class() {
+        // q = 1: everything must come from the only class.
+        let mut rng = seeded_rng(5);
+        let mut out = Vec::new();
+        multivariate_hypergeometric(&mut rng, &[9], 6, &mut out);
+        assert_eq!(out, vec![6]);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot draw")]
+    fn multivariate_hypergeometric_rejects_overdraw() {
+        let mut rng = seeded_rng(5);
+        let mut out = Vec::new();
+        multivariate_hypergeometric(&mut rng, &[3, 4], 8, &mut out);
+    }
+
+    #[test]
+    fn multivariate_marginals_match_univariate_mean() {
+        let mut rng = seeded_rng(11);
+        let counts = vec![40u64, 60, 100];
+        let draws = 30u64;
+        let trials = 20_000;
+        let mut sums = [0u64; 3];
+        let mut out = Vec::new();
+        for _ in 0..trials {
+            multivariate_hypergeometric(&mut rng, &counts, draws, &mut out);
+            for (s, o) in sums.iter_mut().zip(&out) {
+                *s += o;
+            }
+        }
+        for (i, &c) in counts.iter().enumerate() {
+            let mean = sums[i] as f64 / trials as f64;
+            let expected = draws as f64 * c as f64 / 200.0;
+            assert!(
+                (mean - expected).abs() < 0.2,
+                "class {i}: mean {mean:.2} vs expected {expected:.2}"
+            );
+        }
+    }
+
+    #[test]
+    fn collision_batches_are_capped_and_well_formed() {
+        let mut rng = seeded_rng(17);
+        for &n in &[2u64, 3, 10, 1000] {
+            for _ in 0..200 {
+                let draw = sample_collision(&mut rng, n, 64);
+                let executed = draw.clean + u64::from(draw.collision.is_some());
+                assert!(executed <= 64);
+                assert!(draw.clean <= n / 2);
+                if let Some(c) = draw.collision {
+                    assert!(c.initiator_used || c.responder_used);
+                    assert!(
+                        draw.clean >= 1,
+                        "no collision is possible in the first interaction"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn collision_time_matches_birthday_statistics() {
+        // Each interaction draws two agents, so the first repeated agent
+        // appears after ≈ sqrt(pi n / 2) agent draws, i.e. the first colliding
+        // interaction has index T ≈ sqrt(pi n / 2) / 2 for large n.
+        let n = 10_000u64;
+        let mut rng = seeded_rng(23);
+        let trials = 2_000;
+        let mut total_t = 0u64;
+        for _ in 0..trials {
+            let draw = sample_collision(&mut rng, n, u64::MAX);
+            assert!(
+                draw.collision.is_some(),
+                "uncapped batches must end in a collision"
+            );
+            total_t += draw.clean + 1; // index of the colliding interaction
+        }
+        let mean = total_t as f64 / trials as f64;
+        let expected = (std::f64::consts::PI * n as f64 / 2.0).sqrt() / 2.0; // ≈ 62.7
+        assert!(
+            (mean - expected).abs() < 0.05 * expected,
+            "mean collision index {mean:.1} deviates from birthday expectation {expected:.1}"
+        );
+    }
+
+    #[test]
+    fn tiny_populations_always_terminate() {
+        let mut rng = seeded_rng(29);
+        for _ in 0..500 {
+            let draw = sample_collision(&mut rng, 2, 10);
+            // With n = 2 the single clean interaction uses both agents; the
+            // second interaction always collides.
+            assert!(draw.clean <= 1);
+        }
+    }
+}

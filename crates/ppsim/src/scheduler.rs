@@ -135,7 +135,11 @@ mod tests {
         for _ in 0..20_000 {
             seen.insert(s.next_pair(n, &mut rng));
         }
-        assert_eq!(seen.len(), n * (n - 1), "every ordered pair should eventually appear");
+        assert_eq!(
+            seen.len(),
+            n * (n - 1),
+            "every ordered pair should eventually appear"
+        );
     }
 
     #[test]

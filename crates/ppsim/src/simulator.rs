@@ -19,14 +19,14 @@ use crate::scheduler::{Scheduler, UniformScheduler};
 ///
 /// ```rust
 /// use ppsim::{Protocol, Simulator};
-/// use rand::RngCore;
+/// use rand::rngs::SmallRng;
 ///
 /// struct Epidemic;
 /// impl Protocol for Epidemic {
 ///     type State = u8;
 ///     type Output = u8;
 ///     fn initial_state(&self) -> u8 { 0 }
-///     fn interact(&self, u: &mut u8, v: &mut u8, _rng: &mut dyn RngCore) {
+///     fn interact(&self, u: &mut u8, v: &mut u8, _rng: &mut SmallRng) {
 ///         let m = (*u).max(*v);
 ///         *u = m;
 ///         *v = m;
@@ -69,7 +69,12 @@ impl<P: Protocol, Sch: Scheduler> Simulator<P, Sch> {
     /// # Errors
     ///
     /// Returns [`SimError::PopulationTooSmall`] if `n < 2`.
-    pub fn with_scheduler(protocol: P, n: usize, seed: u64, scheduler: Sch) -> Result<Self, SimError> {
+    pub fn with_scheduler(
+        protocol: P,
+        n: usize,
+        seed: u64,
+        scheduler: Sch,
+    ) -> Result<Self, SimError> {
         if n < 2 {
             return Err(SimError::PopulationTooSmall { n });
         }
@@ -116,9 +121,24 @@ impl<P: Protocol, Sch: Scheduler> Simulator<P, Sch> {
     }
 
     /// Current outputs of all agents.
+    ///
+    /// Allocates a fresh `Vec`; in hot paths (per-check predicates) prefer
+    /// [`outputs_iter`](Simulator::outputs_iter), which is allocation-free, or
+    /// [`outputs_into`](Simulator::outputs_into) with a reused buffer.
     #[must_use]
     pub fn outputs(&self) -> Vec<P::Output> {
-        self.states.iter().map(|s| self.protocol.output(s)).collect()
+        self.outputs_iter().collect()
+    }
+
+    /// Iterate over the agents' current outputs without allocating.
+    pub fn outputs_iter(&self) -> impl Iterator<Item = P::Output> + '_ {
+        self.states.iter().map(|s| self.protocol.output(s))
+    }
+
+    /// Write the agents' current outputs into `buf`, reusing its capacity.
+    pub fn outputs_into(&self, buf: &mut Vec<P::Output>) {
+        buf.clear();
+        buf.extend(self.outputs_iter());
     }
 
     /// Output histogram of the current configuration.
@@ -159,22 +179,33 @@ impl<P: Protocol, Sch: Scheduler> Simulator<P, Sch> {
     /// which the predicate held.  For the monotone "done"-flag predicates exposed by
     /// the counting protocols this equals the convergence time up to the check
     /// granularity.
-    pub fn run_until<F>(&mut self, mut pred: F, check_every: u64, max_interactions: u64) -> RunOutcome
+    pub fn run_until<F>(
+        &mut self,
+        mut pred: F,
+        check_every: u64,
+        max_interactions: u64,
+    ) -> RunOutcome
     where
         F: FnMut(&Self) -> bool,
     {
         let check_every = check_every.max(1);
         if pred(self) {
-            return RunOutcome::Converged { interactions: self.interactions };
+            return RunOutcome::Converged {
+                interactions: self.interactions,
+            };
         }
         while self.interactions < max_interactions {
             let chunk = check_every.min(max_interactions - self.interactions);
             self.run(chunk);
             if pred(self) {
-                return RunOutcome::Converged { interactions: self.interactions };
+                return RunOutcome::Converged {
+                    interactions: self.interactions,
+                };
             }
         }
-        RunOutcome::Exhausted { budget: max_interactions }
+        RunOutcome::Exhausted {
+            budget: max_interactions,
+        }
     }
 
     /// Run until `pred` holds, invoking `observer` after every check interval.
@@ -196,17 +227,23 @@ impl<P: Protocol, Sch: Scheduler> Simulator<P, Sch> {
         let check_every = check_every.max(1);
         observer(self);
         if pred(self) {
-            return RunOutcome::Converged { interactions: self.interactions };
+            return RunOutcome::Converged {
+                interactions: self.interactions,
+            };
         }
         while self.interactions < max_interactions {
             let chunk = check_every.min(max_interactions - self.interactions);
             self.run(chunk);
             observer(self);
             if pred(self) {
-                return RunOutcome::Converged { interactions: self.interactions };
+                return RunOutcome::Converged {
+                    interactions: self.interactions,
+                };
             }
         }
-        RunOutcome::Exhausted { budget: max_interactions }
+        RunOutcome::Exhausted {
+            budget: max_interactions,
+        }
     }
 
     /// Consume the simulator and return the final configuration.
@@ -219,7 +256,7 @@ impl<P: Protocol, Sch: Scheduler> Simulator<P, Sch> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::RngCore;
+    use rand::rngs::SmallRng;
 
     #[derive(Debug, Clone, Copy)]
     struct MaxBroadcast;
@@ -230,7 +267,7 @@ mod tests {
         fn initial_state(&self) -> u32 {
             0
         }
-        fn interact(&self, u: &mut u32, v: &mut u32, _rng: &mut dyn RngCore) {
+        fn interact(&self, u: &mut u32, v: &mut u32, _rng: &mut SmallRng) {
             let m = (*u).max(*v);
             *u = m;
             *v = m;
@@ -268,11 +305,7 @@ mod tests {
         let n = 200;
         let mut sim = Simulator::new(MaxBroadcast, n, 5).unwrap();
         sim.states_mut()[7] = 42;
-        let outcome = sim.run_until(
-            |s| s.states().iter().all(|&x| x == 42),
-            n as u64,
-            5_000_000,
-        );
+        let outcome = sim.run_until(|s| s.states().iter().all(|&x| x == 42), n as u64, 5_000_000);
         let t = outcome.expect_converged("broadcast");
         // Broadcast needs at least n-1 informing interactions.
         assert!(t >= (n as u64) - 1);
@@ -330,7 +363,10 @@ mod tests {
             1_000_000,
         );
         assert!(checkpoints.windows(2).all(|w| w[0] <= w[1]));
-        assert_eq!(checkpoints[0], 0, "observer is called before the first step");
+        assert_eq!(
+            checkpoints[0], 0,
+            "observer is called before the first step"
+        );
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Property-based tests for the simulation engine.
 
 use proptest::prelude::*;
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
 use ppsim::scheduler::{AllPairsScheduler, Scheduler, UniformScheduler};
 use ppsim::{derive_seed, seeded_rng, Protocol, Simulator, StateSpaceTracker};
@@ -17,7 +17,7 @@ impl Protocol for TokenDrift {
     fn initial_state(&self) -> u64 {
         1
     }
-    fn interact(&self, u: &mut u64, v: &mut u64, _rng: &mut dyn RngCore) {
+    fn interact(&self, u: &mut u64, v: &mut u64, _rng: &mut SmallRng) {
         if *v > 0 {
             *v -= 1;
             *u += 1;

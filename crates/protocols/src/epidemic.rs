@@ -13,7 +13,7 @@
 //! paper apply it to both agents (e.g. Algorithm 1 line 16 sets both `k_u` and `k_v`
 //! to the maximum), which can only be faster.  Both variants are provided.
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
 use ppsim::Protocol;
 
@@ -79,7 +79,7 @@ impl Protocol for OneWayEpidemic {
         0
     }
 
-    fn interact(&self, initiator: &mut u64, responder: &mut u64, _rng: &mut dyn RngCore) {
+    fn interact(&self, initiator: &mut u64, responder: &mut u64, _rng: &mut SmallRng) {
         // One-way: δ(u, v) = (max{u, v}, v).
         if *responder > *initiator {
             *initiator = *responder;
@@ -95,10 +95,63 @@ impl Protocol for OneWayEpidemic {
     }
 }
 
+/// The one-way epidemic over the binary state space `{susceptible, informed}`,
+/// enumerated for the batched count-based engine
+/// ([`BatchedSimulator`](ppsim::BatchedSimulator)).
+///
+/// State `0` is susceptible, state `1` informed; the transition is the faithful
+/// one-way rule `δ(u, v) = (max{u, v}, v)` of Lemma 3.  This is the protocol
+/// the engine benchmarks use at `n = 10⁶` and beyond: `q = 2`, so a whole
+/// collision-free batch of `Θ(√n)` interactions costs a handful of
+/// hypergeometric draws.
+///
+/// Plant the rumour with
+/// [`BatchedSimulator::transfer`](ppsim::BatchedSimulator::transfer):
+///
+/// ```rust
+/// use ppproto::DenseEpidemic;
+/// use ppsim::BatchedSimulator;
+///
+/// # fn main() -> Result<(), ppsim::SimError> {
+/// let mut sim = BatchedSimulator::new(DenseEpidemic, 10_000, 1)?;
+/// sim.transfer(0, 1, 1)?;
+/// let outcome = sim.run_until(|s| s.count_of(1) == s.population(), 10_000, u64::MAX);
+/// assert!(outcome.converged());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct DenseEpidemic;
+
+impl ppsim::DenseProtocol for DenseEpidemic {
+    type Output = bool;
+
+    fn num_states(&self) -> usize {
+        2
+    }
+
+    fn initial_state(&self) -> usize {
+        0
+    }
+
+    fn transition(&self, initiator: usize, responder: usize) -> (usize, usize) {
+        // One-way: δ(u, v) = (max{u, v}, v).
+        (initiator.max(responder), responder)
+    }
+
+    fn output(&self, state: usize) -> bool {
+        state == 1
+    }
+
+    fn name(&self) -> &'static str {
+        "dense-epidemic"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppsim::{seeded_rng, Simulator};
+    use ppsim::{seeded_rng, BatchedSimulator, DenseProtocol, Simulator};
 
     #[test]
     fn max_broadcast_is_symmetric_and_idempotent() {
@@ -152,7 +205,39 @@ mod tests {
         // should comfortably finish within ~8 n ln n interactions at this size.
         let n_f = n as f64;
         assert!(t >= (n as u64) - 1);
-        assert!((t as f64) < 8.0 * n_f * n_f.ln(), "broadcast took {t} interactions");
+        assert!(
+            (t as f64) < 8.0 * n_f * n_f.ln(),
+            "broadcast took {t} interactions"
+        );
+    }
+
+    #[test]
+    fn dense_epidemic_mirrors_the_one_way_rule() {
+        let d = DenseEpidemic;
+        assert_eq!(d.num_states(), 2);
+        assert_eq!(d.initial_state(), 0);
+        // Same truth table as OneWayEpidemic restricted to {0, 1}.
+        assert_eq!(d.transition(0, 0), (0, 0));
+        assert_eq!(d.transition(0, 1), (1, 1), "the initiator learns");
+        assert_eq!(d.transition(1, 0), (1, 0), "the responder does not");
+        assert_eq!(d.transition(1, 1), (1, 1));
+        assert!(!d.output(0));
+        assert!(d.output(1));
+    }
+
+    #[test]
+    fn dense_epidemic_converges_on_the_batched_engine() {
+        let n = 50_000u64;
+        let mut sim = BatchedSimulator::new(DenseEpidemic, n as usize, 9).unwrap();
+        sim.transfer(0, 1, 1).unwrap();
+        let outcome = sim.run_until(|s| s.count_of(1) == n, n, u64::MAX >> 1);
+        let t = outcome.expect_converged("dense epidemic");
+        let nf = n as f64;
+        assert!(t >= n - 1);
+        assert!(
+            (t as f64) < 8.0 * nf * nf.ln(),
+            "broadcast took {t} interactions"
+        );
     }
 
     #[test]

@@ -17,7 +17,7 @@
 //! There is always at least one contender (the maximum-value holder never drops
 //! out); w.h.p. exactly one remains when `leaderDone` is raised.
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
 use ppsim::Protocol;
 
@@ -41,7 +41,10 @@ pub struct FastLeaderElectionConfig {
 
 impl Default for FastLeaderElectionConfig {
     fn default() -> Self {
-        FastLeaderElectionConfig { level_offset: 2, total_phases: 32 }
+        FastLeaderElectionConfig {
+            level_offset: 2,
+            total_phases: 32,
+        }
     }
 }
 
@@ -50,7 +53,10 @@ impl FastLeaderElectionConfig {
     /// `2¹³` phases.
     #[must_use]
     pub fn paper() -> Self {
-        FastLeaderElectionConfig { level_offset: 8, total_phases: 1 << 13 }
+        FastLeaderElectionConfig {
+            level_offset: 8,
+            total_phases: 1 << 13,
+        }
     }
 
     /// Number of random bits a contender samples per even phase, given its junta
@@ -157,7 +163,7 @@ impl FastLeaderElection {
         // lazily when the round tag is out of date (Algorithm 8 resets at the
         // firstTick — the lazy reset is equivalent but does not depend on the
         // partner being synchronised).
-        if u_phase % 2 == 0 {
+        if u_phase.is_multiple_of(2) {
             if u.round != u_phase {
                 u.value = 0;
                 u.bits_sampled = 0;
@@ -243,7 +249,10 @@ impl FastLeaderElectionProtocol {
 
 impl Default for FastLeaderElectionProtocol {
     fn default() -> Self {
-        Self::new(PhaseClock::DEFAULT_HOURS, FastLeaderElectionConfig::default())
+        Self::new(
+            PhaseClock::DEFAULT_HOURS,
+            FastLeaderElectionConfig::default(),
+        )
     }
 }
 
@@ -259,7 +268,7 @@ impl Protocol for FastLeaderElectionProtocol {
         &self,
         initiator: &mut FastLeaderAgent,
         responder: &mut FastLeaderAgent,
-        _rng: &mut dyn RngCore,
+        _rng: &mut SmallRng,
     ) {
         let outcome = sync_interact(&self.clock, &mut initiator.sync, &mut responder.sync);
         if outcome.u_reset {
@@ -299,7 +308,10 @@ mod tests {
 
     #[test]
     fn bits_per_phase_follow_the_junta_level() {
-        let cfg = FastLeaderElectionConfig { level_offset: 2, total_phases: 32 };
+        let cfg = FastLeaderElectionConfig {
+            level_offset: 2,
+            total_phases: 32,
+        };
         assert_eq!(cfg.bits_for_level(2), 1);
         assert_eq!(cfg.bits_for_level(3), 2);
         assert_eq!(cfg.bits_for_level(4), 4);
@@ -327,7 +339,10 @@ mod tests {
         assert_eq!(u.bits_sampled, 1);
         assert_eq!(u.value, 1);
 
-        let mut f = FastLeaderState { contender: false, ..FastLeaderState::new() };
+        let mut f = FastLeaderState {
+            contender: false,
+            ..FastLeaderState::new()
+        };
         let mut w = FastLeaderState::new();
         fle.interact(&mut f, &mut w, true, 2, 2, 4, 4);
         assert_eq!(f.bits_sampled, 0, "followers do not sample");
@@ -336,12 +351,23 @@ mod tests {
     #[test]
     fn odd_phase_comparison_kills_the_smaller_value() {
         let fle = FastLeaderElection::default();
-        let mut u = FastLeaderState { value: 3, round: 2, ..FastLeaderState::new() };
-        let mut v = FastLeaderState { value: 9, round: 2, ..FastLeaderState::new() };
+        let mut u = FastLeaderState {
+            value: 3,
+            round: 2,
+            ..FastLeaderState::new()
+        };
+        let mut v = FastLeaderState {
+            value: 9,
+            round: 2,
+            ..FastLeaderState::new()
+        };
         fle.interact(&mut u, &mut v, false, 3, 3, 4, 4);
         assert!(!u.contender);
         assert!(v.contender);
-        assert_eq!(u.value, 9, "the larger value is adopted for further broadcasting");
+        assert_eq!(
+            u.value, 9,
+            "the larger value is adopted for further broadcasting"
+        );
     }
 
     #[test]
@@ -349,10 +375,21 @@ mod tests {
         let fle = FastLeaderElection::default();
         // The partner carries a larger value, but from an older round: it must be
         // adopted for broadcasting without eliminating the fresh contender.
-        let mut u = FastLeaderState { value: 3, round: 2, ..FastLeaderState::new() };
-        let mut v = FastLeaderState { value: 9, round: 0, ..FastLeaderState::new() };
+        let mut u = FastLeaderState {
+            value: 3,
+            round: 2,
+            ..FastLeaderState::new()
+        };
+        let mut v = FastLeaderState {
+            value: 9,
+            round: 0,
+            ..FastLeaderState::new()
+        };
         fle.interact(&mut u, &mut v, false, 3, 3, 4, 4);
-        assert!(u.contender, "a stale value must not eliminate a fresh contender");
+        assert!(
+            u.contender,
+            "a stale value must not eliminate a fresh contender"
+        );
         assert!(v.contender);
         assert_eq!(v.value, 3, "the stale agent adopts the fresh value");
         assert_eq!(v.round, 2);
@@ -361,8 +398,14 @@ mod tests {
     #[test]
     fn mismatched_phases_do_nothing() {
         let fle = FastLeaderElection::default();
-        let mut u = FastLeaderState { value: 3, ..FastLeaderState::new() };
-        let mut v = FastLeaderState { value: 9, ..FastLeaderState::new() };
+        let mut u = FastLeaderState {
+            value: 3,
+            ..FastLeaderState::new()
+        };
+        let mut v = FastLeaderState {
+            value: 9,
+            ..FastLeaderState::new()
+        };
         fle.interact(&mut u, &mut v, false, 3, 4, 4, 4);
         assert!(u.contender && v.contender);
         assert_eq!(u.value, 3);
@@ -370,7 +413,10 @@ mod tests {
 
     #[test]
     fn done_is_raised_after_the_configured_number_of_phases_and_spreads() {
-        let fle = FastLeaderElection::new(FastLeaderElectionConfig { level_offset: 2, total_phases: 6 });
+        let fle = FastLeaderElection::new(FastLeaderElectionConfig {
+            level_offset: 2,
+            total_phases: 6,
+        });
         let mut u = FastLeaderState::new();
         let mut v = FastLeaderState::new();
         fle.interact(&mut u, &mut v, true, 6, 6, 4, 4);
@@ -383,7 +429,10 @@ mod tests {
         let n = 800usize;
         let proto = FastLeaderElectionProtocol::new(
             16,
-            FastLeaderElectionConfig { level_offset: 2, total_phases: 32 },
+            FastLeaderElectionConfig {
+                level_offset: 2,
+                total_phases: 32,
+            },
         );
         let mut sim = Simulator::new(proto, n, 2024).unwrap();
         let outcome = sim.run_until(

@@ -20,7 +20,7 @@
 //! composed protocols use that belief to drive phase clocks and re-initialise
 //! themselves whenever they meet an agent on a higher level (Algorithm 2/3, line 1).
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
 use ppsim::Protocol;
 
@@ -40,7 +40,11 @@ impl JuntaState {
     /// The common initial state `(0, 1, 1)`.
     #[must_use]
     pub fn new() -> Self {
-        JuntaState { level: 0, active: true, junta: true }
+        JuntaState {
+            level: 0,
+            active: true,
+            junta: true,
+        }
     }
 }
 
@@ -134,7 +138,12 @@ impl Protocol for JuntaProtocol {
         JuntaState::new()
     }
 
-    fn interact(&self, initiator: &mut JuntaState, responder: &mut JuntaState, _rng: &mut dyn RngCore) {
+    fn interact(
+        &self,
+        initiator: &mut JuntaState,
+        responder: &mut JuntaState,
+        _rng: &mut SmallRng,
+    ) {
         junta_interact(initiator, responder);
     }
 
@@ -147,10 +156,137 @@ impl Protocol for JuntaProtocol {
     }
 }
 
+/// The junta process over an enumerated state space, for the batched
+/// count-based engine ([`BatchedSimulator`](ppsim::BatchedSimulator)).
+///
+/// A [`JuntaState`] `(level, active, junta)` is encoded as the dense index
+/// `(level · 2 + active) · 2 + junta`, with levels capped at `max_level`, so
+/// `q = 4 · (max_level + 1)`.  The transition is exactly [`junta_interact`]
+/// as long as no agent would exceed `max_level`; at the cap the level
+/// saturates.  Lemma 4 bounds the maximal level by `log₂ log₂ n + 8` w.h.p.,
+/// so the default cap of [`DenseJunta::DEFAULT_MAX_LEVEL`] is unreachable for
+/// any physically simulable population and the dense process is
+/// indistinguishable from the sequential one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseJunta {
+    max_level: u8,
+}
+
+impl DenseJunta {
+    /// Default level cap: `log₂ log₂ n + 8 < 14` for every `n ≤ 2^(2^6)`.
+    pub const DEFAULT_MAX_LEVEL: u8 = 15;
+
+    /// Create the dense junta process with the default level cap.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::with_max_level(Self::DEFAULT_MAX_LEVEL)
+    }
+
+    /// Create the dense junta process with an explicit level cap.
+    #[must_use]
+    pub fn with_max_level(max_level: u8) -> Self {
+        DenseJunta { max_level }
+    }
+
+    /// The level cap.
+    #[must_use]
+    pub fn max_level(&self) -> u8 {
+        self.max_level
+    }
+
+    /// Decode a dense index into a [`JuntaState`].
+    #[must_use]
+    pub fn decode(&self, index: usize) -> JuntaState {
+        JuntaState {
+            level: (index >> 2) as u8,
+            active: index & 0b10 != 0,
+            junta: index & 0b01 != 0,
+        }
+    }
+
+    /// Encode a [`JuntaState`] as a dense index, saturating the level at the
+    /// cap.
+    #[must_use]
+    pub fn encode(&self, state: JuntaState) -> usize {
+        let level = state.level.min(self.max_level) as usize;
+        (level << 2) | (usize::from(state.active) << 1) | usize::from(state.junta)
+    }
+}
+
+impl Default for DenseJunta {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ppsim::DenseProtocol for DenseJunta {
+    type Output = u8;
+
+    fn num_states(&self) -> usize {
+        4 * (usize::from(self.max_level) + 1)
+    }
+
+    fn initial_state(&self) -> usize {
+        self.encode(JuntaState::new())
+    }
+
+    fn transition(&self, initiator: usize, responder: usize) -> (usize, usize) {
+        let mut u = self.decode(initiator);
+        let mut v = self.decode(responder);
+        junta_interact(&mut u, &mut v);
+        (self.encode(u), self.encode(v))
+    }
+
+    fn output(&self, state: usize) -> u8 {
+        self.decode(state).level
+    }
+
+    fn name(&self) -> &'static str {
+        "dense-junta-process"
+    }
+}
+
+/// The maximum level present in a counts configuration of [`DenseJunta`].
+#[must_use]
+pub fn dense_max_level(protocol: &DenseJunta, counts: &[u64]) -> u8 {
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(_, &c)| c > 0)
+        .map(|(s, _)| protocol.decode(s).level)
+        .max()
+        .unwrap_or(0)
+}
+
+/// The junta size (agents on the maximal level still believing they belong to
+/// the junta) in a counts configuration of [`DenseJunta`].
+#[must_use]
+pub fn dense_junta_size(protocol: &DenseJunta, counts: &[u64]) -> u64 {
+    let top = dense_max_level(protocol, counts);
+    counts
+        .iter()
+        .enumerate()
+        .filter(|(s, _)| {
+            let st = protocol.decode(*s);
+            st.junta && st.level == top
+        })
+        .map(|(_, &c)| c)
+        .sum()
+}
+
+/// Whether every agent is inactive in a counts configuration of [`DenseJunta`].
+#[must_use]
+pub fn dense_all_inactive(protocol: &DenseJunta, counts: &[u64]) -> bool {
+    counts
+        .iter()
+        .enumerate()
+        .all(|(s, &c)| c == 0 || !protocol.decode(s).active)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppsim::Simulator;
+    use ppsim::{BatchedSimulator, DenseProtocol, Simulator};
 
     #[test]
     fn two_active_same_level_agents_advance() {
@@ -165,12 +301,26 @@ mod tests {
 
     #[test]
     fn active_agent_meeting_different_level_becomes_inactive() {
-        let mut u = JuntaState { level: 2, active: true, junta: true };
-        let mut v = JuntaState { level: 5, active: true, junta: true };
+        let mut u = JuntaState {
+            level: 2,
+            active: true,
+            junta: true,
+        };
+        let mut v = JuntaState {
+            level: 5,
+            active: true,
+            junta: true,
+        };
         junta_interact(&mut u, &mut v);
         assert!(!u.active, "lower-level active agent must become inactive");
-        assert!(!v.active, "the higher-level agent saw a non-matching partner and also stops");
-        assert!(!u.junta, "the lower agent saw a higher level and leaves the junta");
+        assert!(
+            !v.active,
+            "the higher-level agent saw a non-matching partner and also stops"
+        );
+        assert!(
+            !u.junta,
+            "the lower agent saw a higher level and leaves the junta"
+        );
         assert!(v.junta, "the higher agent keeps its junta bit");
         assert_eq!(u.level, 2, "an active agent does not adopt levels");
         assert_eq!(v.level, 5);
@@ -178,8 +328,16 @@ mod tests {
 
     #[test]
     fn active_agent_meeting_inactive_same_level_becomes_inactive() {
-        let mut u = JuntaState { level: 3, active: true, junta: true };
-        let mut v = JuntaState { level: 3, active: false, junta: false };
+        let mut u = JuntaState {
+            level: 3,
+            active: true,
+            junta: true,
+        };
+        let mut v = JuntaState {
+            level: 3,
+            active: false,
+            junta: false,
+        };
         junta_interact(&mut u, &mut v);
         assert!(!u.active);
         assert_eq!(u.level, 3);
@@ -188,8 +346,16 @@ mod tests {
 
     #[test]
     fn inactive_agent_adopts_higher_level_and_leaves_junta() {
-        let mut u = JuntaState { level: 1, active: false, junta: true };
-        let mut v = JuntaState { level: 4, active: false, junta: true };
+        let mut u = JuntaState {
+            level: 1,
+            active: false,
+            junta: true,
+        };
+        let mut v = JuntaState {
+            level: 4,
+            active: false,
+            junta: true,
+        };
         junta_interact(&mut u, &mut v);
         assert_eq!(u.level, 4);
         assert!(!u.junta);
@@ -199,8 +365,16 @@ mod tests {
 
     #[test]
     fn levels_never_decrease() {
-        let mut u = JuntaState { level: 6, active: false, junta: false };
-        let mut v = JuntaState { level: 2, active: false, junta: false };
+        let mut u = JuntaState {
+            level: 6,
+            active: false,
+            junta: false,
+        };
+        let mut v = JuntaState {
+            level: 2,
+            active: false,
+            junta: false,
+        };
         junta_interact(&mut u, &mut v);
         assert_eq!(u.level, 6);
         assert!(v.level >= 2);
@@ -211,11 +385,7 @@ mod tests {
         // Lemma 4 at a concrete size: n = 2000, log2 log2 n ≈ 3.46.
         let n = 2000usize;
         let mut sim = Simulator::new(JuntaProtocol::new(), n, 99).unwrap();
-        let outcome = sim.run_until(
-            |s| all_inactive(s.states()),
-            n as u64,
-            200_000_000,
-        );
+        let outcome = sim.run_until(|s| all_inactive(s.states()), n as u64, 200_000_000);
         let t = outcome.expect_converged("junta process");
         let n_f = n as f64;
         assert!(
@@ -231,6 +401,61 @@ mod tests {
         );
 
         let junta = junta_size(sim.states());
+        assert!(junta >= 1, "the junta must never be empty");
+        assert!(
+            (junta as f64) <= 4.0 * n_f.sqrt() * n_f.log2(),
+            "junta of size {junta} is larger than O(sqrt(n) log n) suggests"
+        );
+    }
+
+    #[test]
+    fn dense_encoding_roundtrips_and_matches_the_component() {
+        let d = DenseJunta::new();
+        for index in 0..d.num_states() {
+            assert_eq!(d.encode(d.decode(index)), index, "roundtrip at {index}");
+        }
+        // The dense transition is junta_interact under the encoding for every
+        // state pair below the cap.
+        for i in 0..d.num_states() {
+            for j in 0..d.num_states() {
+                let (a, b) = d.transition(i, j);
+                let mut u = d.decode(i);
+                let mut v = d.decode(j);
+                junta_interact(&mut u, &mut v);
+                assert_eq!(d.decode(a).level, u.level.min(d.max_level()));
+                assert_eq!(d.decode(a).active, u.active);
+                assert_eq!(d.decode(a).junta, u.junta);
+                assert_eq!(d.decode(b).level, v.level.min(d.max_level()));
+            }
+        }
+    }
+
+    #[test]
+    fn dense_junta_satisfies_lemma_4_on_the_batched_engine() {
+        // The batched analogue of junta_process_stabilises_with_small_junta.
+        let n = 20_000u64;
+        let d = DenseJunta::new();
+        let mut sim = BatchedSimulator::new(d, n as usize, 99).unwrap();
+        let outcome = sim.run_until(
+            |s| dense_all_inactive(s.protocol(), s.counts()),
+            n,
+            u64::MAX >> 1,
+        );
+        let t = outcome.expect_converged("dense junta process");
+        let n_f = n as f64;
+        assert!(
+            (t as f64) < 40.0 * n_f * n_f.ln(),
+            "junta took suspiciously long to stabilise: {t} interactions"
+        );
+
+        let top = dense_max_level(sim.protocol(), sim.counts());
+        let loglog = n_f.log2().log2();
+        assert!(
+            f64::from(top) >= loglog - 4.0 && f64::from(top) <= loglog + 8.0,
+            "maximal level {top} outside Lemma 4 band around log log n = {loglog:.2}"
+        );
+
+        let junta = dense_junta_size(sim.protocol(), sim.counts());
         assert!(junta >= 1, "the junta must never be empty");
         assert!(
             (junta as f64) <= 4.0 * n_f.sqrt() * n_f.log2(),

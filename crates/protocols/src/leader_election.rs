@@ -21,7 +21,7 @@
 //! [`LeaderElectionProtocol`] that bundles the synchronisation base for validating
 //! Lemma 6 in isolation (experiment E04).
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
 use ppsim::Protocol;
 
@@ -106,7 +106,9 @@ impl LeaderElection {
     /// Create the component from its configuration.
     #[must_use]
     pub fn new(config: LeaderElectionConfig) -> Self {
-        LeaderElection { outer_clock: PhaseClock::new(config.outer_hours) }
+        LeaderElection {
+            outer_clock: PhaseClock::new(config.outer_hours),
+        }
     }
 
     /// Apply one interaction of the leader-election component.
@@ -151,7 +153,8 @@ impl LeaderElection {
 
             // One step of the outer phase clock per inner phase.
             if same_level {
-                self.outer_clock.interact(&mut u.outer, u_junta, &mut v.outer, v_junta);
+                self.outer_clock
+                    .interact(&mut u.outer, u_junta, &mut v.outer, v_junta);
             }
             if u.outer.phase >= 1 {
                 u.done = true;
@@ -249,7 +252,7 @@ impl Protocol for LeaderElectionProtocol {
         &self,
         initiator: &mut LeaderElectionAgent,
         responder: &mut LeaderElectionAgent,
-        _rng: &mut dyn RngCore,
+        _rng: &mut SmallRng,
     ) {
         let outcome = sync_interact(&self.inner_clock, &mut initiator.sync, &mut responder.sync);
         if outcome.u_reset {
@@ -312,19 +315,33 @@ mod tests {
     fn tails_contender_dies_only_when_heads_was_seen() {
         let le = LeaderElection::default();
         // Contender that drew 0 and saw heads: becomes a follower at its next tick.
-        let mut u = LeaderState { bit: false, heads_seen: true, heads_parity: false, ..LeaderState::new() };
+        let mut u = LeaderState {
+            bit: false,
+            heads_seen: true,
+            heads_parity: false,
+            ..LeaderState::new()
+        };
         let mut v = LeaderState::new();
         le.interact(&mut u, &mut v, true, 1, 1, 0, 0, false, false);
         assert!(!u.contender);
 
         // Contender that drew 1: survives even if heads was seen.
-        let mut u = LeaderState { bit: true, heads_seen: true, heads_parity: false, ..LeaderState::new() };
+        let mut u = LeaderState {
+            bit: true,
+            heads_seen: true,
+            heads_parity: false,
+            ..LeaderState::new()
+        };
         let mut v = LeaderState::new();
         le.interact(&mut u, &mut v, true, 1, 1, 0, 0, false, false);
         assert!(u.contender);
 
         // Contender that drew 0 but heads was never seen: survives.
-        let mut u = LeaderState { bit: false, heads_seen: false, ..LeaderState::new() };
+        let mut u = LeaderState {
+            bit: false,
+            heads_seen: false,
+            ..LeaderState::new()
+        };
         let mut v = LeaderState::new();
         le.interact(&mut u, &mut v, true, 1, 1, 0, 0, false, false);
         assert!(u.contender);
@@ -336,13 +353,21 @@ mod tests {
         // Partner carries a heads flag for parity 1 while we are in a parity-0 phase:
         // the flag must not be adopted.
         let mut u = LeaderState::new();
-        let mut v = LeaderState { heads_seen: true, heads_parity: true, ..LeaderState::new() };
+        let mut v = LeaderState {
+            heads_seen: true,
+            heads_parity: true,
+            ..LeaderState::new()
+        };
         le.interact(&mut u, &mut v, false, 2, 2, 0, 0, false, false);
         assert!(!u.heads_seen);
 
         // Matching parity: the flag is adopted.
         let mut u = LeaderState::new();
-        let mut v = LeaderState { heads_seen: true, heads_parity: true, ..LeaderState::new() };
+        let mut v = LeaderState {
+            heads_seen: true,
+            heads_parity: true,
+            ..LeaderState::new()
+        };
         le.interact(&mut u, &mut v, false, 3, 3, 0, 0, false, false);
         assert!(u.heads_seen);
         assert!(u.heads_parity);
@@ -352,7 +377,10 @@ mod tests {
     fn done_flag_spreads_by_epidemic() {
         let le = LeaderElection::default();
         let mut u = LeaderState::new();
-        let mut v = LeaderState { done: true, ..LeaderState::new() };
+        let mut v = LeaderState {
+            done: true,
+            ..LeaderState::new()
+        };
         le.interact(&mut u, &mut v, false, 0, 0, 0, 0, false, false);
         assert!(u.done);
     }
@@ -369,11 +397,7 @@ mod tests {
             budget,
         );
         assert!(outcome.converged(), "leader election did not finish");
-        let leaders = sim
-            .states()
-            .iter()
-            .filter(|a| a.election.contender)
-            .count();
+        let leaders = sim.states().iter().filter(|a| a.election.contender).count();
         assert_eq!(leaders, 1, "expected a unique leader, found {leaders}");
     }
 
@@ -384,11 +408,7 @@ mod tests {
         let mut sim = Simulator::new(proto, n, 9).unwrap();
         for _ in 0..100 {
             sim.run(20_000);
-            let contenders = sim
-                .states()
-                .iter()
-                .filter(|a| a.election.contender)
-                .count();
+            let contenders = sim.states().iter().filter(|a| a.election.contender).count();
             assert!(contenders >= 1, "the contender set must never become empty");
         }
     }

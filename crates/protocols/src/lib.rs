@@ -33,21 +33,25 @@ pub mod load_balancing;
 pub mod phase_clock;
 pub mod synthetic_coin;
 
-pub use epidemic::{max_broadcast, or_broadcast, OneWayEpidemic};
+pub use epidemic::{max_broadcast, or_broadcast, DenseEpidemic, OneWayEpidemic};
 pub use fast_leader_election::{
     FastLeaderAgent, FastLeaderElection, FastLeaderElectionConfig, FastLeaderElectionProtocol,
     FastLeaderState,
 };
-pub use junta::{all_inactive, junta_interact, junta_size, max_level, JuntaProtocol, JuntaState};
+pub use junta::{
+    all_inactive, dense_all_inactive, dense_junta_size, dense_max_level, junta_interact,
+    junta_size, max_level, DenseJunta, JuntaProtocol, JuntaState,
+};
 pub use leader_election::{
     contender_count, LeaderElection, LeaderElectionAgent, LeaderElectionConfig,
     LeaderElectionProtocol, LeaderState,
 };
 pub use load_balancing::{
-    po2_balance, po2_total_tokens, split_evenly, ClassicalLoadBalancing,
-    PowersOfTwoLoadBalancing, EMPTY_LOAD,
+    po2_balance, po2_total_tokens, split_evenly, ClassicalLoadBalancing, PowersOfTwoLoadBalancing,
+    EMPTY_LOAD,
 };
 pub use phase_clock::{
-    sync_interact, PhaseClock, PhaseClockState, SyncOutcome, SyncState, SynchronizedClockProtocol,
+    sync_interact, DenseSyncClock, PhaseClock, PhaseClockState, SyncOutcome, SyncState,
+    SynchronizedClockProtocol,
 };
 pub use synthetic_coin::{coin_interact, CoinMode, CoinState};

@@ -13,7 +13,7 @@
 //!   others are empty, then after `16 n log n` interactions the maximum logarithmic
 //!   load is `0` w.h.p. (every non-empty agent holds exactly one token).
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
 use ppsim::Protocol;
 
@@ -102,7 +102,7 @@ impl Protocol for ClassicalLoadBalancing {
         0
     }
 
-    fn interact(&self, initiator: &mut u64, responder: &mut u64, _rng: &mut dyn RngCore) {
+    fn interact(&self, initiator: &mut u64, responder: &mut u64, _rng: &mut SmallRng) {
         split_evenly(initiator, responder);
     }
 
@@ -139,7 +139,7 @@ impl Protocol for PowersOfTwoLoadBalancing {
         EMPTY_LOAD
     }
 
-    fn interact(&self, initiator: &mut i32, responder: &mut i32, _rng: &mut dyn RngCore) {
+    fn interact(&self, initiator: &mut i32, responder: &mut i32, _rng: &mut SmallRng) {
         po2_balance(initiator, responder);
     }
 
@@ -260,7 +260,11 @@ mod tests {
             outcome.converged(),
             "powers-of-two balancing did not finish within the Lemma 8 budget of {budget}"
         );
-        assert_eq!(po2_total_tokens(sim.states()), 1u128 << kappa, "tokens conserved");
+        assert_eq!(
+            po2_total_tokens(sim.states()),
+            1u128 << kappa,
+            "tokens conserved"
+        );
     }
 
     #[test]

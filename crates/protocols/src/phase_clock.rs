@@ -21,7 +21,7 @@
 //! next time the agent *initiates* an interaction (the paper's special per-phase
 //! actions are guarded by `firstTick_u` of the initiator).
 
-use rand::RngCore;
+use rand::rngs::SmallRng;
 
 use ppsim::Protocol;
 
@@ -49,7 +49,11 @@ impl PhaseClockState {
     /// A freshly initialised clock (hour 0, phase 0).
     #[must_use]
     pub fn new() -> Self {
-        PhaseClockState { hour: 0, phase: 0, first_tick: false }
+        PhaseClockState {
+            hour: 0,
+            phase: 0,
+            first_tick: false,
+        }
     }
 
     /// Re-initialise the clock (used when an agent meets a higher junta level,
@@ -77,7 +81,10 @@ impl PhaseClock {
     /// positions to be meaningful.
     #[must_use]
     pub fn new(hours: u8) -> Self {
-        assert!(hours >= 4, "a phase clock needs at least 4 hours, got {hours}");
+        assert!(
+            hours >= 4,
+            "a phase clock needs at least 4 hours, got {hours}"
+        );
         PhaseClock { hours }
     }
 
@@ -201,7 +208,10 @@ impl SyncState {
     /// The common initial state.
     #[must_use]
     pub fn new() -> Self {
-        SyncState { junta: JuntaState::new(), clock: PhaseClockState::new() }
+        SyncState {
+            junta: JuntaState::new(),
+            clock: PhaseClockState::new(),
+        }
     }
 }
 
@@ -251,7 +261,12 @@ pub fn sync_interact(clock: &PhaseClock, u: &mut SyncState, v: &mut SyncState) -
     }
     let (u_ticked, v_ticked) =
         clock.interact(&mut u.clock, u.junta.junta, &mut v.clock, v.junta.junta);
-    SyncOutcome { u_reset, v_reset, u_ticked, v_ticked }
+    SyncOutcome {
+        u_reset,
+        v_reset,
+        u_ticked,
+        v_ticked,
+    }
 }
 
 /// Standalone protocol running the junta process plus a phase clock — used to
@@ -271,7 +286,9 @@ impl SynchronizedClockProtocol {
     /// Panics if `hours < 4` (see [`PhaseClock::new`]).
     #[must_use]
     pub fn new(hours: u8) -> Self {
-        SynchronizedClockProtocol { clock: PhaseClock::new(hours) }
+        SynchronizedClockProtocol {
+            clock: PhaseClock::new(hours),
+        }
     }
 
     /// The underlying clock rule.
@@ -295,7 +312,7 @@ impl Protocol for SynchronizedClockProtocol {
         SyncState::new()
     }
 
-    fn interact(&self, initiator: &mut SyncState, responder: &mut SyncState, _rng: &mut dyn RngCore) {
+    fn interact(&self, initiator: &mut SyncState, responder: &mut SyncState, _rng: &mut SmallRng) {
         sync_interact(&self.clock, initiator, responder);
         // The standalone protocol has no per-phase actions, so the firstTick flags
         // are consumed immediately by the initiator.
@@ -311,10 +328,153 @@ impl Protocol for SynchronizedClockProtocol {
     }
 }
 
+/// The junta-driven phase clock ([`SynchronizedClockProtocol`]) over an
+/// enumerated state space, for the batched count-based engine
+/// ([`BatchedSimulator`](ppsim::BatchedSimulator)).
+///
+/// A [`SyncState`] is encoded as the mixed-radix index
+///
+/// ```text
+/// ((((level·2 + active)·2 + junta)·hours + hour)·(max_phase+1) + phase)·2 + first_tick
+/// ```
+///
+/// with the junta level capped at `max_level` and the *absolute* phase counter
+/// **saturating** at `max_phase`, so
+/// `q = 4·(max_level+1)·hours·(max_phase+1)·2`.  Saturation (rather than
+/// modular wrap-around) keeps the phase-adoption rule's `max` comparisons
+/// meaningful, at the price of a finite observation horizon: the dense process
+/// is *exactly* the sequential one until some agent reaches `max_phase`, which
+/// is the regime every phase-length experiment measures (the paper itself only
+/// ever keeps small modular counters).  Choose `max_phase` one larger than the
+/// last phase you need to observe.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DenseSyncClock {
+    clock: PhaseClock,
+    max_level: u8,
+    max_phase: u32,
+}
+
+impl DenseSyncClock {
+    /// Create a dense junta-driven clock.
+    ///
+    /// `hours` is the clock-face size `m` (at least 4, see [`PhaseClock::new`]);
+    /// `max_level` caps the junta level (see
+    /// [`DenseJunta`](crate::junta::DenseJunta) for how to size it); the phase
+    /// counter saturates at `max_phase`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `hours < 4`.
+    #[must_use]
+    pub fn new(hours: u8, max_level: u8, max_phase: u32) -> Self {
+        DenseSyncClock {
+            clock: PhaseClock::new(hours),
+            max_level,
+            max_phase,
+        }
+    }
+
+    /// The underlying clock rule.
+    #[must_use]
+    pub fn clock(&self) -> &PhaseClock {
+        &self.clock
+    }
+
+    /// The phase ceiling after which the dense counter saturates.
+    #[must_use]
+    pub fn max_phase(&self) -> u32 {
+        self.max_phase
+    }
+
+    /// Decode a dense index into a [`SyncState`].
+    #[must_use]
+    pub fn decode(&self, index: usize) -> SyncState {
+        let first_tick = index & 1 != 0;
+        let mut rest = index >> 1;
+        let phases = self.max_phase as usize + 1;
+        let phase = (rest % phases) as u32;
+        rest /= phases;
+        let hours = usize::from(self.clock.hours());
+        let hour = (rest % hours) as u8;
+        rest /= hours;
+        let junta = rest & 1 != 0;
+        let active = rest & 2 != 0;
+        let level = (rest >> 2) as u8;
+        SyncState {
+            junta: JuntaState {
+                level,
+                active,
+                junta,
+            },
+            clock: PhaseClockState {
+                hour,
+                phase,
+                first_tick,
+            },
+        }
+    }
+
+    /// Encode a [`SyncState`] as a dense index, saturating the junta level and
+    /// the phase counter at their caps.
+    #[must_use]
+    pub fn encode(&self, state: SyncState) -> usize {
+        let level = usize::from(state.junta.level.min(self.max_level));
+        let junta_bits =
+            (level << 2) | (usize::from(state.junta.active) << 1) | usize::from(state.junta.junta);
+        let phases = self.max_phase as usize + 1;
+        let phase = state.clock.phase.min(self.max_phase) as usize;
+        ((junta_bits * usize::from(self.clock.hours()) + usize::from(state.clock.hour)) * phases
+            + phase)
+            * 2
+            + usize::from(state.clock.first_tick)
+    }
+}
+
+impl Default for DenseSyncClock {
+    /// Defaults sized for phase-length experiments: 16 hours, junta levels up
+    /// to 15, phases observable up to 7.
+    fn default() -> Self {
+        Self::new(PhaseClock::DEFAULT_HOURS, 15, 7)
+    }
+}
+
+impl ppsim::DenseProtocol for DenseSyncClock {
+    type Output = u32;
+
+    fn num_states(&self) -> usize {
+        4 * (usize::from(self.max_level) + 1)
+            * usize::from(self.clock.hours())
+            * (self.max_phase as usize + 1)
+            * 2
+    }
+
+    fn initial_state(&self) -> usize {
+        self.encode(SyncState::new())
+    }
+
+    fn transition(&self, initiator: usize, responder: usize) -> (usize, usize) {
+        let mut u = self.decode(initiator);
+        let mut v = self.decode(responder);
+        sync_interact(&self.clock, &mut u, &mut v);
+        // As in SynchronizedClockProtocol: no per-phase actions, so the
+        // initiator consumes its firstTick flag immediately.
+        u.clock.first_tick = false;
+        (self.encode(u), self.encode(v))
+    }
+
+    fn output(&self, state: usize) -> u32 {
+        self.decode(state).clock.phase
+    }
+
+    fn name(&self) -> &'static str {
+        "dense-junta-phase-clock"
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use ppsim::Simulator;
+    use ppsim::{BatchedSimulator, DenseProtocol, Simulator};
 
     fn clock() -> PhaseClock {
         PhaseClock::new(8)
@@ -339,14 +499,26 @@ mod tests {
     #[test]
     fn behind_agent_adopts_the_later_hour() {
         let c = clock();
-        let mut u = PhaseClockState { hour: 2, ..PhaseClockState::new() };
-        let mut v = PhaseClockState { hour: 4, ..PhaseClockState::new() };
+        let mut u = PhaseClockState {
+            hour: 2,
+            ..PhaseClockState::new()
+        };
+        let mut v = PhaseClockState {
+            hour: 4,
+            ..PhaseClockState::new()
+        };
         c.interact(&mut u, false, &mut v, false);
         assert_eq!((u.hour, v.hour), (4, 4));
 
         // Symmetric case: the responder is behind.
-        let mut u = PhaseClockState { hour: 5, ..PhaseClockState::new() };
-        let mut v = PhaseClockState { hour: 4, ..PhaseClockState::new() };
+        let mut u = PhaseClockState {
+            hour: 5,
+            ..PhaseClockState::new()
+        };
+        let mut v = PhaseClockState {
+            hour: 4,
+            ..PhaseClockState::new()
+        };
         c.interact(&mut u, false, &mut v, false);
         assert_eq!((u.hour, v.hour), (5, 5));
     }
@@ -354,9 +526,15 @@ mod tests {
     #[test]
     fn circular_comparison_handles_wraparound() {
         let c = clock(); // m = 8
-        // u at 7, v at 1: v is *ahead* by 2 in circular order, so u adopts 1 and ticks.
-        let mut u = PhaseClockState { hour: 7, ..PhaseClockState::new() };
-        let mut v = PhaseClockState { hour: 1, ..PhaseClockState::new() };
+                         // u at 7, v at 1: v is *ahead* by 2 in circular order, so u adopts 1 and ticks.
+        let mut u = PhaseClockState {
+            hour: 7,
+            ..PhaseClockState::new()
+        };
+        let mut v = PhaseClockState {
+            hour: 1,
+            ..PhaseClockState::new()
+        };
         let (tu, tv) = c.interact(&mut u, false, &mut v, false);
         assert_eq!((u.hour, v.hour), (1, 1));
         assert!(tu, "wrapping from hour 7 to hour 1 is a tick");
@@ -368,8 +546,14 @@ mod tests {
     #[test]
     fn junta_member_ticks_when_advancing_over_the_boundary() {
         let c = clock();
-        let mut u = PhaseClockState { hour: 7, ..PhaseClockState::new() };
-        let mut v = PhaseClockState { hour: 7, ..PhaseClockState::new() };
+        let mut u = PhaseClockState {
+            hour: 7,
+            ..PhaseClockState::new()
+        };
+        let mut v = PhaseClockState {
+            hour: 7,
+            ..PhaseClockState::new()
+        };
         let (tu, tv) = c.interact(&mut u, true, &mut v, false);
         assert!(tu);
         assert!(!tv);
@@ -380,7 +564,11 @@ mod tests {
 
     #[test]
     fn reset_clears_clock() {
-        let mut s = PhaseClockState { hour: 5, phase: 3, first_tick: true };
+        let mut s = PhaseClockState {
+            hour: 5,
+            phase: 3,
+            first_tick: true,
+        };
         s.reset();
         assert_eq!(s, PhaseClockState::new());
     }
@@ -417,6 +605,71 @@ mod tests {
         let max = *phases.iter().max().unwrap();
         let min = *phases.iter().min().unwrap();
         assert!(max > start_max, "the clock must keep ticking");
+        assert!(max - min <= 1, "phase spread too large: {min}..{max}");
+    }
+
+    #[test]
+    fn dense_clock_encoding_roundtrips() {
+        let d = DenseSyncClock::new(8, 6, 4);
+        for index in 0..d.num_states() {
+            assert_eq!(d.encode(d.decode(index)), index, "roundtrip at {index}");
+        }
+        assert_eq!(d.num_states(), 4 * 7 * 8 * 5 * 2);
+        // The initial state is all-zeros except the junta's (active, junta) bits.
+        let init = d.decode(d.initial_state());
+        assert_eq!(init, SyncState::new());
+    }
+
+    #[test]
+    fn dense_transition_matches_sync_interact_below_the_caps() {
+        let d = DenseSyncClock::new(8, 6, 4);
+        // Sample a grid of state pairs rather than all (q², too slow in debug).
+        let q = d.num_states();
+        for i in (0..q).step_by(7) {
+            for j in (0..q).step_by(11) {
+                let (a, b) = d.transition(i, j);
+                let mut u = d.decode(i);
+                let mut v = d.decode(j);
+                sync_interact(&PhaseClock::new(8), &mut u, &mut v);
+                u.clock.first_tick = false;
+                // Saturate exactly as the dense protocol documents.
+                u.junta.level = u.junta.level.min(6);
+                v.junta.level = v.junta.level.min(6);
+                u.clock.phase = u.clock.phase.min(4);
+                v.clock.phase = v.clock.phase.min(4);
+                assert_eq!(d.decode(a), u, "initiator mismatch at ({i}, {j})");
+                assert_eq!(d.decode(b), v, "responder mismatch at ({i}, {j})");
+            }
+        }
+    }
+
+    #[test]
+    fn dense_clock_phases_advance_and_stay_synchronised() {
+        // The batched analogue of phases_advance_and_stay_synchronised: after
+        // the junta settles, phases advance together with spread ≤ 1.
+        let n = 20_000u64;
+        let d = DenseSyncClock::default();
+        let mut sim = BatchedSimulator::new(d, n as usize, 13).unwrap();
+
+        let phase_bounds = |s: &BatchedSimulator<DenseSyncClock>| {
+            let mut min = u32::MAX;
+            let mut max = 0u32;
+            for (idx, &c) in s.counts().iter().enumerate() {
+                if c > 0 {
+                    let p = s.protocol().decode(idx).clock.phase;
+                    min = min.min(p);
+                    max = max.max(p);
+                }
+            }
+            (min, max)
+        };
+
+        // Drive until every agent has completed at least 3 phases (well below
+        // the saturation ceiling of 7).
+        let outcome = sim.run_until(|s| phase_bounds(s).0 >= 3, n, u64::MAX >> 1);
+        assert!(outcome.converged(), "the dense clock must keep ticking");
+        let (min, max) = phase_bounds(&sim);
+        assert!(max <= d.max_phase(), "saturation ceiling respected");
         assert!(max - min <= 1, "phase spread too large: {min}..{max}");
     }
 

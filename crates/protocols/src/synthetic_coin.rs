@@ -11,6 +11,7 @@
 //! The `FastLeaderElection` protocol of Appendix D uses synthetic coins to generate
 //! `Θ(log n)` random bits per round.
 
+use rand::rngs::SmallRng;
 use rand::RngCore;
 
 /// The per-agent state of the synthetic coin: a single parity bit.
@@ -71,7 +72,7 @@ pub enum CoinMode {
 impl CoinMode {
     /// Resolve a random bit for the initiator given the synthetic bit and an RNG.
     #[must_use]
-    pub fn bit(self, synthetic: bool, rng: &mut dyn RngCore) -> bool {
+    pub fn bit(self, synthetic: bool, rng: &mut SmallRng) -> bool {
         match self {
             CoinMode::Synthetic => synthetic,
             CoinMode::Rng => rng.next_u32() & 1 == 1,
@@ -128,7 +129,10 @@ mod tests {
             }
         }
         let ratio = ones as f64 / total as f64;
-        assert!((ratio - 0.5).abs() < 0.02, "synthetic coin bias too large: {ratio}");
+        assert!(
+            (ratio - 0.5).abs() < 0.02,
+            "synthetic coin bias too large: {ratio}"
+        );
     }
 
     #[test]

@@ -11,12 +11,19 @@ use popcount::{all_exact, StableCountExact};
 use ppsim::Simulator;
 
 fn main() -> Result<(), ppsim::SimError> {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(400);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(400);
 
     // A clean run: the fast path validates and outputs n quickly.
     let mut clean = Simulator::new(StableCountExact::default(), n, 7)?;
     let t_clean = clean
-        .run_until(move |s| all_exact(s.protocol(), s.states(), n), (n * 20) as u64, 50_000_000_000)
+        .run_until(
+            move |s| all_exact(s.protocol(), s.states(), n),
+            (n * 20) as u64,
+            50_000_000_000,
+        )
         .expect_converged("stable CountExact (clean)");
     let fallbacks = clean.states().iter().filter(|a| a.error).count();
     println!("clean run:     all {n} agents output {n} after {t_clean:>12} interactions ({fallbacks} agents on the backup path)");
@@ -26,7 +33,11 @@ fn main() -> Result<(), ppsim::SimError> {
     let mut faulty = Simulator::new(StableCountExact::default(), n, 7)?;
     faulty.states_mut()[0].error = true;
     let t_faulty = faulty
-        .run_until(move |s| all_exact(s.protocol(), s.states(), n), (n * 20) as u64, 50_000_000_000)
+        .run_until(
+            move |s| all_exact(s.protocol(), s.states(), n),
+            (n * 20) as u64,
+            50_000_000_000,
+        )
         .expect_converged("stable CountExact (faulty)");
     let on_backup = faulty.states().iter().filter(|a| a.error).count();
     println!("sabotaged run: all {n} agents output {n} after {t_faulty:>12} interactions ({on_backup} agents on the backup path)");

@@ -24,7 +24,10 @@ where
 }
 
 fn main() {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(600);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(600);
     let mut rows = Vec::new();
 
     run(
@@ -73,7 +76,10 @@ fn main() {
 
     let n_f = n as f64;
     println!("population size n = {n}\n");
-    println!("{:<46} {:>14} {:>12} {:>12}", "protocol", "interactions", "per n²", "per n·log2 n");
+    println!(
+        "{:<46} {:>14} {:>12} {:>12}",
+        "protocol", "interactions", "per n²", "per n·log2 n"
+    );
     for (name, t) in &rows {
         println!(
             "{:<46} {:>14} {:>12.2} {:>12.1}",

@@ -8,8 +8,14 @@ use popcount::{all_counted, CountExact, CountExactParams};
 use ppsim::Simulator;
 
 fn main() -> Result<(), ppsim::SimError> {
-    let n: usize = std::env::args().nth(1).and_then(|a| a.parse().ok()).unwrap_or(1_000);
-    let seed: u64 = std::env::args().nth(2).and_then(|a| a.parse().ok()).unwrap_or(42);
+    let n: usize = std::env::args()
+        .nth(1)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(1_000);
+    let seed: u64 = std::env::args()
+        .nth(2)
+        .and_then(|a| a.parse().ok())
+        .unwrap_or(42);
 
     println!("simulating CountExact on a population of {n} anonymous agents (seed {seed})");
     let protocol = CountExact::new(CountExactParams::default());

@@ -14,11 +14,18 @@ use popcount::{all_estimated, valid_estimates, Approximate, ApproximateParams};
 use ppsim::Simulator;
 
 fn main() -> Result<(), ppsim::SimError> {
-    println!("{:>8} {:>10} {:>12} {:>14} {:>10}", "sensors", "estimate k", "2^k", "interactions", "valid?");
+    println!(
+        "{:>8} {:>10} {:>12} {:>14} {:>10}",
+        "sensors", "estimate k", "2^k", "interactions", "valid?"
+    );
     for (i, &n) in [300usize, 700, 1500, 3000].iter().enumerate() {
         let protocol = Approximate::new(ApproximateParams::default());
         let mut sim = Simulator::new(protocol, n, 1_000 + i as u64)?;
-        let outcome = sim.run_until(|s| all_estimated(s.states()), (n * 20) as u64, 20_000_000_000);
+        let outcome = sim.run_until(
+            |s| all_estimated(s.states()),
+            (n * 20) as u64,
+            20_000_000_000,
+        );
         let interactions = outcome.expect_converged("Approximate");
         let estimate = sim
             .output_stats()
@@ -33,7 +40,11 @@ fn main() -> Result<(), ppsim::SimError> {
             estimate,
             1u64 << estimate.max(0) as u32,
             interactions,
-            if estimate == floor || estimate == ceil { "yes" } else { "NO" }
+            if estimate == floor || estimate == ceil {
+                "yes"
+            } else {
+                "NO"
+            }
         );
     }
     println!("\neach swarm outputs ⌊log2 n⌋ or ⌈log2 n⌉ — a constant-factor size estimate");

@@ -1,0 +1,17 @@
+//! Umbrella crate for the *On Counting the Population Size* (PODC 2019)
+//! reproduction workspace.
+//!
+//! This crate exists so that the repository-level integration tests
+//! (`tests/`) and runnable examples (`examples/`) have a package to hang off;
+//! it simply re-exports the member crates.  Depend on the member crates
+//! directly in downstream code:
+//!
+//! * [`ppsim`] — the simulation engines (sequential and batched),
+//! * [`ppproto`] — auxiliary protocols (epidemics, junta, phase clocks, …),
+//! * [`popcount`] — the counting protocols of the paper.
+
+#![forbid(unsafe_code)]
+
+pub use popcount;
+pub use ppproto;
+pub use ppsim;

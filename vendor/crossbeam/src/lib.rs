@@ -1,0 +1,82 @@
+//! Offline stand-in for the [`crossbeam`](https://crates.io/crates/crossbeam)
+//! crate, providing the `crossbeam::thread::scope` API over the standard
+//! library's scoped threads (`std::thread::scope`, stable since Rust 1.63).
+
+#![forbid(unsafe_code)]
+
+pub mod thread {
+    //! Scoped threads with the `crossbeam::thread` API shape.
+
+    use std::panic::{catch_unwind, AssertUnwindSafe};
+
+    /// A scope in which threads borrowing local data can be spawned.
+    pub struct Scope<'scope, 'env: 'scope> {
+        inner: &'scope std::thread::Scope<'scope, 'env>,
+    }
+
+    impl<'scope, 'env> Scope<'scope, 'env> {
+        /// Spawn a thread inside the scope.  As in `crossbeam`, the closure
+        /// receives the scope itself so that it can spawn further threads.
+        pub fn spawn<F, T>(&self, f: F) -> std::thread::ScopedJoinHandle<'scope, T>
+        where
+            F: FnOnce(&Scope<'scope, 'env>) -> T + Send + 'scope,
+            T: Send + 'scope,
+        {
+            let inner = self.inner;
+            self.inner.spawn(move || f(&Scope { inner }))
+        }
+    }
+
+    /// Run `f` inside a scope; all spawned threads are joined before this
+    /// returns.  Returns `Err` (with the panic payload) if any spawned thread
+    /// panicked, matching `crossbeam::thread::scope` semantics.
+    pub fn scope<'env, F, R>(f: F) -> std::thread::Result<R>
+    where
+        F: for<'scope> FnOnce(&Scope<'scope, 'env>) -> R,
+    {
+        catch_unwind(AssertUnwindSafe(|| {
+            std::thread::scope(|s| f(&Scope { inner: s }))
+        }))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use std::sync::atomic::{AtomicU32, Ordering};
+
+    #[test]
+    fn scope_joins_all_threads() {
+        let counter = AtomicU32::new(0);
+        super::thread::scope(|scope| {
+            for _ in 0..8 {
+                scope.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            }
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn panics_are_reported_as_err() {
+        let result = super::thread::scope(|scope| {
+            scope.spawn(|_| panic!("boom"));
+        });
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn nested_spawns_work() {
+        let counter = AtomicU32::new(0);
+        super::thread::scope(|scope| {
+            scope.spawn(|inner| {
+                inner.spawn(|_| {
+                    counter.fetch_add(1, Ordering::Relaxed);
+                });
+            });
+        })
+        .unwrap();
+        assert_eq!(counter.load(Ordering::Relaxed), 1);
+    }
+}

