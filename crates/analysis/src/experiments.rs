@@ -1,4 +1,6 @@
-//! Experiments E01–E15: one per quantitative claim of the paper.
+//! Experiments E01–E18: one per quantitative claim of the paper, plus the
+//! engine experiments (E16 batched scale, E17 engine equivalence, E18
+//! sharded scale).
 //!
 //! Each experiment sweeps population sizes, runs several seeded trials per size on
 //! worker threads and renders a markdown [`Table`] comparing the measurement with
@@ -17,11 +19,11 @@ use ppproto::{
     dense_all_inactive, dense_max_level, DenseEpidemic, DenseJunta, FastLeaderElectionConfig,
     LeaderElectionConfig, OneWayEpidemic, PowersOfTwoLoadBalancing, SynchronizedClockProtocol,
 };
-use ppsim::{BatchedSimulator, DenseAdapter, Simulator, StateSpaceTracker};
+use ppsim::{BatchedSimulator, DenseAdapter, DenseSimulator, Engine, Simulator, StateSpaceTracker};
 
 use crate::fit::{n_log2_n, n_log_n, n_squared};
 use crate::stats::Summary;
-use crate::sweep::{sweep, TrialResult};
+use crate::sweep::{sweep, sweep_with_threads, TrialResult};
 use crate::table::Table;
 
 /// How much work to spend per experiment.
@@ -971,6 +973,110 @@ pub fn e17_engine_equivalence(effort: Effort) -> ExperimentReport {
     }
 }
 
+/// E18 — the sharded engine at scale: epidemic convergence wall-clock for
+/// the batched engine versus the sharded engine (8 shards) across thread
+/// counts, at `n` up to 10⁹.
+///
+/// Every trial drives the same dense epidemic through the [`Engine`] /
+/// [`DenseSimulator`] selection layer, so the rows differ only in the engine
+/// configuration.  Trials run serially ([`sweep_with_threads`] with one
+/// trial-level worker): the sharded engine brings its own threads, and
+/// nesting the two parallelism levels would corrupt the wall-clock column.
+#[must_use]
+pub fn e18_sharded_scale(effort: Effort) -> ExperimentReport {
+    use std::time::Instant;
+
+    let sizes = effort.sizes(
+        &[100_000, 1_000_000],
+        &[1_000_000, 10_000_000, 100_000_000, 1_000_000_000],
+    );
+    let trials = effort.trials(2, 3);
+    let thread_counts: &[usize] = match effort {
+        Effort::Quick => &[1, 2],
+        Effort::Full => &[1, 2, 4, 8, 16],
+    };
+
+    let mut table = Table::new(
+        "E18 — sharded engine at scale: epidemic convergence, batched vs sharded (8 shards), threads 1–16",
+        &[
+            "n",
+            "engine",
+            "converged",
+            "median seconds",
+            "G interactions/s",
+            "speedup vs batched",
+        ],
+    );
+
+    let run_config = |engine: Engine, n: usize, master: u64| -> Vec<TrialResult> {
+        sweep_with_threads(&[n], trials, master, 1, |n, seed| {
+            let start = Instant::now();
+            let mut sim = DenseSimulator::new(engine, DenseEpidemic, n, seed).unwrap();
+            sim.transfer(0, 1, 1).unwrap();
+            let outcome = sim.run_until(
+                |s| s.count_of(1) == s.population(),
+                n as u64,
+                (200.0 * n_log_n(n)) as u64,
+            );
+            TrialResult {
+                n,
+                seed,
+                converged: outcome.converged(),
+                interactions: outcome.interactions().unwrap_or(u64::MAX),
+                metric: start.elapsed().as_secs_f64(),
+            }
+        })
+        .remove(0)
+    };
+    let push_row =
+        |table: &mut Table, label: String, group: &[TrialResult], base: Option<f64>| -> f64 {
+            let secs = Summary::of(&group.iter().map(|r| r.metric).collect::<Vec<_>>());
+            let inter = Summary::of(
+                &group
+                    .iter()
+                    .map(|r| r.interactions as f64)
+                    .collect::<Vec<_>>(),
+            );
+            let n = group[0].n;
+            table.push_row(vec![
+                n.to_string(),
+                label,
+                format!(
+                    "{}/{}",
+                    group.iter().filter(|r| r.converged).count(),
+                    group.len()
+                ),
+                format!("{:.3}", secs.median),
+                format!("{:.2}", inter.median / secs.median / 1e9),
+                base.map_or_else(
+                    || "1.00× (baseline)".into(),
+                    |b| format!("{:.2}×", b / secs.median),
+                ),
+            ]);
+            secs.median
+        };
+
+    for (si, &n) in sizes.iter().enumerate() {
+        let batched = run_config(Engine::Batched, n, 0xE18 + 100 * si as u64);
+        let base = push_row(&mut table, "batched".into(), &batched, None);
+        for (ti, &threads) in thread_counts.iter().enumerate() {
+            let engine = Engine::Sharded { shards: 8, threads };
+            let group = run_config(engine, n, 0xE18 + 100 * si as u64 + 1 + ti as u64);
+            push_row(
+                &mut table,
+                format!("sharded s=8 t={threads}"),
+                &group,
+                Some(base),
+            );
+        }
+    }
+    ExperimentReport {
+        id: "E18",
+        claim: "the sharded engine sustains epidemic convergence to n = 10⁹ and beats the batched engine wherever n ≥ 10⁷",
+        table,
+    }
+}
+
 /// An experiment entry point: takes the effort level, returns the report.
 type ExperimentFn = fn(Effort) -> ExperimentReport;
 
@@ -995,6 +1101,7 @@ const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("e15", e15_state_space),
     ("e16", e16_batched_scale),
     ("e17", e17_engine_equivalence),
+    ("e18", e18_sharded_scale),
 ];
 
 /// Resolve a lower-case experiment id to its runner without executing it.
@@ -1029,13 +1136,13 @@ mod tests {
         // integration tests and by the experiments binary).
         for id in [
             "e01", "e02", "e03", "e04", "e05", "e06", "e07", "e08", "e09", "e10", "e11", "e12",
-            "e13", "e14", "e15", "e16", "e17",
+            "e13", "e14", "e15", "e16", "e17", "e18",
         ] {
             assert!(resolve(id).is_some(), "experiment id {id} must resolve");
         }
         assert!(resolve("zzz").is_none());
         assert!(resolve("E01").is_none(), "ids are matched lower-case");
-        assert_eq!(EXPERIMENTS.len(), 16, "one registry entry per experiment");
+        assert_eq!(EXPERIMENTS.len(), 17, "one registry entry per experiment");
         assert!(run_one("zzz", Effort::Quick).is_none());
     }
 }

@@ -1,7 +1,7 @@
 //! Parameter sweeps: repeated seeded trials across population sizes, run on worker
 //! threads.
 
-use ppsim::{derive_seed, run_trials};
+use ppsim::{derive_seed, run_trials_with_threads};
 
 /// The result of one trial of an experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -22,8 +22,27 @@ pub struct TrialResult {
 /// in parallel, and return the results grouped per size (in input order).
 ///
 /// `job(n, seed)` must be deterministic in its arguments; seeds are derived from
-/// `master_seed` with [`derive_seed`] so the whole sweep is reproducible.
+/// [`derive_seed`] so the whole sweep is reproducible.
 pub fn sweep<F>(sizes: &[usize], trials: usize, master_seed: u64, job: F) -> Vec<Vec<TrialResult>>
+where
+    F: Fn(usize, u64) -> TrialResult + Sync,
+{
+    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    sweep_with_threads(sizes, trials, master_seed, threads, job)
+}
+
+/// [`sweep`] with an explicit trial-level worker-thread budget.
+///
+/// Pass `threads = 1` when each trial is itself multi-threaded (the sharded
+/// engine, E18): trial-level and engine-level parallelism would otherwise
+/// oversubscribe the machine and distort wall-clock measurements.
+pub fn sweep_with_threads<F>(
+    sizes: &[usize],
+    trials: usize,
+    master_seed: u64,
+    threads: usize,
+    job: F,
+) -> Vec<Vec<TrialResult>>
 where
     F: Fn(usize, u64) -> TrialResult + Sync,
 {
@@ -33,7 +52,7 @@ where
             jobs.push((si, n, derive_seed(master_seed, (si * trials + t) as u64)));
         }
     }
-    let results = run_trials(jobs.len(), |i| {
+    let results = run_trials_with_threads(jobs.len(), threads, |i| {
         let (si, n, seed) = jobs[i];
         (si, job(n, seed))
     });
@@ -82,6 +101,23 @@ mod tests {
             metric: 0.0,
         });
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn explicit_thread_budget_matches_default_sweep() {
+        let job = |n: usize, seed: u64| TrialResult {
+            n,
+            seed,
+            converged: true,
+            interactions: seed % 97,
+            metric: 0.0,
+        };
+        let serial = sweep_with_threads(&[16, 32], 3, 9, 1, job);
+        let parallel = sweep(&[16, 32], 3, 9, job);
+        assert_eq!(
+            serial, parallel,
+            "results are seed-determined, not thread-determined"
+        );
     }
 
     #[test]

@@ -1,14 +1,14 @@
-//! Sequential vs batched engine: epidemic convergence wall-clock at growing
-//! population sizes.
+//! Sequential vs batched vs sharded engine: epidemic convergence wall-clock
+//! at growing population sizes and shard counts.
 //!
 //! The protocols are the *same transition system* (the dense epidemic run via
 //! `DenseAdapter` on the sequential engine), so differences are pure engine
 //! overhead.  `bench_batched_json` (a `ppbench` binary) emits the same
-//! comparison as machine-readable `BENCH_batched.json`.
+//! comparisons as machine-readable `BENCH_batched.json` / `BENCH_sharded.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppproto::DenseEpidemic;
-use ppsim::{BatchedSimulator, DenseAdapter, Simulator};
+use ppsim::{BatchedSimulator, DenseAdapter, ShardedBatchedSimulator, ShardedConfig, Simulator};
 
 fn epidemic_batched(n: usize, seed: u64) -> u64 {
     let mut sim = BatchedSimulator::new(DenseEpidemic, n, seed).unwrap();
@@ -26,6 +26,18 @@ fn epidemic_sequential(n: usize, seed: u64) -> u64 {
         u64::MAX >> 1,
     )
     .expect_converged("sequential epidemic")
+}
+
+fn epidemic_sharded(n: usize, seed: u64, shards: usize, threads: usize) -> u64 {
+    let config = ShardedConfig {
+        shards,
+        threads,
+        epoch_interactions: None,
+    };
+    let mut sim = ShardedBatchedSimulator::new(DenseEpidemic, n, seed, config).unwrap();
+    sim.transfer(0, 1, 1).unwrap();
+    sim.run_until(|s| s.count_of(1) == s.population(), n as u64, u64::MAX >> 1)
+        .expect_converged("sharded epidemic")
 }
 
 fn bench_engines(c: &mut Criterion) {
@@ -47,5 +59,28 @@ fn bench_engines(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines);
+/// The sharded engine across shard counts at a fixed large population
+/// (single worker thread, so the numbers isolate the algorithmic effect of
+/// sharding — longer per-shard blocks, bulk cross-shard resolution — from
+/// hardware parallelism).
+fn bench_sharded(c: &mut Criterion) {
+    let n = 1_000_000usize;
+    let mut group = c.benchmark_group("engine_epidemic_sharded");
+    group.sample_size(5);
+    group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
+        b.iter(|| epidemic_batched(n, 1));
+    });
+    for &shards in &[2usize, 4, 8, 16] {
+        group.bench_with_input(
+            BenchmarkId::new(format!("sharded{shards}x1"), n),
+            &n,
+            |b, &n| {
+                b.iter(|| epidemic_sharded(n, 1, shards, 1));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_sharded);
 criterion_main!(benches);

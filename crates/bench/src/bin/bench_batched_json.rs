@@ -1,23 +1,32 @@
-//! Emit `BENCH_batched.json`: wall-clock comparison of the sequential and
-//! batched engines on the epidemic workload across population sizes.
+//! Emit machine-readable engine benchmarks (`BENCH_batched.json`,
+//! `BENCH_sharded.json`): wall-clock comparison of the simulation engines on
+//! the epidemic workload across population sizes.
 //!
 //! ```text
+//! # Legacy snapshot (BENCH_batched.json): sequential vs batched.
 //! cargo run --release -p ppbench --bin bench_batched_json [--full] > BENCH_batched.json
+//!
+//! # Engine/size/thread selection from the CLI (BENCH_sharded.json):
+//! cargo run --release -p ppbench --bin bench_batched_json -- \
+//!     --name epidemic_batched_vs_sharded \
+//!     --engines batched,sharded --sizes 1e6,1e7,1e8,1e9 \
+//!     --shards 8 --threads 8 > BENCH_sharded.json
 //! ```
 //!
 //! The workload is the one-way epidemic run to full convergence — the same
-//! transition system on both engines (`DenseAdapter` on the sequential side),
-//! so the ratio column is pure engine speedup.  `--full` adds `n = 10⁷`
-//! (batched only: a sequential run at that size takes minutes).
+//! transition system on every engine (`DenseSimulator` dispatch), so the
+//! ratio columns are pure engine speedup.  `--trials` overrides the per-size
+//! default (5 below 10⁶, 3 below 10⁸, 2 below 10⁹, then 1); the sequential
+//! engine is skipped above 2·10⁶ where a single converged run takes minutes.
 
 use std::time::Instant;
 
 use ppproto::DenseEpidemic;
-use ppsim::{derive_seed, BatchedSimulator, DenseAdapter, Simulator};
+use ppsim::{derive_seed, DenseSimulator, Engine};
 
 struct Measurement {
     n: usize,
-    engine: &'static str,
+    engine: Engine,
     trials: usize,
     mean_seconds: f64,
     min_seconds: f64,
@@ -25,42 +34,25 @@ struct Measurement {
     interactions_per_second: f64,
 }
 
-fn time_batched(n: usize, seed: u64) -> (f64, u64) {
+/// Wall-clock and interaction count of one epidemic run to saturation.
+fn time_engine(engine: Engine, n: usize, seed: u64) -> (f64, u64) {
     let start = Instant::now();
-    let mut sim = BatchedSimulator::new(DenseEpidemic, n, seed).unwrap();
-    sim.transfer(0, 1, 1).unwrap();
+    let mut sim = DenseSimulator::new(engine, DenseEpidemic, n, seed)
+        .expect("engine construction must succeed");
+    sim.transfer(0, 1, 1).expect("plant the rumour");
     let t = sim
         .run_until(|s| s.count_of(1) == s.population(), n as u64, u64::MAX >> 1)
-        .expect_converged("batched epidemic");
+        .expect_converged("epidemic");
     (start.elapsed().as_secs_f64(), t)
 }
 
-fn time_sequential(n: usize, seed: u64) -> (f64, u64) {
-    let start = Instant::now();
-    let mut sim = Simulator::new(DenseAdapter(DenseEpidemic), n, seed).unwrap();
-    sim.states_mut()[0] = 1;
-    let t = sim
-        .run_until(
-            |s| s.states().iter().all(|&x| x == 1),
-            n as u64,
-            u64::MAX >> 1,
-        )
-        .expect_converged("sequential epidemic");
-    (start.elapsed().as_secs_f64(), t)
-}
-
-fn measure(
-    n: usize,
-    engine: &'static str,
-    trials: usize,
-    f: impl Fn(usize, u64) -> (f64, u64),
-) -> Measurement {
+fn measure(engine: Engine, n: usize, trials: usize) -> Measurement {
     // Warm-up run (page faults, branch predictors), then timed trials.
-    let _ = f(n, derive_seed(0xBEEF, 999));
+    let _ = time_engine(engine, n, derive_seed(0xBEEF, 999));
     let mut secs = Vec::with_capacity(trials);
     let mut inters = Vec::with_capacity(trials);
     for t in 0..trials {
-        let (s, i) = f(n, derive_seed(0xBEEF, t as u64));
+        let (s, i) = time_engine(engine, n, derive_seed(0xBEEF, t as u64));
         secs.push(s);
         inters.push(i as f64);
     }
@@ -77,40 +69,115 @@ fn measure(
     }
 }
 
-fn main() {
-    let full = std::env::args().any(|a| a == "--full");
-    let sizes: &[usize] = if full {
-        &[1_000, 10_000, 100_000, 1_000_000, 10_000_000]
+fn default_trials(n: usize) -> usize {
+    match n {
+        0..=999_999 => 5,
+        1_000_000..=99_999_999 => 3,
+        100_000_000..=999_999_999 => 2,
+        _ => 1,
+    }
+}
+
+/// Parse a population size, accepting `1000000`, `1_000_000` and `1e6`.
+fn parse_size(raw: &str) -> usize {
+    let cleaned = raw.replace('_', "");
+    if cleaned.contains(['e', 'E']) {
+        let f: f64 = cleaned
+            .parse()
+            .unwrap_or_else(|_| panic!("bad size `{raw}`"));
+        assert!(f.fract() == 0.0 && f >= 0.0, "bad size `{raw}`");
+        f as usize
     } else {
-        &[1_000, 10_000, 100_000, 1_000_000]
-    };
+        cleaned
+            .parse()
+            .unwrap_or_else(|_| panic!("bad size `{raw}`"))
+    }
+}
+
+/// The value following a `--flag` argument, if the flag is present.
+fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
+    args.iter().position(|a| a == flag).map(|i| {
+        args.get(i + 1)
+            .map(String::as_str)
+            .unwrap_or_else(|| panic!("{flag} needs a value"))
+    })
+}
+
+fn engine_json_fields(engine: Engine) -> String {
+    match engine {
+        Engine::Sharded { shards, threads } => {
+            format!("\"engine\": \"sharded\", \"shards\": {shards}, \"threads\": {threads}")
+        }
+        e => format!("\"engine\": \"{}\"", e.name()),
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let full = args.iter().any(|a| a == "--full");
+    let shards: usize = flag_value(&args, "--shards").map_or(8, |v| v.parse().expect("--shards"));
+    let threads: usize =
+        flag_value(&args, "--threads").map_or(8, |v| v.parse().expect("--threads"));
+    let trials_override: Option<usize> =
+        flag_value(&args, "--trials").map(|v| v.parse().expect("--trials"));
+
+    let engines: Vec<Engine> = flag_value(&args, "--engines")
+        .map(|list| {
+            list.split(',')
+                .map(|name| match name.trim() {
+                    "sequential" => Engine::Sequential,
+                    "batched" => Engine::Batched,
+                    "sharded" => Engine::Sharded { shards, threads },
+                    "auto" => Engine::Auto,
+                    other => panic!("unknown engine `{other}` (sequential|batched|sharded|auto)"),
+                })
+                .collect()
+        })
+        .unwrap_or_else(|| vec![Engine::Batched, Engine::Sequential]);
+
+    let sizes: Vec<usize> = flag_value(&args, "--sizes")
+        .map(|list| list.split(',').map(parse_size).collect())
+        .unwrap_or_else(|| {
+            if full {
+                vec![1_000, 10_000, 100_000, 1_000_000, 10_000_000]
+            } else {
+                vec![1_000, 10_000, 100_000, 1_000_000]
+            }
+        });
+
+    let name = flag_value(&args, "--name").unwrap_or("epidemic_convergence_seq_vs_batched");
+    let note = flag_value(&args, "--note");
 
     let mut measurements: Vec<Measurement> = Vec::new();
-    for &n in sizes {
-        let trials = if n >= 1_000_000 { 3 } else { 5 };
-        eprintln!("measuring batched engine at n = {n} ...");
-        measurements.push(measure(n, "batched", trials, time_batched));
-        // The sequential engine becomes impractical beyond 10⁶.
-        if n <= 1_000_000 {
-            eprintln!("measuring sequential engine at n = {n} ...");
-            measurements.push(measure(n, "sequential", trials, time_sequential));
+    for &n in &sizes {
+        let trials = trials_override.unwrap_or_else(|| default_trials(n));
+        for &engine in &engines {
+            if engine.resolve(n) == Engine::Sequential && n > 2_000_000 {
+                eprintln!("skipping sequential engine at n = {n} (a converged run takes minutes)");
+                continue;
+            }
+            eprintln!("measuring {} engine at n = {n} ...", engine.name());
+            measurements.push(measure(engine, n, trials));
         }
     }
 
     // Hand-rolled JSON (the workspace deliberately carries no serde).
     println!("{{");
-    println!("  \"benchmark\": \"epidemic_convergence_seq_vs_batched\",");
+    println!("  \"benchmark\": \"{name}\",");
+    if let Some(note) = note {
+        println!("  \"note\": \"{note}\",");
+    }
     println!("  \"workload\": \"one-way epidemic (DenseEpidemic) run until all agents informed\",");
     println!("  \"units\": {{ \"time\": \"seconds\", \"throughput\": \"interactions/second\" }},");
     println!("  \"results\": [");
     for (i, m) in measurements.iter().enumerate() {
         let comma = if i + 1 == measurements.len() { "" } else { "," };
         println!(
-            "    {{ \"n\": {}, \"engine\": \"{}\", \"trials\": {}, \"mean_seconds\": {:.6}, \
+            "    {{ \"n\": {}, {}, \"trials\": {}, \"mean_seconds\": {:.6}, \
              \"min_seconds\": {:.6}, \"mean_interactions\": {:.0}, \
              \"interactions_per_second\": {:.0} }}{}",
             m.n,
-            m.engine,
+            engine_json_fields(m.engine),
             m.trials,
             m.mean_seconds,
             m.min_seconds,
@@ -121,22 +188,27 @@ fn main() {
     }
     println!("  ],");
     println!("  \"speedups\": [");
-    let pairs: Vec<(usize, f64)> = sizes
-        .iter()
-        .filter_map(|&n| {
-            let b = measurements
-                .iter()
-                .find(|m| m.n == n && m.engine == "batched")?;
-            let s = measurements
-                .iter()
-                .find(|m| m.n == n && m.engine == "sequential")?;
-            Some((n, s.mean_seconds / b.mean_seconds))
-        })
-        .collect();
-    for (i, (n, speedup)) in pairs.iter().enumerate() {
-        let comma = if i + 1 == pairs.len() { "" } else { "," };
-        println!("    {{ \"n\": {n}, \"batched_over_sequential\": {speedup:.2} }}{comma}");
+    let find = |n: usize, name: &str| {
+        measurements
+            .iter()
+            .find(|m| m.n == n && m.engine.name() == name)
+    };
+    let mut speedups: Vec<String> = Vec::new();
+    for &n in &sizes {
+        if let (Some(b), Some(s)) = (find(n, "batched"), find(n, "sequential")) {
+            speedups.push(format!(
+                "    {{ \"n\": {n}, \"batched_over_sequential\": {:.2} }}",
+                s.mean_seconds / b.mean_seconds
+            ));
+        }
+        if let (Some(sh), Some(b)) = (find(n, "sharded"), find(n, "batched")) {
+            speedups.push(format!(
+                "    {{ \"n\": {n}, \"sharded_over_batched\": {:.2} }}",
+                b.mean_seconds / sh.mean_seconds
+            ));
+        }
     }
+    println!("{}", speedups.join(",\n"));
     println!("  ]");
     println!("}}");
 }

@@ -55,19 +55,14 @@
 //! ```
 
 use rand::rngs::SmallRng;
-use rand::Rng;
 
+use crate::block::{DeltaTable, Occupancy, TouchSet};
 use crate::config::ConfigurationStats;
 use crate::convergence::RunOutcome;
 use crate::dense::DenseProtocol;
 use crate::error::SimError;
 use crate::rng::seeded_rng;
-use crate::sample::{conditional_class_draw, multivariate_hypergeometric_sparse, CollisionSampler};
-
-/// Precompute the `q × q` transition table only while it stays comfortably in
-/// cache; beyond this, transitions are evaluated on the fly for the occupied
-/// state pairs only.
-const TABLE_MAX_STATES: usize = 256;
+use crate::sample::{multivariate_hypergeometric_sparse, CollisionSampler};
 
 /// A single execution of a [`DenseProtocol`] on the batched count-based engine.
 ///
@@ -82,40 +77,30 @@ pub struct BatchedSimulator<P: DenseProtocol> {
     n: u64,
     rng: SmallRng,
     interactions: u64,
-    /// Dense `δ` table (`table[i * q + j]`), precomputed for small `q`.
-    table: Option<Vec<(u32, u32)>>,
+    /// Validated `δ`, precomputed as a dense table for small `q`.
+    delta: DeltaTable,
     /// Cached batch-length sampler for this population size.
     collisions: CollisionSampler,
     /// Precomputed `ω` per state.
     outputs: Vec<P::Output>,
-    /// States that may be occupied: a duplicate-free superset of
-    /// `{s : counts[s] > 0}`, compacted every batch.  All per-batch work
-    /// iterates this list, so empty regions of large state spaces cost
+    /// States that may be occupied, compacted every batch.  All per-batch
+    /// work iterates this list, so empty regions of large state spaces cost
     /// nothing.
-    occupied: Vec<u32>,
-    /// Membership flags backing `occupied` (`in_occupied[s]` ⇔ `s ∈ occupied`).
-    in_occupied: Vec<bool>,
+    occupied: Occupancy,
+    /// Agents already touched by the current block (flat delta accumulator).
+    touched: TouchSet,
     // Scratch buffers reused across batches.
     init_pairs: Vec<(u32, u64)>,
     resp_pairs: Vec<(u32, u64)>,
-    touched: Vec<u64>,
-    touched_list: Vec<u32>,
 }
 
-/// Remove one uniformly random agent from the multiset `counts` restricted to
-/// `list` (with total mass `total`) and return its state.
-fn draw_one(rng: &mut SmallRng, counts: &mut [u64], list: &[u32], total: u64) -> usize {
-    debug_assert!(total > 0);
-    let mut x = rng.gen_range(0..total);
-    for &s in list {
-        let c = counts[s as usize];
-        if x < c {
-            counts[s as usize] -= 1;
-            return s as usize;
-        }
-        x -= c;
-    }
-    unreachable!("categorical draw beyond total mass");
+/// Mutable views into a [`BatchedSimulator`]'s configuration, used by the
+/// sharded engine to resolve cross-shard interactions and rebalance agents
+/// without going through the public (validating, `O(q)`) mutators.
+pub(crate) struct ShardAccess<'a> {
+    pub(crate) counts: &'a mut Vec<u64>,
+    pub(crate) occupied: &'a mut Occupancy,
+    pub(crate) touched: &'a mut TouchSet,
 }
 
 impl<P: DenseProtocol> BatchedSimulator<P> {
@@ -132,45 +117,12 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
         if n < 2 {
             return Err(SimError::PopulationTooSmall { n });
         }
-        let q = protocol.num_states();
-        if q == 0 {
-            return Err(SimError::InvalidParameter {
-                name: "num_states",
-                reason: "the state space must not be empty".into(),
-            });
-        }
+        let delta = DeltaTable::new(&protocol)?;
+        let q = delta.num_states();
         let q0 = protocol.initial_state();
-        if q0 >= q {
-            return Err(SimError::InvalidParameter {
-                name: "initial_state",
-                reason: format!("initial state {q0} outside the state space 0..{q}"),
-            });
-        }
-        let table = if q <= TABLE_MAX_STATES {
-            let mut t = Vec::with_capacity(q * q);
-            for i in 0..q {
-                for j in 0..q {
-                    let (a, b) = protocol.transition(i, j);
-                    if a >= q || b >= q {
-                        return Err(SimError::InvalidParameter {
-                            name: "transition",
-                            reason: format!(
-                                "δ({i}, {j}) = ({a}, {b}) leaves the state space 0..{q}"
-                            ),
-                        });
-                    }
-                    t.push((a as u32, b as u32));
-                }
-            }
-            Some(t)
-        } else {
-            None
-        };
         let outputs = (0..q).map(|s| protocol.output(s)).collect();
         let mut counts = vec![0u64; q];
         counts[q0] = n as u64;
-        let mut in_occupied = vec![false; q];
-        in_occupied[q0] = true;
         Ok(BatchedSimulator {
             protocol,
             q,
@@ -178,16 +130,28 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
             n: n as u64,
             rng: seeded_rng(seed),
             interactions: 0,
-            table,
+            delta,
             collisions: CollisionSampler::new(n as u64),
             outputs,
-            occupied: vec![q0 as u32],
-            in_occupied,
+            occupied: Occupancy::new(q, q0),
+            touched: TouchSet::new(q),
             init_pairs: Vec::new(),
             resp_pairs: Vec::new(),
-            touched: vec![0; q],
-            touched_list: Vec::new(),
         })
+    }
+
+    /// Crate-internal view of the possibly-occupied state list.
+    pub(crate) fn occupied_slice(&self) -> &[u32] {
+        self.occupied.as_slice()
+    }
+
+    /// Crate-internal mutable access for the sharded engine.
+    pub(crate) fn shard_access(&mut self) -> ShardAccess<'_> {
+        ShardAccess {
+            counts: &mut self.counts,
+            occupied: &mut self.occupied,
+            touched: &mut self.touched,
+        }
     }
 
     /// The population size `n`.
@@ -218,6 +182,7 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
     #[must_use]
     pub fn occupied_states(&self) -> usize {
         self.occupied
+            .as_slice()
             .iter()
             .filter(|&&s| self.counts[s as usize] > 0)
             .count()
@@ -265,7 +230,7 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
         }
         self.counts[from] -= k;
         self.counts[to] += k;
-        self.mark_occupied(to);
+        self.occupied.mark(to);
         Ok(())
     }
 
@@ -290,14 +255,7 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
             });
         }
         self.counts = counts;
-        self.occupied.clear();
-        self.in_occupied.fill(false);
-        for s in 0..self.q {
-            if self.counts[s] > 0 {
-                self.occupied.push(s as u32);
-                self.in_occupied[s] = true;
-            }
-        }
+        self.occupied.rebuild(&self.counts);
         Ok(())
     }
 
@@ -306,47 +264,10 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
     /// touch `n` at all.
     #[must_use]
     pub fn output_stats(&self) -> ConfigurationStats<P::Output> {
-        ConfigurationStats::from_counts(self.occupied.iter().filter_map(|&s| {
+        ConfigurationStats::from_counts(self.occupied.as_slice().iter().filter_map(|&s| {
             let c = self.counts[s as usize];
             (c > 0).then(|| (self.outputs[s as usize].clone(), c as usize))
         }))
-    }
-
-    /// `δ(i, j)`, via the precomputed table when available.
-    #[inline]
-    fn delta(&self, i: usize, j: usize) -> (usize, usize) {
-        match &self.table {
-            Some(t) => {
-                let (a, b) = t[i * self.q + j];
-                (a as usize, b as usize)
-            }
-            None => {
-                let (a, b) = self.protocol.transition(i, j);
-                assert!(
-                    a < self.q && b < self.q,
-                    "δ({i}, {j}) = ({a}, {b}) leaves the state space 0..{}",
-                    self.q
-                );
-                (a, b)
-            }
-        }
-    }
-
-    #[inline]
-    fn mark_occupied(&mut self, s: usize) {
-        if !self.in_occupied[s] {
-            self.in_occupied[s] = true;
-            self.occupied.push(s as u32);
-        }
-    }
-
-    /// Add `k` agents in state `s` to the touched multiset.
-    #[inline]
-    fn touch(&mut self, s: usize, k: u64) {
-        if self.touched[s] == 0 {
-            self.touched_list.push(s as u32);
-        }
-        self.touched[s] += k;
     }
 
     /// Execute exactly one interaction (sequentially, against the counts).
@@ -354,13 +275,23 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
     /// Equivalent to one [`Simulator::step`](crate::Simulator::step); used for
     /// fine-grained control and as the reference path in tests.
     pub fn step(&mut self) {
-        let i = draw_one(&mut self.rng, &mut self.counts, &self.occupied, self.n);
-        let j = draw_one(&mut self.rng, &mut self.counts, &self.occupied, self.n - 1);
-        let (a, b) = self.delta(i, j);
+        let i = crate::block::draw_one(
+            &mut self.rng,
+            &mut self.counts,
+            self.occupied.as_slice(),
+            self.n,
+        );
+        let j = crate::block::draw_one(
+            &mut self.rng,
+            &mut self.counts,
+            self.occupied.as_slice(),
+            self.n - 1,
+        );
+        let (a, b) = self.delta.eval(&self.protocol, i, j);
         self.counts[a] += 1;
         self.counts[b] += 1;
-        self.mark_occupied(a);
-        self.mark_occupied(b);
+        self.occupied.mark(a);
+        self.occupied.mark(b);
         self.interactions += 1;
     }
 
@@ -380,7 +311,7 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
         multivariate_hypergeometric_sparse(
             &mut self.rng,
             &self.counts,
-            &self.occupied,
+            self.occupied.as_slice(),
             self.n,
             clean,
             &mut init_pairs,
@@ -391,7 +322,7 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
         multivariate_hypergeometric_sparse(
             &mut self.rng,
             &self.counts,
-            &self.occupied,
+            self.occupied.as_slice(),
             self.n - clean,
             clean,
             &mut resp_pairs,
@@ -402,35 +333,20 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
 
         // Pair initiator classes with responder classes uniformly at random
         // (a random contingency table with the sampled margins) and apply each
-        // transition once per class, multiplied by its multiplicity.
-        self.touched_list.clear();
-        let mut resp_left = clean;
-        for &(i, di) in &init_pairs {
-            // Invariant: the responder pool still holds exactly `resp_left`
-            // agents, of which this initiator class draws `di ≤ resp_left`.
-            let mut rem_total = resp_left;
-            let mut need = di;
-            for pair in resp_pairs.iter_mut() {
-                if need == 0 {
-                    break;
-                }
-                let (j, rj) = *pair;
-                if rj == 0 {
-                    continue;
-                }
-                let k = conditional_class_draw(&mut self.rng, rj, rem_total, need);
-                rem_total -= rj;
-                if k > 0 {
-                    pair.1 -= k;
-                    need -= k;
-                    let (a, b) = self.delta(i as usize, j as usize);
-                    self.touch(a, k);
-                    self.touch(b, k);
-                }
-            }
-            debug_assert_eq!(need, 0);
-            resp_left -= di;
-        }
+        // transition once per class, multiplied by its multiplicity, into the
+        // flat touched accumulator.
+        let (protocol, delta, touched) = (&self.protocol, &self.delta, &mut self.touched);
+        crate::block::pair_classes(
+            &mut self.rng,
+            &init_pairs,
+            &mut resp_pairs,
+            clean,
+            |i, j, k| {
+                let (a, b) = delta.eval(protocol, i, j);
+                touched.add(a, k);
+                touched.add(b, k);
+            },
+        );
         self.init_pairs = init_pairs;
         self.resp_pairs = resp_pairs;
 
@@ -441,65 +357,44 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
         if let Some(c) = draw.collision {
             let mut touched_total = 2 * clean;
             let untouched_total = self.n - 2 * clean;
-            let touched_list = std::mem::take(&mut self.touched_list);
             let i = if c.initiator_used {
-                let s = draw_one(
-                    &mut self.rng,
-                    &mut self.touched,
-                    &touched_list,
-                    touched_total,
-                );
+                let s = self.touched.draw_one(&mut self.rng, touched_total);
                 touched_total -= 1;
                 s
             } else {
-                draw_one(
+                crate::block::draw_one(
                     &mut self.rng,
                     &mut self.counts,
-                    &self.occupied,
+                    self.occupied.as_slice(),
                     untouched_total,
                 )
             };
             let j = if c.responder_used {
-                draw_one(
-                    &mut self.rng,
-                    &mut self.touched,
-                    &touched_list,
-                    touched_total,
-                )
+                self.touched.draw_one(&mut self.rng, touched_total)
             } else {
                 let left = if c.initiator_used {
                     untouched_total
                 } else {
                     untouched_total - 1
                 };
-                draw_one(&mut self.rng, &mut self.counts, &self.occupied, left)
+                crate::block::draw_one(
+                    &mut self.rng,
+                    &mut self.counts,
+                    self.occupied.as_slice(),
+                    left,
+                )
             };
-            self.touched_list = touched_list;
-            let (a, b) = self.delta(i, j);
-            self.touch(a, 1);
-            self.touch(b, 1);
+            let (a, b) = self.delta.eval(&self.protocol, i, j);
+            self.touched.add(a, 1);
+            self.touched.add(b, 1);
             executed += 1;
         }
 
         // Merge the touched agents back into the configuration, then compact
         // the occupancy list (dropping states the batch emptied).
-        let touched_list = std::mem::take(&mut self.touched_list);
-        for &s in &touched_list {
-            let s = s as usize;
-            self.counts[s] += self.touched[s];
-            self.touched[s] = 0;
-            self.mark_occupied(s);
-        }
-        self.touched_list = touched_list;
-        let mut occupied = std::mem::take(&mut self.occupied);
-        occupied.retain(|&s| {
-            let keep = self.counts[s as usize] > 0;
-            if !keep {
-                self.in_occupied[s as usize] = false;
-            }
-            keep
-        });
-        self.occupied = occupied;
+        self.touched
+            .merge_into(&mut self.counts, &mut self.occupied);
+        self.occupied.compact(&self.counts);
 
         self.interactions += executed;
         executed

@@ -28,8 +28,9 @@ use crate::protocol::Protocol;
 /// A population protocol over an enumerated state space `0..q` with a
 /// deterministic transition function.
 pub trait DenseProtocol {
-    /// The output domain `O` of the output function `ω`.
-    type Output: Clone + Debug + PartialEq;
+    /// The output domain `O` of the output function `ω` (`Send` so that
+    /// precomputed output tables can ride along to shard worker threads).
+    type Output: Clone + Debug + PartialEq + Send;
 
     /// The number of states `q`.  State indices are `0..q`.
     fn num_states(&self) -> usize;

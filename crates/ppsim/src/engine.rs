@@ -1,0 +1,381 @@
+//! Engine selection: one name for "run this dense protocol on a population
+//! of `n`", whichever simulator serves that regime best.
+//!
+//! Three engines drive the same stochastic process:
+//!
+//! | engine | representation | sweet spot |
+//! |---|---|---|
+//! | [`Engine::Sequential`] | per-agent `Vec<State>` | `n ≲ 3·10³` (no per-block overhead) |
+//! | [`Engine::Batched`] | state counts, `Θ(√n)` collision-free blocks | `3·10³ ≲ n ≲ 10⁷` |
+//! | [`Engine::Sharded`] | counts split over `S` shards, epoch-parallel | `n ≳ 10⁷`, multicore |
+//!
+//! [`Engine::Auto`] picks sequential below [`SEQUENTIAL_CROSSOVER`] (where
+//! the measured batched speedup in `BENCH_batched.json` drops under 1×) and
+//! batched above it.  [`DenseSimulator`] is the enum-dispatched simulator the
+//! experiment harness and benchmark tooling drive, so engine choice is a CLI
+//! argument rather than a code path.
+
+use crate::batched::BatchedSimulator;
+use crate::config::ConfigurationStats;
+use crate::convergence::RunOutcome;
+use crate::dense::{DenseAdapter, DenseProtocol};
+use crate::error::SimError;
+use crate::sharded::{ShardedBatchedSimulator, ShardedConfig};
+use crate::simulator::Simulator;
+
+/// Population size below which the sequential engine out-runs the batched
+/// one: per-interaction cost beats per-block overhead while blocks are short
+/// (`BENCH_batched.json` measures batched at 0.56× sequential at `n = 10³`
+/// and 2.9× at `n = 10⁴`; the crossing sits near 3·10³).
+pub const SEQUENTIAL_CROSSOVER: usize = 3_000;
+
+/// Which simulation engine to run a dense protocol on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Engine {
+    /// The per-agent sequential engine ([`Simulator`] over [`DenseAdapter`]).
+    Sequential,
+    /// The single-threaded batched count-based engine ([`BatchedSimulator`]).
+    Batched,
+    /// The sharded batched engine ([`ShardedBatchedSimulator`]).
+    Sharded {
+        /// Number of shards (see [`ShardedConfig::shards`]).
+        shards: usize,
+        /// Worker threads; `0` = available parallelism
+        /// (see [`ShardedConfig::threads`]).
+        threads: usize,
+    },
+    /// Choose automatically from the population size: sequential below
+    /// [`SEQUENTIAL_CROSSOVER`], batched at and above it.
+    Auto,
+}
+
+impl Engine {
+    /// Resolve [`Engine::Auto`] against a population size; concrete choices
+    /// pass through unchanged.
+    #[must_use]
+    pub fn resolve(self, n: usize) -> Engine {
+        match self {
+            Engine::Auto => {
+                if n < SEQUENTIAL_CROSSOVER {
+                    Engine::Sequential
+                } else {
+                    Engine::Batched
+                }
+            }
+            concrete => concrete,
+        }
+    }
+
+    /// A short stable name for reports and JSON output.
+    #[must_use]
+    pub fn name(&self) -> &'static str {
+        match self {
+            Engine::Sequential => "sequential",
+            Engine::Batched => "batched",
+            Engine::Sharded { .. } => "sharded",
+            Engine::Auto => "auto",
+        }
+    }
+}
+
+/// A dense protocol running on whichever engine [`Engine`] selected, behind
+/// one driving surface.
+///
+/// The protocol bound is the union of the engines' needs (`Clone + Send` for
+/// the sharded engine's per-shard copies).  Convergence predicates receive
+/// `&DenseSimulator`, so the same experiment code drives all three engines;
+/// note that [`Self::count_of`] and [`Self::counts`] scan the per-agent
+/// state vector in `O(n)` on the sequential engine — cheap in exactly the
+/// small-`n` regime that engine is for.
+#[derive(Debug, Clone)]
+pub enum DenseSimulator<P: DenseProtocol + Clone + Send> {
+    /// Sequential per-agent execution.
+    Sequential(Simulator<DenseAdapter<P>>),
+    /// Batched count-based execution.
+    Batched(BatchedSimulator<P>),
+    /// Sharded batched execution.
+    Sharded(ShardedBatchedSimulator<P>),
+}
+
+impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
+    /// Create a simulator for `n` agents on the engine `engine` resolves to.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the selected engine's constructor errors
+    /// ([`SimError::PopulationTooSmall`], [`SimError::InvalidParameter`]).
+    pub fn new(engine: Engine, protocol: P, n: usize, seed: u64) -> Result<Self, SimError> {
+        match engine.resolve(n) {
+            Engine::Sequential => Ok(DenseSimulator::Sequential(Simulator::new(
+                DenseAdapter(protocol),
+                n,
+                seed,
+            )?)),
+            Engine::Batched => Ok(DenseSimulator::Batched(BatchedSimulator::new(
+                protocol, n, seed,
+            )?)),
+            Engine::Sharded { shards, threads } => {
+                Ok(DenseSimulator::Sharded(ShardedBatchedSimulator::new(
+                    protocol,
+                    n,
+                    seed,
+                    ShardedConfig {
+                        shards,
+                        threads,
+                        epoch_interactions: None,
+                    },
+                )?))
+            }
+            Engine::Auto => unreachable!("resolve() never returns Auto"),
+        }
+    }
+
+    /// The engine actually running, as its stable report name.
+    #[must_use]
+    pub fn engine_name(&self) -> &'static str {
+        match self {
+            DenseSimulator::Sequential(_) => "sequential",
+            DenseSimulator::Batched(_) => "batched",
+            DenseSimulator::Sharded(_) => "sharded",
+        }
+    }
+
+    /// The population size `n`.
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        match self {
+            DenseSimulator::Sequential(s) => s.population() as u64,
+            DenseSimulator::Batched(s) => s.population(),
+            DenseSimulator::Sharded(s) => s.population(),
+        }
+    }
+
+    /// The number of interactions executed so far.
+    #[must_use]
+    pub fn interactions(&self) -> u64 {
+        match self {
+            DenseSimulator::Sequential(s) => s.interactions(),
+            DenseSimulator::Batched(s) => s.interactions(),
+            DenseSimulator::Sharded(s) => s.interactions(),
+        }
+    }
+
+    /// Number of agents currently in state `state` (`O(q)` on the counts
+    /// engines, `O(n)` on the sequential one).
+    #[must_use]
+    pub fn count_of(&self, state: usize) -> u64 {
+        match self {
+            DenseSimulator::Sequential(s) => s
+                .states()
+                .iter()
+                .filter(|&&st| st as usize == state)
+                .count() as u64,
+            DenseSimulator::Batched(s) => s.count_of(state),
+            DenseSimulator::Sharded(s) => s.count_of(state),
+        }
+    }
+
+    /// The configuration as state counts (owned; assembled by scanning on
+    /// the sequential engine).
+    #[must_use]
+    pub fn counts(&self) -> Vec<u64> {
+        match self {
+            DenseSimulator::Sequential(s) => {
+                let mut counts = vec![0u64; s.protocol().0.num_states()];
+                for &st in s.states() {
+                    counts[st as usize] += 1;
+                }
+                counts
+            }
+            DenseSimulator::Batched(s) => s.counts().to_vec(),
+            DenseSimulator::Sharded(s) => s.counts().to_vec(),
+        }
+    }
+
+    /// Output histogram of the current configuration.
+    #[must_use]
+    pub fn output_stats(&self) -> ConfigurationStats<P::Output> {
+        match self {
+            DenseSimulator::Sequential(s) => s.output_stats(),
+            DenseSimulator::Batched(s) => s.output_stats(),
+            DenseSimulator::Sharded(s) => s.output_stats(),
+        }
+    }
+
+    /// Move `k` agents from state `from` to state `to` (experiment setup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if either state is out of range
+    /// or fewer than `k` agents are in `from`.
+    pub fn transfer(&mut self, from: usize, to: usize, k: u64) -> Result<(), SimError> {
+        match self {
+            DenseSimulator::Sequential(s) => {
+                let q = s.protocol().0.num_states();
+                if from >= q || to >= q {
+                    return Err(SimError::InvalidParameter {
+                        name: "transfer",
+                        reason: format!("states ({from}, {to}) outside the state space 0..{q}"),
+                    });
+                }
+                let available = s.states().iter().filter(|&&st| st as usize == from).count() as u64;
+                if available < k {
+                    return Err(SimError::InvalidParameter {
+                        name: "transfer",
+                        reason: format!(
+                            "cannot move {k} agents out of state {from} holding {available}"
+                        ),
+                    });
+                }
+                let mut moved = 0u64;
+                for st in s.states_mut() {
+                    if moved == k {
+                        break;
+                    }
+                    if *st as usize == from {
+                        *st = to as u32;
+                        moved += 1;
+                    }
+                }
+                Ok(())
+            }
+            DenseSimulator::Batched(s) => s.transfer(from, to, k),
+            DenseSimulator::Sharded(s) => s.transfer(from, to, k),
+        }
+    }
+
+    /// Execute `budget` further interactions unconditionally.
+    pub fn run(&mut self, budget: u64) {
+        match self {
+            DenseSimulator::Sequential(s) => s.run(budget),
+            DenseSimulator::Batched(s) => s.run(budget),
+            DenseSimulator::Sharded(s) => s.run(budget),
+        }
+    }
+
+    /// Run until `pred` holds (checked every `check_every` interactions, and
+    /// once before the first step) or until `max_interactions` *total*
+    /// interactions have been executed — the shared `run_until` contract of
+    /// the three engines.
+    pub fn run_until<F>(
+        &mut self,
+        mut pred: F,
+        check_every: u64,
+        max_interactions: u64,
+    ) -> RunOutcome
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        let check_every = check_every.max(1);
+        if pred(self) {
+            return RunOutcome::Converged {
+                interactions: self.interactions(),
+            };
+        }
+        while self.interactions() < max_interactions {
+            let chunk = check_every.min(max_interactions - self.interactions());
+            self.run(chunk);
+            if pred(self) {
+                return RunOutcome::Converged {
+                    interactions: self.interactions(),
+                };
+            }
+        }
+        RunOutcome::Exhausted {
+            budget: max_interactions,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug, Clone, Copy)]
+    struct Rumor;
+    impl DenseProtocol for Rumor {
+        type Output = bool;
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn initial_state(&self) -> usize {
+            0
+        }
+        fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+            (u.max(v), v)
+        }
+        fn output(&self, s: usize) -> bool {
+            s == 1
+        }
+    }
+
+    #[test]
+    fn auto_picks_sequential_below_the_crossover_and_batched_above() {
+        // Pins the measured heuristic: BENCH_batched.json has batched at
+        // 0.56× sequential at n = 10³ and 2.9× at n = 10⁴.
+        assert_eq!(Engine::Auto.resolve(1_000), Engine::Sequential);
+        assert_eq!(
+            Engine::Auto.resolve(SEQUENTIAL_CROSSOVER - 1),
+            Engine::Sequential
+        );
+        assert_eq!(Engine::Auto.resolve(SEQUENTIAL_CROSSOVER), Engine::Batched);
+        assert_eq!(Engine::Auto.resolve(1_000_000), Engine::Batched);
+        // Concrete engines pass through untouched.
+        assert_eq!(Engine::Batched.resolve(10), Engine::Batched);
+        let sharded = Engine::Sharded {
+            shards: 4,
+            threads: 2,
+        };
+        assert_eq!(sharded.resolve(10_000_000), sharded);
+    }
+
+    #[test]
+    fn auto_constructs_the_resolved_engine() {
+        let small = DenseSimulator::new(Engine::Auto, Rumor, 100, 0).unwrap();
+        assert_eq!(small.engine_name(), "sequential");
+        let big = DenseSimulator::new(Engine::Auto, Rumor, 100_000, 0).unwrap();
+        assert_eq!(big.engine_name(), "batched");
+    }
+
+    #[test]
+    fn every_engine_runs_the_same_epidemic_to_saturation() {
+        for engine in [
+            Engine::Sequential,
+            Engine::Batched,
+            Engine::Sharded {
+                shards: 4,
+                threads: 1,
+            },
+        ] {
+            let mut sim = DenseSimulator::new(engine, Rumor, 2000, 7).unwrap();
+            assert_eq!(sim.population(), 2000);
+            sim.transfer(0, 1, 1).unwrap();
+            assert_eq!(sim.count_of(1), 1);
+            let outcome = sim.run_until(|s| s.count_of(1) == 2000, 2000, u64::MAX >> 1);
+            assert!(outcome.converged(), "{} failed", engine.name());
+            assert_eq!(sim.counts(), vec![0, 2000]);
+            assert_eq!(sim.output_stats().count_of(&true), 2000);
+        }
+    }
+
+    #[test]
+    fn transfer_validates_on_every_engine() {
+        for engine in [Engine::Sequential, Engine::Batched] {
+            let mut sim = DenseSimulator::new(engine, Rumor, 10, 0).unwrap();
+            assert!(sim.transfer(0, 1, 11).is_err(), "{}", engine.name());
+            assert!(sim.transfer(0, 7, 1).is_err(), "{}", engine.name());
+            assert!(sim.transfer(0, 1, 3).is_ok());
+            assert_eq!(sim.count_of(1), 3);
+        }
+    }
+
+    #[test]
+    fn run_until_checks_before_the_first_step() {
+        let mut sim = DenseSimulator::new(Engine::Sequential, Rumor, 50, 1).unwrap();
+        let outcome = sim.run_until(|_| true, 10, 1000);
+        assert_eq!(outcome, RunOutcome::Converged { interactions: 0 });
+        let outcome = sim.run_until(|_| false, 7, 100);
+        assert_eq!(outcome, RunOutcome::Exhausted { budget: 100 });
+        assert_eq!(sim.interactions(), 100);
+    }
+}

@@ -20,6 +20,13 @@
 //!   state counts and advances whole collision-free blocks of `Θ(√n)` interactions
 //!   in `O(q²)` work via exact hypergeometric sampling ([`sample`]) — the engine of
 //!   choice for populations of 10⁵ agents and beyond,
+//! * the **sharded batched engine** [`ShardedBatchedSimulator`]: the counts split
+//!   over `S` shards advancing epoch-parallel on worker threads, with exact bulk
+//!   resolution of cross-shard interactions and uniform rebalancing — the engine
+//!   for populations of 10⁷ to 10⁹ agents (see [`sharded`] for the exactness
+//!   discussion),
+//! * an engine-selection layer ([`Engine`], [`DenseSimulator`]) with a measured
+//!   auto heuristic, so harness code picks engines by argument, not by code path,
 //! * measurement utilities ([`metrics`]) such as empirical state-space tracking,
 //! * a multi-threaded independent-trial runner ([`parallel`]) for parameter sweeps.
 //!
@@ -57,9 +64,11 @@
 #![warn(missing_docs)]
 
 pub mod batched;
+mod block;
 pub mod config;
 pub mod convergence;
 pub mod dense;
+pub mod engine;
 pub mod error;
 pub mod metrics;
 pub mod parallel;
@@ -67,16 +76,19 @@ pub mod protocol;
 pub mod rng;
 pub mod sample;
 pub mod scheduler;
+pub mod sharded;
 pub mod simulator;
 
 pub use batched::BatchedSimulator;
 pub use config::ConfigurationStats;
 pub use convergence::RunOutcome;
 pub use dense::{DenseAdapter, DenseProtocol};
+pub use engine::{DenseSimulator, Engine, SEQUENTIAL_CROSSOVER};
 pub use error::SimError;
 pub use metrics::{StateSpaceTracker, TimeSeries};
 pub use parallel::{run_trials, run_trials_with_threads};
 pub use protocol::Protocol;
 pub use rng::{derive_seed, seeded_rng};
 pub use scheduler::{AllPairsScheduler, Scheduler, UniformScheduler};
+pub use sharded::{ShardedBatchedSimulator, ShardedConfig};
 pub use simulator::Simulator;

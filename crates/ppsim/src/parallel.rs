@@ -88,11 +88,70 @@ where
         .collect()
 }
 
+/// Apply `job(item, arg)` to every `(item, arg)` pair, splitting the items
+/// into at most `threads` contiguous chunks with one scoped worker thread per
+/// chunk.
+///
+/// Used by the sharded engine's within-epoch phase: the items are the shard
+/// sub-simulators, the args their interaction allotments.  Chunking is static
+/// (shards carry near-identical load by construction), the single-thread path
+/// spawns nothing, and the outcome is independent of `threads` because the
+/// jobs touch disjoint items.
+///
+/// # Panics
+///
+/// Panics if a worker thread panics; the panic of the job is propagated.
+pub(crate) fn run_chunked<T, F>(items: &mut [T], args: &[u64], threads: usize, job: F)
+where
+    T: Send,
+    F: Fn(&mut T, u64) + Sync,
+{
+    debug_assert_eq!(items.len(), args.len());
+    let threads = threads.clamp(1, items.len().max(1));
+    if threads == 1 {
+        for (item, &a) in items.iter_mut().zip(args) {
+            job(item, a);
+        }
+        return;
+    }
+    let per_chunk = items.len().div_ceil(threads);
+    let job = &job;
+    crossbeam::thread::scope(|scope| {
+        for (chunk, chunk_args) in items.chunks_mut(per_chunk).zip(args.chunks(per_chunk)) {
+            scope.spawn(move |_| {
+                for (item, &a) in chunk.iter_mut().zip(chunk_args) {
+                    job(item, a);
+                }
+            });
+        }
+    })
+    .expect("a shard worker thread panicked");
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
     use std::collections::HashSet;
     use std::sync::atomic::AtomicU64;
+
+    #[test]
+    fn run_chunked_applies_every_job_once() {
+        for threads in [1usize, 2, 3, 8, 16] {
+            let mut items = vec![0u64; 10];
+            let args: Vec<u64> = (0..10).collect();
+            run_chunked(&mut items, &args, threads, |item, a| *item += a + 1);
+            assert_eq!(items, (1..=10).collect::<Vec<_>>(), "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn run_chunked_handles_empty_and_single() {
+        let mut items: Vec<u64> = Vec::new();
+        run_chunked(&mut items, &[], 4, |_, _| unreachable!());
+        let mut one = vec![7u64];
+        run_chunked(&mut one, &[5], 4, |item, a| *item *= a);
+        assert_eq!(one, vec![35]);
+    }
 
     #[test]
     fn results_are_in_trial_order() {

@@ -82,13 +82,143 @@ fn ln_choose(n: u64, k: u64) -> f64 {
     ln_factorial(n) - ln_factorial(k) - ln_factorial(n - k)
 }
 
+/// Standard deviation below which the inverse-transform walk beats the
+/// rejection sampler's fixed setup cost (a handful of `ln_choose`
+/// evaluations).
+const REJECTION_SIGMA: f64 = 96.0;
+
+/// Draw from an arbitrary **log-concave** discrete distribution supported on
+/// `lo..=hi` with the given `mode`, via rejection from a
+/// uniform-body-plus-geometric-tails envelope.
+///
+/// The envelope needs no distribution-specific constants — log-concavity
+/// alone guarantees domination:
+///
+/// * on the body `[a, b] = [mode − d, mode + d] ∩ [lo, hi]` the pmf is at
+///   most its mode value (uniform envelope);
+/// * beyond the body, successive pmf ratios are non-increasing, so the tail
+///   starting at `x₀ = b + 1` satisfies `f(x₀ + t) ≤ f(x₀)·r^t` with
+///   `r = f(x₀+1)/f(x₀)` (a geometric envelope), and symmetrically below
+///   `a − 1`.
+///
+/// With the body half-width `d ≈ 1.3σ` the envelope's total mass is ~1.3–1.6
+/// of the distribution's, so the expected number of iterations is a small
+/// constant **independent of σ** — each costing one `ln_pmf` evaluation.
+/// `ln_pmf` is only queried inside `[lo, hi]` and may return `−∞` nowhere on
+/// that range.
+///
+/// Returns `None` (caller falls back to the inverse-transform walk) in the
+/// degenerate case of a tail ratio so close to 1 that a geometric envelope
+/// cannot be anchored without risking domination failure — impossible for
+/// the engines' parameter ranges, but cheap to guard.
+fn log_concave_reject(
+    rng: &mut SmallRng,
+    lo: u64,
+    hi: u64,
+    mode: u64,
+    sigma: f64,
+    ln_pmf: impl Fn(u64) -> f64,
+) -> Option<u64> {
+    debug_assert!((lo..=hi).contains(&mode));
+    let ln_f_mode = ln_pmf(mode);
+    let d = (1.3 * sigma).ceil().max(1.0) as u64;
+    let a = mode.saturating_sub(d).max(lo);
+    let b = (mode + d).min(hi);
+
+    // Relative (to the mode probability) envelope masses of the three
+    // regions; `ln_r_*` are the geometric tail log-ratios, strictly negative
+    // because the pmf is strictly decreasing one step beyond the body (the
+    // only possible plateau of a log-concave pmf is at the mode itself).
+    let tail = |anchor: f64, next: Option<f64>| -> Option<(f64, f64, f64)> {
+        let ln_h = anchor - ln_f_mode;
+        let ln_r = match next {
+            Some(n) => {
+                let ln_r = n - anchor;
+                if ln_r >= -1e-12 {
+                    return None; // flat tail: envelope unusable, fall back
+                }
+                ln_r
+            }
+            None => f64::NEG_INFINITY, // single-point tail
+        };
+        Some((ln_h.exp() / (1.0 - ln_r.exp()), ln_h, ln_r))
+    };
+    let body = (b - a + 1) as f64;
+    let (right, ln_h_right, ln_r_right) = if b < hi {
+        tail(ln_pmf(b + 1), (b + 1 < hi).then(|| ln_pmf(b + 2)))?
+    } else {
+        (0.0, f64::NEG_INFINITY, f64::NEG_INFINITY)
+    };
+    let (left, ln_h_left, ln_r_left) = if a > lo {
+        tail(ln_pmf(a - 1), (a - 1 > lo).then(|| ln_pmf(a - 2)))?
+    } else {
+        (0.0, f64::NEG_INFINITY, f64::NEG_INFINITY)
+    };
+    let total_mass = body + right + left;
+
+    loop {
+        let z = rng.gen::<f64>() * total_mass;
+        let (candidate, ln_envelope) = if z < body {
+            // Uniform body: reuse the fractional part as the vertical
+            // coordinate.
+            let x = a + (z as u64).min(b - a);
+            let v = z.fract();
+            if v.max(f64::MIN_POSITIVE).ln() <= ln_pmf(x) - ln_f_mode {
+                return Some(x);
+            }
+            continue;
+        } else if z < body + right {
+            // Geometric right tail: t ~ Geom(1 − r).
+            let t = geometric_jump(rng, ln_r_right);
+            match b.checked_add(1 + t) {
+                Some(x) if x <= hi => (x, ln_h_right + t as f64 * ln_r_right),
+                _ => continue, // envelope mass beyond the support: reject
+            }
+        } else {
+            let t = geometric_jump(rng, ln_r_left);
+            match (a - 1).checked_sub(t) {
+                Some(x) if x >= lo => (x, ln_h_left + t as f64 * ln_r_left),
+                _ => continue,
+            }
+        };
+        let v: f64 = rng.gen();
+        if v.max(f64::MIN_POSITIVE).ln() + ln_envelope <= ln_pmf(candidate) - ln_f_mode {
+            return Some(candidate);
+        }
+    }
+}
+
+/// Sample `t = ⌊ln u / ln r⌋`, the jump length of a geometric tail with
+/// log-ratio `ln_r < 0` (`t = 0` for a single-point tail).
+fn geometric_jump(rng: &mut SmallRng, ln_r: f64) -> u64 {
+    if ln_r == f64::NEG_INFINITY {
+        return 0;
+    }
+    let u: f64 = rng.gen();
+    let t = u.max(f64::MIN_POSITIVE).ln() / ln_r;
+    // Cap far beyond any support the engines use; the rejection test discards
+    // out-of-support candidates anyway.
+    t.min(9.0e18) as u64
+}
+
+/// `ln P(X = k)` of the hypergeometric distribution.
+#[inline]
+fn ln_pmf_hypergeometric(total: u64, success: u64, draws: u64, k: u64) -> f64 {
+    ln_choose(success, k) + ln_choose(total - success, draws - k) - ln_choose(total, draws)
+}
+
 /// Draw from the hypergeometric distribution: the number of *successes* in
 /// `draws` draws **without replacement** from a population of `total` items of
 /// which `success` are successes.
 ///
-/// Uses inverse transform from the mode with pmf-ratio recurrences, so the
-/// expected cost is `O(σ)` (a few iterations for the batch sizes the engine
-/// uses), independent of `total`.
+/// Exact sampling at `O(1)` expected cost regardless of the parameters: small
+/// spreads use inverse transform from the mode with pmf-ratio recurrences
+/// (`O(σ)`, a few iterations), large spreads use log-concave rejection
+/// ([`log_concave_reject`]: a uniform body with geometric tails, a small
+/// constant number of iterations independent of `σ`).  The crossover keeps
+/// the engines' hot draws — tiny per-block hypergeometrics as well as the
+/// sharded engine's `σ ≈ √(n/S)`-scale cross-shard and rebalancing draws —
+/// on their cheap path.
 ///
 /// # Panics
 ///
@@ -125,6 +255,27 @@ pub fn hypergeometric(rng: &mut SmallRng, total: u64, success: u64, draws: u64) 
     // Mode of the hypergeometric: floor((draws+1)(success+1)/(total+2)).
     let mode = (((draws + 1) as u128 * (success + 1) as u128) / (total + 2) as u128) as u64;
     let mode = mode.clamp(lo, hi);
+
+    // Wide distributions take the O(1) log-concave rejection path; narrow
+    // ones fall through to the O(σ) inverse-transform walk below.  Since
+    // σ ≤ √(min(draws, hi−lo))/2, a single integer compare keeps the hot
+    // small-draw path free of the σ computation entirely.
+    if (hi - lo).min(draws) as f64 > 4.0 * REJECTION_SIGMA * REJECTION_SIGMA {
+        let tf = total as f64;
+        let sigma = (draws as f64
+            * (success as f64 / tf)
+            * (failure as f64 / tf)
+            * ((total - draws) as f64 / (tf - 1.0)))
+            .sqrt();
+        if sigma > REJECTION_SIGMA {
+            if let Some(k) = log_concave_reject(rng, lo, hi, mode, sigma, |k| {
+                ln_pmf_hypergeometric(total, success, draws, k)
+            }) {
+                return k;
+            }
+        }
+    }
+
     let ln_p_mode =
         ln_choose(success, mode) + ln_choose(failure, draws - mode) - ln_choose(total, draws);
     let p_mode = ln_p_mode.exp();
@@ -217,6 +368,134 @@ pub fn multivariate_hypergeometric(
         remaining_draws, 0,
         "the population composition was exhausted early"
     );
+}
+
+/// Draw from the binomial distribution: the number of successes in `trials`
+/// independent Bernoulli(`p`) experiments.
+///
+/// Uses the same inverse-transform-from-the-mode construction as
+/// [`hypergeometric`]: expected cost `O(σ)` with `σ = √(trials·p·(1−p))`,
+/// independent of the success probability's denominator.  The sharded engine
+/// draws one binomial per shard-pair category per epoch, so the cost is
+/// amortised over millions of interactions.
+///
+/// # Panics
+///
+/// Panics if `p` is not a probability (outside `[0, 1]` or NaN).
+#[must_use]
+pub fn binomial(rng: &mut SmallRng, trials: u64, p: f64) -> u64 {
+    assert!(
+        (0.0..=1.0).contains(&p),
+        "binomial success probability {p} outside [0, 1]"
+    );
+    if trials == 0 || p == 0.0 {
+        return 0;
+    }
+    if p == 1.0 {
+        return trials;
+    }
+    let ln_p = p.ln();
+    let ln_q = (1.0 - p).ln();
+    let ln_pmf =
+        |k: u64| -> f64 { ln_choose(trials, k) + k as f64 * ln_p + (trials - k) as f64 * ln_q };
+    // Mode of the binomial: floor((trials + 1)·p), clamped to the support.
+    let mode = (((trials + 1) as f64) * p).floor().min(trials as f64) as u64;
+
+    // Wide distributions take the O(1) log-concave rejection path (see
+    // `hypergeometric`); narrow ones use the inverse-transform walk below.
+    // σ ≤ √trials/2, so small trial counts skip the σ computation.
+    if trials as f64 > 4.0 * REJECTION_SIGMA * REJECTION_SIGMA {
+        let sigma = (trials as f64 * p * (1.0 - p)).sqrt();
+        if sigma > REJECTION_SIGMA {
+            if let Some(k) = log_concave_reject(rng, 0, trials, mode, sigma, ln_pmf) {
+                return k;
+            }
+        }
+    }
+
+    let p_mode = ln_pmf(mode).exp();
+
+    // p(k+1)/p(k) = (trials − k)/(k + 1) · p/(1 − p).
+    let odds = p / (1.0 - p);
+    let ratio_up = |k: u64| -> f64 { (trials - k) as f64 / (k + 1) as f64 * odds };
+    // p(k−1)/p(k) = k / (trials − k + 1) · (1 − p)/p.
+    let ratio_down = |k: u64| -> f64 { k as f64 / (trials - k + 1) as f64 / odds };
+
+    let u: f64 = rng.gen();
+    let mut acc = p_mode;
+    if u < acc {
+        return mode;
+    }
+    let (mut up_k, mut up_p) = (mode, p_mode);
+    let (mut down_k, mut down_p) = (mode, p_mode);
+    loop {
+        let mut advanced = false;
+        if up_k < trials {
+            up_p *= ratio_up(up_k);
+            up_k += 1;
+            acc += up_p;
+            if u < acc {
+                return up_k;
+            }
+            advanced = true;
+        }
+        if down_k > 0 {
+            down_p *= ratio_down(down_k);
+            down_k -= 1;
+            acc += down_p;
+            if u < acc {
+                return down_k;
+            }
+            advanced = true;
+        }
+        if !advanced {
+            // u landed in the few-ulp gap left by rounding; the mode keeps the
+            // bias far below statistical noise (same rationale as in
+            // `hypergeometric`).
+            return mode;
+        }
+    }
+}
+
+/// Draw a multinomial sample: distribute `trials` items over categories with
+/// (unnormalised, possibly huge) integer `weights`, writing the per-category
+/// counts into `out` (resized to `weights.len()`).
+///
+/// Conditional decomposition: category `i` receives
+/// `Binomial(remaining_trials, weights[i] / remaining_weight)` items, the last
+/// non-empty category takes whatever is left.  Weights are `u128` so that the
+/// sharded engine can pass exact pair counts (`m_k·m_l` up to `10¹⁸`) without
+/// rounding.
+///
+/// # Panics
+///
+/// Panics if `trials > 0` and every weight is zero.
+pub fn multinomial(rng: &mut SmallRng, trials: u64, weights: &[u128], out: &mut Vec<u64>) {
+    out.clear();
+    out.resize(weights.len(), 0);
+    let mut remaining_weight: u128 = weights.iter().sum();
+    assert!(
+        trials == 0 || remaining_weight > 0,
+        "cannot distribute {trials} items over all-zero weights"
+    );
+    let mut remaining = trials;
+    for (slot, &w) in out.iter_mut().zip(weights) {
+        if remaining == 0 {
+            break;
+        }
+        if w == 0 {
+            continue;
+        }
+        let k = if w == remaining_weight {
+            remaining
+        } else {
+            binomial(rng, remaining, w as f64 / remaining_weight as f64)
+        };
+        *slot = k;
+        remaining -= k;
+        remaining_weight -= w;
+    }
+    debug_assert_eq!(remaining, 0, "the weight mass was exhausted early");
 }
 
 /// One step of the conditional decomposition shared by every multivariate
@@ -622,6 +901,204 @@ mod tests {
             (mean - expected).abs() < 0.05 * expected,
             "mean collision index {mean:.1} deviates from birthday expectation {expected:.1}"
         );
+    }
+
+    #[test]
+    fn hypergeometric_rejection_path_matches_exact_pmf() {
+        // σ ≈ 126 > REJECTION_SIGMA: exercises the log-concave rejection
+        // sampler, with a per-bin comparison against the exact pmf.
+        let (total, success, draws) = (300_000u64, 120_000u64, 100_000u64);
+        let sigma = (draws as f64 * 0.4 * 0.6 * (200_000.0 / 299_999.0)).sqrt();
+        assert!(sigma > REJECTION_SIGMA, "test must hit the rejection path");
+        let mut rng = seeded_rng(53);
+        let trials = 100_000usize;
+        let mut counts = vec![0u32; draws as usize + 1];
+        for _ in 0..trials {
+            counts[hypergeometric(&mut rng, total, success, draws) as usize] += 1;
+        }
+        // Compare every bin within ±5σ of the mean against the exact pmf.
+        let mean = draws as f64 * success as f64 / total as f64; // 40000
+        let lo = (mean - 5.0 * sigma) as u64;
+        let hi = (mean + 5.0 * sigma) as u64;
+        for k in lo..=hi {
+            let expected = ln_pmf_hypergeometric(total, success, draws, k).exp() * trials as f64;
+            let got = f64::from(counts[k as usize]);
+            let noise = expected.max(1.0).sqrt();
+            assert!(
+                (got - expected).abs() < 5.0 * noise + 3.0,
+                "k = {k}: got {got}, expected {expected:.1}"
+            );
+        }
+        // And the tails hold everything else (no mass leaked out of range).
+        let in_range: u32 = (lo..=hi).map(|k| counts[k as usize]).sum();
+        assert!(trials as u32 - in_range < (trials / 1000) as u32);
+    }
+
+    #[test]
+    fn hypergeometric_rejection_path_large_parameters() {
+        // Population-scale draws (σ ≈ 111): mean and variance must match.
+        let (total, success, draws) = (10_000_000u64, 3_000_000u64, 100_000u64);
+        let mut rng = seeded_rng(59);
+        let trials = 20_000;
+        let (mut sum, mut sum_sq) = (0f64, 0f64);
+        for _ in 0..trials {
+            let k = hypergeometric(&mut rng, total, success, draws) as f64;
+            sum += k;
+            sum_sq += k * k;
+        }
+        let mean = sum / f64::from(trials);
+        let var = sum_sq / f64::from(trials) - mean * mean;
+        let expected_mean = 30_000.0;
+        let expected_var = draws as f64 * 0.3 * 0.7 * (9_900_000.0 / 9_999_999.0); // ≈ 20790
+        let se_mean = (expected_var / f64::from(trials)).sqrt(); // ≈ 1.02
+        assert!(
+            (mean - expected_mean).abs() < 6.0 * se_mean,
+            "empirical mean {mean:.2} too far from {expected_mean}"
+        );
+        assert!(
+            (var - expected_var).abs() < 0.05 * expected_var,
+            "empirical variance {var:.0} too far from {expected_var:.0}"
+        );
+    }
+
+    #[test]
+    fn binomial_rejection_path_matches_exact_pmf() {
+        // σ ≈ 117 > REJECTION_SIGMA: per-bin check on the rejection path.
+        let (trials_per_draw, p) = (60_000u64, 0.35f64);
+        assert!((trials_per_draw as f64 * p * (1.0 - p)).sqrt() > REJECTION_SIGMA);
+        let mut rng = seeded_rng(61);
+        let draws = 100_000usize;
+        let mut counts = vec![0u32; trials_per_draw as usize + 1];
+        for _ in 0..draws {
+            counts[binomial(&mut rng, trials_per_draw, p) as usize] += 1;
+        }
+        let sigma = (trials_per_draw as f64 * p * (1.0 - p)).sqrt();
+        let mean = trials_per_draw as f64 * p;
+        for k in (mean - 5.0 * sigma) as u64..=(mean + 5.0 * sigma) as u64 {
+            let ln_pmf = ln_choose(trials_per_draw, k)
+                + k as f64 * p.ln()
+                + (trials_per_draw - k) as f64 * (1.0 - p).ln();
+            let expected = ln_pmf.exp() * draws as f64;
+            let got = f64::from(counts[k as usize]);
+            let noise = expected.max(1.0).sqrt();
+            assert!(
+                (got - expected).abs() < 5.0 * noise + 3.0,
+                "k = {k}: got {got}, expected {expected:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn binomial_degenerate_cases() {
+        let mut rng = seeded_rng(31);
+        assert_eq!(binomial(&mut rng, 0, 0.5), 0);
+        assert_eq!(binomial(&mut rng, 10, 0.0), 0);
+        assert_eq!(binomial(&mut rng, 10, 1.0), 10);
+        for _ in 0..200 {
+            let k = binomial(&mut rng, 7, 0.3);
+            assert!(k <= 7);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn binomial_rejects_invalid_probability() {
+        let mut rng = seeded_rng(31);
+        let _ = binomial(&mut rng, 10, 1.5);
+    }
+
+    #[test]
+    fn binomial_mean_and_variance_are_correct() {
+        let mut rng = seeded_rng(37);
+        let (trials_per_draw, p) = (1000u64, 0.37f64);
+        let draws = 20_000;
+        let mut sum = 0u64;
+        let mut sum_sq = 0f64;
+        for _ in 0..draws {
+            let k = binomial(&mut rng, trials_per_draw, p);
+            sum += k;
+            sum_sq += (k as f64) * (k as f64);
+        }
+        let mean = sum as f64 / draws as f64;
+        let expected_mean = trials_per_draw as f64 * p; // 370
+        let var = sum_sq / draws as f64 - mean * mean;
+        let expected_var = trials_per_draw as f64 * p * (1.0 - p); // 233.1
+                                                                   // σ ≈ 15.3, standard error of the mean ≈ 0.108: ±0.6 is ~5.5σ.
+        assert!(
+            (mean - expected_mean).abs() < 0.6,
+            "empirical mean {mean:.2} too far from {expected_mean}"
+        );
+        assert!(
+            (var - expected_var).abs() < 0.1 * expected_var,
+            "empirical variance {var:.1} too far from {expected_var:.1}"
+        );
+    }
+
+    #[test]
+    fn binomial_matches_exact_pmf() {
+        let (trials_per_draw, p) = (40u64, 0.25f64);
+        let mut rng = seeded_rng(41);
+        let draws = 50_000usize;
+        let mut counts = vec![0u32; trials_per_draw as usize + 1];
+        for _ in 0..draws {
+            counts[binomial(&mut rng, trials_per_draw, p) as usize] += 1;
+        }
+        for k in 0..=trials_per_draw {
+            let ln_pmf = ln_choose(trials_per_draw, k)
+                + k as f64 * p.ln()
+                + (trials_per_draw - k) as f64 * (1.0 - p).ln();
+            let expected = ln_pmf.exp() * draws as f64;
+            let got = f64::from(counts[k as usize]);
+            let sigma = expected.max(1.0).sqrt();
+            assert!(
+                (got - expected).abs() < 5.0 * sigma + 3.0,
+                "k = {k}: got {got}, expected {expected:.1}"
+            );
+        }
+    }
+
+    #[test]
+    fn multinomial_sums_and_respects_zero_weights() {
+        let mut rng = seeded_rng(43);
+        let weights: Vec<u128> = vec![10, 0, 30, 60, 0];
+        let mut out = Vec::new();
+        for trials in [0u64, 1, 17, 5000] {
+            multinomial(&mut rng, trials, &weights, &mut out);
+            assert_eq!(out.len(), weights.len());
+            assert_eq!(out.iter().sum::<u64>(), trials);
+            assert_eq!(out[1], 0);
+            assert_eq!(out[4], 0);
+        }
+    }
+
+    #[test]
+    fn multinomial_marginals_match_weights() {
+        let mut rng = seeded_rng(47);
+        // Weights at the sharded engine's scale: pair counts of 10⁹ agents.
+        let weights: Vec<u128> = vec![250_000_000_000_000_000, 750_000_000_000_000_000];
+        let trials_per_draw = 10_000u64;
+        let draws = 2_000;
+        let mut sums = [0u64; 2];
+        let mut out = Vec::new();
+        for _ in 0..draws {
+            multinomial(&mut rng, trials_per_draw, &weights, &mut out);
+            sums[0] += out[0];
+            sums[1] += out[1];
+        }
+        let mean0 = sums[0] as f64 / draws as f64;
+        // Expected 2500, σ ≈ 43.3, standard error ≈ 0.97: ±5 is ~5σ.
+        assert!(
+            (mean0 - 2500.0).abs() < 5.0,
+            "category 0 mean {mean0:.1} too far from 2500"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "all-zero weights")]
+    fn multinomial_rejects_all_zero_weights() {
+        let mut rng = seeded_rng(47);
+        let mut out = Vec::new();
+        multinomial(&mut rng, 5, &[0, 0], &mut out);
     }
 
     #[test]

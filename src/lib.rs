@@ -6,7 +6,7 @@
 //! it simply re-exports the member crates.  Depend on the member crates
 //! directly in downstream code:
 //!
-//! * [`ppsim`] — the simulation engines (sequential and batched),
+//! * [`ppsim`] — the simulation engines (sequential, batched and sharded),
 //! * [`ppproto`] — auxiliary protocols (epidemics, junta, phase clocks, …),
 //! * [`popcount`] — the counting protocols of the paper.
 
