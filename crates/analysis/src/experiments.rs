@@ -1,6 +1,7 @@
-//! Experiments E01–E18: one per quantitative claim of the paper, plus the
+//! Experiments E01–E19: one per quantitative claim of the paper, plus the
 //! engine experiments (E16 batched scale, E17 engine equivalence, E18
-//! sharded scale).
+//! sharded scale, E19 dense counting — Theorems 1/2 on the count-based
+//! engines).
 //!
 //! Each experiment sweeps population sizes, runs several seeded trials per size on
 //! worker threads and renders a markdown [`Table`] comparing the measurement with
@@ -8,9 +9,10 @@
 //! level; `EXPERIMENTS.md` records a full run.
 
 use popcount::{
-    all_counted, all_estimated, all_estimates_valid, all_exact, all_output_n, valid_estimates,
-    Approximate, ApproximateBackup, ApproximateParams, CountExact, CountExactParams, ExactBackup,
-    StableApproximate, StableCountExact, TokenMergingCounter,
+    all_counted, all_estimated, all_estimates_valid, all_exact, all_output_n,
+    count_exact_dense_staged, valid_estimates, Approximate, ApproximateBackup, ApproximateParams,
+    CountExact, CountExactParams, DenseApproximate, ExactBackup, StableApproximate,
+    StableCountExact, TokenMergingCounter,
 };
 use ppproto::fast_leader_election::FastLeaderElectionProtocol;
 use ppproto::junta::{all_inactive, junta_size, max_level, JuntaProtocol};
@@ -230,7 +232,7 @@ pub fn e03_phase_clock(effort: Effort) -> ExperimentReport {
     }
 }
 
-/// E04 — Lemma 6: leader election of [18].
+/// E04 — Lemma 6: leader election of \[18\].
 #[must_use]
 pub fn e04_leader_election(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[256, 1024], &[256, 1024, 4096, 16384]);
@@ -1077,6 +1079,189 @@ pub fn e18_sharded_scale(effort: Effort) -> ExperimentReport {
     }
 }
 
+/// E19 — Theorems 1/2 on the count-based engines: the composed counting
+/// protocols (`DenseApproximate`, `DenseCountExact`) run to a unanimous valid
+/// output on the batched engine and one sharded configuration.
+///
+/// This is the experiment the dense encodings exist for: before them, E08 and
+/// E11 capped at `n ≈ 10⁴` on the sequential engine.  The dense encodings are
+/// exact (`crates/core/tests/dense_equivalence.rs` pins dense ↔ sequential
+/// bisimulation and KS equivalence), so the numbers here are Theorem 1/2
+/// measurements, not approximations.  `CountExact` runs with
+/// [`CountExactParams::dense_at_scale`] — the paper's `γ = 8` election offset
+/// (1-bit rounds), which keeps the election's live value classes `O(log n)`
+/// so the configuration stays batchable; the `dense states` column reports
+/// the distinct states each run discovered (the empirical side of the
+/// `O(log n · log log n)` / `Õ(n)` state bounds, cf. E15).
+///
+/// Trials run serially: a single dense trial at `n = 10⁶` is minutes of
+/// wall-clock (see the README's reproducing table), and the sharded engine
+/// brings its own worker threads.
+#[must_use]
+pub fn e19_dense_counting(effort: Effort) -> ExperimentReport {
+    use std::time::Instant;
+
+    // One seeded trial per engine at the headline size: a single converged
+    // Approximate run at n = 10⁶ is ≈ 10¹¹ interactions (phase lengths grow
+    // with n/|junta| ~ √n, so ~200 phases of ~6·10⁸ each) — about an hour of
+    // single-core wall-clock.  The Quick tier runs n = 10⁴ with two trials
+    // for a distributional sanity check; larger sweeps (10⁷⁺) go through
+    // `bench_batched_json --workload approximate --sizes ...` on real
+    // multicore hardware.
+    let approx_sizes = effort.sizes(&[10_000], &[1_000_000]);
+    let exact_sizes = effort.sizes(&[10_000], &[1_000_000]);
+    let trials = effort.trials(2, 1);
+
+    let mut table = Table::new(
+        "E19 — dense counting (Theorems 1/2): Approximate and CountExact on the count-based engines",
+        &[
+            "n",
+            "protocol @ engine",
+            "valid output",
+            "median interactions",
+            "median / reference",
+            "dense states",
+            "median seconds",
+        ],
+    );
+
+    // Both runners stop at the first *unanimous* output (all agents agree on
+    // some value — the composition's stable configuration) and record whether
+    // that value is valid separately: waiting for a unanimous *valid* value
+    // would spin forever on the rare run whose search overshoots.
+    let run_approximate = |engine: Engine, n: usize, master: u64, trials: usize| {
+        sweep_with_threads(&[n], trials, master, 1, |n, seed| {
+            let start = Instant::now();
+            let proto = DenseApproximate::new(ApproximateParams::default());
+            let handle = proto.clone(); // shares the interner: reads the state census
+            let mut sim = DenseSimulator::new(engine, proto, n, seed).unwrap();
+            let (floor, ceil) = valid_estimates(n);
+            let outcome = sim.run_until(
+                |s| matches!(s.output_stats().unanimous(), Some(&Some(_))),
+                (n as u64) * 50,
+                (n as u64).saturating_mul(400_000),
+            );
+            let valid = matches!(sim.output_stats().unanimous(),
+                                 Some(&Some(k)) if k == floor || k == ceil);
+            TrialResult {
+                n,
+                seed,
+                converged: outcome.converged() && valid,
+                interactions: outcome.interactions().unwrap_or(u64::MAX),
+                metric: handle.states_discovered() as f64 + start.elapsed().as_secs_f64() / 1e9,
+            }
+        })
+        .remove(0)
+    };
+    // CountExact runs **staged** (`count_exact_dense_staged`): stages 1–2 on
+    // the dense engine, the refinement on the per-agent engine — Theorem 2's
+    // Õ(n) states are real, and the refinement's Θ(n) live loads degenerate
+    // any count-based representation (see `popcount::exact::staged`).
+    let run_count_exact = |engine: Engine, n: usize, master: u64, trials: usize| {
+        sweep_with_threads(&[n], trials, master, 1, |n, seed| {
+            let start = Instant::now();
+            let outcome = count_exact_dense_staged(
+                CountExactParams::dense_at_scale(n),
+                n,
+                seed,
+                engine,
+                (n as u64).saturating_mul(300_000),
+            )
+            .unwrap();
+            TrialResult {
+                n,
+                seed,
+                converged: outcome.converged && outcome.output == Some(n as u64),
+                interactions: outcome.interactions,
+                metric: outcome.states_discovered as f64 + start.elapsed().as_secs_f64() / 1e9,
+            }
+        })
+        .remove(0)
+    };
+
+    let push = |table: &mut Table,
+                label: String,
+                group: &[TrialResult],
+                reference: fn(usize) -> f64,
+                elapsed: &[f64]| {
+        let n = group[0].n;
+        let inter = Summary::of_u64(&group.iter().map(|r| r.interactions).collect::<Vec<_>>());
+        let states = Summary::of(&group.iter().map(|r| r.metric.floor()).collect::<Vec<_>>());
+        let secs = Summary::of(elapsed);
+        table.push_row(vec![
+            n.to_string(),
+            label,
+            format!(
+                "{}/{}",
+                group.iter().filter(|r| r.converged).count(),
+                group.len()
+            ),
+            format!("{:.3e}", inter.median),
+            format!("{:.1}", inter.median / reference(n)),
+            format!("{:.0}", states.median),
+            format!("{:.1}", secs.median),
+        ]);
+    };
+
+    // The wall-clock rides in the metric's fractional part (seconds / 1e9
+    // never collides with the integer state census).
+    let secs_of = |group: &[TrialResult]| -> Vec<f64> {
+        group.iter().map(|r| r.metric.fract() * 1e9).collect()
+    };
+
+    let sharded = Engine::Sharded {
+        shards: 2,
+        threads: 1,
+    };
+    for (si, &n) in approx_sizes.iter().enumerate() {
+        let g = run_approximate(Engine::Batched, n, 0xE19 + 10 * si as u64, trials);
+        push(
+            &mut table,
+            "Approximate @ batched".into(),
+            &g,
+            n_log2_n,
+            &secs_of(&g),
+        );
+        if si == 0 {
+            let g = run_approximate(sharded, n, 0xE19 + 10 * si as u64 + 5, 1);
+            push(
+                &mut table,
+                "Approximate @ sharded s=2".into(),
+                &g,
+                n_log2_n,
+                &secs_of(&g),
+            );
+        }
+    }
+    for (si, &n) in exact_sizes.iter().enumerate() {
+        let g = run_count_exact(Engine::Batched, n, 0xE19 + 100 + 10 * si as u64, trials);
+        push(
+            &mut table,
+            "CountExact @ batched staged".into(),
+            &g,
+            n_log_n,
+            &secs_of(&g),
+        );
+        if si == 0 {
+            let g = run_count_exact(sharded, n, 0xE19 + 100 + 10 * si as u64 + 5, 1);
+            push(
+                &mut table,
+                "CountExact @ sharded s=2 staged".into(),
+                &g,
+                n_log_n,
+                &secs_of(&g),
+            );
+        }
+    }
+
+    ExperimentReport {
+        id: "E19",
+        claim: "the composed counting protocols converge to valid outputs at n = 10⁶⁺ on the \
+                batched and sharded engines (Theorems 1/2 beyond the sequential range)",
+        table,
+    }
+}
+
 /// An experiment entry point: takes the effort level, returns the report.
 type ExperimentFn = fn(Effort) -> ExperimentReport;
 
@@ -1102,6 +1287,7 @@ const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("e16", e16_batched_scale),
     ("e17", e17_engine_equivalence),
     ("e18", e18_sharded_scale),
+    ("e19", e19_dense_counting),
 ];
 
 /// Resolve a lower-case experiment id to its runner without executing it.
@@ -1136,13 +1322,13 @@ mod tests {
         // integration tests and by the experiments binary).
         for id in [
             "e01", "e02", "e03", "e04", "e05", "e06", "e07", "e08", "e09", "e10", "e11", "e12",
-            "e13", "e14", "e15", "e16", "e17", "e18",
+            "e13", "e14", "e15", "e16", "e17", "e18", "e19",
         ] {
             assert!(resolve(id).is_some(), "experiment id {id} must resolve");
         }
         assert!(resolve("zzz").is_none());
         assert!(resolve("E01").is_none(), "ids are matched lower-case");
-        assert_eq!(EXPERIMENTS.len(), 17, "one registry entry per experiment");
+        assert_eq!(EXPERIMENTS.len(), 18, "one registry entry per experiment");
         assert!(run_one("zzz", Effort::Quick).is_none());
     }
 }

@@ -7,6 +7,7 @@
 //! comparisons as machine-readable `BENCH_batched.json` / `BENCH_sharded.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use popcount::{ApproximateParams, CountExactParams, DenseApproximate, DenseCountExact};
 use ppproto::DenseEpidemic;
 use ppsim::{BatchedSimulator, DenseAdapter, ShardedBatchedSimulator, ShardedConfig, Simulator};
 
@@ -82,5 +83,33 @@ fn bench_sharded(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_engines, bench_sharded);
+/// The interned dense counting protocols (Theorems 1/2) on the batched
+/// engine: throughput over a fixed interaction budget (full convergence at
+/// these sizes is minutes of wall-clock and lives in E19 / the
+/// `bench_batched_json --workload` snapshots, not in the smoke suite).
+fn bench_dense_counting(c: &mut Criterion) {
+    let n = 100_000usize;
+    let budget = 20_000_000u64;
+    let mut group = c.benchmark_group("engine_dense_counting");
+    group.sample_size(5);
+    group.bench_with_input(BenchmarkId::new("approximate_batched", n), &n, |b, &n| {
+        b.iter(|| {
+            let proto = DenseApproximate::new(ApproximateParams::default());
+            let mut sim = BatchedSimulator::new(proto, n, 1).unwrap();
+            sim.run(budget);
+            sim.interactions()
+        });
+    });
+    group.bench_with_input(BenchmarkId::new("count_exact_batched", n), &n, |b, &n| {
+        b.iter(|| {
+            let proto = DenseCountExact::new(CountExactParams::dense_at_scale(n));
+            let mut sim = BatchedSimulator::new(proto, n, 1).unwrap();
+            sim.run(budget);
+            sim.interactions()
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_engines, bench_sharded, bench_dense_counting);
 criterion_main!(benches);

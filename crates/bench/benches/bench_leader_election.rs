@@ -1,4 +1,4 @@
-//! E04/E05 — Lemmas 6 and 7: leader election of [18] vs FastLeaderElection.
+//! E04/E05 — Lemmas 6 and 7: leader election of \[18\] vs FastLeaderElection.
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use ppproto::fast_leader_election::FastLeaderElectionProtocol;
 use ppproto::leader_election::LeaderElectionProtocol;

@@ -11,18 +11,72 @@
 //!     --name epidemic_batched_vs_sharded \
 //!     --engines batched,sharded --sizes 1e6,1e7,1e8,1e9 \
 //!     --shards 8 --threads 8 > BENCH_sharded.json
+//!
+//! # Counting workloads (Theorems 1/2 on the dense engines):
+//! cargo run --release -p ppbench --bin bench_batched_json -- \
+//!     --workload approximate --engines batched --sizes 1e5,1e6 > BENCH_counting.json
 //! ```
 //!
-//! The workload is the one-way epidemic run to full convergence — the same
-//! transition system on every engine (`DenseSimulator` dispatch), so the
-//! ratio columns are pure engine speedup.  `--trials` overrides the per-size
-//! default (5 below 10⁶, 3 below 10⁸, 2 below 10⁹, then 1); the sequential
-//! engine is skipped above 2·10⁶ where a single converged run takes minutes.
+//! The default workload is the one-way epidemic run to full convergence —
+//! the same transition system on every engine (`DenseSimulator` dispatch),
+//! so the ratio columns are pure engine speedup.  `--workload approximate`
+//! and `--workload countexact` run the composed counting protocols
+//! (`DenseApproximate` / `DenseCountExact`, interned dense encodings) to a
+//! unanimous valid output instead — the Theorem 1/2 experiments E19 report
+//! as tables.  `--trials` overrides the per-size default (5 below 10⁶, 3
+//! below 10⁸, 2 below 10⁹, then 1); the sequential engine is skipped above
+//! 2·10⁶ where a single converged run takes minutes.
 
 use std::time::Instant;
 
+use popcount::{
+    count_exact_dense_staged, valid_estimates, ApproximateParams, CountExactParams,
+    DenseApproximate,
+};
 use ppproto::DenseEpidemic;
 use ppsim::{derive_seed, DenseSimulator, Engine};
+
+/// Which protocol the benchmark drives to convergence.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Workload {
+    Epidemic,
+    Approximate,
+    CountExact,
+}
+
+impl Workload {
+    fn parse(raw: &str) -> Self {
+        match raw {
+            "epidemic" => Workload::Epidemic,
+            "approximate" => Workload::Approximate,
+            "countexact" => Workload::CountExact,
+            other => panic!("unknown workload `{other}` (epidemic|approximate|countexact)"),
+        }
+    }
+
+    fn describe(self) -> &'static str {
+        match self {
+            Workload::Epidemic => "one-way epidemic (DenseEpidemic) run until all agents informed",
+            Workload::Approximate => {
+                "Approximate (Theorem 1, DenseApproximate) run until a unanimous \
+                 floor/ceil log2 n estimate"
+            }
+            Workload::CountExact => {
+                "CountExact (Theorem 2, dense_at_scale params) run staged until every \
+                 agent outputs exactly n: stages 1-2 on the dense engine, refinement \
+                 per-agent (count_exact_dense_staged)"
+            }
+        }
+    }
+
+    fn default_name(self) -> &'static str {
+        match self {
+            Workload::Epidemic => "epidemic_convergence_seq_vs_batched",
+            Workload::Approximate => "approximate_convergence_dense",
+            Workload::CountExact => "count_exact_convergence_dense",
+        }
+    }
+}
 
 struct Measurement {
     n: usize,
@@ -34,25 +88,72 @@ struct Measurement {
     interactions_per_second: f64,
 }
 
-/// Wall-clock and interaction count of one epidemic run to saturation.
-fn time_engine(engine: Engine, n: usize, seed: u64) -> (f64, u64) {
-    let start = Instant::now();
-    let mut sim = DenseSimulator::new(engine, DenseEpidemic, n, seed)
-        .expect("engine construction must succeed");
-    sim.transfer(0, 1, 1).expect("plant the rumour");
-    let t = sim
-        .run_until(|s| s.count_of(1) == s.population(), n as u64, u64::MAX >> 1)
-        .expect_converged("epidemic");
-    (start.elapsed().as_secs_f64(), t)
+/// Wall-clock and interaction count of one run to convergence.
+fn time_engine(workload: Workload, engine: Engine, n: usize, seed: u64) -> (f64, u64) {
+    match workload {
+        Workload::Epidemic => {
+            let start = Instant::now();
+            let mut sim = DenseSimulator::new(engine, DenseEpidemic, n, seed)
+                .expect("engine construction must succeed");
+            sim.transfer(0, 1, 1).expect("plant the rumour");
+            let t = sim
+                .run_until(|s| s.count_of(1) == s.population(), n as u64, u64::MAX >> 1)
+                .expect_converged("epidemic");
+            (start.elapsed().as_secs_f64(), t)
+        }
+        Workload::Approximate => {
+            let start = Instant::now();
+            let proto = DenseApproximate::new(ApproximateParams::default());
+            let mut sim = DenseSimulator::new(engine, proto, n, seed)
+                .expect("engine construction must succeed");
+            // Stop at the first unanimous output (the stable configuration);
+            // validity is reported, not awaited — a rare overshot search
+            // would otherwise spin forever.
+            let t = sim
+                .run_until(
+                    |s| matches!(s.output_stats().unanimous(), Some(&Some(_))),
+                    (n as u64) * 8,
+                    u64::MAX >> 1,
+                )
+                .expect_converged("dense approximate");
+            let (floor, ceil) = valid_estimates(n);
+            if !matches!(sim.output_stats().unanimous(), Some(&Some(k)) if k == floor || k == ceil)
+            {
+                eprintln!(
+                    "note: run at n = {n} (seed {seed}) reached unanimity on an \
+                     out-of-range estimate"
+                );
+            }
+            (start.elapsed().as_secs_f64(), t)
+        }
+        Workload::CountExact => {
+            // Staged: stages 1–2 on the dense engine, refinement per-agent
+            // (see `popcount::exact::staged` for the Õ(n)-states rationale).
+            let start = Instant::now();
+            let outcome = count_exact_dense_staged(
+                CountExactParams::dense_at_scale(n),
+                n,
+                seed,
+                engine,
+                u64::MAX >> 1,
+            )
+            .expect("engine construction must succeed");
+            assert!(outcome.converged, "staged dense count-exact must converge");
+            if outcome.output != Some(n as u64) {
+                eprintln!("note: run at n = {n} (seed {seed}) counted a wrong total");
+            }
+            (start.elapsed().as_secs_f64(), outcome.interactions)
+        }
+    }
 }
 
-fn measure(engine: Engine, n: usize, trials: usize) -> Measurement {
+fn measure(workload: Workload, engine: Engine, n: usize, trials: usize) -> Measurement {
     // Warm-up run (page faults, branch predictors), then timed trials.
-    let _ = time_engine(engine, n, derive_seed(0xBEEF, 999));
+    let _ = time_engine(workload, engine, n, derive_seed(0xBEEF, 999));
     let mut secs = Vec::with_capacity(trials);
     let mut inters = Vec::with_capacity(trials);
     for t in 0..trials {
-        let (s, i) = time_engine(engine, n, derive_seed(0xBEEF, t as u64));
+        let (s, i) = time_engine(workload, engine, n, derive_seed(0xBEEF, t as u64));
         secs.push(s);
         inters.push(i as f64);
     }
@@ -145,7 +246,8 @@ fn main() {
             }
         });
 
-    let name = flag_value(&args, "--name").unwrap_or("epidemic_convergence_seq_vs_batched");
+    let workload = flag_value(&args, "--workload").map_or(Workload::Epidemic, Workload::parse);
+    let name = flag_value(&args, "--name").unwrap_or_else(|| workload.default_name());
     let note = flag_value(&args, "--note");
 
     let mut measurements: Vec<Measurement> = Vec::new();
@@ -157,7 +259,7 @@ fn main() {
                 continue;
             }
             eprintln!("measuring {} engine at n = {n} ...", engine.name());
-            measurements.push(measure(engine, n, trials));
+            measurements.push(measure(workload, engine, n, trials));
         }
     }
 
@@ -167,7 +269,7 @@ fn main() {
     if let Some(note) = note {
         println!("  \"note\": \"{note}\",");
     }
-    println!("  \"workload\": \"one-way epidemic (DenseEpidemic) run until all agents informed\",");
+    println!("  \"workload\": \"{}\",", workload.describe());
     println!("  \"units\": {{ \"time\": \"seconds\", \"throughput\": \"interactions/second\" }},");
     println!("  \"results\": [");
     for (i, m) in measurements.iter().enumerate() {

@@ -1,6 +1,20 @@
 //! Diagnostic runner for CountExact (not part of the public API).
-use popcount::{CountExact, CountExactParams};
-use ppsim::Simulator;
+//!
+//! Drives the **dense** protocol through the canonical entry point —
+//! [`DenseSimulator`] with [`Engine::Auto`] — with
+//! [`CountExactParams::dense_at_scale`], so the stage-by-stage trace works
+//! from a few hundred agents (sequential engine) into the dense regime
+//! (batched engine): `cargo run --release -p popcount --example
+//! debug_count_exact -- <n> <seed>`.
+//!
+//! This example watches the *stages* unfold; it stops reporting at its
+//! interaction bailout rather than insisting on convergence.  For running
+//! `CountExact` to its exact output at population scale, the entry point is
+//! [`popcount::count_exact_dense_staged`] — the refinement stage's `Θ(n)`
+//! live loads want the per-agent engine (see `popcount::exact::staged`).
+
+use popcount::{CountExactParams, DenseCountExact};
+use ppsim::{DenseSimulator, Engine};
 
 fn main() {
     let n: usize = std::env::args()
@@ -11,44 +25,83 @@ fn main() {
         .nth(2)
         .and_then(|s| s.parse().ok())
         .unwrap_or(12);
-    let proto = CountExact::new(CountExactParams::default());
-    let mut sim = Simulator::new(proto, n, seed).unwrap();
+    let proto = DenseCountExact::new(CountExactParams::dense_at_scale(n));
+    let mut sim = DenseSimulator::new(Engine::Auto, proto.clone(), n, seed).unwrap();
+    eprintln!(
+        "engine = {} (Engine::Auto at n = {n}), capacity = {} dense states",
+        sim.engine_name(),
+        ppsim::DenseProtocol::num_states(&proto),
+    );
     for _ in 0..4000 {
         sim.run(50_000);
-        let states = sim.states();
-        let leaders = states.iter().filter(|a| a.is_leader()).count();
-        let done = states.iter().filter(|a| a.election.done).count();
-        let apx = states.iter().filter(|a| a.stage.apx_done).count();
-        let mult = states.iter().filter(|a| a.stage.multiplied).count();
-        let phase = states.iter().map(|a| a.sync.clock.phase).max().unwrap();
-        let level = states.iter().map(|a| a.sync.junta.level).max().unwrap();
-        let k = states.iter().find(|a| a.stage.apx_done).map(|a| a.stage.k);
-        let leader = states.iter().find(|a| a.is_leader());
-        let (li, ll) = leader
-            .map(|a| (a.stage.explosions(), a.stage.l))
-            .unwrap_or((0, 0));
-        let total_l: u128 = states.iter().map(|a| a.stage.l as u128).sum();
-        let outputs: Vec<u64> = {
-            let p = CountExact::new(CountExactParams::default());
-            let mut set: Vec<u64> = states.iter().filter_map(|a| p.agent_output(a)).collect();
-            set.sort_unstable();
-            set.dedup();
-            set.truncate(5);
-            set
-        };
-        println!(
-            "t={:>9} phase={:>3} lvl={} leaders={} eldone={:>4} apx={:>4} mult={:>4} leader(i={},l={}) k={:?} totalL={} out={:?}",
-            sim.interactions(), phase, level, leaders, done, apx, mult, li, ll, k, total_l, outputs
-        );
-        let proto2 = CountExact::new(CountExactParams::default());
-        if states
+        // Decode the occupied dense states into full agents once per report.
+        let counts = sim.counts();
+        let occupied: Vec<(popcount::CountExactAgent, u64)> = counts
             .iter()
-            .all(|a| proto2.agent_output(a) == Some(n as u64))
-        {
-            println!("CONVERGED to {n} at {} interactions", sim.interactions());
+            .enumerate()
+            .filter(|(_, &c)| c > 0)
+            .map(|(s, &c)| (proto.decode(s), c))
+            .collect();
+        let tally = |pred: &dyn Fn(&popcount::CountExactAgent) -> bool| -> u64 {
+            occupied
+                .iter()
+                .filter(|(a, _)| pred(a))
+                .map(|(_, c)| c)
+                .sum()
+        };
+        let leaders = tally(&|a| a.is_leader());
+        let done = tally(&|a| a.election.done);
+        let apx = tally(&|a| a.stage.apx_done);
+        let mult = tally(&|a| a.stage.multiplied);
+        let phase = occupied
+            .iter()
+            .map(|(a, _)| a.sync.clock.phase)
+            .max()
+            .unwrap();
+        let level = occupied
+            .iter()
+            .map(|(a, _)| a.sync.junta.level)
+            .max()
+            .unwrap();
+        let k = occupied
+            .iter()
+            .find(|(a, _)| a.stage.apx_done)
+            .map(|(a, _)| a.stage.k);
+        let leader = occupied.iter().find(|(a, _)| a.is_leader());
+        let (li, ll) = leader
+            .map(|(a, _)| (a.stage.explosions(), a.stage.l))
+            .unwrap_or((0, 0));
+        let total_l: u128 = occupied
+            .iter()
+            .map(|(a, c)| u128::from(a.stage.l) * u128::from(*c))
+            .sum();
+        let stats = sim.output_stats();
+        println!(
+            "t={:>9} phase={:>3} lvl={} leaders={} eldone={:>4} apx={:>4} mult={:>4} \
+             leader(i={},l={}) k={:?} totalL={} states(occ={},seen={})",
+            sim.interactions(),
+            phase,
+            level,
+            leaders,
+            done,
+            apx,
+            mult,
+            li,
+            ll,
+            k,
+            total_l,
+            occupied.len(),
+            proto.states_discovered(),
+        );
+        if stats.unanimous() == Some(&Some(n as u64)) {
+            println!(
+                "CONVERGED to {n} at {} interactions ({} distinct dense states discovered)",
+                sim.interactions(),
+                proto.states_discovered()
+            );
             break;
         }
-        if sim.interactions() > 40_000_000 {
+        if sim.interactions() > 400_000_000 {
             break;
         }
     }

@@ -6,7 +6,7 @@
 //!
 //! 1. the junta process and the phase clocks ([`ppproto::junta`],
 //!    [`ppproto::phase_clock`]), which every agent runs all the time,
-//! 2. the leader election of [18] ([`ppproto::leader_election`]) — *Stage 1*,
+//! 2. the leader election of \[18\] ([`ppproto::leader_election`]) — *Stage 1*,
 //! 3. the Search Protocol ([`crate::search`], Algorithm 1) — *Stage 2*,
 //! 4. a broadcasting stage in which the leader's estimate spreads by one-way
 //!    epidemics — *Stage 3*.
@@ -18,9 +18,12 @@
 
 use rand::rngs::SmallRng;
 
+use ppproto::composition::{
+    DenseComposition, SyncComposition, SyncCtx, SyncedAgent, SyncedComponent,
+};
 use ppproto::leader_election::{LeaderElection, LeaderState};
-use ppproto::phase_clock::{sync_interact, PhaseClock, SyncState};
-use ppsim::Protocol;
+use ppproto::phase_clock::SyncState;
+use ppsim::{DenseProtocol, Protocol};
 
 use crate::params::ApproximateParams;
 use crate::search::{search_interact, SearchContext, SearchState};
@@ -79,6 +82,119 @@ pub(crate) struct StagePass {
     pub stage3: bool,
 }
 
+/// The component state of protocol `Approximate` below the synchronisation
+/// base: the leader election (Stage 1) and the Search Protocol (Stage 2).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct ApproximateCore {
+    /// Leader-election component (`leader_v`, `leaderDone_v`, …).
+    pub election: LeaderState,
+    /// Search Protocol component (`k_v`, `searchDone_v`).
+    pub search: SearchState,
+}
+
+/// The stages of protocol `Approximate` as a [`SyncedComponent`]: the part of
+/// Algorithm 2 below lines 1–4, driven by the shared synchronisation base
+/// ([`SyncComposition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ApproximateComponent {
+    election: LeaderElection,
+}
+
+impl ApproximateComponent {
+    /// Stages 1 and 2 of Algorithm 2, dispatched on the initiator's progress.
+    /// Returns `true` when the initiator has completed both (stage 3 —
+    /// broadcasting, or error detection in the stable variant — is due).
+    pub(crate) fn stages_1_2(
+        &self,
+        u: &mut ApproximateCore,
+        v: &mut ApproximateCore,
+        ctx: &SyncCtx,
+    ) -> bool {
+        if !u.election.done {
+            // Stage 1: leader election [18].
+            self.election.interact(
+                &mut u.election,
+                &mut v.election,
+                ctx.u_first_tick,
+                ctx.u_phase,
+                ctx.v_phase,
+                ctx.u_level,
+                ctx.v_level,
+                ctx.u_junta,
+                ctx.v_junta,
+            );
+            false
+        } else if !u.search.done {
+            // Stage 2: the Search Protocol (Algorithm 1).
+            let sctx = SearchContext {
+                u_leader: u.election.contender,
+                v_leader: v.election.contender,
+                u_phase: ctx.u_phase,
+                v_phase: ctx.v_phase,
+                u_first_tick: ctx.u_first_tick,
+            };
+            search_interact(&mut u.search, &mut v.search, &sctx);
+            false
+        } else {
+            true
+        }
+    }
+}
+
+impl SyncedComponent for ApproximateComponent {
+    type State = ApproximateCore;
+    type Output = Option<i32>;
+
+    fn initial_state(&self) -> ApproximateCore {
+        ApproximateCore::default()
+    }
+
+    fn reset(&self, state: &mut ApproximateCore) {
+        state.election.reset();
+        state.search.reset();
+    }
+
+    fn interact(&self, u: &mut ApproximateCore, v: &mut ApproximateCore, ctx: &SyncCtx) {
+        if self.stages_1_2(u, v, ctx) {
+            // Stage 3: broadcasting stage — the initiator pushes the estimate.
+            v.search.k = u.search.k;
+            v.search.done = true;
+        }
+    }
+
+    fn output(&self, state: &ApproximateCore) -> Option<i32> {
+        if state.search.done {
+            Some(state.search.k)
+        } else {
+            None
+        }
+    }
+
+    fn name(&self) -> &'static str {
+        "approximate"
+    }
+}
+
+/// Pack an [`ApproximateAgent`] into the composition layer's agent shape.
+fn pack(agent: &ApproximateAgent) -> SyncedAgent<ApproximateCore> {
+    SyncedAgent {
+        sync: agent.sync,
+        inner: ApproximateCore {
+            election: agent.election,
+            search: agent.search,
+        },
+    }
+}
+
+/// Unpack the composition layer's agent shape back into an [`ApproximateAgent`].
+fn unpack(agent: SyncedAgent<ApproximateCore>) -> ApproximateAgent {
+    ApproximateAgent {
+        sync: agent.sync,
+        election: agent.inner.election,
+        search: agent.inner.search,
+    }
+}
+
 /// Protocol `Approximate` (Algorithm 2).
 ///
 /// # Examples
@@ -103,8 +219,7 @@ pub(crate) struct StagePass {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct Approximate {
-    clock: PhaseClock,
-    election: LeaderElection,
+    composition: SyncComposition<ApproximateComponent>,
     params: ApproximateParams,
 }
 
@@ -113,8 +228,12 @@ impl Approximate {
     #[must_use]
     pub fn new(params: ApproximateParams) -> Self {
         Approximate {
-            clock: PhaseClock::new(params.clock_hours),
-            election: LeaderElection::new(params.leader_election()),
+            composition: SyncComposition::new(
+                params.clock_hours,
+                ApproximateComponent {
+                    election: LeaderElection::new(params.leader_election()),
+                },
+            ),
             params,
         }
     }
@@ -123,6 +242,13 @@ impl Approximate {
     #[must_use]
     pub fn params(&self) -> &ApproximateParams {
         &self.params
+    }
+
+    /// The composed synchronisation base + stage component this protocol runs
+    /// (shared with [`DenseApproximate`], which executes the identical
+    /// transition system on the count-based engines).
+    pub(crate) fn composition(&self) -> &SyncComposition<ApproximateComponent> {
+        &self.composition
     }
 
     /// Per-interaction preamble (re-initialisation, junta, clocks) and dispatch of
@@ -134,51 +260,20 @@ impl Approximate {
         initiator: &mut ApproximateAgent,
         responder: &mut ApproximateAgent,
     ) -> StagePass {
+        let mut u = pack(initiator);
+        let mut v = pack(responder);
         // Lines 1–4 of Algorithm 2: re-initialisation, junta process, phase clocks.
-        let outcome = sync_interact(&self.clock, &mut initiator.sync, &mut responder.sync);
-        if outcome.u_reset {
-            initiator.election.reset();
-            initiator.search.reset();
-        }
-        if outcome.v_reset {
-            responder.election.reset();
-            responder.search.reset();
-        }
-
-        let u_first_tick = initiator.sync.clock.first_tick;
-        let mut stage3 = false;
-
-        if !initiator.election.done {
-            // Stage 1: leader election [18].
-            self.election.interact(
-                &mut initiator.election,
-                &mut responder.election,
-                u_first_tick,
-                initiator.sync.clock.phase,
-                responder.sync.clock.phase,
-                initiator.sync.junta.level,
-                responder.sync.junta.level,
-                initiator.sync.junta.junta,
-                responder.sync.junta.junta,
-            );
-        } else if !initiator.search.done {
-            // Stage 2: the Search Protocol (Algorithm 1).
-            let ctx = SearchContext {
-                u_leader: initiator.election.contender,
-                v_leader: responder.election.contender,
-                u_phase: initiator.sync.clock.phase,
-                v_phase: responder.sync.clock.phase,
-                u_first_tick,
-            };
-            search_interact(&mut initiator.search, &mut responder.search, &ctx);
-        } else {
-            stage3 = true;
-        }
-
+        let ctx = self.composition.preamble(&mut u, &mut v);
+        let stage3 = self
+            .composition
+            .component()
+            .stages_1_2(&mut u.inner, &mut v.inner, &ctx);
+        *initiator = unpack(u);
+        *responder = unpack(v);
         StagePass {
-            u_reset: outcome.u_reset,
-            v_reset: outcome.v_reset,
-            u_first_tick,
+            u_reset: ctx.u_reset,
+            v_reset: ctx.v_reset,
+            u_first_tick: ctx.u_first_tick,
             stage3,
         }
     }
@@ -190,15 +285,12 @@ impl Approximate {
         initiator: &mut ApproximateAgent,
         responder: &mut ApproximateAgent,
     ) -> bool {
-        let pass = self.dispatch_stages_1_2(initiator, responder);
-        if pass.stage3 {
-            // Stage 3: broadcasting stage — the initiator pushes the estimate.
-            responder.search.k = initiator.search.k;
-            responder.search.done = true;
-        }
-        // The initiator consumes its firstTick flag when it initiates.
-        initiator.sync.clock.first_tick = false;
-        pass.u_reset
+        let mut u = pack(initiator);
+        let mut v = pack(responder);
+        let ctx = self.composition.interact_pair(&mut u, &mut v);
+        *initiator = unpack(u);
+        *responder = unpack(v);
+        ctx.u_reset
     }
 }
 
@@ -246,6 +338,173 @@ pub fn all_estimated(states: &[ApproximateAgent]) -> bool {
 pub fn valid_estimates(n: usize) -> (i32, i32) {
     let log = (n as f64).log2();
     (log.floor() as i32, log.ceil() as i32)
+}
+
+/// Protocol `Approximate` on an interned dense state space, for the batched
+/// and sharded count-based engines.
+///
+/// This is an **exact encoding** of [`Approximate`]: every dense transition
+/// decodes the two agents, applies the identical composed interaction (the
+/// same [`SyncComposition`] value [`Approximate::new`] builds), and re-encodes
+/// — so both forms simulate the same stochastic process and differ only in
+/// how the engines sample the schedule.
+///
+/// # State-space accounting (the bound on `q`)
+///
+/// Theorem 1 bounds `Approximate` by `O(log n · log log n)` states — but per
+/// *constant-size counter window*: the implementation keeps the absolute
+/// phase counter the paper reduces modulo small constants, so each of the
+/// `O(log n)` phases of a run contributes its own copies.  The distinct
+/// states a run visits are therefore `O(log² n · log log n)` — tens of
+/// thousands at `n = 10⁸` — which is what the interner actually allocates
+/// indices for.  [`DenseApproximate::DEFAULT_CAPACITY`] (2²⁰) leaves several
+/// times that headroom; [`Self::states_discovered`] reports the realised
+/// count (experiment E19 tabulates it).
+///
+/// # Examples
+///
+/// ```rust,no_run
+/// use popcount::{DenseApproximate, ApproximateParams};
+/// use ppsim::{DenseSimulator, Engine};
+///
+/// # fn main() -> Result<(), ppsim::SimError> {
+/// let n = 1_000_000;
+/// let proto = DenseApproximate::new(ApproximateParams::default());
+/// let mut sim = DenseSimulator::new(Engine::Auto, proto, n, 7)?;
+/// let outcome = sim.run_until(
+///     |s| matches!(s.output_stats().unanimous(), Some(Some(k)) if (19..=20).contains(k)),
+///     n as u64,
+///     u64::MAX >> 1,
+/// );
+/// assert!(outcome.converged()); // ⌊log₂ 10⁶⌋ = 19, ⌈log₂ 10⁶⌉ = 20
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseApproximate {
+    inner: DenseComposition<ApproximateComponent>,
+    params: ApproximateParams,
+}
+
+impl DenseApproximate {
+    /// Default interner capacity: comfortably above the distinct states any
+    /// simulable `Approximate` run visits (see the type-level accounting; a
+    /// converged `n = 10⁶` run interns ≈ 2·10⁵ states).
+    pub const DEFAULT_CAPACITY: usize = 1 << 20;
+
+    /// Create the dense protocol with the default state capacity.
+    ///
+    /// # Examples
+    ///
+    /// ```rust
+    /// use popcount::{ApproximateParams, DenseApproximate};
+    /// use ppsim::{BatchedSimulator, DenseProtocol};
+    ///
+    /// # fn main() -> Result<(), ppsim::SimError> {
+    /// let proto = DenseApproximate::new(ApproximateParams::default());
+    /// assert_eq!(proto.states_discovered(), 1); // only the initial state so far
+    ///
+    /// let mut sim = BatchedSimulator::new(proto.clone(), 10_000, 7)?;
+    /// sim.run(50_000);
+    /// // The run discovers states as the junta race and the clocks unfold;
+    /// // `proto` shares the interner, so the census is visible here.
+    /// assert!(proto.states_discovered() > 10);
+    /// assert!(proto.states_discovered() <= proto.num_states());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn new(params: ApproximateParams) -> Self {
+        Self::with_capacity(params, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Create the dense protocol with an explicit state capacity (the
+    /// index-space size reported as `num_states()`; only sizes flat engine
+    /// buffers — see [`ppsim::interned`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `capacity > u32::MAX`.
+    #[must_use]
+    pub fn with_capacity(params: ApproximateParams, capacity: usize) -> Self {
+        DenseApproximate {
+            inner: DenseComposition::new(*Approximate::new(params).composition(), capacity),
+            params,
+        }
+    }
+
+    /// The parameters this instance runs with.
+    #[must_use]
+    pub fn params(&self) -> &ApproximateParams {
+        &self.params
+    }
+
+    /// Decode a dense index into the full per-agent state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has not been assigned to any state yet.
+    #[must_use]
+    pub fn decode(&self, index: usize) -> ApproximateAgent {
+        let agent = self.inner.decode(index);
+        ApproximateAgent {
+            sync: agent.sync,
+            election: agent.inner.election,
+            search: agent.inner.search,
+        }
+    }
+
+    /// Encode a per-agent state as its dense index, interning it on first
+    /// appearance.
+    #[must_use]
+    pub fn encode(&self, agent: ApproximateAgent) -> usize {
+        self.inner.encode(pack(&agent))
+    }
+
+    /// How many distinct states have been discovered so far — the empirical
+    /// state-space size Theorem 1 bounds.
+    #[must_use]
+    pub fn states_discovered(&self) -> usize {
+        self.inner.states_discovered()
+    }
+}
+
+impl DenseProtocol for DenseApproximate {
+    type Output = Option<i32>;
+
+    fn num_states(&self) -> usize {
+        self.inner.num_states()
+    }
+
+    fn initial_state(&self) -> usize {
+        self.inner.initial_state()
+    }
+
+    fn transition(&self, initiator: usize, responder: usize) -> (usize, usize) {
+        self.inner.transition(initiator, responder)
+    }
+
+    fn output(&self, state: usize) -> Option<i32> {
+        self.inner.output(state)
+    }
+
+    fn name(&self) -> &'static str {
+        "dense-approximate"
+    }
+
+    fn dynamic(&self) -> bool {
+        true
+    }
+}
+
+/// Convergence predicate on a counts configuration of [`DenseApproximate`]:
+/// every agent outputs an estimate.
+#[must_use]
+pub fn dense_all_estimated(protocol: &DenseApproximate, counts: &[u64]) -> bool {
+    counts
+        .iter()
+        .enumerate()
+        .all(|(s, &c)| c == 0 || protocol.decode(s).estimate().is_some())
 }
 
 #[cfg(test)]

@@ -4,7 +4,7 @@
 //! approximation `k = log₂ n ± 3`.  The leader starts with a single token; once per
 //! phase every agent multiplies its load by `2^(2^(level−γ))` (the "load
 //! explosion"); during the rest of the phase the agents run classical load
-//! balancing [10].  As soon as the leader's balanced load reaches `4`, the total
+//! balancing \[10\].  As soon as the leader's balanced load reaches `4`, the total
 //! load `M` must be at least `2n` w.h.p., and the leader computes
 //! `k = log₂ M − ⌊log₂ ℓ_u⌋`, which is `log₂ n ± 3` (Lemma 10).  The `ApxDone` flag
 //! (together with `k`) then spreads to every agent by one-way epidemics.

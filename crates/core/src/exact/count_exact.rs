@@ -12,9 +12,12 @@
 
 use rand::rngs::SmallRng;
 
+use ppproto::composition::{
+    DenseComposition, SyncComposition, SyncCtx, SyncedAgent, SyncedComponent,
+};
 use ppproto::fast_leader_election::{FastLeaderElection, FastLeaderState};
-use ppproto::phase_clock::{sync_interact, PhaseClock, SyncState};
-use ppsim::Protocol;
+use ppproto::phase_clock::SyncState;
+use ppsim::{DenseProtocol, Protocol};
 
 use crate::params::CountExactParams;
 
@@ -87,9 +90,106 @@ impl CountExactAgent {
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct CountExact {
-    clock: PhaseClock,
-    election: FastLeaderElection,
+    composition: SyncComposition<CountExactComponent>,
     params: CountExactParams,
+}
+
+/// The component state of protocol `CountExact` below the synchronisation
+/// base: the fast leader election (Stage 1) and the approximation/refinement
+/// stage bookkeeping (Stages 2–3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct CountExactCore {
+    /// Fast leader-election component.
+    pub election: FastLeaderState,
+    /// Approximation- and refinement-stage state (`i_u`, `k_u`, `ℓ_u`, `ApxDone_u`).
+    pub stage: ExactStageState,
+}
+
+/// The stages of protocol `CountExact` as a [`SyncedComponent`]: the part of
+/// Algorithm 3 below lines 1–4, driven by the shared synchronisation base
+/// ([`SyncComposition`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CountExactComponent {
+    election: FastLeaderElection,
+    level_offset: u8,
+    constant: u64,
+}
+
+impl SyncedComponent for CountExactComponent {
+    type State = CountExactCore;
+    type Output = Option<u64>;
+
+    fn initial_state(&self) -> CountExactCore {
+        CountExactCore::default()
+    }
+
+    fn reset(&self, state: &mut CountExactCore) {
+        state.election.reset();
+        state.stage.reset();
+    }
+
+    fn interact(&self, u: &mut CountExactCore, v: &mut CountExactCore, ctx: &SyncCtx) {
+        if !u.election.done {
+            // Stage 1: fast leader election (lines 5–6).
+            self.election.interact(
+                &mut u.election,
+                &mut v.election,
+                ctx.u_first_tick,
+                ctx.u_phase,
+                ctx.v_phase,
+                ctx.u_level,
+                ctx.v_level,
+            );
+        } else if !u.stage.apx_done {
+            // Stage 2: approximation stage (Algorithm 4, lines 7–8).
+            let actx = ApproximationContext {
+                u_leader: u.election.contender,
+                u_level: ctx.u_level,
+                level_offset: self.level_offset,
+                u_phase: ctx.u_phase,
+                v_phase: ctx.v_phase,
+            };
+            approximation_interact(&mut u.stage, &mut v.stage, &actx);
+        } else {
+            // Stage 3: refinement stage (Algorithm 5, lines 9–10).
+            let rctx = RefinementContext {
+                u_leader: u.election.contender,
+                u_first_tick: ctx.u_first_tick,
+                u_phase: ctx.u_phase,
+                v_phase: ctx.v_phase,
+                constant: self.constant,
+            };
+            refinement_interact(&mut u.stage, &mut v.stage, &rctx);
+        }
+    }
+
+    fn output(&self, state: &CountExactCore) -> Option<u64> {
+        refinement_output(&state.stage, self.constant)
+    }
+
+    fn name(&self) -> &'static str {
+        "count-exact"
+    }
+}
+
+/// Pack a [`CountExactAgent`] into the composition layer's agent shape.
+fn pack(agent: &CountExactAgent) -> SyncedAgent<CountExactCore> {
+    SyncedAgent {
+        sync: agent.sync,
+        inner: CountExactCore {
+            election: agent.election,
+            stage: agent.stage,
+        },
+    }
+}
+
+/// Unpack the composition layer's agent shape back into a [`CountExactAgent`].
+fn unpack(agent: SyncedAgent<CountExactCore>) -> CountExactAgent {
+    CountExactAgent {
+        sync: agent.sync,
+        election: agent.inner.election,
+        stage: agent.inner.stage,
+    }
 }
 
 impl CountExact {
@@ -97,8 +197,14 @@ impl CountExact {
     #[must_use]
     pub fn new(params: CountExactParams) -> Self {
         CountExact {
-            clock: PhaseClock::new(params.clock_hours),
-            election: FastLeaderElection::new(params.fast_leader_election()),
+            composition: SyncComposition::new(
+                params.clock_hours,
+                CountExactComponent {
+                    election: FastLeaderElection::new(params.fast_leader_election()),
+                    level_offset: params.level_offset,
+                    constant: params.refinement_constant(),
+                },
+            ),
             params,
         }
     }
@@ -107,6 +213,13 @@ impl CountExact {
     #[must_use]
     pub fn params(&self) -> &CountExactParams {
         &self.params
+    }
+
+    /// The composed synchronisation base + stage component this protocol runs
+    /// (shared with [`DenseCountExact`], which executes the identical
+    /// transition system on the count-based engines).
+    pub(crate) fn composition(&self) -> &SyncComposition<CountExactComponent> {
+        &self.composition
     }
 
     /// The output function applied to a single agent (exposed so that harness code
@@ -123,54 +236,13 @@ impl CountExact {
         initiator: &mut CountExactAgent,
         responder: &mut CountExactAgent,
     ) -> bool {
-        // Lines 1–4 of Algorithm 3.
-        let outcome = sync_interact(&self.clock, &mut initiator.sync, &mut responder.sync);
-        if outcome.u_reset {
-            initiator.election.reset();
-            initiator.stage.reset();
-        }
-        if outcome.v_reset {
-            responder.election.reset();
-            responder.stage.reset();
-        }
-
-        let u_first_tick = initiator.sync.clock.first_tick;
-
-        if !initiator.election.done {
-            // Stage 1: fast leader election.
-            self.election.interact(
-                &mut initiator.election,
-                &mut responder.election,
-                u_first_tick,
-                initiator.sync.clock.phase,
-                responder.sync.clock.phase,
-                initiator.sync.junta.level,
-                responder.sync.junta.level,
-            );
-        } else if !initiator.stage.apx_done {
-            // Stage 2: approximation stage (Algorithm 4).
-            let ctx = ApproximationContext {
-                u_leader: initiator.election.contender,
-                u_level: initiator.sync.junta.level,
-                level_offset: self.params.level_offset,
-                u_phase: initiator.sync.clock.phase,
-                v_phase: responder.sync.clock.phase,
-            };
-            approximation_interact(&mut initiator.stage, &mut responder.stage, &ctx);
-        } else {
-            // Stage 3: refinement stage (Algorithm 5).
-            let ctx = RefinementContext {
-                u_leader: initiator.election.contender,
-                u_first_tick,
-                u_phase: initiator.sync.clock.phase,
-                v_phase: responder.sync.clock.phase,
-                constant: self.params.refinement_constant(),
-            };
-            refinement_interact(&mut initiator.stage, &mut responder.stage, &ctx);
-        }
-
-        initiator.sync.clock.first_tick = false;
-        outcome.u_reset
+        let mut u = pack(initiator);
+        let mut v = pack(responder);
+        // Lines 1–4 of Algorithm 3, then the staged dispatch.
+        let ctx = self.composition.interact_pair(&mut u, &mut v);
+        *initiator = unpack(u);
+        *responder = unpack(v);
+        ctx.u_reset
     }
 }
 
@@ -213,6 +285,183 @@ pub fn all_counted(protocol: &CountExact, states: &[CountExactAgent], n: usize) 
     states
         .iter()
         .all(|a| protocol.agent_output(a) == Some(n as u64))
+}
+
+/// Protocol `CountExact` on an interned dense state space, for the batched
+/// and sharded count-based engines.
+///
+/// This is an **exact encoding** of [`CountExact`]: every dense transition
+/// decodes the two agents, applies the identical composed interaction (the
+/// same [`SyncComposition`] value [`CountExact::new`] builds), and re-encodes.
+///
+/// # State-space accounting (the bound on `q`)
+///
+/// Theorem 2 trades states for time: `CountExact` uses `Õ(n)` states, and
+/// the diversity is real, in two distinct ways:
+///
+/// * **Election values.**  `FastLeaderElection` contenders sample
+///   `2^{level−γ}`-bit random values; with the practical default `γ = 2` a
+///   population of 10⁶ scatters over up to `2^{16}`-value election rounds.
+///   Cure: [`CountExactParams::dense_at_scale`] (the paper's `γ = 8`, 1-bit
+///   rounds) keeps the election's live value classes `O(log n)` — stages
+///   1–2 then batch beautifully at any size (≈ 7·10⁴ distinct states over
+///   the whole `n = 10⁶` window).
+/// * **Refinement loads.**  Lemma 11 requires per-agent loads of magnitude
+///   `C·2^{2k}/n ≈ 4n`, so the stage-3 balancing transient spreads the
+///   population over `Θ(n)` distinct loads — no parameter choice removes
+///   this, and a count-based representation degenerates to worse than
+///   per-agent execution.  Cure:
+///   [`count_exact_dense_staged`](crate::count_exact_dense_staged) runs
+///   stages 1–2 dense and hands the configuration to the per-agent engine
+///   for the refinement (exact: the process is Markov in the
+///   configuration).
+///
+/// Small populations (`n ≲ 3·10⁴`, any parameters) fit end to end in the
+/// dense form — the regime the equivalence tests pin at `n = 10⁴`.
+/// [`Self::states_discovered`] reports the realised census either way.
+///
+/// # Examples
+///
+/// ```rust,no_run
+/// use popcount::{CountExactParams, DenseCountExact};
+/// use ppsim::{DenseSimulator, Engine};
+///
+/// # fn main() -> Result<(), ppsim::SimError> {
+/// let n = 10_000;
+/// let proto = DenseCountExact::new(CountExactParams::default());
+/// let mut sim = DenseSimulator::new(Engine::Auto, proto, n, 3)?;
+/// let outcome = sim.run_until(
+///     |s| s.output_stats().unanimous() == Some(&Some(n as u64)),
+///     n as u64,
+///     u64::MAX >> 1,
+/// );
+/// assert!(outcome.converged());
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone)]
+pub struct DenseCountExact {
+    inner: DenseComposition<CountExactComponent>,
+    params: CountExactParams,
+}
+
+impl DenseCountExact {
+    /// Default interner capacity (2²²).  Stages 1–2 stay narrow at any
+    /// simulable size (≈ 7·10⁴ distinct states over a full `n = 10⁶`
+    /// stage-1–2 window with [`CountExactParams::dense_at_scale`]), and small
+    /// populations fit end to end (≈ 1.6·10⁵ for a converged `n = 10⁴` run).
+    /// The **refinement stage** at large `n` does not: its `Θ(n)` live loads
+    /// mint new states nearly every interaction (> 4·10⁶ observed at
+    /// `n = 10⁶` before the balancing transient ends) — run it per-agent via
+    /// [`count_exact_dense_staged`](crate::count_exact_dense_staged), which
+    /// is how experiment E19 executes Theorem 2 at scale.  Flat engine
+    /// buffers cost ~17 bytes per slot (≈ 70 MB at this capacity); shrink it
+    /// for small-`n` studies via [`Self::with_capacity`].
+    pub const DEFAULT_CAPACITY: usize = 1 << 22;
+
+    /// Create the dense protocol with the default state capacity.
+    ///
+    /// # Examples
+    ///
+    /// ```rust
+    /// use popcount::{CountExactParams, DenseCountExact};
+    /// use ppsim::{BatchedSimulator, DenseProtocol};
+    ///
+    /// # fn main() -> Result<(), ppsim::SimError> {
+    /// let n = 10_000;
+    /// let proto = DenseCountExact::new(CountExactParams::dense_at_scale(n));
+    /// let mut sim = BatchedSimulator::new(proto.clone(), n, 3)?;
+    /// sim.run(50_000);
+    /// // States are interned as the run discovers them; decode is total on
+    /// // every discovered index.
+    /// let agent = proto.decode(0);
+    /// assert_eq!(proto.encode(agent), 0);
+    /// assert!(proto.states_discovered() <= proto.num_states());
+    /// # Ok(())
+    /// # }
+    /// ```
+    #[must_use]
+    pub fn new(params: CountExactParams) -> Self {
+        Self::with_capacity(params, Self::DEFAULT_CAPACITY)
+    }
+
+    /// Create the dense protocol with an explicit state capacity (the
+    /// index-space size reported as `num_states()`; only sizes flat engine
+    /// buffers — see [`ppsim::interned`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `capacity > u32::MAX`.
+    #[must_use]
+    pub fn with_capacity(params: CountExactParams, capacity: usize) -> Self {
+        DenseCountExact {
+            inner: DenseComposition::new(*CountExact::new(params).composition(), capacity),
+            params,
+        }
+    }
+
+    /// The parameters this instance runs with.
+    #[must_use]
+    pub fn params(&self) -> &CountExactParams {
+        &self.params
+    }
+
+    /// Decode a dense index into the full per-agent state.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has not been assigned to any state yet.
+    #[must_use]
+    pub fn decode(&self, index: usize) -> CountExactAgent {
+        let agent = self.inner.decode(index);
+        CountExactAgent {
+            sync: agent.sync,
+            election: agent.inner.election,
+            stage: agent.inner.stage,
+        }
+    }
+
+    /// Encode a per-agent state as its dense index, interning it on first
+    /// appearance.
+    #[must_use]
+    pub fn encode(&self, agent: CountExactAgent) -> usize {
+        self.inner.encode(pack(&agent))
+    }
+
+    /// How many distinct states have been discovered so far — the empirical
+    /// state-space size Theorem 2 bounds by `Õ(n)`.
+    #[must_use]
+    pub fn states_discovered(&self) -> usize {
+        self.inner.states_discovered()
+    }
+}
+
+impl DenseProtocol for DenseCountExact {
+    type Output = Option<u64>;
+
+    fn num_states(&self) -> usize {
+        self.inner.num_states()
+    }
+
+    fn initial_state(&self) -> usize {
+        self.inner.initial_state()
+    }
+
+    fn transition(&self, initiator: usize, responder: usize) -> (usize, usize) {
+        self.inner.transition(initiator, responder)
+    }
+
+    fn output(&self, state: usize) -> Option<u64> {
+        self.inner.output(state)
+    }
+
+    fn name(&self) -> &'static str {
+        "dense-count-exact"
+    }
+
+    fn dynamic(&self) -> bool {
+        true
+    }
 }
 
 #[cfg(test)]

@@ -18,6 +18,7 @@ pub mod approximation_stage;
 pub mod count_exact;
 pub mod refinement_stage;
 pub mod stable;
+pub mod staged;
 
 pub use approximation_stage::{approximation_interact, ApproximationContext, ExactStageState};
 pub use count_exact::{all_counted, CountExact, CountExactAgent};

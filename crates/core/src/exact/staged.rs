@@ -1,0 +1,233 @@
+//! Staged execution of `CountExact` at population scale: dense engines for
+//! stages 1–2, the per-agent engine for stage 3.
+//!
+//! Theorem 2 trades states for time, and the state count is precisely the
+//! complexity parameter of the count-based engines.  Measured at `n = 10⁶`
+//! (`dense_at_scale` parameters):
+//!
+//! * **Stages 1–2** (fast leader election + approximation — the `O(n log n)`
+//!   bulk, ≈ `1.6·10¹⁰` interactions) stay *narrow*: ≈ 7·10⁴ distinct states
+//!   over the whole window, a few dozen occupied at a time.  The batched
+//!   engine executes them an order of magnitude faster than the per-agent
+//!   engine could (the whole window is ~15 minutes of single-core
+//!   wall-clock; per-agent it would be ~an hour of pure stage-1–2 work).
+//! * **Stage 3** (refinement, ≈ `3.4·10⁸` interactions) is *wide* by design:
+//!   Lemma 11 needs per-agent loads of magnitude `C·2^{2k}/n ≈ 4n`, so the
+//!   balancing transient scatters the population over `Θ(n)` distinct loads
+//!   — nearly every interaction mints two new states (> 4·10⁶ observed
+//!   before the transient ends), occupancy approaches the population size,
+//!   and *any* count-based representation degenerates below per-agent
+//!   speed.
+//!
+//! [`count_exact_dense_staged`] therefore runs the dense engine until every
+//! agent has concluded the approximation stage (`ApxDone` everywhere) and
+//! hands the configuration to the sequential engine for the refinement.
+//! The hand-off is **exact**: the population process is Markov in the
+//! *configuration* (the multiset of states), which is transferred verbatim;
+//! only the schedule's randomness source changes, exactly as it does between
+//! the batched and sequential engines in the equivalence suite.
+
+use ppsim::{derive_seed, DenseSimulator, Engine, SimError, Simulator};
+
+use crate::params::CountExactParams;
+
+use super::count_exact::{CountExact, CountExactAgent, DenseCountExact};
+
+/// Outcome of a staged dense `CountExact` run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagedCountOutcome {
+    /// Total interactions executed across both stages of the run.
+    pub interactions: u64,
+    /// Interactions executed on the dense engine (stages 1–2).
+    pub dense_interactions: u64,
+    /// Distinct dense states the stage-1–2 window interned.
+    pub states_discovered: usize,
+    /// The unanimous output, if the run converged (`Some(n)` when correct).
+    pub output: Option<u64>,
+    /// Whether a unanimous output was reached within the budget.
+    pub converged: bool,
+}
+
+/// Run `CountExact` to a unanimous output at population scale: stages 1–2 on
+/// the dense engine selected by `engine`, stage 3 on the per-agent engine
+/// (see the module docs for why the hand-off point is `ApxDone`).
+///
+/// `budget` caps the *total* interactions across both stages.  If `engine`
+/// resolves to [`Engine::Sequential`], the whole run stays per-agent and no
+/// hand-off happens.
+///
+/// # Errors
+///
+/// Propagates the engine constructors' errors
+/// ([`SimError::PopulationTooSmall`], [`SimError::InvalidParameter`]).
+///
+/// # Examples
+///
+/// ```rust,no_run
+/// use popcount::exact::staged::count_exact_dense_staged;
+/// use popcount::CountExactParams;
+/// use ppsim::Engine;
+///
+/// # fn main() -> Result<(), ppsim::SimError> {
+/// let n = 1_000_000;
+/// let outcome = count_exact_dense_staged(
+///     CountExactParams::dense_at_scale(n),
+///     n,
+///     42,
+///     Engine::Batched,
+///     u64::MAX >> 1,
+/// )?;
+/// assert!(outcome.converged);
+/// assert_eq!(outcome.output, Some(n as u64));
+/// # Ok(())
+/// # }
+/// ```
+pub fn count_exact_dense_staged(
+    params: CountExactParams,
+    n: usize,
+    seed: u64,
+    engine: Engine,
+    budget: u64,
+) -> Result<StagedCountOutcome, SimError> {
+    let check_every = (n as u64).max(1) * 20;
+
+    if engine.resolve(n) == Engine::Sequential {
+        // Small populations: the per-agent engine serves every stage.
+        let mut sim = Simulator::new(CountExact::new(params), n, seed)?;
+        let outcome = sim.run_until(
+            |s| s.output_stats().unanimous().is_some_and(|o| o.is_some()),
+            check_every,
+            budget,
+        );
+        let output = sim.output_stats().unanimous().cloned().flatten();
+        return Ok(StagedCountOutcome {
+            interactions: sim.interactions(),
+            dense_interactions: 0,
+            states_discovered: 0,
+            output,
+            converged: outcome.converged(),
+        });
+    }
+
+    // Stages 1–2 on the dense engine, until every agent has ApxDone.
+    let proto = DenseCountExact::new(params);
+    let handle = proto.clone(); // shares the interner: state census + decode
+    let mut dense = DenseSimulator::new(engine, proto, n, seed)?;
+    let all_apx_done = |counts: &[u64]| {
+        counts
+            .iter()
+            .enumerate()
+            .all(|(s, &c)| c == 0 || handle.decode(s).stage.apx_done)
+    };
+    let stage12 = dense.run_until(
+        |s| match s {
+            // Borrowed counts on the count-based engines: no per-check clone.
+            DenseSimulator::Batched(b) => all_apx_done(b.counts()),
+            DenseSimulator::Sharded(sh) => all_apx_done(sh.counts()),
+            DenseSimulator::Sequential(seq) => seq
+                .states()
+                .iter()
+                .all(|&idx| handle.decode(idx as usize).stage.apx_done),
+        },
+        check_every,
+        budget,
+    );
+    let dense_interactions = dense.interactions();
+    if !stage12.converged() {
+        return Ok(StagedCountOutcome {
+            interactions: dense_interactions,
+            dense_interactions,
+            states_discovered: handle.states_discovered(),
+            output: None,
+            converged: false,
+        });
+    }
+
+    // Hand-off: transfer the configuration (the multiset of states — the
+    // process is Markov in it) to the per-agent engine for the refinement.
+    let mut seq = Simulator::new(CountExact::new(params), n, derive_seed(seed, 0x57A6))?;
+    {
+        let states = seq.states_mut();
+        let mut slot = 0usize;
+        for (s, &c) in dense.counts().iter().enumerate() {
+            if c == 0 {
+                continue;
+            }
+            let agent: CountExactAgent = handle.decode(s);
+            for _ in 0..c {
+                states[slot] = agent;
+                slot += 1;
+            }
+        }
+        debug_assert_eq!(slot, n, "the configuration must cover the population");
+    }
+    let outcome = seq.run_until(
+        |s| s.output_stats().unanimous().is_some_and(|o| o.is_some()),
+        check_every,
+        budget.saturating_sub(dense_interactions),
+    );
+    let output = seq.output_stats().unanimous().cloned().flatten();
+    Ok(StagedCountOutcome {
+        interactions: dense_interactions + seq.interactions(),
+        dense_interactions,
+        states_discovered: handle.states_discovered(),
+        output,
+        converged: outcome.converged(),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn staged_run_counts_exactly_at_small_scale() {
+        // Cross-over covered end to end: stages 1–2 batched, refinement
+        // per-agent, exact output.
+        let n = 3_000usize;
+        let outcome = count_exact_dense_staged(
+            CountExactParams::dense_at_scale(n),
+            n,
+            11,
+            Engine::Batched,
+            u64::MAX >> 1,
+        )
+        .unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.output, Some(n as u64));
+        assert!(outcome.dense_interactions > 0);
+        assert!(outcome.interactions > outcome.dense_interactions);
+        assert!(outcome.states_discovered > 100);
+    }
+
+    #[test]
+    fn sequential_resolution_skips_the_hand_off() {
+        let n = 500usize;
+        let outcome = count_exact_dense_staged(
+            CountExactParams::default(),
+            n,
+            7,
+            Engine::Auto, // resolves to Sequential below the crossover
+            u64::MAX >> 1,
+        )
+        .unwrap();
+        assert!(outcome.converged);
+        assert_eq!(outcome.output, Some(n as u64));
+        assert_eq!(outcome.dense_interactions, 0);
+    }
+
+    #[test]
+    fn budget_exhaustion_is_reported_not_hidden() {
+        let n = 5_000usize;
+        let outcome = count_exact_dense_staged(
+            CountExactParams::dense_at_scale(n),
+            n,
+            3,
+            Engine::Batched,
+            10_000, // far too small
+        )
+        .unwrap();
+        assert!(!outcome.converged);
+        assert_eq!(outcome.output, None);
+    }
+}

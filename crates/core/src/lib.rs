@@ -15,11 +15,81 @@
 //! | [`ExactBackup`] | Appendix C.2 | exactly `n`, probability 1 | `O(n² log n)` | `O(n log n)` |
 //! | [`TokenMergingCounter`] | Section 1 (baseline) | exactly `n`, probability 1 | `Θ(n²)` | `Θ(n²)` |
 //!
+//! [`DenseApproximate`], [`DenseCountExact`] and [`DenseApproximateBackup`]
+//! are the same protocols on enumerated (dense) state spaces, for the
+//! count-based engines — see *Dense encodings* below.
+//!
 //! All protocols are **uniform**: their transition functions do not depend on `n`.
 //! They are executed on the probabilistic population model implemented by the
 //! [`ppsim`] crate and are composed from the auxiliary protocols of the
 //! [`ppproto`] crate (junta process, phase clocks, leader election, load
 //! balancing).
+//!
+//! # Theorems 1 and 2, mapped to types
+//!
+//! Both headline protocols are instances of one composition pattern
+//! (Algorithms 2 and 3, [`ppproto::composition`]):
+//!
+//! ```text
+//!                      every interaction, all the time
+//!          ┌────────────────────────────────────────────────────┐
+//!          │ SyncState: junta process (Lemma 4) + junta-driven  │ lines 1–4 —
+//!          │ phase clock (Lemma 5); meeting a higher junta      │ ppproto::
+//!          │ level resets the clock AND the stages below        │ sync_interact
+//!          └──────────────────────┬─────────────────────────────┘
+//!                                 │ SyncCtx (phases, levels, junta bits, firstTick)
+//!       Theorem 1 (Approximate)   │            Theorem 2 (CountExact)
+//!   ┌─────────────────────────────▼──┐   ┌─────────────────────────────────┐
+//!   │ Stage 1  LeaderElection        │   │ Stage 1  FastLeaderElection     │
+//!   │          (Lemma 6, \[18\])       │   │          (Lemma 7, Appendix D)  │
+//!   │ Stage 2  Search Protocol       │   │ Stage 2  approximation stage    │
+//!   │          (Algorithm 1, Lemma 9)│   │          (Algorithm 4, Lemma 10)│
+//!   │ Stage 3  one-way broadcast of  │   │ Stage 3  refinement stage       │
+//!   │          the estimate          │   │          (Algorithm 5, Lemma 11)│
+//!   └─────────────┬──────────────────┘   └──────────────┬──────────────────┘
+//!   output: ⌊log₂ n⌋ or ⌈log₂ n⌉ w.h.p.      output: exactly n w.h.p.
+//! ```
+//!
+//! Concretely: [`Approximate`] = `SyncComposition<`[`ApproximateComponent`]`>`
+//! over per-agent state [`ApproximateAgent`] `= (SyncState, LeaderState,
+//! SearchState)`; [`CountExact`] = `SyncComposition<`[`CountExactComponent`]`>`
+//! over [`CountExactAgent`] `= (SyncState, FastLeaderState, ExactStageState)`.
+//! The stable variants ([`StableApproximate`], [`StableCountExact`]) reuse the
+//! same base and stages 1–2, swapping stage 3 for error detection
+//! (Algorithms 6/7, Appendix F) with the Appendix C backups running alongside.
+//!
+//! # Dense encodings and their state-space accounting
+//!
+//! [`DenseApproximate`] and [`DenseCountExact`] run the **identical**
+//! transition systems on the count-based engines
+//! ([`ppsim::BatchedSimulator`], [`ppsim::ShardedBatchedSimulator`]) by
+//! interning each `(sync, stages)` struct into a dense index on first
+//! appearance ([`ppsim::StateInterner`]).  How the realised index space `q`
+//! grows with `n` is exactly the paper's state-space story:
+//!
+//! * **`DenseApproximate`** — Theorem 1 bounds the protocol by
+//!   `O(log n · log log n)` states per constant-size counter window; the
+//!   implementation keeps the absolute phase counter (reduced modulo small
+//!   constants where the paper does), so a run of `O(log n)` phases interns
+//!   `O(log² n · log log n)` distinct states — `1.9·10⁵` over a full
+//!   converged `n = 10⁶` execution (measured; experiment E19 tabulates the
+//!   census per run).
+//! * **`DenseCountExact`** — Theorem 2's `Õ(n)` state bound is real.  Dense
+//!   runs at `n ≥ 10⁶` use [`CountExactParams::dense_at_scale`] (the paper's
+//!   `γ = 8`: 1-bit election rounds, `O(log n)` live value classes, an
+//!   election lengthened to `2(⌈log₂ n⌉ + 16)` phases to keep the
+//!   unique-leader guarantee), which makes stages 1–2 — the `O(n log n)`
+//!   bulk — batch at any size.  The refinement stage's `Θ(n)` live loads are
+//!   irreducible, so at scale it runs per-agent:
+//!   [`count_exact_dense_staged`] hands the configuration across engines
+//!   exactly (see [`exact::staged`]).  The simpler
+//!   [`DenseApproximateBackup`] (Appendix C.1) has a closed-form product
+//!   encoding with `q = (K+2)(K+1)` — no interning needed.
+//!
+//! Equivalence of the dense and sequential forms is pinned by
+//! `crates/core/tests/dense_equivalence.rs`: lockstep bisimulation at
+//! `n = 10⁴` plus Kolmogorov–Smirnov and mean-ratio checks, the same pattern
+//! the engine-equivalence suite uses.
 //!
 //! # Quick start
 //!
@@ -58,7 +128,10 @@ pub mod exact;
 pub mod params;
 pub mod search;
 
-pub use approximate::{all_estimated, valid_estimates, Approximate, ApproximateAgent};
+pub use approximate::{
+    all_estimated, dense_all_estimated, valid_estimates, Approximate, ApproximateAgent,
+    ApproximateComponent, ApproximateCore, DenseApproximate,
+};
 pub use approximate_stable::{all_estimates_valid, StableApproximate, StableApproximateAgent};
 pub use backup::{
     approximate_backup_interact, approximate_backup_tokens, dense_approximate_backup_tokens,
@@ -68,7 +141,10 @@ pub use backup::{
 pub use baseline::{all_output_n, TokenMergingCounter, TokenMergingState};
 pub use error_detection::{ErrorDetectionContext, ErrorDetectionState};
 pub use exact::approximation_stage::ExactStageState;
-pub use exact::count_exact::{all_counted, CountExact, CountExactAgent};
+pub use exact::count_exact::{
+    all_counted, CountExact, CountExactAgent, CountExactComponent, CountExactCore, DenseCountExact,
+};
 pub use exact::stable::{all_exact, StableCountExact, StableCountExactAgent};
+pub use exact::staged::{count_exact_dense_staged, StagedCountOutcome};
 pub use params::{ApproximateParams, CountExactParams};
 pub use search::{search_interact, SearchContext, SearchState};

@@ -19,7 +19,7 @@ pub struct ApproximateParams {
     /// requires roughly `m ≥ 48`.
     pub clock_hours: u8,
     /// Number of hours of the *outer* phase clock used by the leader election of
-    /// [18]; one outer revolution must span at least ≈ `3 log₂ n` inner phases.
+    /// \[18\]; one outer revolution must span at least ≈ `3 log₂ n` inner phases.
     pub outer_clock_hours: u8,
 }
 
@@ -84,6 +84,32 @@ impl CountExactParams {
             level_offset: 8,
             election_phases: 1 << 13,
             refinement_constant_log2: 8,
+        }
+    }
+
+    /// Parameters tuned for **dense** (count-based) execution at population
+    /// size `n`.
+    ///
+    /// The practical default (`level_offset = 2`) lets election contenders
+    /// sample `2^{level−2}`-bit values per round — fast sequentially, but at
+    /// `n ≥ 10⁶` the junta level reaches 5–6 and the value diversity
+    /// scatters the population over up to `2^{16}` election states, which
+    /// defeats a count-based representation (Theorem 2's `Õ(n)` state bound
+    /// is real).  This constructor uses the **paper's** offset `γ = 8`
+    /// (1-bit rounds, so the live election states stay `O(log n)`) and
+    /// scales the election length to keep the unique-leader guarantee:
+    /// contenders halve per 1-bit round, so `2·(⌈log₂ n⌉ + 16)` phases push
+    /// the collision probability below `n · 2⁻¹⁶`.
+    ///
+    /// Experiment E19 runs `DenseCountExact` with these parameters at
+    /// `n = 10⁶`.
+    #[must_use]
+    pub fn dense_at_scale(n: usize) -> Self {
+        let log_n = (n.max(2) as f64).log2().ceil() as u32;
+        CountExactParams {
+            level_offset: 8,
+            election_phases: 2 * (log_n + 16),
+            ..CountExactParams::default()
         }
     }
 

@@ -1,0 +1,272 @@
+//! Equivalence of the dense (interned) counting protocols and their
+//! sequential implementations.
+//!
+//! [`DenseApproximate`] and [`DenseCountExact`] claim to be **exact
+//! encodings** of [`Approximate`] and [`CountExact`]: every dense transition
+//! decodes the interned agents, applies the identical composed interaction,
+//! and re-encodes.  Three layers of evidence, mirroring the engine-equivalence
+//! suite (`crates/protocols/tests/engine_equivalence.rs`):
+//!
+//! * **Lockstep bisimulation at `n = 10⁴`** (the strongest statement): under
+//!   the same seed the sequential engine picks the same agent pairs whether
+//!   the states are structs or interned indices, and the transitions are
+//!   deterministic — so the trajectories must agree *state by state*, with
+//!   the paper's default parameters.
+//! * **KS + mean-ratio at `n = 10⁴`**: the dense protocol on the **batched**
+//!   engine against the native sequential implementation, two-sample
+//!   Kolmogorov–Smirnov on the convergence-time distribution plus a
+//!   mean-ratio band.  These runs use reduced clock constants — the constants
+//!   scale phase *lengths*, not the composition being pinned, and the
+//!   sequential side must stay affordable at `n = 10⁴` in debug builds.
+//! * **Proptest round-trips**: along random interaction sequences, every
+//!   dense index round-trips through decode/encode and every reachable
+//!   encoded state decodes back to itself.
+
+use proptest::prelude::*;
+
+use popcount::{
+    Approximate, ApproximateParams, CountExact, CountExactParams, DenseApproximate, DenseCountExact,
+};
+use ppsim::{derive_seed, BatchedSimulator, DenseAdapter, Simulator};
+
+/// Reduced-constant parameters for the distributional runs: shorter phases
+/// (8-hour clocks) keep a sequential `n = 10⁴` run affordable in debug
+/// builds.  The constants scale phase lengths, not the composition being
+/// pinned — both sides of every comparison run the identical instance.
+fn quick_approximate_params() -> ApproximateParams {
+    ApproximateParams {
+        clock_hours: 8,
+        outer_clock_hours: 8,
+    }
+}
+
+fn quick_count_exact_params() -> CountExactParams {
+    CountExactParams {
+        clock_hours: 8,
+        election_phases: 12,
+        ..CountExactParams::default()
+    }
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic.
+fn ks_statistic(a: &mut [u64], b: &mut [u64]) -> f64 {
+    a.sort_unstable();
+    b.sort_unstable();
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let mut d: f64 = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+fn mean(xs: &[u64]) -> f64 {
+    xs.iter().map(|&x| x as f64).sum::<f64>() / xs.len() as f64
+}
+
+#[test]
+fn dense_approximate_is_a_bisimulation_of_the_sequential_protocol() {
+    // Default (paper-practical) parameters at n = 10⁴, 2·10⁶ interactions in
+    // lockstep: the decoded dense trajectory must equal the struct trajectory
+    // agent by agent.
+    let n = 10_000usize;
+    let params = ApproximateParams::default();
+    let dense = DenseApproximate::new(params);
+    let mut plain = Simulator::new(Approximate::new(params), n, 0xA11CE).unwrap();
+    let mut interned = Simulator::new(DenseAdapter(dense.clone()), n, 0xA11CE).unwrap();
+    for step in 0..8 {
+        plain.run(250_000);
+        interned.run(250_000);
+        for (agent, &idx) in plain.states().iter().zip(interned.states()) {
+            assert_eq!(
+                *agent,
+                dense.decode(idx as usize),
+                "trajectories diverged at checkpoint {step}"
+            );
+        }
+    }
+    assert!(dense.states_discovered() > 100);
+}
+
+#[test]
+fn dense_count_exact_is_a_bisimulation_of_the_sequential_protocol() {
+    let n = 10_000usize;
+    let params = CountExactParams::default();
+    let dense = DenseCountExact::new(params);
+    let mut plain = Simulator::new(CountExact::new(params), n, 0xC0DE).unwrap();
+    let mut interned = Simulator::new(DenseAdapter(dense.clone()), n, 0xC0DE).unwrap();
+    for step in 0..8 {
+        plain.run(250_000);
+        interned.run(250_000);
+        for (agent, &idx) in plain.states().iter().zip(interned.states()) {
+            assert_eq!(
+                *agent,
+                dense.decode(idx as usize),
+                "trajectories diverged at checkpoint {step}"
+            );
+        }
+    }
+    assert!(dense.states_discovered() > 100);
+}
+
+/// Interactions until every agent has concluded the leader election
+/// (`leaderDone` everywhere) — the end of Stage 1, rich enough to expose any
+/// schedule distortion yet far cheaper than the full broadcast (the lockstep
+/// bisimulation tests cover stages 2–3 transition by transition).
+fn approximate_time_batched(n: usize, seed: u64) -> u64 {
+    let dense = DenseApproximate::new(quick_approximate_params());
+    let mut sim = BatchedSimulator::new(dense, n, seed).unwrap();
+    sim.run_until(
+        |s| {
+            let proto = s.protocol();
+            s.counts()
+                .iter()
+                .enumerate()
+                .all(|(st, &c)| c == 0 || proto.decode(st).election.done)
+        },
+        (n as u64) * 4,
+        u64::MAX >> 1,
+    )
+    .expect_converged("batched dense approximate (leaderDone)")
+}
+
+/// The same observable on the native sequential implementation.
+fn approximate_time_sequential(n: usize, seed: u64) -> u64 {
+    let mut sim = Simulator::new(Approximate::new(quick_approximate_params()), n, seed).unwrap();
+    sim.run_until(
+        |s| s.states().iter().all(|a| a.election.done),
+        (n as u64) * 4,
+        u64::MAX >> 1,
+    )
+    .expect_converged("sequential approximate (leaderDone)")
+}
+
+/// Interactions until every agent has concluded the approximation stage
+/// (`ApxDone` everywhere) — a convergence observable that is reached for any
+/// parameter choice, unlike exact-count unanimity which needs full-length
+/// phases.
+fn count_exact_apx_time_batched(n: usize, seed: u64) -> u64 {
+    let dense = DenseCountExact::new(quick_count_exact_params());
+    let mut sim = BatchedSimulator::new(dense, n, seed).unwrap();
+    sim.run_until(
+        |s| {
+            let proto = s.protocol();
+            s.counts()
+                .iter()
+                .enumerate()
+                .all(|(st, &c)| c == 0 || proto.decode(st).stage.apx_done)
+        },
+        (n as u64) * 4,
+        u64::MAX >> 1,
+    )
+    .expect_converged("batched dense count-exact (ApxDone)")
+}
+
+fn count_exact_apx_time_sequential(n: usize, seed: u64) -> u64 {
+    let mut sim = Simulator::new(CountExact::new(quick_count_exact_params()), n, seed).unwrap();
+    sim.run_until(
+        |s| s.states().iter().all(|a| a.stage.apx_done),
+        (n as u64) * 4,
+        u64::MAX >> 1,
+    )
+    .expect_converged("sequential count-exact (ApxDone)")
+}
+
+#[test]
+fn dense_approximate_passes_kolmogorov_smirnov_at_ten_thousand() {
+    let n = 10_000usize;
+    let samples = 10usize;
+    let mut batched: Vec<u64> = (0..samples)
+        .map(|t| approximate_time_batched(n, derive_seed(0xDA19, t as u64)))
+        .collect();
+    let mut sequential: Vec<u64> = (0..samples)
+        .map(|t| approximate_time_sequential(n, derive_seed(0xDA20, t as u64)))
+        .collect();
+    let ratio = mean(&batched) / mean(&sequential);
+    assert!(
+        (0.7..1.43).contains(&ratio),
+        "mean convergence diverges: batched {:.0} vs sequential {:.0}",
+        mean(&batched),
+        mean(&sequential)
+    );
+    let d = ks_statistic(&mut batched, &mut sequential);
+    // Critical value at α ≈ 0.001 for two samples of 10: 1.95·sqrt(2/10) ≈ 0.87.
+    // (The sample count is bounded by the sequential side's debug-build cost;
+    // the lockstep bisimulation test above is the sharp instrument.)
+    assert!(
+        d < 0.87,
+        "KS statistic {d:.3} exceeds the α=0.001 critical value — the dense \
+         encoding distorts the Approximate convergence-time distribution"
+    );
+}
+
+#[test]
+fn dense_count_exact_passes_kolmogorov_smirnov_at_ten_thousand() {
+    let n = 10_000usize;
+    let samples = 10usize;
+    let mut batched: Vec<u64> = (0..samples)
+        .map(|t| count_exact_apx_time_batched(n, derive_seed(0xCE19, t as u64)))
+        .collect();
+    let mut sequential: Vec<u64> = (0..samples)
+        .map(|t| count_exact_apx_time_sequential(n, derive_seed(0xCE20, t as u64)))
+        .collect();
+    let ratio = mean(&batched) / mean(&sequential);
+    assert!(
+        (0.7..1.43).contains(&ratio),
+        "mean ApxDone time diverges: batched {:.0} vs sequential {:.0}",
+        mean(&batched),
+        mean(&sequential)
+    );
+    let d = ks_statistic(&mut batched, &mut sequential);
+    assert!(
+        d < 0.87,
+        "KS statistic {d:.3} exceeds the α=0.001 critical value — the dense \
+         encoding distorts the CountExact ApxDone-time distribution"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Along random schedules, every state index the dense Approximate
+    /// discovers round-trips through decode/encode, and the decoded agents
+    /// re-encode to the index the engine holds.
+    #[test]
+    fn dense_approximate_indices_roundtrip(seed in any::<u64>(), steps in 1u64..60_000) {
+        let dense = DenseApproximate::new(ApproximateParams::default());
+        let mut sim = Simulator::new(DenseAdapter(dense.clone()), 512, seed).unwrap();
+        sim.run(steps);
+        for &idx in sim.states() {
+            let agent = dense.decode(idx as usize);
+            prop_assert_eq!(dense.encode(agent), idx as usize);
+            prop_assert_eq!(dense.decode(dense.encode(agent)), agent);
+        }
+        // Every index below the discovery watermark round-trips, reachable or
+        // retired.
+        for idx in 0..dense.states_discovered() {
+            prop_assert_eq!(dense.encode(dense.decode(idx)), idx);
+        }
+    }
+
+    /// The same round-trip law for the dense CountExact.
+    #[test]
+    fn dense_count_exact_indices_roundtrip(seed in any::<u64>(), steps in 1u64..60_000) {
+        let dense = DenseCountExact::new(CountExactParams::default());
+        let mut sim = Simulator::new(DenseAdapter(dense.clone()), 512, seed).unwrap();
+        sim.run(steps);
+        for &idx in sim.states() {
+            let agent = dense.decode(idx as usize);
+            prop_assert_eq!(dense.encode(agent), idx as usize);
+            prop_assert_eq!(dense.decode(dense.encode(agent)), agent);
+        }
+        for idx in 0..dense.states_discovered() {
+            prop_assert_eq!(dense.encode(dense.decode(idx)), idx);
+        }
+    }
+}

@@ -81,8 +81,9 @@ pub struct BatchedSimulator<P: DenseProtocol> {
     delta: DeltaTable,
     /// Cached batch-length sampler for this population size.
     collisions: CollisionSampler,
-    /// Precomputed `ω` per state.
-    outputs: Vec<P::Output>,
+    /// Precomputed `ω` per state; `None` for dynamic (interned) protocols,
+    /// whose outputs are evaluated lazily on occupied states.
+    outputs: Option<Vec<P::Output>>,
     /// States that may be occupied, compacted every batch.  All per-batch
     /// work iterates this list, so empty regions of large state spaces cost
     /// nothing.
@@ -107,6 +108,31 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
     /// Create a batched simulator for `n` agents, all in the protocol's
     /// initial state.
     ///
+    /// # Examples
+    ///
+    /// ```rust
+    /// use ppsim::{BatchedSimulator, DenseProtocol};
+    ///
+    /// /// Two-state one-way epidemic.
+    /// struct Rumor;
+    /// impl DenseProtocol for Rumor {
+    ///     type Output = bool;
+    ///     fn num_states(&self) -> usize { 2 }
+    ///     fn initial_state(&self) -> usize { 0 }
+    ///     fn transition(&self, u: usize, v: usize) -> (usize, usize) { (u.max(v), v) }
+    ///     fn output(&self, s: usize) -> bool { s == 1 }
+    /// }
+    ///
+    /// # fn main() -> Result<(), ppsim::SimError> {
+    /// let mut sim = BatchedSimulator::new(Rumor, 10_000, 42)?;
+    /// assert_eq!(sim.population(), 10_000);
+    /// assert_eq!(sim.count_of(0), 10_000); // everyone starts in state 0
+    /// sim.run(1_000);
+    /// assert_eq!(sim.interactions(), 1_000);
+    /// # Ok(())
+    /// # }
+    /// ```
+    ///
     /// # Errors
     ///
     /// Returns [`SimError::PopulationTooSmall`] if `n < 2`, and
@@ -120,7 +146,7 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
         let delta = DeltaTable::new(&protocol)?;
         let q = delta.num_states();
         let q0 = protocol.initial_state();
-        let outputs = (0..q).map(|s| protocol.output(s)).collect();
+        let outputs = (!protocol.dynamic()).then(|| (0..q).map(|s| protocol.output(s)).collect());
         let mut counts = vec![0u64; q];
         counts[q0] = n as u64;
         Ok(BatchedSimulator {
@@ -266,7 +292,13 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
     pub fn output_stats(&self) -> ConfigurationStats<P::Output> {
         ConfigurationStats::from_counts(self.occupied.as_slice().iter().filter_map(|&s| {
             let c = self.counts[s as usize];
-            (c > 0).then(|| (self.outputs[s as usize].clone(), c as usize))
+            (c > 0).then(|| {
+                let out = match &self.outputs {
+                    Some(outputs) => outputs[s as usize].clone(),
+                    None => self.protocol.output(s as usize),
+                };
+                (out, c as usize)
+            })
         }))
     }
 

@@ -19,6 +19,10 @@
 //! touched index lists confine all scans to live states, so the `O(q²)` class
 //! pairing compiles to tight index arithmetic over contiguous buffers.
 
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::hash::{BuildHasherDefault, Hasher};
+
 use rand::rngs::SmallRng;
 use rand::Rng;
 
@@ -31,12 +35,51 @@ use crate::sample::conditional_class_draw;
 /// state pairs only.
 pub(crate) const TABLE_MAX_STATES: usize = 256;
 
+/// A minimal multiplicative hasher for the `δ`-memo's `u64` pair keys
+/// (`initiator << 32 | responder`): a single `wrapping_mul` mixes the bits far
+/// faster than SipHash, and the memo is engine-private so no untrusted keys
+/// reach it.
+#[derive(Debug, Default, Clone)]
+pub(crate) struct PairKeyHasher(u64);
+
+impl Hasher for PairKeyHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.write_u64(u64::from(b));
+        }
+    }
+    fn write_u64(&mut self, i: u64) {
+        // Fibonacci-style multiplicative mix; the odd constant is 2⁶⁴/φ.
+        self.0 = (self.0 ^ i).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type PairMemo = HashMap<u64, (u32, u32), BuildHasherDefault<PairKeyHasher>>;
+
+/// Entry cap for the δ-pair memo.  Hits come from the small *currently
+/// occupied* pair set (a few thousand entries); protocols whose state churn
+/// mints fresh pairs indefinitely (e.g. a wide balancing transient) would
+/// otherwise grow the map without bound.  Clearing on overflow keeps memory
+/// bounded (~tens of MB) and the hot working set repopulates within a block.
+const DELTA_MEMO_MAX_ENTRIES: usize = 1 << 20;
+
 /// The transition function `δ` of a dense protocol, validated once and — for
 /// table-sized state spaces — precomputed into a flat `q × q` lookup table.
+///
+/// Dynamic (interned) protocols get a lazily filled per-pair memo instead:
+/// their `transition` walks decode → interact → re-encode through the state
+/// interner, which costs hundreds of nanoseconds, while the occupied-pair
+/// working set repeats heavily across consecutive blocks.  The memo is sound
+/// because `δ` is pure and interned indices are stable for the lifetime of a
+/// run.
 #[derive(Debug, Clone)]
 pub(crate) struct DeltaTable {
     q: usize,
     table: Option<Vec<(u32, u32)>>,
+    memo: Option<RefCell<PairMemo>>,
 }
 
 impl DeltaTable {
@@ -60,7 +103,9 @@ impl DeltaTable {
                 reason: format!("initial state {q0} outside the state space 0..{q}"),
             });
         }
-        let table = if q <= TABLE_MAX_STATES {
+        // Dynamic (interned) protocols have no states behind most indices at
+        // construction time, so their δ can only ever be evaluated lazily.
+        let table = if q <= TABLE_MAX_STATES && !protocol.dynamic() {
             let mut t = Vec::with_capacity(q * q);
             for i in 0..q {
                 for j in 0..q {
@@ -80,7 +125,10 @@ impl DeltaTable {
         } else {
             None
         };
-        Ok(DeltaTable { q, table })
+        let memo = protocol
+            .dynamic()
+            .then(|| RefCell::new(PairMemo::default()));
+        Ok(DeltaTable { q, table, memo })
     }
 
     /// The number of states `q` the table was validated against.
@@ -88,7 +136,8 @@ impl DeltaTable {
         self.q
     }
 
-    /// `δ(i, j)`, via the precomputed table when available.
+    /// `δ(i, j)`, via the precomputed table or the dynamic-protocol memo when
+    /// available.
     #[inline]
     pub(crate) fn eval<P: DenseProtocol>(
         &self,
@@ -96,21 +145,35 @@ impl DeltaTable {
         i: usize,
         j: usize,
     ) -> (usize, usize) {
-        match &self.table {
-            Some(t) => {
-                let (a, b) = t[i * self.q + j];
-                (a as usize, b as usize)
-            }
-            None => {
-                let (a, b) = protocol.transition(i, j);
-                assert!(
-                    a < self.q && b < self.q,
-                    "δ({i}, {j}) = ({a}, {b}) leaves the state space 0..{}",
-                    self.q
-                );
-                (a, b)
-            }
+        if let Some(t) = &self.table {
+            let (a, b) = t[i * self.q + j];
+            return (a as usize, b as usize);
         }
+        if let Some(memo) = &self.memo {
+            let key = (i as u64) << 32 | j as u64;
+            let mut memo = memo.borrow_mut();
+            if let Some(&(a, b)) = memo.get(&key) {
+                return (a as usize, b as usize);
+            }
+            let (a, b) = protocol.transition(i, j);
+            assert!(
+                a < self.q && b < self.q,
+                "δ({i}, {j}) = ({a}, {b}) leaves the state space 0..{}",
+                self.q
+            );
+            if memo.len() >= DELTA_MEMO_MAX_ENTRIES {
+                memo.clear();
+            }
+            memo.insert(key, (a as u32, b as u32));
+            return (a, b);
+        }
+        let (a, b) = protocol.transition(i, j);
+        assert!(
+            a < self.q && b < self.q,
+            "δ({i}, {j}) = ({a}, {b}) leaves the state space 0..{}",
+            self.q
+        );
+        (a, b)
     }
 }
 

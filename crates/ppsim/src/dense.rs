@@ -27,6 +27,34 @@ use crate::protocol::Protocol;
 
 /// A population protocol over an enumerated state space `0..q` with a
 /// deterministic transition function.
+///
+/// # Examples
+///
+/// A two-state one-way epidemic, run on the batched count-based engine:
+///
+/// ```rust
+/// use ppsim::{BatchedSimulator, DenseProtocol};
+///
+/// struct Rumor;
+///
+/// impl DenseProtocol for Rumor {
+///     type Output = bool;
+///     fn num_states(&self) -> usize { 2 }
+///     fn initial_state(&self) -> usize { 0 }
+///     fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+///         (u.max(v), v) // the initiator learns the rumour from the responder
+///     }
+///     fn output(&self, s: usize) -> bool { s == 1 }
+/// }
+///
+/// # fn main() -> Result<(), ppsim::SimError> {
+/// let mut sim = BatchedSimulator::new(Rumor, 100_000, 7)?;
+/// sim.transfer(0, 1, 1)?; // plant the rumour
+/// let outcome = sim.run_until(|s| s.count_of(1) == s.population(), 100_000, u64::MAX >> 1);
+/// assert!(outcome.converged());
+/// # Ok(())
+/// # }
+/// ```
 pub trait DenseProtocol {
     /// The output domain `O` of the output function `ω` (`Send` so that
     /// precomputed output tables can ride along to shard worker threads).
@@ -53,6 +81,25 @@ pub trait DenseProtocol {
     fn name(&self) -> &'static str {
         "dense-protocol"
     }
+
+    /// Whether state indices are assigned **dynamically** — interned on first
+    /// appearance (see [`StateInterner`](crate::StateInterner)) rather than
+    /// fixed by a static encoding.
+    ///
+    /// For dynamic protocols [`num_states`](Self::num_states) is a capacity,
+    /// not a census: most indices have no state behind them yet, and calling
+    /// [`transition`](Self::transition) or [`output`](Self::output) on an
+    /// unassigned index is an error.  The engines react in two ways:
+    ///
+    /// * they never precompute per-state tables (transition table, output
+    ///   table) eagerly — everything is evaluated lazily on occupied states;
+    /// * the sharded engine pins its within-shard phase to a single worker
+    ///   thread, so the order in which new states are interned — and with it
+    ///   the index assignment and the whole trajectory — stays a pure
+    ///   function of the seed instead of the thread schedule.
+    fn dynamic(&self) -> bool {
+        false
+    }
 }
 
 /// Blanket implementation so `&P` can be used wherever a dense protocol is
@@ -74,6 +121,9 @@ impl<P: DenseProtocol + ?Sized> DenseProtocol for &P {
     }
     fn name(&self) -> &'static str {
         (**self).name()
+    }
+    fn dynamic(&self) -> bool {
+        (**self).dynamic()
     }
 }
 

@@ -30,6 +30,37 @@ use crate::simulator::Simulator;
 pub const SEQUENTIAL_CROSSOVER: usize = 3_000;
 
 /// Which simulation engine to run a dense protocol on.
+///
+/// # Examples
+///
+/// [`Engine::Auto`] resolves against the population size and constructs the
+/// winning engine through [`DenseSimulator`]:
+///
+/// ```rust
+/// use ppsim::{DenseProtocol, DenseSimulator, Engine};
+///
+/// #[derive(Clone)]
+/// struct Rumor;
+/// impl DenseProtocol for Rumor {
+///     type Output = bool;
+///     fn num_states(&self) -> usize { 2 }
+///     fn initial_state(&self) -> usize { 0 }
+///     fn transition(&self, u: usize, v: usize) -> (usize, usize) { (u.max(v), v) }
+///     fn output(&self, s: usize) -> bool { s == 1 }
+/// }
+///
+/// # fn main() -> Result<(), ppsim::SimError> {
+/// assert_eq!(Engine::Auto.resolve(100), Engine::Sequential);
+/// assert_eq!(Engine::Auto.resolve(1_000_000), Engine::Batched);
+///
+/// let mut sim = DenseSimulator::new(Engine::Auto, Rumor, 50_000, 42)?;
+/// assert_eq!(sim.engine_name(), "batched");
+/// sim.transfer(0, 1, 1)?;
+/// let outcome = sim.run_until(|s| s.count_of(1) == s.population(), 50_000, u64::MAX >> 1);
+/// assert!(outcome.converged());
+/// # Ok(())
+/// # }
+/// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Engine {
     /// The per-agent sequential engine ([`Simulator`] over [`DenseAdapter`]).

@@ -1,0 +1,223 @@
+//! On-the-fly state enumeration for dense protocols with large or unbounded
+//! state spaces.
+//!
+//! The batched engines index configurations by dense state indices `0..q`.
+//! For the simple auxiliary protocols (epidemic, junta, phase clock) a fixed
+//! product encoding is easy to write down, but the paper's *composed* counting
+//! protocols carry per-agent state a fixed encoding cannot hold: an absolute
+//! phase counter (the sequential implementations keep it unbounded and reduce
+//! it modulo small constants where the paper does), `u64` token loads in the
+//! `CountExact` stages, and per-round random values in the leader elections.
+//! The product of those ranges is astronomically larger than the number of
+//! states that ever *occur* — which Theorem 1 of the paper bounds by
+//! `O(log n · log log n)` for `Approximate` (per phase of the run; ~2·10⁵
+//! over a full `n = 10⁶` execution) and Theorem 2 by `Õ(n)` for `CountExact`
+//! (~1.5·10⁶ at `n = 10⁶`, dominated by refinement-stage load values).
+//!
+//! [`StateInterner`] closes that gap: it assigns dense indices to rich state
+//! structs **in order of first appearance**.  A protocol built on an interner
+//! reports a fixed index-space *capacity* as its `num_states()` (which only
+//! sizes the engines' flat per-state buffers) while the set of live indices
+//! grows lazily.  Because the engines iterate occupied states only, the unused
+//! capacity costs memory, never time.
+//!
+//! Interners are shared behind [`Arc`](std::sync::Arc), so cloning a protocol (as the sharded
+//! engine does for its per-shard copies) keeps all copies in one consistent
+//! index space.  Protocols that intern must return `true` from
+//! [`DenseProtocol::dynamic`](crate::DenseProtocol::dynamic) so the engines
+//! skip eager per-state precomputation and keep the interning order — and with
+//! it the trajectory — a pure function of the seed.
+//!
+//! ```rust
+//! use ppsim::StateInterner;
+//!
+//! let my_states = StateInterner::with_capacity(16);
+//! let a = my_states.intern((3u32, false));
+//! let b = my_states.intern((7u32, true));
+//! assert_eq!(a, 0, "indices are assigned in order of first appearance");
+//! assert_eq!(b, 1);
+//! assert_eq!(my_states.intern((3u32, false)), a, "re-interning is stable");
+//! assert_eq!(my_states.get(b), (7u32, true));
+//! assert_eq!(my_states.len(), 2);
+//! ```
+
+use std::collections::HashMap;
+use std::fmt::Debug;
+use std::hash::Hash;
+use std::sync::RwLock;
+
+/// A bijection between rich state values and dense indices `0..len`, grown on
+/// first use and shared (behind an [`Arc`](std::sync::Arc)) by every clone of
+/// a dynamic protocol.
+///
+/// `capacity` is the fixed ceiling the owning protocol reports as its
+/// `num_states()`; [`StateInterner::intern`] panics when a run discovers more
+/// distinct states than that, with a message naming the fix (construct the
+/// protocol with a larger capacity).
+#[derive(Debug)]
+pub struct StateInterner<S> {
+    capacity: usize,
+    inner: RwLock<Inner<S>>,
+}
+
+#[derive(Debug)]
+struct Inner<S> {
+    /// Index → state.
+    states: Vec<S>,
+    /// State → index.
+    index: HashMap<S, u32>,
+}
+
+impl<S: Copy + Eq + Hash + Debug> StateInterner<S> {
+    /// An empty interner whose owning protocol will report `capacity` as its
+    /// `num_states()`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity == 0` or `capacity > u32::MAX` (dense indices are
+    /// 32-bit in the engines' tables).
+    #[must_use]
+    pub fn with_capacity(capacity: usize) -> Self {
+        assert!(
+            capacity > 0,
+            "an interner needs room for at least one state"
+        );
+        assert!(
+            u32::try_from(capacity).is_ok(),
+            "dense state indices are 32-bit; capacity {capacity} is out of range"
+        );
+        StateInterner {
+            capacity,
+            inner: RwLock::new(Inner {
+                states: Vec::new(),
+                index: HashMap::new(),
+            }),
+        }
+    }
+
+    /// The fixed index-space size the owning protocol reports as `num_states()`.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// The number of distinct states interned so far.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.inner
+            .read()
+            .expect("interner lock poisoned")
+            .states
+            .len()
+    }
+
+    /// Whether no state has been interned yet.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// The dense index of `state`, assigning the next free index on first
+    /// appearance.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is new and the interner already holds `capacity`
+    /// distinct states.
+    #[must_use]
+    pub fn intern(&self, state: S) -> usize {
+        if let Some(&i) = self
+            .inner
+            .read()
+            .expect("interner lock poisoned")
+            .index
+            .get(&state)
+        {
+            return i as usize;
+        }
+        let mut inner = self.inner.write().expect("interner lock poisoned");
+        // Re-check under the write lock: another thread may have interned the
+        // state between our read and write acquisitions.
+        if let Some(&i) = inner.index.get(&state) {
+            return i as usize;
+        }
+        let i = inner.states.len();
+        assert!(
+            i < self.capacity,
+            "state interner exhausted its capacity of {} distinct states \
+             (while interning {state:?}); construct the protocol with a larger \
+             capacity",
+            self.capacity
+        );
+        inner.states.push(state);
+        inner.index.insert(state, i as u32);
+        i
+    }
+
+    /// The state behind a dense index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` has not been assigned yet.
+    #[must_use]
+    pub fn get(&self, index: usize) -> S {
+        let inner = self.inner.read().expect("interner lock poisoned");
+        *inner.states.get(index).unwrap_or_else(|| {
+            panic!(
+                "dense index {index} has no interned state (only {} assigned)",
+                inner.states.len()
+            )
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_assigns_indices_in_first_appearance_order() {
+        let interner = StateInterner::with_capacity(8);
+        assert!(interner.is_empty());
+        assert_eq!(interner.intern('x'), 0);
+        assert_eq!(interner.intern('y'), 1);
+        assert_eq!(interner.intern('x'), 0);
+        assert_eq!(interner.len(), 2);
+        assert_eq!(interner.get(0), 'x');
+        assert_eq!(interner.get(1), 'y');
+        assert_eq!(interner.capacity(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "exhausted its capacity")]
+    fn interning_beyond_capacity_panics_with_guidance() {
+        let interner = StateInterner::with_capacity(2);
+        let _ = interner.intern(0u8);
+        let _ = interner.intern(1u8);
+        let _ = interner.intern(2u8);
+    }
+
+    #[test]
+    #[should_panic(expected = "has no interned state")]
+    fn reading_an_unassigned_index_panics() {
+        let interner = StateInterner::<u8>::with_capacity(4);
+        let _ = interner.get(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one state")]
+    fn zero_capacity_is_rejected() {
+        let _ = StateInterner::<u8>::with_capacity(0);
+    }
+
+    #[test]
+    fn shared_interner_is_consistent_across_clones_of_the_handle() {
+        use std::sync::Arc;
+        let interner = Arc::new(StateInterner::with_capacity(16));
+        let other = Arc::clone(&interner);
+        let a = interner.intern(41u64);
+        assert_eq!(other.intern(41u64), a);
+        assert_eq!(other.get(a), 41);
+        assert_eq!(other.len(), 1);
+    }
+}

@@ -70,6 +70,7 @@ pub mod convergence;
 pub mod dense;
 pub mod engine;
 pub mod error;
+pub mod interned;
 pub mod metrics;
 pub mod parallel;
 pub mod protocol;
@@ -85,6 +86,7 @@ pub use convergence::RunOutcome;
 pub use dense::{DenseAdapter, DenseProtocol};
 pub use engine::{DenseSimulator, Engine, SEQUENTIAL_CROSSOVER};
 pub use error::SimError;
+pub use interned::StateInterner;
 pub use metrics::{StateSpaceTracker, TimeSeries};
 pub use parallel::{run_trials, run_trials_with_threads};
 pub use protocol::Protocol;

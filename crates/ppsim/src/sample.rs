@@ -54,25 +54,50 @@ fn small_ln_factorials() -> &'static [f64; 128] {
     })
 }
 
+/// Slots of the per-thread large-argument memo for [`ln_factorial`]
+/// (direct-mapped by the argument's low bits; 16 KiB per thread).
+const LN_FACT_MEMO_SLOTS: usize = 1024;
+
+thread_local! {
+    /// `(argument, ln_factorial(argument))` pairs; arguments are ≥ 128, so a
+    /// zero key marks an empty slot.
+    static LN_FACT_MEMO: std::cell::RefCell<[(u64, f64); LN_FACT_MEMO_SLOTS]> =
+        const { std::cell::RefCell::new([(0, 0.0); LN_FACT_MEMO_SLOTS]) };
+}
+
 /// `ln(n!)`, accurate to ~1e-12 relative error.
 ///
-/// Hot enough to matter: the batched engine evaluates this a handful of times
-/// per collision-free block, so small arguments come from a summation table
-/// and large ones from a Stirling series (both far cheaper than the Lanczos
-/// path used by [`ln_gamma`]).
+/// Hot enough to matter: every hypergeometric mode/pmf computation costs ~9
+/// evaluations and the batched engine performs several draws per
+/// collision-free block.  Small arguments come from a summation table; large
+/// ones from a Stirling series behind a per-thread direct-mapped memo — the
+/// arguments of a block's draws repeat heavily (`ln C(total, draws)` terms
+/// where the totals shrink by the class counts as the multivariate
+/// decomposition walks the occupied states, and the first draw of every block
+/// starts from the same population size), so most lookups hit.
 #[must_use]
 pub fn ln_factorial(n: u64) -> f64 {
     let table = small_ln_factorials();
     if (n as usize) < table.len() {
         return table[n as usize];
     }
-    // Stirling series: error < 1/(1680 n⁷), far below f64 noise for n ≥ 128.
-    let nf = n as f64;
-    let inv = 1.0 / nf;
-    let inv2 = inv * inv;
-    (nf + 0.5) * nf.ln() - nf
-        + 0.5 * (2.0 * std::f64::consts::PI).ln()
-        + inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 / 1260.0))
+    LN_FACT_MEMO.with(|memo| {
+        let mut memo = memo.borrow_mut();
+        let slot = (n as usize) & (LN_FACT_MEMO_SLOTS - 1);
+        let (key, value) = memo[slot];
+        if key == n {
+            return value;
+        }
+        // Stirling series: error < 1/(1680 n⁷), far below f64 noise for n ≥ 128.
+        let nf = n as f64;
+        let inv = 1.0 / nf;
+        let inv2 = inv * inv;
+        let value = (nf + 0.5) * nf.ln() - nf
+            + 0.5 * (2.0 * std::f64::consts::PI).ln()
+            + inv * (1.0 / 12.0 - inv2 * (1.0 / 360.0 - inv2 / 1260.0));
+        memo[slot] = (n, value);
+        value
+    })
 }
 
 /// `ln C(n, k)` (natural log of the binomial coefficient).
@@ -214,11 +239,27 @@ fn ln_pmf_hypergeometric(total: u64, success: u64, draws: u64, k: u64) -> f64 {
 /// Exact sampling at `O(1)` expected cost regardless of the parameters: small
 /// spreads use inverse transform from the mode with pmf-ratio recurrences
 /// (`O(σ)`, a few iterations), large spreads use log-concave rejection
-/// ([`log_concave_reject`]: a uniform body with geometric tails, a small
+/// (`log_concave_reject`: a uniform body with geometric tails, a small
 /// constant number of iterations independent of `σ`).  The crossover keeps
 /// the engines' hot draws — tiny per-block hypergeometrics as well as the
 /// sharded engine's `σ ≈ √(n/S)`-scale cross-shard and rebalancing draws —
 /// on their cheap path.
+///
+/// # Examples
+///
+/// ```rust
+/// use ppsim::sample::hypergeometric;
+///
+/// let mut rng = ppsim::seeded_rng(42);
+/// // 50 draws without replacement from 1000 items of which 300 are successes:
+/// // the sample count is within the support and near the mean 15.
+/// let k = hypergeometric(&mut rng, 1000, 300, 50);
+/// assert!(k <= 50);
+/// // Degenerate supports are exact, not sampled.
+/// assert_eq!(hypergeometric(&mut rng, 10, 0, 7), 0);
+/// assert_eq!(hypergeometric(&mut rng, 10, 10, 7), 7);
+/// assert_eq!(hypergeometric(&mut rng, 10, 4, 10), 4);
+/// ```
 ///
 /// # Panics
 ///
@@ -612,8 +653,29 @@ impl CollisionSampler {
     /// `ln P(first 2t agent draws are pairwise distinct)`:
     /// `ln [ n! / (n-2t)! / (n^t (n-1)^t) ]` (within each interaction the two
     /// agents are distinct by construction, hence the `n(n-1)` denominator).
+    ///
+    /// Short prefixes are summed as exact log-ratios
+    /// `Σ_j ln(1 − 2j/n) + ln(1 − 2j/(n−1))`: the factorial form cancels two
+    /// `~n ln n`-sized terms, whose ulp-scale residue (`~10⁻⁸`) dwarfs the
+    /// true value `O(−t²/n)` for small `t` at large `n`.  Uncorrected, the
+    /// residue can make `ln Q(1)` negative — but `Q(1) = 1` *exactly* (the
+    /// two agents of one interaction are distinct by construction), and a
+    /// draw landing in that phantom gap would announce a collision in a
+    /// block's first interaction and send mass-accounting off a cliff (once
+    /// per ~10⁸ blocks: invisible in short runs, certain in the multi-billion
+    /// interaction counting experiments).  The sum form makes `ln Q(1) = 0`
+    /// exact and the whole small-`t` region accurate to full precision.
     fn ln_no_collision(&self, t: u64) -> f64 {
         debug_assert!(2 * t <= self.n);
+        if t <= 32 {
+            let nf = self.n as f64;
+            let mut acc = 0.0;
+            for j in 1..t {
+                let jf = (2 * j) as f64;
+                acc += (-jf / nf).ln_1p() + (-jf / (nf - 1.0)).ln_1p();
+            }
+            return acc;
+        }
         self.ln_fact_n - ln_factorial(self.n - 2 * t) - t as f64 * self.ln_pair
     }
 
@@ -855,6 +917,61 @@ mod tests {
                 (mean - expected).abs() < 0.2,
                 "class {i}: mean {mean:.2} vs expected {expected:.2}"
             );
+        }
+    }
+
+    #[test]
+    fn no_collision_prefix_probabilities_are_exact_for_short_prefixes() {
+        // Q(1) = 1 exactly: the two agents of one interaction are distinct by
+        // construction.  The factorial form's cancellation used to leave this
+        // at ~±1e-8, occasionally announcing a collision in a block's first
+        // interaction (observed as a crash after ~10¹⁰ interactions at
+        // n = 10⁶).
+        for &n in &[2u64, 3, 1000, 1_000_000, 1_000_000_000] {
+            let s = CollisionSampler::new(n);
+            assert_eq!(s.ln_no_collision(0), 0.0, "ln Q(0) at n = {n}");
+            if n >= 2 {
+                assert_eq!(s.ln_no_collision(1), 0.0, "ln Q(1) at n = {n}");
+            }
+            // Small prefixes match the exact product to full precision.
+            let nf = n as f64;
+            let mut exact = 0.0f64;
+            for t in 2..=(n / 2).min(8) {
+                let j = 2 * (t - 1);
+                exact += (1.0 - j as f64 / nf).ln() + (1.0 - j as f64 / (nf - 1.0)).ln();
+                let got = s.ln_no_collision(t);
+                // The reference product uses plain ln(1 − x), itself good to
+                // ~1e-11 relative at these magnitudes.
+                assert!(
+                    (got - exact).abs() <= 1e-9 * exact.abs() + 1e-15,
+                    "ln Q({t}) at n = {n}: got {got:e}, exact {exact:e}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn no_collision_prefix_forms_agree_at_the_crossover() {
+        // The ln_1p sum (t ≤ 32) and the factorial form (t > 32) must agree
+        // where they meet, up to the factorial form's ulp-scale noise.
+        for &n in &[10_000u64, 1_000_000, 100_000_000] {
+            let s = CollisionSampler::new(n);
+            for t in 28..=40u64 {
+                let sum_form = {
+                    let nf = n as f64;
+                    let mut acc = 0.0;
+                    for j in 1..t {
+                        let jf = (2 * j) as f64;
+                        acc += (-jf / nf).ln_1p() + (-jf / (nf - 1.0)).ln_1p();
+                    }
+                    acc
+                };
+                let got = s.ln_no_collision(t);
+                assert!(
+                    (got - sum_form).abs() < 1e-6,
+                    "forms disagree at n = {n}, t = {t}: {got:e} vs {sum_form:e}"
+                );
+            }
         }
     }
 

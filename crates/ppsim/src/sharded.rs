@@ -66,6 +66,12 @@
 //! cross-shard resolution, rebalancing) happens on the master RNG in a fixed
 //! order — so changing `threads` changes wall-clock time, never results.
 //!
+//! Dynamic protocols ([`DenseProtocol::dynamic`]) share one state-interning
+//! registry across all shard copies; to keep index assignment (and therefore
+//! the trajectory) independent of the thread schedule, the within-shard phase
+//! of such protocols is pinned to a single worker thread.  Static protocols
+//! are unaffected.
+//!
 //! # Example
 //!
 //! ```rust
@@ -153,7 +159,9 @@ pub struct ShardedBatchedSimulator<P: DenseProtocol + Clone + Send> {
     threads: usize,
     epoch_cap: u64,
     delta: DeltaTable,
-    outputs: Vec<P::Output>,
+    /// Precomputed `ω` per state; `None` for dynamic (interned) protocols,
+    /// whose outputs are evaluated lazily on occupied states.
+    outputs: Option<Vec<P::Output>>,
     /// Shard sub-simulators; shard `k` always holds exactly `sizes[k]` agents.
     shards: Vec<BatchedSimulator<P>>,
     /// Fixed shard sizes `m_k` (`n/S`, the first `n mod S` shards one larger).
@@ -196,7 +204,14 @@ impl<P: DenseProtocol + Clone + Send> ShardedBatchedSimulator<P> {
         let q = delta.num_states();
         let q0 = protocol.initial_state();
         let s = config.shards.max(1).min(n / 2).max(1);
-        let threads = if config.threads == 0 {
+        // Dynamic (interned) protocols share one index registry across all
+        // shard copies; advancing shards concurrently would make the interning
+        // order — and with it the index assignment and the trajectory — depend
+        // on the thread schedule.  Pinning the within-shard phase to a single
+        // worker keeps runs a pure function of the seed.
+        let threads = if protocol.dynamic() {
+            1
+        } else if config.threads == 0 {
             std::thread::available_parallelism().map_or(1, |p| p.get())
         } else {
             config.threads
@@ -233,7 +248,7 @@ impl<P: DenseProtocol + Clone + Send> ShardedBatchedSimulator<P> {
             }
         }
 
-        let outputs = (0..q).map(|st| protocol.output(st)).collect();
+        let outputs = (!protocol.dynamic()).then(|| (0..q).map(|st| protocol.output(st)).collect());
         let mut counts = vec![0u64; q];
         counts[q0] = n as u64;
         Ok(ShardedBatchedSimulator {
@@ -330,7 +345,13 @@ impl<P: DenseProtocol + Clone + Send> ShardedBatchedSimulator<P> {
     pub fn output_stats(&self) -> ConfigurationStats<P::Output> {
         ConfigurationStats::from_counts(self.occupied.as_slice().iter().filter_map(|&st| {
             let c = self.counts[st as usize];
-            (c > 0).then(|| (self.outputs[st as usize].clone(), c as usize))
+            (c > 0).then(|| {
+                let out = match &self.outputs {
+                    Some(outputs) => outputs[st as usize].clone(),
+                    None => self.protocol.output(st as usize),
+                };
+                (out, c as usize)
+            })
         }))
     }
 

@@ -1,8 +1,8 @@
-//! Fast leader election — Lemma 7 and Appendix D of the paper, following [8].
+//! Fast leader election — Lemma 7 and Appendix D of the paper, following \[8\].
 //!
 //! `FastLeaderElection` trades states for time: using `Õ(n)` states it elects a
 //! unique leader within `O(n log n)` interactions w.h.p. (instead of `O(n log² n)`
-//! for the election of [18]).  The idea (Algorithm 8 of the paper):
+//! for the election of \[18\]).  The idea (Algorithm 8 of the paper):
 //!
 //! * the protocol runs in a *constant* number of phases measured by the phase clock;
 //! * in **even** phases every remaining contender samples `Θ(log n)` random bits

@@ -11,7 +11,7 @@
 //! * **inactive** agents adopt the partner's level if that is higher (so that the
 //!   maximum level spreads by epidemic and lagging agents learn about it).
 //!
-//! Lemma 4 (adapted from [8]): all agents become inactive within `O(n log n)`
+//! Lemma 4 (adapted from \[8\]): all agents become inactive within `O(n log n)`
 //! interactions, the maximum level `level*` satisfies
 //! `log log n − 4 ≤ level* ≤ log log n + 8`, and the number of agents on the maximal
 //! level is `O(√n · log n)`, w.h.p.

@@ -1,4 +1,4 @@
-//! Stable uniform leader election — Lemma 6 of the paper, following [18].
+//! Stable uniform leader election — Lemma 6 of the paper, following \[18\].
 //!
 //! The protocol of Gąsieniec & Stachowiak elects a unique leader in `O(n log² n)`
 //! interactions with `O(log log n)` states, w.h.p.  Its structure, as summarised in

@@ -12,10 +12,11 @@
 //! | [`epidemic`] | Lemma 3 | one-way epidemics complete in `O(n log n)` interactions |
 //! | [`junta`] | Lemma 4 | junta levels reach `log log n ± O(1)`, junta is small |
 //! | [`phase_clock`] | Lemma 5 | phases of `Θ(n log n)` interactions |
-//! | [`synthetic_coin`] | Appendix D / [11] | uniform random bits from the schedule |
-//! | [`leader_election`] | Lemma 6 / [18] | unique leader in `O(n log² n)` interactions |
-//! | [`fast_leader_election`] | Lemma 7 / Appendix D / [8] | unique leader in `O(n log n)` interactions |
-//! | [`load_balancing`] | Lemma 8 / [10] | classical and powers-of-two load balancing |
+//! | [`synthetic_coin`] | Appendix D / \[11\] | uniform random bits from the schedule |
+//! | [`leader_election`] | Lemma 6 / \[18\] | unique leader in `O(n log² n)` interactions |
+//! | [`fast_leader_election`] | Lemma 7 / Appendix D / \[8\] | unique leader in `O(n log n)` interactions |
+//! | [`load_balancing`] | Lemma 8 / \[10\] | classical and powers-of-two load balancing |
+//! | [`composition`] | Algorithms 2/3, lines 1–4 | the shared junta + phase-clock base the composed counting protocols run on, sequential and dense (interned) |
 //!
 //! All components are uniform: none of their transition rules depends on the
 //! population size.  Constants that the paper fixes for asymptotic convenience
@@ -25,6 +26,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod composition;
 pub mod epidemic;
 pub mod fast_leader_election;
 pub mod junta;
@@ -33,6 +35,7 @@ pub mod load_balancing;
 pub mod phase_clock;
 pub mod synthetic_coin;
 
+pub use composition::{DenseComposition, SyncComposition, SyncCtx, SyncedAgent, SyncedComponent};
 pub use epidemic::{max_broadcast, or_broadcast, DenseEpidemic, OneWayEpidemic};
 pub use fast_leader_election::{
     FastLeaderAgent, FastLeaderElection, FastLeaderElectionConfig, FastLeaderElectionProtocol,

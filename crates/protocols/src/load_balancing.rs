@@ -1,7 +1,7 @@
-//! Load balancing — the classical process of [10] and the powers-of-two variant of
+//! Load balancing — the classical process of \[10\] and the powers-of-two variant of
 //! Lemma 8.
 //!
-//! * **Classical load balancing** ([10], used by the `CountExact` stages): when two
+//! * **Classical load balancing** (\[10\], used by the `CountExact` stages): when two
 //!   agents with loads `ℓ_u`, `ℓ_v` interact, the loads become
 //!   `(⌊(ℓ_u+ℓ_v)/2⌋, ⌈(ℓ_u+ℓ_v)/2⌉)`.  After `O(n log n)` interactions the
 //!   discrepancy is constant w.h.p.
@@ -21,7 +21,7 @@ use ppsim::Protocol;
 /// process (`k = −1`).
 pub const EMPTY_LOAD: i32 = -1;
 
-/// Classical load-balancing step of [10]: split the combined load as evenly as
+/// Classical load-balancing step of \[10\]: split the combined load as evenly as
 /// possible, the initiator receiving the smaller half.
 ///
 /// # Examples
@@ -78,7 +78,7 @@ pub fn po2_total_tokens(ks: &[i32]) -> u128 {
         .sum()
 }
 
-/// The standalone classical load-balancing protocol of [10].
+/// The standalone classical load-balancing protocol of \[10\].
 ///
 /// States are plain token counts; experiments seed an arbitrary initial load vector
 /// and measure the number of interactions until the discrepancy (max − min) drops to

@@ -9,7 +9,7 @@
 //! meet an agent showing the same hour.  An agent *ticks* — enters a new phase —
 //! whenever its hour wraps around from `m − 1` to `0`.
 //!
-//! Lemma 5 ([18]): for any constant `c ≥ 0` there is a constant `m = m(c)` such that
+//! Lemma 5 (\[18\]): for any constant `c ≥ 0` there is a constant `m = m(c)` such that
 //! w.h.p. every phase overlap `[D_start, D_end]` (from the moment the last agent
 //! enters the phase until the first agent leaves it) lasts between `c·n·log n` and
 //! `c·n·log n + Θ(n log n)` interactions.  Larger `m` buys longer phases; the

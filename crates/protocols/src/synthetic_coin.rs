@@ -1,8 +1,8 @@
 //! Synthetic coins — uniform random bits extracted from the random schedule.
 //!
 //! Population protocols are deterministic at the transition level; all randomness
-//! comes from the scheduler.  Alistarh et al. [1] introduced *synthetic coins*
-//! (analysed simply in [11]): every agent keeps one parity bit which it flips in
+//! comes from the scheduler.  Alistarh et al. \[1\] introduced *synthetic coins*
+//! (analysed simply in \[11\]): every agent keeps one parity bit which it flips in
 //! every interaction it takes part in.  Because the partner of an interaction is
 //! chosen uniformly at random, the partner's *current* parity bit is a nearly
 //! uniform random bit after a short burn-in, and — crucially — it is obtained
