@@ -1,7 +1,7 @@
-//! Experiments E01–E19: one per quantitative claim of the paper, plus the
+//! Experiments E01–E20: one per quantitative claim of the paper, plus the
 //! engine experiments (E16 batched scale, E17 engine equivalence, E18
 //! sharded scale, E19 dense counting — Theorems 1/2 on the count-based
-//! engines).
+//! engines, E20 hybrid engine switch points).
 //!
 //! Each experiment sweeps population sizes, runs several seeded trials per size on
 //! worker threads and renders a markdown [`Table`] comparing the measurement with
@@ -11,8 +11,8 @@
 use popcount::{
     all_counted, all_estimated, all_estimates_valid, all_exact, all_output_n,
     count_exact_dense_staged, valid_estimates, Approximate, ApproximateBackup, ApproximateParams,
-    CountExact, CountExactParams, DenseApproximate, ExactBackup, StableApproximate,
-    StableCountExact, TokenMergingCounter,
+    CountExact, CountExactParams, DenseApproximate, DenseCountExact, ExactBackup,
+    StableApproximate, StableCountExact, TokenMergingCounter,
 };
 use ppproto::fast_leader_election::FastLeaderElectionProtocol;
 use ppproto::junta::{all_inactive, junta_size, max_level, JuntaProtocol};
@@ -1153,10 +1153,15 @@ pub fn e19_dense_counting(effort: Effort) -> ExperimentReport {
         })
         .remove(0)
     };
-    // CountExact runs **staged** (`count_exact_dense_staged`): stages 1–2 on
-    // the dense engine, the refinement on the per-agent engine — Theorem 2's
+    // CountExact runs on the hybrid engine (`count_exact_dense_staged`):
+    // count-based while the census stays narrow (stages 1–2), per-agent
+    // through the refinement, automatic migration in between — Theorem 2's
     // Õ(n) states are real, and the refinement's Θ(n) live loads degenerate
-    // any count-based representation (see `popcount::exact::staged`).
+    // any count-based representation (see `popcount::exact::staged`).  Note
+    // the `dense states` column now counts the *whole run's* interned census
+    // (the hybrid per-agent stint keeps interning; ≈ 7.5n at n = 10⁵) — the
+    // PR 3 numbers counted only the stage-1–2 window (~7·10⁴ at n = 10⁶)
+    // because the struct-based refinement never touched the interner.
     let run_count_exact = |engine: Engine, n: usize, master: u64, trials: usize| {
         sweep_with_threads(&[n], trials, master, 1, |n, seed| {
             let start = Instant::now();
@@ -1262,6 +1267,256 @@ pub fn e19_dense_counting(effort: Effort) -> ExperimentReport {
     }
 }
 
+/// E20 — the hybrid engine on the composed counting protocols: switch
+/// points and interaction counts of the automatic dense ↔ per-agent
+/// migration, against the PR 3 policy of pinning the hand-off at the end of
+/// the approximation stage.
+///
+/// Three configurations per `CountExact` size:
+///
+/// * **hybrid (auto)** — `count_exact_dense_staged`, which now runs the
+///   hybrid engine end to end: the occupancy monitor detects the refinement
+///   transient by its `q_occ² > c·√n` signature and migrates on its own.
+/// * **hybrid (pinned @ ApxDone)** — the same engine with the monitor's
+///   up-switch disabled and the migration forced exactly where the
+///   PR 3 one-shot hand-off fired (every occupied state `ApxDone`), so the
+///   two switch policies are directly comparable on one substrate.
+/// * **Approximate @ hybrid** — a dynamic protocol whose census stays
+///   `O(log n · log log n)`: nothing here *forces* a migration.  At the
+///   quick-tier `n = 10⁴` the occupancy-to-`√n` ratio is borderline
+///   (`√n = 100` against a transient census of a few hundred), so the
+///   monitor may take a handful of monitor-spaced round trips; the
+///   hysteresis keeps them bounded, and at full-tier sizes `√n` outgrows
+///   the census and the run stays dense.
+///
+/// Both switch policies sample the same Markov chain (the migration is
+/// exact), so their interaction counts must agree up to seed variance; the
+/// switch *points* differ — the monitor fires a window after the transient
+/// starts, the pinned policy at the stage boundary.  Trials run serially
+/// ([`sweep_with_threads`] with one worker): the hybrid engine brings its
+/// own representation churn and the wall-clocks are the measurement.
+#[must_use]
+pub fn e20_hybrid_counting(effort: Effort) -> ExperimentReport {
+    use std::sync::Mutex;
+    use std::time::Instant;
+
+    // Quick tier pins the acceptance row: CountExact exact at n = 10⁵.
+    let exact_sizes = effort.sizes(&[100_000], &[100_000, 1_000_000]);
+    let approx_sizes = effort.sizes(&[10_000], &[100_000, 1_000_000]);
+
+    let mut table = Table::new(
+        "E20 — hybrid engine (dense ↔ per-agent): switch points and interaction counts",
+        &[
+            "n",
+            "workload",
+            "valid output",
+            "interactions",
+            "dense / agent",
+            "switch points",
+            "dense states",
+            "seconds",
+        ],
+    );
+
+    /// Everything one hybrid trial reports beyond the `TrialResult` shape.
+    struct RichOutcome {
+        n: usize,
+        converged: bool,
+        interactions: u64,
+        dense: u64,
+        agent: u64,
+        switches: Vec<u64>,
+        states: usize,
+        seconds: f64,
+    }
+
+    let push = |table: &mut Table, label: &str, r: &RichOutcome| {
+        table.push_row(vec![
+            r.n.to_string(),
+            label.to_string(),
+            if r.converged { "yes" } else { "NO" }.to_string(),
+            format!("{:.3e}", r.interactions as f64),
+            format!("{:.3e} / {:.3e}", r.dense as f64, r.agent as f64),
+            if r.switches.is_empty() {
+                "none".to_string()
+            } else {
+                r.switches
+                    .iter()
+                    .map(|s| format!("{:.3e}", *s as f64))
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            },
+            r.states.to_string(),
+            format!("{:.1}", r.seconds),
+        ]);
+    };
+
+    // One serial seeded trial through the sweep plumbing
+    // ([`sweep_with_threads`] with one worker, consistent with the other
+    // engine experiments), carrying the rich hybrid outcome out past
+    // `TrialResult`'s flat shape.
+    let run_rich =
+        |n: usize, master: u64, job: &(dyn Fn(usize, u64) -> RichOutcome + Sync)| -> RichOutcome {
+            let rich: Mutex<Option<RichOutcome>> = Mutex::new(None);
+            sweep_with_threads(&[n], 1, master, 1, |n, seed| {
+                let r = job(n, seed);
+                let trial = TrialResult {
+                    n,
+                    seed,
+                    converged: r.converged,
+                    interactions: r.interactions,
+                    metric: r.states as f64,
+                };
+                *rich.lock().unwrap() = Some(r);
+                trial
+            });
+            rich.into_inner().unwrap().expect("one trial ran")
+        };
+
+    // CountExact, automatic switch (the staged entry point).
+    let run_auto = |n: usize, master: u64| -> RichOutcome {
+        run_rich(n, master, &|n, seed| {
+            let start = Instant::now();
+            let o = count_exact_dense_staged(
+                CountExactParams::dense_at_scale(n),
+                n,
+                seed,
+                Engine::Batched,
+                (n as u64).saturating_mul(300_000),
+            )
+            .unwrap();
+            RichOutcome {
+                n,
+                converged: o.converged && o.output == Some(n as u64),
+                interactions: o.interactions,
+                dense: o.dense_interactions,
+                agent: o.agent_interactions,
+                switches: o.switch_interactions.clone(),
+                states: o.states_discovered,
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        })
+    };
+
+    // CountExact with the hand-off pinned at the PR 3 policy (ApxDone
+    // everywhere): the monitor's up-switch is parked out of reach, the
+    // migration is forced at the stage boundary.
+    let run_pinned = |n: usize, master: u64| -> RichOutcome {
+        run_rich(n, master, &|n, seed| {
+            let start = Instant::now();
+            let params = CountExactParams::dense_at_scale(n);
+            let proto = DenseCountExact::with_capacity(params, CountExactParams::dense_capacity(n));
+            let handle = proto.clone();
+            let mut sim = ppsim::HybridSimulator::with_config(
+                proto,
+                n,
+                seed,
+                ppsim::HybridConfig {
+                    // Park both thresholds out of reach: the only migration
+                    // is the forced one at the stage boundary (a down-switch
+                    // left active would fire right after the pin, while the
+                    // refinement census is still narrow).
+                    switch_up: f64::INFINITY,
+                    switch_down: 0.0,
+                    ..ppsim::HybridConfig::default()
+                },
+            )
+            .unwrap();
+            let check_every = (n as u64) * 20;
+            let budget = (n as u64).saturating_mul(300_000);
+            let stage12 = sim.run_until(
+                |s| {
+                    // Indices are interned in first-appearance order, so the
+                    // check scans only the discovered prefix of the
+                    // capacity-sized counts slice — the same O(census) cost
+                    // profile as the auto policy's monitor probes.
+                    s.as_dense_counts().is_some_and(|counts| {
+                        let census = handle.states_discovered().min(counts.len());
+                        counts[..census]
+                            .iter()
+                            .enumerate()
+                            .all(|(st, &c)| c == 0 || handle.decode(st).stage.apx_done)
+                    })
+                },
+                check_every,
+                budget,
+            );
+            let converged = stage12.converged() && {
+                sim.switch_to_agent();
+                let o = sim.run_until(
+                    |s| s.output_stats().unanimous().is_some_and(|o| o.is_some()),
+                    check_every,
+                    budget,
+                );
+                o.converged() && sim.output_stats().unanimous() == Some(&Some(n as u64))
+            };
+            RichOutcome {
+                n,
+                converged,
+                interactions: sim.interactions(),
+                dense: sim.dense_interactions(),
+                agent: sim.agent_interactions(),
+                switches: sim.switches().iter().map(|e| e.interactions).collect(),
+                states: handle.states_discovered(),
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        })
+    };
+
+    // Approximate on the hybrid engine: nothing forces a migration here —
+    // the monitor's behaviour near the occupancy/sqrt(n) boundary is the
+    // measurement (see the experiment docs).
+    let run_approximate = |n: usize, master: u64| -> RichOutcome {
+        run_rich(n, master, &|n, seed| {
+            let start = Instant::now();
+            let proto = DenseApproximate::new(ApproximateParams::default());
+            let handle = proto.clone();
+            let mut sim = ppsim::HybridSimulator::new(proto, n, seed).unwrap();
+            let (floor, ceil) = valid_estimates(n);
+            let outcome = sim.run_until(
+                |s| matches!(s.output_stats().unanimous(), Some(&Some(_))),
+                (n as u64) * 50,
+                (n as u64).saturating_mul(400_000),
+            );
+            let valid = matches!(sim.output_stats().unanimous(),
+                                 Some(&Some(k)) if k == floor || k == ceil);
+            RichOutcome {
+                n,
+                converged: outcome.converged() && valid,
+                interactions: sim.interactions(),
+                dense: sim.dense_interactions(),
+                agent: sim.agent_interactions(),
+                switches: sim.switches().iter().map(|e| e.interactions).collect(),
+                states: handle.states_discovered(),
+                seconds: start.elapsed().as_secs_f64(),
+            }
+        })
+    };
+
+    for (si, &n) in exact_sizes.iter().enumerate() {
+        let auto = run_auto(n, 0xE20 + 10 * si as u64);
+        push(&mut table, "CountExact @ hybrid (auto)", &auto);
+        let pinned = run_pinned(n, 0xE20 + 10 * si as u64 + 5);
+        push(
+            &mut table,
+            "CountExact @ hybrid (pinned @ ApxDone)",
+            &pinned,
+        );
+    }
+    for (si, &n) in approx_sizes.iter().enumerate() {
+        let approx = run_approximate(n, 0xE20 + 100 + 10 * si as u64);
+        push(&mut table, "Approximate @ hybrid", &approx);
+    }
+
+    ExperimentReport {
+        id: "E20",
+        claim: "the hybrid engine finds the CountExact refinement hand-off on its own — total \
+                interactions within 10% of the pinned-at-ApxDone policy — and its hysteresis \
+                keeps every migration bounded and monitor-spaced",
+        table,
+    }
+}
+
 /// An experiment entry point: takes the effort level, returns the report.
 type ExperimentFn = fn(Effort) -> ExperimentReport;
 
@@ -1288,6 +1543,7 @@ const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("e17", e17_engine_equivalence),
     ("e18", e18_sharded_scale),
     ("e19", e19_dense_counting),
+    ("e20", e20_hybrid_counting),
 ];
 
 /// Resolve a lower-case experiment id to its runner without executing it.
@@ -1322,13 +1578,13 @@ mod tests {
         // integration tests and by the experiments binary).
         for id in [
             "e01", "e02", "e03", "e04", "e05", "e06", "e07", "e08", "e09", "e10", "e11", "e12",
-            "e13", "e14", "e15", "e16", "e17", "e18", "e19",
+            "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20",
         ] {
             assert!(resolve(id).is_some(), "experiment id {id} must resolve");
         }
         assert!(resolve("zzz").is_none());
         assert!(resolve("E01").is_none(), "ids are matched lower-case");
-        assert_eq!(EXPERIMENTS.len(), 18, "one registry entry per experiment");
+        assert_eq!(EXPERIMENTS.len(), 19, "one registry entry per experiment");
         assert!(run_one("zzz", Effort::Quick).is_none());
     }
 }

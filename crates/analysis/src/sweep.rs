@@ -27,15 +27,22 @@ pub fn sweep<F>(sizes: &[usize], trials: usize, master_seed: u64, job: F) -> Vec
 where
     F: Fn(usize, u64) -> TrialResult + Sync,
 {
-    let threads = std::thread::available_parallelism().map_or(4, |p| p.get());
+    // Clamp to the *detected* parallelism and fall back to a single worker
+    // when detection fails: the old fallback of 4 oversubscribed 1-CPU
+    // containers (4 trial threads time-slicing one core) and distorted every
+    // E-series wall-clock measured there.  Trials that bring their own
+    // threads (sharded or hybrid engines) must not go through this entry
+    // point at all — use [`sweep_with_threads`] with one worker.
+    let threads = std::thread::available_parallelism().map_or(1, |p| p.get());
     sweep_with_threads(sizes, trials, master_seed, threads, job)
 }
 
 /// [`sweep`] with an explicit trial-level worker-thread budget.
 ///
 /// Pass `threads = 1` when each trial is itself multi-threaded (the sharded
-/// engine, E18): trial-level and engine-level parallelism would otherwise
-/// oversubscribe the machine and distort wall-clock measurements.
+/// and hybrid engines: E18, E19, E20): trial-level and engine-level
+/// parallelism would otherwise oversubscribe the machine and distort
+/// wall-clock measurements.
 pub fn sweep_with_threads<F>(
     sizes: &[usize],
     trials: usize,

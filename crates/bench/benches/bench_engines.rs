@@ -1,15 +1,20 @@
-//! Sequential vs batched vs sharded engine: epidemic convergence wall-clock
-//! at growing population sizes and shard counts.
+//! Sequential vs batched vs sharded vs hybrid engine: epidemic convergence
+//! wall-clock at growing population sizes and shard counts.
 //!
 //! The protocols are the *same transition system* (the dense epidemic run via
 //! `DenseAdapter` on the sequential engine), so differences are pure engine
-//! overhead.  `bench_batched_json` (a `ppbench` binary) emits the same
-//! comparisons as machine-readable `BENCH_batched.json` / `BENCH_sharded.json`.
+//! overhead — for the hybrid engine, the cost of its occupancy monitor on a
+//! workload that never migrates.  `bench_batched_json` (a `ppbench` binary)
+//! emits the same comparisons as machine-readable `BENCH_batched.json` /
+//! `BENCH_sharded.json` / `BENCH_hybrid.ci.json`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use popcount::{ApproximateParams, CountExactParams, DenseApproximate, DenseCountExact};
 use ppproto::DenseEpidemic;
-use ppsim::{BatchedSimulator, DenseAdapter, ShardedBatchedSimulator, ShardedConfig, Simulator};
+use ppsim::{
+    BatchedSimulator, DenseAdapter, HybridSimulator, ShardedBatchedSimulator, ShardedConfig,
+    Simulator,
+};
 
 fn epidemic_batched(n: usize, seed: u64) -> u64 {
     let mut sim = BatchedSimulator::new(DenseEpidemic, n, seed).unwrap();
@@ -41,12 +46,30 @@ fn epidemic_sharded(n: usize, seed: u64, shards: usize, threads: usize) -> u64 {
         .expect_converged("sharded epidemic")
 }
 
+fn epidemic_hybrid(n: usize, seed: u64) -> u64 {
+    let mut sim = HybridSimulator::new(DenseEpidemic, n, seed).unwrap();
+    sim.transfer(0, 1, 1).unwrap();
+    let t = sim
+        .run_until(|s| s.count_of(1) == s.population(), n as u64, u64::MAX >> 1)
+        .expect_converged("hybrid epidemic");
+    assert!(
+        sim.switches().is_empty(),
+        "a two-state epidemic stays dense"
+    );
+    t
+}
+
 fn bench_engines(c: &mut Criterion) {
     let mut group = c.benchmark_group("engine_epidemic_convergence");
     group.sample_size(5);
     for &n in &[1_000usize, 10_000, 100_000, 1_000_000] {
         group.bench_with_input(BenchmarkId::new("batched", n), &n, |b, &n| {
             b.iter(|| epidemic_batched(n, 1));
+        });
+        // Hybrid vs batched on the same workload isolates the occupancy
+        // monitor's overhead (the epidemic never leaves dense mode).
+        group.bench_with_input(BenchmarkId::new("hybrid", n), &n, |b, &n| {
+            b.iter(|| epidemic_hybrid(n, 1));
         });
         // The sequential engine is benchmarked up to 10⁵ only; at 10⁶ a single
         // converged run costs ~10⁸ scheduler draws and dominates the suite

@@ -9,7 +9,7 @@
 //! # Engine/size/thread selection from the CLI (BENCH_sharded.json):
 //! cargo run --release -p ppbench --bin bench_batched_json -- \
 //!     --name epidemic_batched_vs_sharded \
-//!     --engines batched,sharded --sizes 1e6,1e7,1e8,1e9 \
+//!     --engines batched,sharded,hybrid --sizes 1e6,1e7,1e8,1e9 \
 //!     --shards 8 --threads 8 > BENCH_sharded.json
 //!
 //! # Counting workloads (Theorems 1/2 on the dense engines):
@@ -62,9 +62,10 @@ impl Workload {
                  floor/ceil log2 n estimate"
             }
             Workload::CountExact => {
-                "CountExact (Theorem 2, dense_at_scale params) run staged until every \
-                 agent outputs exactly n: stages 1-2 on the dense engine, refinement \
-                 per-agent (count_exact_dense_staged)"
+                "CountExact (Theorem 2, dense_at_scale params) run on the hybrid engine \
+                 until every agent outputs exactly n: count-based while the census stays \
+                 narrow, per-agent through the refinement (count_exact_dense_staged); \
+                 hybrid rows report switch_interactions"
             }
         }
     }
@@ -86,10 +87,14 @@ struct Measurement {
     min_seconds: f64,
     mean_interactions: f64,
     interactions_per_second: f64,
+    /// Hybrid-engine representation migrations of the last trial, as
+    /// total-interaction counts (empty off the hybrid path).
+    switch_points: Vec<u64>,
 }
 
-/// Wall-clock and interaction count of one run to convergence.
-fn time_engine(workload: Workload, engine: Engine, n: usize, seed: u64) -> (f64, u64) {
+/// Wall-clock, interaction count and hybrid switch points of one run to
+/// convergence.
+fn time_engine(workload: Workload, engine: Engine, n: usize, seed: u64) -> (f64, u64, Vec<u64>) {
     match workload {
         Workload::Epidemic => {
             let start = Instant::now();
@@ -99,7 +104,7 @@ fn time_engine(workload: Workload, engine: Engine, n: usize, seed: u64) -> (f64,
             let t = sim
                 .run_until(|s| s.count_of(1) == s.population(), n as u64, u64::MAX >> 1)
                 .expect_converged("epidemic");
-            (start.elapsed().as_secs_f64(), t)
+            (start.elapsed().as_secs_f64(), t, sim.switch_points())
         }
         Workload::Approximate => {
             let start = Instant::now();
@@ -124,7 +129,7 @@ fn time_engine(workload: Workload, engine: Engine, n: usize, seed: u64) -> (f64,
                      out-of-range estimate"
                 );
             }
-            (start.elapsed().as_secs_f64(), t)
+            (start.elapsed().as_secs_f64(), t, sim.switch_points())
         }
         Workload::CountExact => {
             // Staged: stages 1–2 on the dense engine, refinement per-agent
@@ -142,7 +147,11 @@ fn time_engine(workload: Workload, engine: Engine, n: usize, seed: u64) -> (f64,
             if outcome.output != Some(n as u64) {
                 eprintln!("note: run at n = {n} (seed {seed}) counted a wrong total");
             }
-            (start.elapsed().as_secs_f64(), outcome.interactions)
+            (
+                start.elapsed().as_secs_f64(),
+                outcome.interactions,
+                outcome.switch_interactions,
+            )
         }
     }
 }
@@ -152,10 +161,12 @@ fn measure(workload: Workload, engine: Engine, n: usize, trials: usize) -> Measu
     let _ = time_engine(workload, engine, n, derive_seed(0xBEEF, 999));
     let mut secs = Vec::with_capacity(trials);
     let mut inters = Vec::with_capacity(trials);
+    let mut switch_points = Vec::new();
     for t in 0..trials {
-        let (s, i) = time_engine(workload, engine, n, derive_seed(0xBEEF, t as u64));
+        let (s, i, switches) = time_engine(workload, engine, n, derive_seed(0xBEEF, t as u64));
         secs.push(s);
         inters.push(i as f64);
+        switch_points = switches;
     }
     let mean_seconds = secs.iter().sum::<f64>() / trials as f64;
     let mean_interactions = inters.iter().sum::<f64>() / trials as f64;
@@ -167,6 +178,7 @@ fn measure(workload: Workload, engine: Engine, n: usize, trials: usize) -> Measu
         min_seconds: secs.iter().copied().fold(f64::INFINITY, f64::min),
         mean_interactions,
         interactions_per_second: mean_interactions / mean_seconds,
+        switch_points,
     }
 }
 
@@ -229,8 +241,11 @@ fn main() {
                     "sequential" => Engine::Sequential,
                     "batched" => Engine::Batched,
                     "sharded" => Engine::Sharded { shards, threads },
+                    "hybrid" => Engine::Hybrid,
                     "auto" => Engine::Auto,
-                    other => panic!("unknown engine `{other}` (sequential|batched|sharded|auto)"),
+                    other => {
+                        panic!("unknown engine `{other}` (sequential|batched|sharded|hybrid|auto)")
+                    }
                 })
                 .collect()
         })
@@ -274,10 +289,25 @@ fn main() {
     println!("  \"results\": [");
     for (i, m) in measurements.iter().enumerate() {
         let comma = if i + 1 == measurements.len() { "" } else { "," };
+        // Switch points ride along as a note field on hybrid rows: the
+        // interaction counts at which the engine migrated representation in
+        // the last trial (the measured dense -> per-agent crossover).
+        let switches = if m.switch_points.is_empty() {
+            String::new()
+        } else {
+            format!(
+                ", \"switch_interactions\": [{}]",
+                m.switch_points
+                    .iter()
+                    .map(u64::to_string)
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            )
+        };
         println!(
             "    {{ \"n\": {}, {}, \"trials\": {}, \"mean_seconds\": {:.6}, \
              \"min_seconds\": {:.6}, \"mean_interactions\": {:.0}, \
-             \"interactions_per_second\": {:.0} }}{}",
+             \"interactions_per_second\": {:.0}{} }}{}",
             m.n,
             engine_json_fields(m.engine),
             m.trials,
@@ -285,6 +315,7 @@ fn main() {
             m.min_seconds,
             m.mean_interactions,
             m.interactions_per_second,
+            switches,
             comma
         );
     }
@@ -307,6 +338,12 @@ fn main() {
             speedups.push(format!(
                 "    {{ \"n\": {n}, \"sharded_over_batched\": {:.2} }}",
                 b.mean_seconds / sh.mean_seconds
+            ));
+        }
+        if let (Some(h), Some(b)) = (find(n, "hybrid"), find(n, "batched")) {
+            speedups.push(format!(
+                "    {{ \"n\": {n}, \"hybrid_over_batched\": {:.2} }}",
+                b.mean_seconds / h.mean_seconds
             ));
         }
     }

@@ -35,13 +35,19 @@ fn main() {
     for _ in 0..4000 {
         sim.run(50_000);
         // Decode the occupied dense states into full agents once per report.
-        let counts = sim.counts();
-        let occupied: Vec<(popcount::CountExactAgent, u64)> = counts
-            .iter()
-            .enumerate()
-            .filter(|(_, &c)| c > 0)
-            .map(|(s, &c)| (proto.decode(s), c))
-            .collect();
+        // Indices are interned in first-appearance order, so everything at
+        // or beyond the census watermark is guaranteed empty — borrow the
+        // counts in place and scan only the discovered prefix instead of
+        // copying and walking the full capacity-sized vector per report.
+        let census = proto.states_discovered();
+        let occupied: Vec<(popcount::CountExactAgent, u64)> = sim.with_counts(|counts| {
+            counts[..census.min(counts.len())]
+                .iter()
+                .enumerate()
+                .filter(|(_, &c)| c > 0)
+                .map(|(s, &c)| (proto.decode(s), c))
+                .collect()
+        });
         let tally = |pred: &dyn Fn(&popcount::CountExactAgent) -> bool| -> u64 {
             occupied
                 .iter()

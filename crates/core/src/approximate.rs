@@ -424,7 +424,9 @@ impl DenseApproximate {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity == 0` or `capacity > u32::MAX`.
+    /// Panics if `capacity == 0` or `capacity >= u32::MAX` (dense indices
+    /// are 32-bit and `u32::MAX` is reserved; see
+    /// [`StateInterner::with_capacity`](ppsim::StateInterner::with_capacity)).
     #[must_use]
     pub fn with_capacity(params: ApproximateParams, capacity: usize) -> Self {
         DenseApproximate {
@@ -494,6 +496,10 @@ impl DenseProtocol for DenseApproximate {
 
     fn dynamic(&self) -> bool {
         true
+    }
+
+    fn discovered_states(&self) -> Option<usize> {
+        Some(self.states_discovered())
     }
 }
 

@@ -391,7 +391,9 @@ impl DenseCountExact {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity == 0` or `capacity > u32::MAX`.
+    /// Panics if `capacity == 0` or `capacity >= u32::MAX` (dense indices
+    /// are 32-bit and `u32::MAX` is reserved; see
+    /// [`StateInterner::with_capacity`](ppsim::StateInterner::with_capacity)).
     #[must_use]
     pub fn with_capacity(params: CountExactParams, capacity: usize) -> Self {
         DenseCountExact {
@@ -461,6 +463,10 @@ impl DenseProtocol for DenseCountExact {
 
     fn dynamic(&self) -> bool {
         true
+    }
+
+    fn discovered_states(&self) -> Option<usize> {
+        Some(self.states_discovered())
     }
 }
 

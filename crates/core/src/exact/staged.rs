@@ -1,5 +1,5 @@
-//! Staged execution of `CountExact` at population scale: dense engines for
-//! stages 1–2, the per-agent engine for stage 3.
+//! Staged execution of `CountExact` at population scale, as a thin wrapper
+//! over the hybrid engine.
 //!
 //! Theorem 2 trades states for time, and the state count is precisely the
 //! complexity parameter of the count-based engines.  Measured at `n = 10⁶`
@@ -9,8 +9,7 @@
 //!   bulk, ≈ `1.6·10¹⁰` interactions) stay *narrow*: ≈ 7·10⁴ distinct states
 //!   over the whole window, a few dozen occupied at a time.  The batched
 //!   engine executes them an order of magnitude faster than the per-agent
-//!   engine could (the whole window is ~15 minutes of single-core
-//!   wall-clock; per-agent it would be ~an hour of pure stage-1–2 work).
+//!   engine could.
 //! * **Stage 3** (refinement, ≈ `3.4·10⁸` interactions) is *wide* by design:
 //!   Lemma 11 needs per-agent loads of magnitude `C·2^{2k}/n ≈ 4n`, so the
 //!   balancing transient scatters the population over `Θ(n)` distinct loads
@@ -19,28 +18,45 @@
 //!   and *any* count-based representation degenerates below per-agent
 //!   speed.
 //!
-//! [`count_exact_dense_staged`] therefore runs the dense engine until every
-//! agent has concluded the approximation stage (`ApxDone` everywhere) and
-//! hands the configuration to the sequential engine for the refinement.
-//! The hand-off is **exact**: the population process is Markov in the
-//! *configuration* (the multiset of states), which is transferred verbatim;
-//! only the schedule's randomness source changes, exactly as it does between
-//! the batched and sequential engines in the equivalence suite.
+//! Earlier revisions implemented the hand-off by hand: run the dense engine
+//! until every agent had concluded the approximation stage, then copy the
+//! configuration into the per-agent engine — a one-shot, protocol-specific
+//! switch that lived in this file.  That mechanism is now the general
+//! [`HybridSimulator`]: its occupancy monitor detects the refinement
+//! transient by its `q_occ² > c·√n` signature (no knowledge of `ApxDone`
+//! required), performs the same Markov-in-configuration migration, and can
+//! even migrate *back* once the balancing transient collapses the census
+//! again.  [`count_exact_dense_staged`] just parameterises that engine for
+//! `CountExact` and reports the phase accounting.
+//!
+//! The hand-off is **exact** either way: the population process is Markov in
+//! the *configuration* (the multiset of states), which is transferred
+//! verbatim; only the schedule's randomness source changes, exactly as it
+//! does between the batched and sequential engines in the equivalence suite.
 
-use ppsim::{derive_seed, DenseSimulator, Engine, SimError, Simulator};
+use ppsim::{Engine, HybridConfig, HybridSimulator, HybridSubstrate, SimError, Simulator};
 
 use crate::params::CountExactParams;
 
-use super::count_exact::{CountExact, CountExactAgent, DenseCountExact};
+use super::count_exact::{CountExact, DenseCountExact};
 
-/// Outcome of a staged dense `CountExact` run.
+/// Outcome of a staged (hybrid) dense `CountExact` run.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StagedCountOutcome {
-    /// Total interactions executed across both stages of the run.
+    /// Total interactions executed across the run.
     pub interactions: u64,
-    /// Interactions executed on the dense engine (stages 1–2).
+    /// Interactions executed on the count-based substrate.
     pub dense_interactions: u64,
-    /// Distinct dense states the stage-1–2 window interned.
+    /// Interactions executed on the per-agent engine.  Always
+    /// `interactions - dense_interactions`: the phase counters partition the
+    /// total exactly (no interaction is counted in both phases at a switch).
+    pub agent_interactions: u64,
+    /// Total-interaction counts at which the hybrid engine migrated between
+    /// representations (the measured switch points; empty when the run never
+    /// left the dense substrate or ran entirely per-agent).
+    pub switch_interactions: Vec<u64>,
+    /// Distinct dense states the run interned (0 when the whole run stayed
+    /// on the per-agent engine with struct states).
     pub states_discovered: usize,
     /// The unanimous output, if the run converged (`Some(n)` when correct).
     pub output: Option<u64>,
@@ -48,13 +64,17 @@ pub struct StagedCountOutcome {
     pub converged: bool,
 }
 
-/// Run `CountExact` to a unanimous output at population scale: stages 1–2 on
-/// the dense engine selected by `engine`, stage 3 on the per-agent engine
-/// (see the module docs for why the hand-off point is `ApxDone`).
+/// Run `CountExact` to a unanimous output at population scale on the hybrid
+/// engine: the count-based substrate while the configuration stays narrow
+/// (stages 1–2), per-agent execution while the refinement's `Θ(n)` live
+/// loads keep it degenerate, automatic migration in between (see the module
+/// docs for why the switch happens at the refinement transient).
 ///
-/// `budget` caps the *total* interactions across both stages.  If `engine`
-/// resolves to [`Engine::Sequential`], the whole run stays per-agent and no
-/// hand-off happens.
+/// `engine` selects the dense substrate: [`Engine::Batched`] and
+/// [`Engine::Hybrid`] run it batched, [`Engine::Sharded`] sharded.  If
+/// `engine` resolves to [`Engine::Sequential`] (small populations under
+/// [`Engine::Auto`]), the whole run stays per-agent on struct states and no
+/// hand-off machinery is involved.  `budget` caps the *total* interactions.
 ///
 /// # Errors
 ///
@@ -79,6 +99,7 @@ pub struct StagedCountOutcome {
 /// )?;
 /// assert!(outcome.converged);
 /// assert_eq!(outcome.output, Some(n as u64));
+/// assert!(!outcome.switch_interactions.is_empty(), "the refinement forces a hand-off");
 /// # Ok(())
 /// # }
 /// ```
@@ -91,85 +112,60 @@ pub fn count_exact_dense_staged(
 ) -> Result<StagedCountOutcome, SimError> {
     let check_every = (n as u64).max(1) * 20;
 
-    if engine.resolve(n) == Engine::Sequential {
-        // Small populations: the per-agent engine serves every stage.
-        let mut sim = Simulator::new(CountExact::new(params), n, seed)?;
-        let outcome = sim.run_until(
-            |s| s.output_stats().unanimous().is_some_and(|o| o.is_some()),
-            check_every,
-            budget,
-        );
-        let output = sim.output_stats().unanimous().cloned().flatten();
-        return Ok(StagedCountOutcome {
-            interactions: sim.interactions(),
-            dense_interactions: 0,
-            states_discovered: 0,
-            output,
-            converged: outcome.converged(),
-        });
-    }
-
-    // Stages 1–2 on the dense engine, until every agent has ApxDone.
-    let proto = DenseCountExact::new(params);
-    let handle = proto.clone(); // shares the interner: state census + decode
-    let mut dense = DenseSimulator::new(engine, proto, n, seed)?;
-    let all_apx_done = |counts: &[u64]| {
-        counts
-            .iter()
-            .enumerate()
-            .all(|(s, &c)| c == 0 || handle.decode(s).stage.apx_done)
+    let substrate = match engine.resolve(n) {
+        Engine::Sequential => {
+            // Small populations: the per-agent engine serves every stage.
+            let mut sim = Simulator::new(CountExact::new(params), n, seed)?;
+            let outcome = sim.run_until(
+                |s| s.output_stats().unanimous().is_some_and(|o| o.is_some()),
+                check_every,
+                budget,
+            );
+            let output = sim.output_stats().unanimous().cloned().flatten();
+            return Ok(StagedCountOutcome {
+                interactions: sim.interactions(),
+                dense_interactions: 0,
+                agent_interactions: sim.interactions(),
+                switch_interactions: Vec::new(),
+                states_discovered: 0,
+                output,
+                converged: outcome.converged(),
+            });
+        }
+        Engine::Sharded { shards, threads } => HybridSubstrate::Sharded { shards, threads },
+        Engine::Batched | Engine::Hybrid => HybridSubstrate::Batched,
+        Engine::Auto => unreachable!("resolve() never returns Auto"),
     };
-    let stage12 = dense.run_until(
-        |s| match s {
-            // Borrowed counts on the count-based engines: no per-check clone.
-            DenseSimulator::Batched(b) => all_apx_done(b.counts()),
-            DenseSimulator::Sharded(sh) => all_apx_done(sh.counts()),
-            DenseSimulator::Sequential(seq) => seq
-                .states()
-                .iter()
-                .all(|&idx| handle.decode(idx as usize).stage.apx_done),
+
+    // The hybrid engine keeps interning through its per-agent phase, so the
+    // index space must hold the refinement's Θ(n) load values.
+    let proto = DenseCountExact::with_capacity(params, CountExactParams::dense_capacity(n));
+    let handle = proto.clone(); // shares the interner: state census + decode
+    let mut sim = HybridSimulator::with_config(
+        proto,
+        n,
+        seed,
+        HybridConfig {
+            substrate,
+            ..HybridConfig::default()
         },
+    )?;
+    let outcome = sim.run_until(
+        |s| s.output_stats().unanimous().is_some_and(|o| o.is_some()),
         check_every,
         budget,
     );
-    let dense_interactions = dense.interactions();
-    if !stage12.converged() {
-        return Ok(StagedCountOutcome {
-            interactions: dense_interactions,
-            dense_interactions,
-            states_discovered: handle.states_discovered(),
-            output: None,
-            converged: false,
-        });
-    }
-
-    // Hand-off: transfer the configuration (the multiset of states — the
-    // process is Markov in it) to the per-agent engine for the refinement.
-    let mut seq = Simulator::new(CountExact::new(params), n, derive_seed(seed, 0x57A6))?;
-    {
-        let states = seq.states_mut();
-        let mut slot = 0usize;
-        for (s, &c) in dense.counts().iter().enumerate() {
-            if c == 0 {
-                continue;
-            }
-            let agent: CountExactAgent = handle.decode(s);
-            for _ in 0..c {
-                states[slot] = agent;
-                slot += 1;
-            }
-        }
-        debug_assert_eq!(slot, n, "the configuration must cover the population");
-    }
-    let outcome = seq.run_until(
-        |s| s.output_stats().unanimous().is_some_and(|o| o.is_some()),
-        check_every,
-        budget.saturating_sub(dense_interactions),
+    let output = sim.output_stats().unanimous().cloned().flatten();
+    debug_assert_eq!(
+        sim.dense_interactions() + sim.agent_interactions(),
+        sim.interactions(),
+        "phase counters must partition the total exactly"
     );
-    let output = seq.output_stats().unanimous().cloned().flatten();
     Ok(StagedCountOutcome {
-        interactions: dense_interactions + seq.interactions(),
-        dense_interactions,
+        interactions: sim.interactions(),
+        dense_interactions: sim.dense_interactions(),
+        agent_interactions: sim.agent_interactions(),
+        switch_interactions: sim.switches().iter().map(|e| e.interactions).collect(),
         states_discovered: handle.states_discovered(),
         output,
         converged: outcome.converged(),
@@ -183,7 +179,7 @@ mod tests {
     #[test]
     fn staged_run_counts_exactly_at_small_scale() {
         // Cross-over covered end to end: stages 1–2 batched, refinement
-        // per-agent, exact output.
+        // per-agent via the hybrid monitor, exact output.
         let n = 3_000usize;
         let outcome = count_exact_dense_staged(
             CountExactParams::dense_at_scale(n),
@@ -196,7 +192,15 @@ mod tests {
         assert!(outcome.converged);
         assert_eq!(outcome.output, Some(n as u64));
         assert!(outcome.dense_interactions > 0);
-        assert!(outcome.interactions > outcome.dense_interactions);
+        assert!(
+            outcome.agent_interactions > 0,
+            "the refinement transient must trigger the per-agent migration"
+        );
+        assert_eq!(
+            outcome.dense_interactions + outcome.agent_interactions,
+            outcome.interactions
+        );
+        assert!(!outcome.switch_interactions.is_empty());
         assert!(outcome.states_discovered > 100);
     }
 
@@ -214,6 +218,8 @@ mod tests {
         assert!(outcome.converged);
         assert_eq!(outcome.output, Some(n as u64));
         assert_eq!(outcome.dense_interactions, 0);
+        assert_eq!(outcome.agent_interactions, outcome.interactions);
+        assert!(outcome.switch_interactions.is_empty());
     }
 
     #[test]
@@ -229,5 +235,13 @@ mod tests {
         .unwrap();
         assert!(!outcome.converged);
         assert_eq!(outcome.output, None);
+        assert_eq!(
+            outcome.interactions, 10_000,
+            "an exhausted run reports the interactions actually executed"
+        );
+        assert_eq!(
+            outcome.dense_interactions + outcome.agent_interactions,
+            outcome.interactions
+        );
     }
 }

@@ -113,6 +113,22 @@ impl CountExactParams {
         }
     }
 
+    /// Interner capacity for a `CountExact` run of population `n` on the
+    /// count-based or hybrid engines.
+    ///
+    /// Stages 1–2 stay narrow (≈ 7·10⁴ distinct states over a full
+    /// `n = 10⁶` window with [`Self::dense_at_scale`]), but the refinement
+    /// stage mints `Θ(n)` live load values (Lemma 11; a converged hybrid run
+    /// at `n = 10⁵` interns ≈ `7.5n` distinct states), and the hybrid engine
+    /// keeps interning through its per-agent phase — so the index space must
+    /// scale with `n`: `16n` with a `2²²` floor, clamped to the interner's
+    /// `u32` ceiling.  Capacity only sizes flat engine buffers (see
+    /// [`ppsim::interned`]), so the headroom costs memory, never time.
+    #[must_use]
+    pub fn dense_capacity(n: usize) -> usize {
+        n.saturating_mul(16).max(1 << 22).min(u32::MAX as usize - 1)
+    }
+
     /// Fast-leader-election configuration derived from these parameters.
     #[must_use]
     pub fn fast_leader_election(&self) -> FastLeaderElectionConfig {
@@ -149,6 +165,17 @@ mod tests {
         assert_eq!(c.level_offset, 8);
         assert_eq!(c.election_phases, 8192);
         assert_eq!(c.refinement_constant(), 256);
+    }
+
+    #[test]
+    fn dense_capacity_scales_with_n_and_respects_the_interner_ceiling() {
+        assert_eq!(CountExactParams::dense_capacity(10_000), 1 << 22);
+        assert_eq!(CountExactParams::dense_capacity(1_000_000), 16_000_000);
+        assert_eq!(
+            CountExactParams::dense_capacity(usize::MAX / 2),
+            u32::MAX as usize - 1,
+            "clamped to the largest capacity StateInterner accepts"
+        );
     }
 
     #[test]

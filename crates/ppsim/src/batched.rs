@@ -469,6 +469,7 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
             }
         }
         RunOutcome::Exhausted {
+            interactions: self.interactions,
             budget: max_interactions,
         }
     }
@@ -505,6 +506,7 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
             }
         }
         RunOutcome::Exhausted {
+            interactions: self.interactions,
             budget: max_interactions,
         }
     }
@@ -711,7 +713,13 @@ mod tests {
         assert_eq!(outcome, RunOutcome::Converged { interactions: 0 });
         // Budget exhaustion is exact.
         let outcome = sim.run_until(|_| false, 7, 100);
-        assert_eq!(outcome, RunOutcome::Exhausted { budget: 100 });
+        assert_eq!(
+            outcome,
+            RunOutcome::Exhausted {
+                interactions: 100,
+                budget: 100
+            }
+        );
         assert_eq!(sim.interactions(), 100);
     }
 

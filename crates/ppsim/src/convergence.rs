@@ -20,6 +20,13 @@ pub enum RunOutcome {
     },
     /// The interaction budget was exhausted before the predicate held.
     Exhausted {
+        /// The number of interactions the simulator had **actually executed**
+        /// when the run gave up.  Usually equal to `budget`, but a simulator
+        /// that had already executed interactions before `run_until` was
+        /// called (a staged or hybrid run resuming against a total budget)
+        /// reports its true counter here instead of pretending the whole
+        /// budget was spent.
+        interactions: u64,
         /// The interaction budget that was exhausted.
         budget: u64,
     },
@@ -41,6 +48,17 @@ impl RunOutcome {
         }
     }
 
+    /// The number of interactions actually executed when the run ended,
+    /// whether it converged or exhausted its budget.
+    #[must_use]
+    pub fn executed(&self) -> u64 {
+        match self {
+            RunOutcome::Converged { interactions } | RunOutcome::Exhausted { interactions, .. } => {
+                *interactions
+            }
+        }
+    }
+
     /// The number of interactions at convergence.
     ///
     /// # Panics
@@ -51,8 +69,14 @@ impl RunOutcome {
     pub fn expect_converged(&self, context: &str) -> u64 {
         match self {
             RunOutcome::Converged { interactions } => *interactions,
-            RunOutcome::Exhausted { budget } => {
-                panic!("{context}: did not converge within a budget of {budget} interactions")
+            RunOutcome::Exhausted {
+                interactions,
+                budget,
+            } => {
+                panic!(
+                    "{context}: did not converge within a budget of {budget} interactions \
+                     ({interactions} executed)"
+                )
             }
         }
     }
@@ -67,19 +91,32 @@ mod tests {
         let o = RunOutcome::Converged { interactions: 1234 };
         assert!(o.converged());
         assert_eq!(o.interactions(), Some(1234));
+        assert_eq!(o.executed(), 1234);
         assert_eq!(o.expect_converged("test"), 1234);
     }
 
     #[test]
     fn exhausted_accessors() {
-        let o = RunOutcome::Exhausted { budget: 10 };
+        let o = RunOutcome::Exhausted {
+            interactions: 9,
+            budget: 10,
+        };
         assert!(!o.converged());
         assert_eq!(o.interactions(), None);
+        assert_eq!(
+            o.executed(),
+            9,
+            "exhaustion reports actual work, not the budget"
+        );
     }
 
     #[test]
     #[should_panic(expected = "did not converge")]
     fn expect_converged_panics_on_exhaustion() {
-        let _ = RunOutcome::Exhausted { budget: 10 }.expect_converged("test");
+        let _ = RunOutcome::Exhausted {
+            interactions: 10,
+            budget: 10,
+        }
+        .expect_converged("test");
     }
 }

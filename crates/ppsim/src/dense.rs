@@ -100,6 +100,18 @@ pub trait DenseProtocol {
     fn dynamic(&self) -> bool {
         false
     }
+
+    /// For [`dynamic`](Self::dynamic) (interned) protocols: how many distinct
+    /// states have been assigned indices so far — the realised state census,
+    /// as opposed to the `num_states()` capacity.
+    ///
+    /// Static encodings return `None` (every index is live by construction).
+    /// The hybrid engine records this census in its switch log and the bench
+    /// tooling emits it next to the switch points, so occupancy blow-ups are
+    /// attributable to the protocol stage that minted the states.
+    fn discovered_states(&self) -> Option<usize> {
+        None
+    }
 }
 
 /// Blanket implementation so `&P` can be used wherever a dense protocol is
@@ -124,6 +136,9 @@ impl<P: DenseProtocol + ?Sized> DenseProtocol for &P {
     }
     fn dynamic(&self) -> bool {
         (**self).dynamic()
+    }
+    fn discovered_states(&self) -> Option<usize> {
+        (**self).discovered_states()
     }
 }
 

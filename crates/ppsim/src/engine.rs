@@ -1,25 +1,31 @@
 //! Engine selection: one name for "run this dense protocol on a population
 //! of `n`", whichever simulator serves that regime best.
 //!
-//! Three engines drive the same stochastic process:
+//! Four engines drive the same stochastic process:
 //!
 //! | engine | representation | sweet spot |
 //! |---|---|---|
 //! | [`Engine::Sequential`] | per-agent `Vec<State>` | `n ≲ 3·10³` (no per-block overhead) |
 //! | [`Engine::Batched`] | state counts, `Θ(√n)` collision-free blocks | `3·10³ ≲ n ≲ 10⁷` |
 //! | [`Engine::Sharded`] | counts split over `S` shards, epoch-parallel | `n ≳ 10⁷`, multicore |
+//! | [`Engine::Hybrid`] | counts ↔ per-agent, auto-switching on occupancy | dynamic protocols whose state census blows up mid-run |
 //!
 //! [`Engine::Auto`] picks sequential below [`SEQUENTIAL_CROSSOVER`] (where
-//! the measured batched speedup in `BENCH_batched.json` drops under 1×) and
-//! batched above it.  [`DenseSimulator`] is the enum-dispatched simulator the
-//! experiment harness and benchmark tooling drive, so engine choice is a CLI
-//! argument rather than a code path.
+//! the measured batched speedup in `BENCH_batched.json` drops under 1×); at
+//! and above it the resolution is **protocol-aware**
+//! ([`Engine::resolve_for`]): dynamic (interned) protocols get the hybrid
+//! engine — their occupancy profile can change mid-run, which is exactly the
+//! signal the hybrid monitor watches — while statically encoded protocols
+//! keep the batched engine.  [`DenseSimulator`] is the enum-dispatched
+//! simulator the experiment harness and benchmark tooling drive, so engine
+//! choice is a CLI argument rather than a code path.
 
 use crate::batched::BatchedSimulator;
 use crate::config::ConfigurationStats;
 use crate::convergence::RunOutcome;
 use crate::dense::{DenseAdapter, DenseProtocol};
 use crate::error::SimError;
+use crate::hybrid::HybridSimulator;
 use crate::sharded::{ShardedBatchedSimulator, ShardedConfig};
 use crate::simulator::Simulator;
 
@@ -75,20 +81,46 @@ pub enum Engine {
         /// (see [`ShardedConfig::threads`]).
         threads: usize,
     },
-    /// Choose automatically from the population size: sequential below
-    /// [`SEQUENTIAL_CROSSOVER`], batched at and above it.
+    /// The auto-switching hybrid engine ([`HybridSimulator`], batched
+    /// substrate, default occupancy monitor).
+    Hybrid,
+    /// Choose automatically from the population size and the protocol:
+    /// sequential below [`SEQUENTIAL_CROSSOVER`]; at and above it, hybrid
+    /// for dynamic (interned) protocols and batched for static encodings
+    /// (see [`Engine::resolve_for`]).
     Auto,
 }
 
 impl Engine {
-    /// Resolve [`Engine::Auto`] against a population size; concrete choices
-    /// pass through unchanged.
+    /// Resolve [`Engine::Auto`] against a population size alone, assuming a
+    /// statically encoded protocol; concrete choices pass through unchanged.
+    ///
+    /// Prefer [`Engine::resolve_for`] when the protocol is at hand —
+    /// [`DenseSimulator::new`] resolves through it, so dynamic protocols get
+    /// the hybrid engine.
     #[must_use]
     pub fn resolve(self, n: usize) -> Engine {
+        self.resolve_for(n, false)
+    }
+
+    /// Resolve [`Engine::Auto`] against a population size and the protocol's
+    /// [`dynamic`](DenseProtocol::dynamic) flag; concrete choices pass
+    /// through unchanged.
+    ///
+    /// Dynamic (interned) protocols above the crossover get
+    /// [`Engine::Hybrid`]: their realised state space grows with the run, so
+    /// a representation chosen up front can degenerate mid-run — the hybrid
+    /// engine's occupancy monitor handles exactly that.  Static encodings
+    /// keep [`Engine::Batched`] (their occupancy is bounded by a `q` known
+    /// up front, and the caller opts into [`Engine::Sharded`] explicitly).
+    #[must_use]
+    pub fn resolve_for(self, n: usize, dynamic: bool) -> Engine {
         match self {
             Engine::Auto => {
                 if n < SEQUENTIAL_CROSSOVER {
                     Engine::Sequential
+                } else if dynamic {
+                    Engine::Hybrid
                 } else {
                     Engine::Batched
                 }
@@ -104,6 +136,7 @@ impl Engine {
             Engine::Sequential => "sequential",
             Engine::Batched => "batched",
             Engine::Sharded { .. } => "sharded",
+            Engine::Hybrid => "hybrid",
             Engine::Auto => "auto",
         }
     }
@@ -126,6 +159,8 @@ pub enum DenseSimulator<P: DenseProtocol + Clone + Send> {
     Batched(BatchedSimulator<P>),
     /// Sharded batched execution.
     Sharded(ShardedBatchedSimulator<P>),
+    /// Hybrid dense ↔ per-agent execution.
+    Hybrid(HybridSimulator<P>),
 }
 
 impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
@@ -136,7 +171,7 @@ impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
     /// Propagates the selected engine's constructor errors
     /// ([`SimError::PopulationTooSmall`], [`SimError::InvalidParameter`]).
     pub fn new(engine: Engine, protocol: P, n: usize, seed: u64) -> Result<Self, SimError> {
-        match engine.resolve(n) {
+        match engine.resolve_for(n, protocol.dynamic()) {
             Engine::Sequential => Ok(DenseSimulator::Sequential(Simulator::new(
                 DenseAdapter(protocol),
                 n,
@@ -157,7 +192,38 @@ impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
                     },
                 )?))
             }
-            Engine::Auto => unreachable!("resolve() never returns Auto"),
+            Engine::Hybrid => Ok(DenseSimulator::Hybrid(HybridSimulator::new(
+                protocol, n, seed,
+            )?)),
+            Engine::Auto => unreachable!("resolve_for() never returns Auto"),
+        }
+    }
+
+    /// Run `f` over the configuration's state counts, borrowing them in
+    /// place on the engines that already store the configuration densely —
+    /// unlike [`Self::counts`], which copies a capacity-sized vector (tens
+    /// of MB for large interned protocols).  The sequential engine (and the
+    /// hybrid engine in its per-agent mode) assembles a temporary.
+    pub fn with_counts<R>(&self, f: impl FnOnce(&[u64]) -> R) -> R {
+        match self {
+            DenseSimulator::Sequential(_) => f(&self.counts()),
+            DenseSimulator::Batched(s) => f(s.counts()),
+            DenseSimulator::Sharded(s) => f(s.counts()),
+            DenseSimulator::Hybrid(s) => match s.as_dense_counts() {
+                Some(counts) => f(counts),
+                None => f(&s.counts()),
+            },
+        }
+    }
+
+    /// The hybrid engine's representation migrations as total-interaction
+    /// counts, in order; empty on every other engine.  The benchmark tooling
+    /// emits these as the measured switch points.
+    #[must_use]
+    pub fn switch_points(&self) -> Vec<u64> {
+        match self {
+            DenseSimulator::Hybrid(s) => s.switches().iter().map(|e| e.interactions).collect(),
+            _ => Vec::new(),
         }
     }
 
@@ -168,6 +234,7 @@ impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
             DenseSimulator::Sequential(_) => "sequential",
             DenseSimulator::Batched(_) => "batched",
             DenseSimulator::Sharded(_) => "sharded",
+            DenseSimulator::Hybrid(_) => "hybrid",
         }
     }
 
@@ -178,6 +245,7 @@ impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
             DenseSimulator::Sequential(s) => s.population() as u64,
             DenseSimulator::Batched(s) => s.population(),
             DenseSimulator::Sharded(s) => s.population(),
+            DenseSimulator::Hybrid(s) => s.population(),
         }
     }
 
@@ -188,6 +256,7 @@ impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
             DenseSimulator::Sequential(s) => s.interactions(),
             DenseSimulator::Batched(s) => s.interactions(),
             DenseSimulator::Sharded(s) => s.interactions(),
+            DenseSimulator::Hybrid(s) => s.interactions(),
         }
     }
 
@@ -203,6 +272,7 @@ impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
                 .count() as u64,
             DenseSimulator::Batched(s) => s.count_of(state),
             DenseSimulator::Sharded(s) => s.count_of(state),
+            DenseSimulator::Hybrid(s) => s.count_of(state),
         }
     }
 
@@ -220,6 +290,7 @@ impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
             }
             DenseSimulator::Batched(s) => s.counts().to_vec(),
             DenseSimulator::Sharded(s) => s.counts().to_vec(),
+            DenseSimulator::Hybrid(s) => s.counts(),
         }
     }
 
@@ -230,6 +301,7 @@ impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
             DenseSimulator::Sequential(s) => s.output_stats(),
             DenseSimulator::Batched(s) => s.output_stats(),
             DenseSimulator::Sharded(s) => s.output_stats(),
+            DenseSimulator::Hybrid(s) => s.output_stats(),
         }
     }
 
@@ -272,6 +344,7 @@ impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
             }
             DenseSimulator::Batched(s) => s.transfer(from, to, k),
             DenseSimulator::Sharded(s) => s.transfer(from, to, k),
+            DenseSimulator::Hybrid(s) => s.transfer(from, to, k),
         }
     }
 
@@ -281,6 +354,7 @@ impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
             DenseSimulator::Sequential(s) => s.run(budget),
             DenseSimulator::Batched(s) => s.run(budget),
             DenseSimulator::Sharded(s) => s.run(budget),
+            DenseSimulator::Hybrid(s) => s.run(budget),
         }
     }
 
@@ -313,6 +387,7 @@ impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
             }
         }
         RunOutcome::Exhausted {
+            interactions: self.interactions(),
             budget: max_interactions,
         }
     }
@@ -361,11 +436,95 @@ mod tests {
     }
 
     #[test]
+    fn auto_resolution_matrix_is_protocol_aware() {
+        // The full (n, dynamic) → engine matrix of Engine::Auto:
+        //
+        //                  | static          | dynamic
+        //   n < crossover  | Sequential      | Sequential
+        //   n ≥ crossover  | Batched         | Hybrid
+        for dynamic in [false, true] {
+            assert_eq!(
+                Engine::Auto.resolve_for(SEQUENTIAL_CROSSOVER - 1, dynamic),
+                Engine::Sequential,
+                "below the crossover the per-agent engine always wins"
+            );
+        }
+        assert_eq!(
+            Engine::Auto.resolve_for(SEQUENTIAL_CROSSOVER, false),
+            Engine::Batched
+        );
+        assert_eq!(
+            Engine::Auto.resolve_for(SEQUENTIAL_CROSSOVER, true),
+            Engine::Hybrid
+        );
+        assert_eq!(Engine::Auto.resolve_for(1_000_000, true), Engine::Hybrid);
+        // `resolve` is the static-protocol shorthand.
+        assert_eq!(Engine::Auto.resolve(1_000_000), Engine::Batched);
+        // Concrete engines ignore the dynamic flag entirely.
+        for engine in [
+            Engine::Sequential,
+            Engine::Batched,
+            Engine::Hybrid,
+            Engine::Sharded {
+                shards: 2,
+                threads: 1,
+            },
+        ] {
+            assert_eq!(engine.resolve_for(1_000_000, true), engine);
+            assert_eq!(engine.resolve_for(100, false), engine);
+        }
+    }
+
+    #[test]
     fn auto_constructs_the_resolved_engine() {
         let small = DenseSimulator::new(Engine::Auto, Rumor, 100, 0).unwrap();
         assert_eq!(small.engine_name(), "sequential");
         let big = DenseSimulator::new(Engine::Auto, Rumor, 100_000, 0).unwrap();
         assert_eq!(big.engine_name(), "batched");
+    }
+
+    /// A dynamic shim over the two-state rumour: same transitions, but
+    /// flagged as interned so Auto resolution routes it to the hybrid engine.
+    #[derive(Debug, Clone, Copy)]
+    struct DynamicRumor;
+    impl DenseProtocol for DynamicRumor {
+        type Output = bool;
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn initial_state(&self) -> usize {
+            0
+        }
+        fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+            (u.max(v), v)
+        }
+        fn output(&self, s: usize) -> bool {
+            s == 1
+        }
+        fn dynamic(&self) -> bool {
+            true
+        }
+    }
+
+    #[test]
+    fn auto_routes_dynamic_protocols_to_the_hybrid_engine() {
+        let sim = DenseSimulator::new(Engine::Auto, DynamicRumor, 100_000, 0).unwrap();
+        assert_eq!(sim.engine_name(), "hybrid");
+        let small = DenseSimulator::new(Engine::Auto, DynamicRumor, 100, 0).unwrap();
+        assert_eq!(small.engine_name(), "sequential");
+    }
+
+    #[test]
+    fn switch_points_are_empty_off_the_hybrid_engine() {
+        let sim = DenseSimulator::new(Engine::Batched, Rumor, 5_000, 0).unwrap();
+        assert!(sim.switch_points().is_empty());
+        let mut hybrid = DenseSimulator::new(Engine::Hybrid, Rumor, 5_000, 0).unwrap();
+        hybrid.transfer(0, 1, 1).unwrap();
+        hybrid.run(10_000);
+        assert!(
+            hybrid.switch_points().is_empty(),
+            "the two-state epidemic never leaves dense mode"
+        );
     }
 
     #[test]
@@ -377,6 +536,7 @@ mod tests {
                 shards: 4,
                 threads: 1,
             },
+            Engine::Hybrid,
         ] {
             let mut sim = DenseSimulator::new(engine, Rumor, 2000, 7).unwrap();
             assert_eq!(sim.population(), 2000);
@@ -406,7 +566,13 @@ mod tests {
         let outcome = sim.run_until(|_| true, 10, 1000);
         assert_eq!(outcome, RunOutcome::Converged { interactions: 0 });
         let outcome = sim.run_until(|_| false, 7, 100);
-        assert_eq!(outcome, RunOutcome::Exhausted { budget: 100 });
+        assert_eq!(
+            outcome,
+            RunOutcome::Exhausted {
+                interactions: 100,
+                budget: 100
+            }
+        );
         assert_eq!(sim.interactions(), 100);
     }
 }

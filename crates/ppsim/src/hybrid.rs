@@ -1,0 +1,977 @@
+//! The hybrid dense ↔ per-agent simulation engine.
+//!
+//! [`HybridSimulator`] runs a [`DenseProtocol`] on the batched (or sharded)
+//! count-based substrate and **migrates to per-agent simulation — and back —
+//! when an occupancy monitor detects that the count representation has gone
+//! degenerate**.  It generalises the one-shot `CountExact` stage hand-off
+//! that PR 3 validated: the refinement stage of that protocol mints `Θ(n)`
+//! live states (Lemma 11 of the paper forces per-agent loads of magnitude
+//! `≈ 4n`), at which point a counts vector holds mostly 1s and every
+//! `O(q_occ²)` block costs more than stepping agents one by one.
+//!
+//! # The occupancy signal
+//!
+//! A collision-free block advances `Θ(√n)` interactions for `O(q_occ²)` work
+//! (`q_occ` = occupied states), so the dense engine's per-interaction cost is
+//! `≈ q_occ²/√n` against the per-agent engine's `O(1)`.  The monitor
+//! therefore compares `q_occ²` with `c·√n`:
+//!
+//! * **dense → per-agent** when `q_occ² > switch_up·√n` holds for `window`
+//!   consecutive observations;
+//! * **per-agent → dense** when `q_occ² < switch_down·√n` holds for `window`
+//!   consecutive observations.
+//!
+//! `switch_down` sits well below `switch_up` (8 vs 64 by default), so a
+//! workload whose occupancy oscillates inside the `[down, up]` band never
+//! switches at all, and one that crosses a threshold must *sustain* the
+//! crossing for a full window — two independent hysteresis mechanisms that
+//! keep oscillating workloads from thrashing (see [`OccupancyMonitor`] for
+//! the isolated, property-tested decision rule).
+//!
+//! # Exactness
+//!
+//! Migration is the Markov-in-configuration hand-off: the population process
+//! is a Markov chain in the *configuration* (the multiset of states), which
+//! both representations encode losslessly.  Dense → per-agent expands the
+//! counts into a state-index vector (in state-index order); per-agent →
+//! dense tallies the vector back into counts.  Only the schedule's
+//! randomness source changes at a switch — exactly as it does between the
+//! batched and sequential engines in the equivalence suites — so a hybrid
+//! run samples the same stochastic process, and trajectories are
+//! `(protocol, n, seed)`-deterministic for a fixed engine configuration and
+//! driving pattern.
+//!
+//! # Example
+//!
+//! ```rust
+//! use ppsim::{DenseProtocol, HybridConfig, HybridSimulator};
+//!
+//! /// One-way epidemic: two states, occupancy never grows — the monitor
+//! /// keeps the run dense from start to finish.
+//! #[derive(Clone)]
+//! struct Rumor;
+//! impl DenseProtocol for Rumor {
+//!     type Output = bool;
+//!     fn num_states(&self) -> usize { 2 }
+//!     fn initial_state(&self) -> usize { 0 }
+//!     fn transition(&self, u: usize, v: usize) -> (usize, usize) { (u.max(v), v) }
+//!     fn output(&self, s: usize) -> bool { s == 1 }
+//! }
+//!
+//! # fn main() -> Result<(), ppsim::SimError> {
+//! let mut sim = HybridSimulator::new(Rumor, 50_000, 7)?;
+//! sim.transfer(0, 1, 1)?;
+//! let outcome = sim.run_until(|s| s.count_of(1) == s.population(), 50_000, u64::MAX >> 1);
+//! assert!(outcome.converged());
+//! assert_eq!(sim.switches().len(), 0, "a two-state epidemic stays dense");
+//! assert!(sim.is_dense());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::batched::BatchedSimulator;
+use crate::config::ConfigurationStats;
+use crate::convergence::RunOutcome;
+use crate::dense::{DenseAdapter, DenseProtocol};
+use crate::error::SimError;
+use crate::rng::derive_seed;
+use crate::sharded::{ShardedBatchedSimulator, ShardedConfig};
+use crate::simulator::Simulator;
+
+/// Seed-derivation salt for the engine constructed at the `k`-th migration
+/// (the initial engine uses the caller's seed verbatim).
+const SWITCH_SALT: u64 = 0x48_59_42;
+
+/// Which count-based substrate the hybrid engine's dense mode runs on.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HybridSubstrate {
+    /// The single-threaded batched engine ([`BatchedSimulator`]).
+    Batched,
+    /// The sharded batched engine ([`ShardedBatchedSimulator`]).
+    Sharded {
+        /// Number of shards (see [`ShardedConfig::shards`]).
+        shards: usize,
+        /// Worker threads; `0` = available parallelism.
+        threads: usize,
+    },
+}
+
+/// Configuration of the [`HybridSimulator`]'s occupancy monitor and dense
+/// substrate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridConfig {
+    /// The count-based engine serving dense mode.
+    pub substrate: HybridSubstrate,
+    /// Migrate dense → per-agent once `q_occ² > switch_up · √n` is sustained.
+    /// The default 64 places the switch where a block's `O(q_occ²)` class
+    /// work costs ~64 evaluations per interaction advanced — conservatively
+    /// past the measured per-agent cost of interned protocols.
+    pub switch_up: f64,
+    /// Migrate per-agent → dense once `q_occ² < switch_down · √n` is
+    /// sustained.  Must be below [`switch_up`](Self::switch_up); the gap is
+    /// the hysteresis band.
+    pub switch_down: f64,
+    /// Consecutive observations a threshold crossing must persist for before
+    /// a migration fires.
+    pub window: u32,
+    /// Interactions between occupancy observations in dense mode (`None` =
+    /// `max(n/4, 256)`).  Per-agent mode observes at 4× this spacing: its
+    /// census costs a sort of the agent vector, so it is amortised over a
+    /// longer stretch.
+    pub monitor_every: Option<u64>,
+}
+
+impl Default for HybridConfig {
+    fn default() -> Self {
+        HybridConfig {
+            substrate: HybridSubstrate::Batched,
+            switch_up: 64.0,
+            switch_down: 8.0,
+            window: 2,
+            monitor_every: None,
+        }
+    }
+}
+
+/// Which representation the hybrid engine migrated *to*.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SwitchDirection {
+    /// Counts expanded into a per-agent state vector.
+    ToAgent,
+    /// Per-agent states tallied back into counts.
+    ToDense,
+}
+
+/// One recorded representation migration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SwitchEvent {
+    /// Total interactions executed when the migration happened.
+    pub interactions: u64,
+    /// The representation migrated to.
+    pub direction: SwitchDirection,
+    /// Occupied states (`q_occ`) observed at the migration.
+    pub occupied: usize,
+    /// The protocol's interned-state census at the migration, if it reports
+    /// one ([`DenseProtocol::discovered_states`]).
+    pub discovered_states: Option<usize>,
+}
+
+/// The hysteresis decision rule of the hybrid engine, isolated from the
+/// simulators so the no-thrash property can be tested directly: feed it a
+/// sequence of occupancy observations and it says when to migrate.
+///
+/// Invariants (property-tested in this module and in
+/// `crates/core/tests/dense_equivalence.rs`):
+///
+/// * an occupancy sequence that stays inside the `(down, up]` thresholds
+///   band never triggers a migration, whatever came before;
+/// * a migration requires `window` *consecutive* observations beyond the
+///   relevant threshold, so a single outlier observation never switches.
+#[derive(Debug, Clone)]
+pub struct OccupancyMonitor {
+    up_threshold: f64,
+    down_threshold: f64,
+    window: u32,
+    dense: bool,
+    streak: u32,
+}
+
+impl OccupancyMonitor {
+    /// A monitor for population size `n` starting in dense mode.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `switch_down >= switch_up` (the hysteresis band would be
+    /// empty or inverted) or `window == 0`.
+    #[must_use]
+    pub fn new(n: u64, switch_up: f64, switch_down: f64, window: u32) -> Self {
+        assert!(
+            switch_down < switch_up,
+            "hysteresis needs switch_down ({switch_down}) < switch_up ({switch_up})"
+        );
+        assert!(
+            window > 0,
+            "a zero observation window would switch on noise"
+        );
+        let sqrt_n = (n as f64).sqrt();
+        OccupancyMonitor {
+            up_threshold: switch_up * sqrt_n,
+            down_threshold: switch_down * sqrt_n,
+            window,
+            dense: true,
+            streak: 0,
+        }
+    }
+
+    /// Whether the monitor currently believes the run is in dense mode.
+    #[must_use]
+    pub fn is_dense(&self) -> bool {
+        self.dense
+    }
+
+    /// Record one occupancy observation; returns the migration to perform
+    /// now, if the streak just completed a full window.
+    pub fn observe(&mut self, occupied: usize) -> Option<SwitchDirection> {
+        let pressure = (occupied as f64) * (occupied as f64);
+        let crossing = if self.dense {
+            pressure > self.up_threshold
+        } else {
+            pressure < self.down_threshold
+        };
+        if !crossing {
+            self.streak = 0;
+            return None;
+        }
+        self.streak += 1;
+        if self.streak < self.window {
+            return None;
+        }
+        self.streak = 0;
+        self.dense = !self.dense;
+        Some(if self.dense {
+            SwitchDirection::ToDense
+        } else {
+            SwitchDirection::ToAgent
+        })
+    }
+}
+
+/// The two representations a hybrid run alternates between.
+#[derive(Debug, Clone)]
+enum Mode<P: DenseProtocol + Clone + Send> {
+    Batched(BatchedSimulator<P>),
+    Sharded(ShardedBatchedSimulator<P>),
+    Agent(Simulator<DenseAdapter<P>>),
+}
+
+/// A dense protocol on the auto-switching hybrid engine: count-based blocks
+/// while the occupancy is low, per-agent steps while it is degenerate, exact
+/// configuration hand-offs in between (see the module docs).
+///
+/// Mirrors the driving surface of the other engines (`run`, `run_until`,
+/// `transfer`, `output_stats`, seeded construction) and additionally exposes
+/// the switch log ([`Self::switches`]) and per-representation interaction
+/// counters ([`Self::dense_interactions`], [`Self::agent_interactions`]),
+/// which always sum to [`Self::interactions`].
+#[derive(Debug, Clone)]
+pub struct HybridSimulator<P: DenseProtocol + Clone + Send> {
+    protocol: P,
+    n: u64,
+    seed: u64,
+    config: HybridConfig,
+    monitor: OccupancyMonitor,
+    mode: Mode<P>,
+    /// Interactions accumulated by representations already retired; the live
+    /// counter is `completed + mode.interactions()`.  Each migration folds
+    /// the retiring engine's counter in here exactly once — the partial
+    /// block in flight at switch time is never re-counted because engines
+    /// only ever run to exact slice boundaries.
+    completed: u64,
+    dense_total: u64,
+    agent_total: u64,
+    /// Absolute interaction count of the next occupancy observation.
+    next_observation: u64,
+    monitor_every: u64,
+    switches: Vec<SwitchEvent>,
+    /// Scratch for the per-agent census (sorted copy of the state vector).
+    census: Vec<u32>,
+}
+
+impl<P: DenseProtocol + Clone + Send> HybridSimulator<P> {
+    /// Create a hybrid simulator with the default configuration (batched
+    /// substrate, `64/8·√n` thresholds, window 2).
+    ///
+    /// # Errors
+    ///
+    /// Propagates the substrate constructor's errors
+    /// ([`SimError::PopulationTooSmall`], [`SimError::InvalidParameter`]).
+    pub fn new(protocol: P, n: usize, seed: u64) -> Result<Self, SimError> {
+        Self::with_config(protocol, n, seed, HybridConfig::default())
+    }
+
+    /// Create a hybrid simulator with an explicit monitor/substrate
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if the hysteresis thresholds
+    /// are inverted (`switch_down >= switch_up`), `window == 0`, or
+    /// `monitor_every == Some(0)`, and propagates the substrate
+    /// constructor's errors.
+    pub fn with_config(
+        protocol: P,
+        n: usize,
+        seed: u64,
+        config: HybridConfig,
+    ) -> Result<Self, SimError> {
+        if config.switch_down >= config.switch_up {
+            return Err(SimError::InvalidParameter {
+                name: "switch_down",
+                reason: format!(
+                    "hysteresis needs switch_down ({}) < switch_up ({})",
+                    config.switch_down, config.switch_up
+                ),
+            });
+        }
+        if config.window == 0 {
+            return Err(SimError::InvalidParameter {
+                name: "window",
+                reason: "a zero observation window would switch on noise".into(),
+            });
+        }
+        if config.monitor_every == Some(0) {
+            return Err(SimError::InvalidParameter {
+                name: "monitor_every",
+                reason: "a zero monitor interval would probe the occupancy after \
+                         every single interaction"
+                    .into(),
+            });
+        }
+        let mode = Self::dense_mode(&protocol, n, seed, config.substrate, None)?;
+        let monitor_every = config.monitor_every.unwrap_or(((n as u64) / 4).max(256));
+        Ok(HybridSimulator {
+            monitor: OccupancyMonitor::new(
+                n as u64,
+                config.switch_up,
+                config.switch_down,
+                config.window,
+            ),
+            protocol,
+            n: n as u64,
+            seed,
+            config,
+            mode,
+            completed: 0,
+            dense_total: 0,
+            agent_total: 0,
+            next_observation: monitor_every,
+            monitor_every,
+            switches: Vec::new(),
+            census: Vec::new(),
+        })
+    }
+
+    /// Construct the configured dense substrate, optionally seeded with an
+    /// existing configuration.
+    fn dense_mode(
+        protocol: &P,
+        n: usize,
+        seed: u64,
+        substrate: HybridSubstrate,
+        counts: Option<Vec<u64>>,
+    ) -> Result<Mode<P>, SimError> {
+        Ok(match substrate {
+            HybridSubstrate::Batched => {
+                let mut sim = BatchedSimulator::new(protocol.clone(), n, seed)?;
+                if let Some(counts) = counts {
+                    sim.set_counts(counts)?;
+                }
+                Mode::Batched(sim)
+            }
+            HybridSubstrate::Sharded { shards, threads } => {
+                let mut sim = ShardedBatchedSimulator::new(
+                    protocol.clone(),
+                    n,
+                    seed,
+                    ShardedConfig {
+                        shards,
+                        threads,
+                        epoch_interactions: None,
+                    },
+                )?;
+                if let Some(counts) = counts {
+                    sim.set_counts(counts)?;
+                }
+                Mode::Sharded(sim)
+            }
+        })
+    }
+
+    /// The population size `n`.
+    #[must_use]
+    pub fn population(&self) -> u64 {
+        self.n
+    }
+
+    /// The protocol being executed.
+    #[must_use]
+    pub fn protocol(&self) -> &P {
+        match &self.mode {
+            Mode::Batched(s) => s.protocol(),
+            Mode::Sharded(s) => s.protocol(),
+            Mode::Agent(s) => &s.protocol().0,
+        }
+    }
+
+    /// The number of states `q` of the protocol (the index-space capacity
+    /// for interned protocols).
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        match &self.mode {
+            Mode::Batched(s) => s.num_states(),
+            Mode::Sharded(s) => s.num_states(),
+            Mode::Agent(s) => s.protocol().0.num_states(),
+        }
+    }
+
+    /// The number of interactions executed so far, across both
+    /// representations.
+    #[must_use]
+    pub fn interactions(&self) -> u64 {
+        self.completed + self.mode_interactions()
+    }
+
+    /// Interactions executed on the count-based substrate so far.
+    #[must_use]
+    pub fn dense_interactions(&self) -> u64 {
+        self.dense_total
+            + match &self.mode {
+                Mode::Batched(_) | Mode::Sharded(_) => self.mode_interactions(),
+                Mode::Agent(_) => 0,
+            }
+    }
+
+    /// Interactions executed on the per-agent engine so far.
+    #[must_use]
+    pub fn agent_interactions(&self) -> u64 {
+        self.agent_total
+            + match &self.mode {
+                Mode::Agent(_) => self.mode_interactions(),
+                Mode::Batched(_) | Mode::Sharded(_) => 0,
+            }
+    }
+
+    fn mode_interactions(&self) -> u64 {
+        match &self.mode {
+            Mode::Batched(s) => s.interactions(),
+            Mode::Sharded(s) => s.interactions(),
+            Mode::Agent(s) => s.interactions(),
+        }
+    }
+
+    /// Whether the run is currently on the count-based substrate.
+    #[must_use]
+    pub fn is_dense(&self) -> bool {
+        !matches!(self.mode, Mode::Agent(_))
+    }
+
+    /// The representation migrations performed so far, in order.
+    #[must_use]
+    pub fn switches(&self) -> &[SwitchEvent] {
+        &self.switches
+    }
+
+    /// The number of currently occupied states `q_occ` (distinct states
+    /// holding ≥ 1 agent) — the monitor's signal.  `O(q_occ)` in dense mode;
+    /// in per-agent mode it sorts a copy of the state vector
+    /// (`O(n log n)`, which is why that mode observes less frequently).
+    #[must_use]
+    pub fn occupied_states(&mut self) -> usize {
+        match &self.mode {
+            Mode::Batched(s) => s.occupied_states(),
+            Mode::Sharded(s) => s.occupied_states(),
+            Mode::Agent(s) => {
+                self.census.clear();
+                self.census.extend_from_slice(s.states());
+                self.census.sort_unstable();
+                self.census.dedup();
+                self.census.len()
+            }
+        }
+    }
+
+    /// Borrow the counts vector while the run is on the count-based
+    /// substrate (`None` in per-agent mode).  Convergence predicates use
+    /// this to inspect the dense configuration without the `O(q)` copy of
+    /// [`Self::counts`].
+    #[must_use]
+    pub fn as_dense_counts(&self) -> Option<&[u64]> {
+        match &self.mode {
+            Mode::Batched(s) => Some(s.counts()),
+            Mode::Sharded(s) => Some(s.counts()),
+            Mode::Agent(_) => None,
+        }
+    }
+
+    /// Borrow the per-agent state vector while the run is on the per-agent
+    /// engine (`None` in dense mode).
+    #[must_use]
+    pub fn agent_states(&self) -> Option<&[u32]> {
+        match &self.mode {
+            Mode::Agent(s) => Some(s.states()),
+            Mode::Batched(_) | Mode::Sharded(_) => None,
+        }
+    }
+
+    /// The current configuration as state counts (owned; assembled by
+    /// scanning in per-agent mode).
+    #[must_use]
+    pub fn counts(&self) -> Vec<u64> {
+        match &self.mode {
+            Mode::Batched(s) => s.counts().to_vec(),
+            Mode::Sharded(s) => s.counts().to_vec(),
+            Mode::Agent(s) => {
+                let mut counts = vec![0u64; s.protocol().0.num_states()];
+                for &st in s.states() {
+                    counts[st as usize] += 1;
+                }
+                counts
+            }
+        }
+    }
+
+    /// Number of agents currently in state `state`.
+    #[must_use]
+    pub fn count_of(&self, state: usize) -> u64 {
+        match &self.mode {
+            Mode::Batched(s) => s.count_of(state),
+            Mode::Sharded(s) => s.count_of(state),
+            Mode::Agent(s) => s
+                .states()
+                .iter()
+                .filter(|&&st| st as usize == state)
+                .count() as u64,
+        }
+    }
+
+    /// Output histogram of the current configuration.
+    #[must_use]
+    pub fn output_stats(&self) -> ConfigurationStats<P::Output> {
+        match &self.mode {
+            Mode::Batched(s) => s.output_stats(),
+            Mode::Sharded(s) => s.output_stats(),
+            Mode::Agent(s) => s.output_stats(),
+        }
+    }
+
+    /// Move `k` agents from state `from` to state `to` (experiment setup).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if either state is out of
+    /// range or fewer than `k` agents are in `from`.
+    pub fn transfer(&mut self, from: usize, to: usize, k: u64) -> Result<(), SimError> {
+        match &mut self.mode {
+            Mode::Batched(s) => s.transfer(from, to, k),
+            Mode::Sharded(s) => s.transfer(from, to, k),
+            Mode::Agent(s) => {
+                let q = s.protocol().0.num_states();
+                if from >= q || to >= q {
+                    return Err(SimError::InvalidParameter {
+                        name: "transfer",
+                        reason: format!("states ({from}, {to}) outside the state space 0..{q}"),
+                    });
+                }
+                let available = s.states().iter().filter(|&&st| st as usize == from).count() as u64;
+                if available < k {
+                    return Err(SimError::InvalidParameter {
+                        name: "transfer",
+                        reason: format!(
+                            "cannot move {k} agents out of state {from} holding {available}"
+                        ),
+                    });
+                }
+                let mut moved = 0u64;
+                for st in s.states_mut() {
+                    if moved == k {
+                        break;
+                    }
+                    if *st as usize == from {
+                        *st = to as u32;
+                        moved += 1;
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+    /// Migrate to the per-agent representation now, regardless of the
+    /// monitor (no-op when already per-agent).  Exposed for the round-trip
+    /// tests and for experiments that want to pin the switch point; the
+    /// monitor keeps running afterwards and may migrate back.
+    pub fn switch_to_agent(&mut self) {
+        if !self.is_dense() {
+            return;
+        }
+        let occupied = self.occupied_states();
+        self.migrate(SwitchDirection::ToAgent, occupied);
+    }
+
+    /// Migrate to the count-based representation now, regardless of the
+    /// monitor (no-op when already dense).
+    pub fn switch_to_dense(&mut self) {
+        if self.is_dense() {
+            return;
+        }
+        let occupied = self.occupied_states();
+        self.migrate(SwitchDirection::ToDense, occupied);
+    }
+
+    /// Perform one migration: fold the retiring engine's interaction counter
+    /// into the phase totals exactly once, transfer the configuration, and
+    /// record the event.  The monitor's mode flag is forced to match (manual
+    /// switches bypass its streak logic).
+    fn migrate(&mut self, direction: SwitchDirection, occupied: usize) {
+        let executed = self.mode_interactions();
+        self.completed += executed;
+        match &self.mode {
+            Mode::Batched(_) | Mode::Sharded(_) => self.dense_total += executed,
+            Mode::Agent(_) => self.agent_total += executed,
+        }
+        let switch_seed = derive_seed(self.seed, SWITCH_SALT + 1 + self.switches.len() as u64);
+        match direction {
+            SwitchDirection::ToAgent => {
+                let counts = self.counts();
+                let mut sim = Simulator::new(
+                    DenseAdapter(self.protocol.clone()),
+                    self.n as usize,
+                    switch_seed,
+                )
+                .expect("population already validated at construction");
+                // Expand in state-index order: a fixed, representation-
+                // independent layout, so the hand-off is a pure function of
+                // the configuration.
+                let states = sim.states_mut();
+                let mut slot = 0usize;
+                for (s, &c) in counts.iter().enumerate() {
+                    for _ in 0..c {
+                        states[slot] = s as u32;
+                        slot += 1;
+                    }
+                }
+                debug_assert_eq!(
+                    slot, self.n as usize,
+                    "the expansion must cover the population"
+                );
+                self.mode = Mode::Agent(sim);
+            }
+            SwitchDirection::ToDense => {
+                let counts = self.counts();
+                self.mode = Self::dense_mode(
+                    &self.protocol,
+                    self.n as usize,
+                    switch_seed,
+                    self.config.substrate,
+                    Some(counts),
+                )
+                .expect("configuration already validated at construction");
+            }
+        }
+        self.monitor.dense = matches!(direction, SwitchDirection::ToDense);
+        self.monitor.streak = 0;
+        self.switches.push(SwitchEvent {
+            interactions: self.interactions(),
+            direction,
+            occupied,
+            discovered_states: self.protocol.discovered_states(),
+        });
+    }
+
+    /// One monitor observation at the current interaction count; schedules
+    /// the next one (sparser in per-agent mode, whose census is `O(n log n)`).
+    fn observe(&mut self) {
+        let occupied = self.occupied_states();
+        if let Some(direction) = self.monitor.observe(occupied) {
+            self.migrate(direction, occupied);
+        }
+        let spacing = if self.is_dense() {
+            self.monitor_every
+        } else {
+            self.monitor_every * 4
+        };
+        self.next_observation = self.interactions() + spacing;
+    }
+
+    /// Execute `budget` further interactions unconditionally, observing the
+    /// occupancy (and possibly migrating) at the configured cadence.
+    pub fn run(&mut self, budget: u64) {
+        let target = self.interactions() + budget;
+        while self.interactions() < target {
+            let slice = (target - self.interactions())
+                .min(self.next_observation.saturating_sub(self.interactions()))
+                .max(1);
+            match &mut self.mode {
+                Mode::Batched(s) => s.run(slice),
+                Mode::Sharded(s) => s.run(slice),
+                Mode::Agent(s) => s.run(slice),
+            }
+            if self.interactions() >= self.next_observation {
+                self.observe();
+            }
+        }
+    }
+
+    /// Run until `pred` holds (checked every `check_every` interactions, and
+    /// once before the first step) or until `max_interactions` *total*
+    /// interactions have been executed — the shared `run_until` contract of
+    /// the engines.
+    pub fn run_until<F>(
+        &mut self,
+        mut pred: F,
+        check_every: u64,
+        max_interactions: u64,
+    ) -> RunOutcome
+    where
+        F: FnMut(&Self) -> bool,
+    {
+        let check_every = check_every.max(1);
+        if pred(self) {
+            return RunOutcome::Converged {
+                interactions: self.interactions(),
+            };
+        }
+        while self.interactions() < max_interactions {
+            let chunk = check_every.min(max_interactions - self.interactions());
+            self.run(chunk);
+            if pred(self) {
+                return RunOutcome::Converged {
+                    interactions: self.interactions(),
+                };
+            }
+        }
+        RunOutcome::Exhausted {
+            interactions: self.interactions(),
+            budget: max_interactions,
+        }
+    }
+
+    /// Consume the simulator and return the final configuration counts.
+    #[must_use]
+    pub fn into_counts(self) -> Vec<u64> {
+        match self.mode {
+            Mode::Batched(s) => s.into_counts(),
+            Mode::Sharded(s) => s.into_counts(),
+            Mode::Agent(_) => self.counts(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    /// One-way epidemic on two dense states: occupancy never exceeds 2.
+    #[derive(Debug, Clone, Copy)]
+    struct Rumor;
+    impl DenseProtocol for Rumor {
+        type Output = bool;
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn initial_state(&self) -> usize {
+            0
+        }
+        fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+            (u.max(v), v)
+        }
+        fn output(&self, s: usize) -> bool {
+            s == 1
+        }
+    }
+
+    /// A state-minting protocol: the initiator walks to a fresh state on
+    /// (almost) every interaction, scattering the population over `Θ(n)`
+    /// distinct states — the degenerate regime the hybrid engine exists for.
+    #[derive(Debug, Clone, Copy)]
+    struct Scatter {
+        q: usize,
+    }
+    impl DenseProtocol for Scatter {
+        type Output = usize;
+        fn num_states(&self) -> usize {
+            self.q
+        }
+        fn initial_state(&self) -> usize {
+            0
+        }
+        fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+            (((u + v + 1) * 2) % self.q, v)
+        }
+        fn output(&self, s: usize) -> usize {
+            s
+        }
+    }
+
+    #[test]
+    fn narrow_workload_never_leaves_dense_mode() {
+        let mut sim = HybridSimulator::new(Rumor, 20_000, 3).unwrap();
+        sim.transfer(0, 1, 1).unwrap();
+        let outcome = sim.run_until(|s| s.count_of(1) == 20_000, 20_000, u64::MAX >> 1);
+        assert!(outcome.converged());
+        assert!(sim.is_dense());
+        assert!(sim.switches().is_empty());
+        assert_eq!(sim.agent_interactions(), 0);
+        assert_eq!(sim.dense_interactions(), sim.interactions());
+    }
+
+    #[test]
+    fn scattering_workload_migrates_to_per_agent() {
+        let n = 4_000usize;
+        let mut sim = HybridSimulator::new(Scatter { q: 1 << 14 }, n, 9).unwrap();
+        sim.run(20 * n as u64);
+        assert!(
+            sim.switches()
+                .iter()
+                .any(|e| e.direction == SwitchDirection::ToAgent),
+            "Θ(n) occupancy must trigger the dense → per-agent migration \
+             (switches: {:?})",
+            sim.switches()
+        );
+        assert!(sim.agent_interactions() > 0);
+        assert_eq!(
+            sim.dense_interactions() + sim.agent_interactions(),
+            sim.interactions(),
+            "phase counters must partition the total"
+        );
+    }
+
+    #[test]
+    fn run_executes_exactly_the_budget_across_migrations() {
+        let n = 3_000usize;
+        let mut sim = HybridSimulator::new(Scatter { q: 1 << 14 }, n, 5).unwrap();
+        for chunk in [1_234u64, 17, 50_000, 1, 99_999] {
+            let before = sim.interactions();
+            sim.run(chunk);
+            assert_eq!(sim.interactions(), before + chunk);
+        }
+        assert_eq!(
+            sim.dense_interactions() + sim.agent_interactions(),
+            sim.interactions()
+        );
+    }
+
+    #[test]
+    fn migration_round_trip_preserves_the_configuration_exactly() {
+        let n = 5_000usize;
+        let mut sim = HybridSimulator::new(Scatter { q: 1 << 13 }, n, 21).unwrap();
+        sim.run(10_000);
+        let before = sim.counts();
+        let interactions = sim.interactions();
+        sim.switch_to_agent();
+        assert!(!sim.is_dense());
+        assert_eq!(sim.counts(), before, "dense → agent must be lossless");
+        assert_eq!(sim.interactions(), interactions);
+        sim.switch_to_dense();
+        assert!(sim.is_dense());
+        assert_eq!(sim.counts(), before, "agent → dense must be lossless");
+        assert_eq!(sim.interactions(), interactions);
+        assert_eq!(sim.switches().len(), 2);
+        // Manual switches are no-ops when already in the target mode.
+        sim.switch_to_dense();
+        assert_eq!(sim.switches().len(), 2);
+    }
+
+    #[test]
+    fn identical_seeds_reproduce_identical_runs() {
+        let run = || {
+            let mut sim = HybridSimulator::new(Scatter { q: 1 << 14 }, 2_500, 77).unwrap();
+            sim.run(60_000);
+            (sim.counts(), sim.interactions(), sim.switches().to_vec())
+        };
+        let (ca, ia, sa) = run();
+        let (cb, ib, sb) = run();
+        assert_eq!(ca, cb);
+        assert_eq!(ia, ib);
+        assert_eq!(sa, sb, "switch points are seed-deterministic");
+    }
+
+    #[test]
+    fn sharded_substrate_drives_the_same_process() {
+        let config = HybridConfig {
+            substrate: HybridSubstrate::Sharded {
+                shards: 2,
+                threads: 1,
+            },
+            ..HybridConfig::default()
+        };
+        let mut sim = HybridSimulator::with_config(Rumor, 10_000, 11, config).unwrap();
+        sim.transfer(0, 1, 1).unwrap();
+        let outcome = sim.run_until(|s| s.count_of(1) == 10_000, 10_000, u64::MAX >> 1);
+        assert!(outcome.converged());
+        assert!(sim.switches().is_empty());
+    }
+
+    #[test]
+    fn invalid_hysteresis_is_rejected() {
+        let inverted = HybridConfig {
+            switch_up: 4.0,
+            switch_down: 8.0,
+            ..HybridConfig::default()
+        };
+        assert!(HybridSimulator::with_config(Rumor, 100, 0, inverted).is_err());
+        let zero_window = HybridConfig {
+            window: 0,
+            ..HybridConfig::default()
+        };
+        assert!(HybridSimulator::with_config(Rumor, 100, 0, zero_window).is_err());
+        let zero_monitor = HybridConfig {
+            monitor_every: Some(0),
+            ..HybridConfig::default()
+        };
+        assert!(HybridSimulator::with_config(Rumor, 100, 0, zero_monitor).is_err());
+    }
+
+    #[test]
+    fn exhaustion_reports_actual_interactions() {
+        let mut sim = HybridSimulator::new(Rumor, 1_000, 1).unwrap();
+        let outcome = sim.run_until(|_| false, 7, 100);
+        assert_eq!(
+            outcome,
+            RunOutcome::Exhausted {
+                interactions: 100,
+                budget: 100
+            }
+        );
+        assert_eq!(sim.interactions(), 100);
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Hysteresis no-thrash: occupancy sequences confined to the band
+        /// between the thresholds never migrate, whatever their shape.
+        #[test]
+        fn monitor_never_switches_inside_the_hysteresis_band(
+            seed in any::<u64>(),
+            observations in 1usize..200,
+        ) {
+            let n = 1_000_000u64; // √n = 1000: band is q_occ ∈ (√8000, √64000] ≈ (89, 253]
+            let mut monitor = OccupancyMonitor::new(n, 64.0, 8.0, 2);
+            let mut x = seed;
+            for _ in 0..observations {
+                // xorshift; occupancy confined to [90, 253]
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let occ = 90 + (x % 164) as usize;
+                prop_assert_eq!(monitor.observe(occ), None);
+                prop_assert!(monitor.is_dense());
+            }
+        }
+
+        /// A single outlier observation never migrates with `window >= 2`,
+        /// and sustained crossings migrate exactly once per direction.
+        #[test]
+        fn monitor_needs_a_sustained_crossing(window in 2u32..6) {
+            let n = 10_000u64; // √n = 100: up at q² > 6400, down at q² < 800
+            let mut monitor = OccupancyMonitor::new(n, 64.0, 8.0, window);
+            // Outlier, then back in band: no switch.
+            prop_assert_eq!(monitor.observe(500), None);
+            prop_assert_eq!(monitor.observe(50), None);
+            // Sustained: switches exactly at the window-th observation.
+            for _ in 0..window - 1 {
+                prop_assert_eq!(monitor.observe(500), None);
+            }
+            prop_assert_eq!(monitor.observe(500), Some(SwitchDirection::ToAgent));
+            prop_assert!(!monitor.is_dense());
+            // Same discipline on the way back down.
+            for _ in 0..window - 1 {
+                prop_assert_eq!(monitor.observe(5), None);
+            }
+            prop_assert_eq!(monitor.observe(5), Some(SwitchDirection::ToDense));
+            prop_assert!(monitor.is_dense());
+        }
+    }
+}

@@ -74,17 +74,27 @@ impl<S: Copy + Eq + Hash + Debug> StateInterner<S> {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity == 0` or `capacity > u32::MAX` (dense indices are
-    /// 32-bit in the engines' tables).
+    /// Panics if `capacity == 0` or `capacity >= u32::MAX` (dense indices are
+    /// 32-bit in the engines' tables, which index `0..capacity` and reserve
+    /// `u32::MAX` itself as a never-valid index — so the ceiling is
+    /// `u32::MAX − 1` distinct states, rejected here at construction instead
+    /// of overflowing deep inside a run).
     #[must_use]
     pub fn with_capacity(capacity: usize) -> Self {
         assert!(
             capacity > 0,
             "an interner needs room for at least one state"
         );
+        // Strictly below u32::MAX, not `<=`: the engines' delta/occupancy
+        // tables index `0..capacity` with u32 entries and `capacity` itself
+        // must stay representable next to them.  Accepting `capacity ==
+        // u32::MAX` used to pass construction and could only fail mid-run
+        // once the interner approached the ceiling.
         assert!(
-            u32::try_from(capacity).is_ok(),
-            "dense state indices are 32-bit; capacity {capacity} is out of range"
+            (capacity as u64) < u64::from(u32::MAX),
+            "dense state indices are 32-bit (ceiling {} states); capacity \
+             {capacity} is out of range",
+            u32::MAX - 1
         );
         StateInterner {
             capacity,
@@ -208,6 +218,30 @@ mod tests {
     #[should_panic(expected = "at least one state")]
     fn zero_capacity_is_rejected() {
         let _ = StateInterner::<u8>::with_capacity(0);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn capacity_at_the_u32_sentinel_is_rejected_up_front() {
+        // `u32::MAX` used to be accepted and only blow up mid-run; the bound
+        // is now enforced at construction.
+        let _ = StateInterner::<u64>::with_capacity(u32::MAX as usize);
+    }
+
+    #[test]
+    fn capacity_just_below_the_ceiling_constructs_and_interns() {
+        // The interner itself allocates nothing proportional to the capacity,
+        // so the largest legal index space is cheap to hold.
+        let interner = StateInterner::<u64>::with_capacity(u32::MAX as usize - 1);
+        assert_eq!(interner.capacity(), u32::MAX as usize - 1);
+        assert_eq!(interner.intern(7), 0);
+        assert_eq!(interner.get(0), 7);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn capacity_beyond_u32_is_rejected() {
+        let _ = StateInterner::<u64>::with_capacity(u32::MAX as usize + 10);
     }
 
     #[test]

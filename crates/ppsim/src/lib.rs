@@ -25,8 +25,15 @@
 //!   resolution of cross-shard interactions and uniform rebalancing — the engine
 //!   for populations of 10⁷ to 10⁹ agents (see [`sharded`] for the exactness
 //!   discussion),
-//! * an engine-selection layer ([`Engine`], [`DenseSimulator`]) with a measured
-//!   auto heuristic, so harness code picks engines by argument, not by code path,
+//! * the **hybrid engine** [`HybridSimulator`]: the batched/sharded substrate
+//!   while the occupancy stays low, transparent migration to per-agent
+//!   simulation (and back) when an occupancy monitor with hysteresis detects
+//!   that the count representation has gone degenerate — the engine for
+//!   dynamic (interned) protocols whose state census blows up mid-run, such
+//!   as the `CountExact` refinement stage ([`hybrid`]),
+//! * an engine-selection layer ([`Engine`], [`DenseSimulator`]) with a
+//!   measured, protocol-aware auto heuristic, so harness code picks engines
+//!   by argument, not by code path,
 //! * measurement utilities ([`metrics`]) such as empirical state-space tracking,
 //! * a multi-threaded independent-trial runner ([`parallel`]) for parameter sweeps.
 //!
@@ -70,6 +77,7 @@ pub mod convergence;
 pub mod dense;
 pub mod engine;
 pub mod error;
+pub mod hybrid;
 pub mod interned;
 pub mod metrics;
 pub mod parallel;
@@ -86,6 +94,9 @@ pub use convergence::RunOutcome;
 pub use dense::{DenseAdapter, DenseProtocol};
 pub use engine::{DenseSimulator, Engine, SEQUENTIAL_CROSSOVER};
 pub use error::SimError;
+pub use hybrid::{
+    HybridConfig, HybridSimulator, HybridSubstrate, OccupancyMonitor, SwitchDirection, SwitchEvent,
+};
 pub use interned::StateInterner;
 pub use metrics::{StateSpaceTracker, TimeSeries};
 pub use parallel::{run_trials, run_trials_with_threads};

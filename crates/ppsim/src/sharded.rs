@@ -689,6 +689,7 @@ impl<P: DenseProtocol + Clone + Send> ShardedBatchedSimulator<P> {
             }
         }
         RunOutcome::Exhausted {
+            interactions: self.interactions,
             budget: max_interactions,
         }
     }
@@ -724,6 +725,7 @@ impl<P: DenseProtocol + Clone + Send> ShardedBatchedSimulator<P> {
             }
         }
         RunOutcome::Exhausted {
+            interactions: self.interactions,
             budget: max_interactions,
         }
     }
@@ -936,7 +938,13 @@ mod tests {
         let outcome = sim.run_until(|_| true, 10, 1000);
         assert_eq!(outcome, RunOutcome::Converged { interactions: 0 });
         let outcome = sim.run_until(|_| false, 7, 100);
-        assert_eq!(outcome, RunOutcome::Exhausted { budget: 100 });
+        assert_eq!(
+            outcome,
+            RunOutcome::Exhausted {
+                interactions: 100,
+                budget: 100
+            }
+        );
         assert_eq!(sim.interactions(), 100);
     }
 

@@ -204,6 +204,7 @@ impl<P: Protocol, Sch: Scheduler> Simulator<P, Sch> {
             }
         }
         RunOutcome::Exhausted {
+            interactions: self.interactions,
             budget: max_interactions,
         }
     }
@@ -242,6 +243,7 @@ impl<P: Protocol, Sch: Scheduler> Simulator<P, Sch> {
             }
         }
         RunOutcome::Exhausted {
+            interactions: self.interactions,
             budget: max_interactions,
         }
     }
@@ -324,7 +326,13 @@ mod tests {
     fn run_until_exhausts_budget() {
         let mut sim = Simulator::new(MaxBroadcast, 10, 1).unwrap();
         let outcome = sim.run_until(|_| false, 7, 100);
-        assert_eq!(outcome, RunOutcome::Exhausted { budget: 100 });
+        assert_eq!(
+            outcome,
+            RunOutcome::Exhausted {
+                interactions: 100,
+                budget: 100
+            }
+        );
         assert_eq!(sim.interactions(), 100, "budget must be respected exactly");
     }
 

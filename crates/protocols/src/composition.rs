@@ -258,7 +258,9 @@ impl<C: SyncedComponent + Clone> DenseComposition<C> {
     ///
     /// # Panics
     ///
-    /// Panics if `capacity == 0` or `capacity > u32::MAX`.
+    /// Panics if `capacity == 0` or `capacity >= u32::MAX` (dense indices
+    /// are 32-bit and `u32::MAX` is reserved; see
+    /// [`StateInterner::with_capacity`](ppsim::StateInterner::with_capacity)).
     #[must_use]
     pub fn new(base: SyncComposition<C>, capacity: usize) -> Self {
         let interner = Arc::new(StateInterner::with_capacity(capacity));
@@ -340,6 +342,13 @@ impl<C: SyncedComponent + Clone> DenseProtocol for DenseComposition<C> {
 
     fn dynamic(&self) -> bool {
         true
+    }
+
+    fn discovered_states(&self) -> Option<usize> {
+        // The occupancy-reporting hook the hybrid engine's switch log reads:
+        // the interner census attributes an occupancy blow-up to the protocol
+        // stage that minted the states.
+        Some(self.interner.len())
     }
 }
 
