@@ -10,9 +10,10 @@
 
 use popcount::{
     all_counted, all_estimated, all_estimates_valid, all_exact, all_output_n,
-    count_exact_dense_staged, valid_estimates, Approximate, ApproximateBackup, ApproximateParams,
-    CountExact, CountExactParams, DenseApproximate, DenseCountExact, ExactBackup,
-    StableApproximate, StableCountExact, TokenMergingCounter,
+    count_exact_dense_staged, count_exact_dense_staged_with, valid_estimates, Approximate,
+    ApproximateBackup, ApproximateParams, CountExact, CountExactParams, DenseApproximate,
+    DenseCountExact, ExactBackup, StableApproximate, StableCountExact, StintMode,
+    TokenMergingCounter,
 };
 use ppproto::fast_leader_election::FastLeaderElectionProtocol;
 use ppproto::junta::{all_inactive, junta_size, max_level, JuntaProtocol};
@@ -1272,15 +1273,25 @@ pub fn e19_dense_counting(effort: Effort) -> ExperimentReport {
 /// migration, against the PR 3 policy of pinning the hand-off at the end of
 /// the approximation stage.
 ///
-/// Three configurations per `CountExact` size:
+/// Four configurations per `CountExact` size:
 ///
-/// * **hybrid (auto)** — `count_exact_dense_staged`, which now runs the
-///   hybrid engine end to end: the occupancy monitor detects the refinement
-///   transient by its `q_occ² > c·√n` signature and migrates on its own.
-/// * **hybrid (pinned @ ApxDone)** — the same engine with the monitor's
-///   up-switch disabled and the migration forced exactly where the
-///   PR 3 one-shot hand-off fired (every occupied state `ApxDone`), so the
-///   two switch policies are directly comparable on one substrate.
+/// * **hybrid (auto, decoded)** — `count_exact_dense_staged`: the occupancy
+///   monitor detects the refinement transient by its `q_occ² > c·√n`
+///   signature and migrates on its own; per-agent stints step **native
+///   structs** through the protocol's agent-state codec (no interner traffic
+///   in the hot loop).
+/// * **hybrid (auto, interned)** — the same master seed with
+///   [`StintMode::Interned`]: per-agent stints step interned `u32` indices
+///   through `transition`, the PR 4 behaviour.  Dividing each row's agent
+///   interactions by its *agent-leg s* gives the measured decoded-vs-
+///   interned refinement-leg throughput (measured 2.1–2.2× at `n = 10⁵`);
+///   the *dense states* column shows the census collapse — the decoded
+///   stint interns only boundary configurations, not the `Θ(n)` transient
+///   (5.1·10⁴ vs 5.6·10⁵ at `n = 10⁵`).
+/// * **hybrid (pinned @ ApxDone)** — the monitor's up-switch disabled and
+///   the migration forced exactly where the PR 3 one-shot hand-off fired
+///   (every occupied state `ApxDone`), so the two switch policies are
+///   directly comparable on one substrate.
 /// * **Approximate @ hybrid** — a dynamic protocol whose census stays
 ///   `O(log n · log log n)`: nothing here *forces* a migration.  At the
 ///   quick-tier `n = 10⁴` the occupancy-to-`√n` ratio is borderline
@@ -1305,7 +1316,8 @@ pub fn e20_hybrid_counting(effort: Effort) -> ExperimentReport {
     let approx_sizes = effort.sizes(&[10_000], &[100_000, 1_000_000]);
 
     let mut table = Table::new(
-        "E20 — hybrid engine (dense ↔ per-agent): switch points and interaction counts",
+        "E20 — hybrid engine (dense ↔ per-agent): switch points, interaction counts \
+         and the decoded-vs-interned stint comparison",
         &[
             "n",
             "workload",
@@ -1314,6 +1326,7 @@ pub fn e20_hybrid_counting(effort: Effort) -> ExperimentReport {
             "dense / agent",
             "switch points",
             "dense states",
+            "agent-leg s",
             "seconds",
         ],
     );
@@ -1327,6 +1340,7 @@ pub fn e20_hybrid_counting(effort: Effort) -> ExperimentReport {
         agent: u64,
         switches: Vec<u64>,
         states: usize,
+        agent_seconds: f64,
         seconds: f64,
     }
 
@@ -1347,6 +1361,7 @@ pub fn e20_hybrid_counting(effort: Effort) -> ExperimentReport {
                     .join(", ")
             },
             r.states.to_string(),
+            format!("{:.1}", r.agent_seconds),
             format!("{:.1}", r.seconds),
         ]);
     };
@@ -1373,16 +1388,18 @@ pub fn e20_hybrid_counting(effort: Effort) -> ExperimentReport {
             rich.into_inner().unwrap().expect("one trial ran")
         };
 
-    // CountExact, automatic switch (the staged entry point).
-    let run_auto = |n: usize, master: u64| -> RichOutcome {
+    // CountExact, automatic switch (the staged entry point), with the
+    // per-agent stepping mode as the decoded-vs-interned comparison lever.
+    let run_auto = |n: usize, master: u64, stints: StintMode| -> RichOutcome {
         run_rich(n, master, &|n, seed| {
             let start = Instant::now();
-            let o = count_exact_dense_staged(
+            let o = count_exact_dense_staged_with(
                 CountExactParams::dense_at_scale(n),
                 n,
                 seed,
                 Engine::Batched,
                 (n as u64).saturating_mul(300_000),
+                stints,
             )
             .unwrap();
             RichOutcome {
@@ -1393,6 +1410,7 @@ pub fn e20_hybrid_counting(effort: Effort) -> ExperimentReport {
                 agent: o.agent_interactions,
                 switches: o.switch_interactions.clone(),
                 states: o.states_discovered,
+                agent_seconds: o.agent_seconds,
                 seconds: start.elapsed().as_secs_f64(),
             }
         })
@@ -1458,6 +1476,7 @@ pub fn e20_hybrid_counting(effort: Effort) -> ExperimentReport {
                 agent: sim.agent_interactions(),
                 switches: sim.switches().iter().map(|e| e.interactions).collect(),
                 states: handle.states_discovered(),
+                agent_seconds: sim.agent_seconds(),
                 seconds: start.elapsed().as_secs_f64(),
             }
         })
@@ -1488,14 +1507,31 @@ pub fn e20_hybrid_counting(effort: Effort) -> ExperimentReport {
                 agent: sim.agent_interactions(),
                 switches: sim.switches().iter().map(|e| e.interactions).collect(),
                 states: handle.states_discovered(),
+                agent_seconds: sim.agent_seconds(),
                 seconds: start.elapsed().as_secs_f64(),
             }
         })
     };
 
     for (si, &n) in exact_sizes.iter().enumerate() {
-        let auto = run_auto(n, 0xE20 + 10 * si as u64);
-        push(&mut table, "CountExact @ hybrid (auto)", &auto);
+        // Decoded and interned stints run the *same* master seed: the runs
+        // are identical up to the first agent → dense tally (the codec
+        // bisimulates δ and the stint schedule is a pure function of the
+        // seed), after which they sample the same Markov process along
+        // different paths — the two modes assign interner indices in a
+        // different order at the tally, and the dense engine's randomness
+        // consumption follows index order.  The comparable quantity is the
+        // *per-interaction* agent-leg throughput (agent interactions ÷
+        // agent-leg seconds), which is what the decoded-stint acceptance
+        // criterion gates.
+        let decoded = run_auto(n, 0xE20 + 10 * si as u64, StintMode::Decoded);
+        push(&mut table, "CountExact @ hybrid (auto, decoded)", &decoded);
+        let interned = run_auto(n, 0xE20 + 10 * si as u64, StintMode::Interned);
+        push(
+            &mut table,
+            "CountExact @ hybrid (auto, interned)",
+            &interned,
+        );
         let pinned = run_pinned(n, 0xE20 + 10 * si as u64 + 5);
         push(
             &mut table,

@@ -23,6 +23,7 @@ use ppproto::composition::{
 };
 use ppproto::leader_election::{LeaderElection, LeaderState};
 use ppproto::phase_clock::SyncState;
+use ppsim::stint::{AgentCodec, BoxedAgentStint};
 use ppsim::{DenseProtocol, Protocol};
 
 use crate::params::ApproximateParams;
@@ -500,6 +501,37 @@ impl DenseProtocol for DenseApproximate {
 
     fn discovered_states(&self) -> Option<usize> {
         Some(self.states_discovered())
+    }
+
+    fn agent_stint(&self, counts: &[u64], seed: u64) -> Option<BoxedAgentStint<Option<i32>>> {
+        // Per-agent stints step native `SyncedAgent<ApproximateCore>` structs
+        // through the composition's codec — no interner probe per
+        // interaction (see `ppsim::stint`).
+        self.inner.agent_stint(counts, seed)
+    }
+}
+
+/// The typed agent-state codec of `Approximate`, delegated to the underlying
+/// [`DenseComposition`]: per-agent stints of the hybrid engine step native
+/// composition structs with the identical transition system and consult the
+/// interner only at migration boundaries.
+impl AgentCodec for DenseApproximate {
+    type Native = SyncComposition<ApproximateComponent>;
+
+    fn native(&self) -> Self::Native {
+        *self.inner.base()
+    }
+
+    fn decode_agent(&self, index: usize) -> SyncedAgent<ApproximateCore> {
+        self.inner.decode(index)
+    }
+
+    fn try_decode_agent(&self, index: usize) -> Option<SyncedAgent<ApproximateCore>> {
+        self.inner.try_decode_agent(index)
+    }
+
+    fn encode_agent(&self, state: &SyncedAgent<ApproximateCore>) -> usize {
+        self.inner.encode(*state)
     }
 }
 

@@ -332,6 +332,44 @@ impl ppsim::DenseProtocol for DenseApproximateBackup {
     fn name(&self) -> &'static str {
         "dense-approximate-backup"
     }
+
+    fn agent_stint(&self, counts: &[u64], seed: u64) -> Option<ppsim::stint::BoxedAgentStint<i32>> {
+        Some(ppsim::stint::DecodedStint::boxed(*self, counts, seed))
+    }
+}
+
+/// The typed agent-state codec of the dense backup counter: the decode /
+/// encode pair is pure index arithmetic (no interner exists here at all), so
+/// a hybrid per-agent stint steps bare [`ApproximateBackupState`] structs
+/// with [`approximate_backup_interact`] — the same native transition the
+/// sequential [`ApproximateBackup`] protocol applies.
+///
+/// `encode` saturates both exponents at the cap `K`, so the codec round-trip
+/// is the identity on the whole index space `0..q` while out-of-range states
+/// (unreachable for populations below `2^K`) clamp.
+impl ppsim::stint::AgentCodec for DenseApproximateBackup {
+    type Native = ApproximateBackup;
+
+    fn native(&self) -> ApproximateBackup {
+        ApproximateBackup
+    }
+
+    fn decode_agent(&self, index: usize) -> ApproximateBackupState {
+        self.decode(index)
+    }
+
+    fn try_decode_agent(&self, index: usize) -> Option<ApproximateBackupState> {
+        use ppsim::DenseProtocol as _;
+        if index < self.num_states() {
+            Some(self.decode(index))
+        } else {
+            None
+        }
+    }
+
+    fn encode_agent(&self, state: &ApproximateBackupState) -> usize {
+        self.encode(*state)
+    }
 }
 
 /// Total number of tokens represented in a counts configuration of
@@ -434,6 +472,59 @@ mod tests {
                 assert_eq!(d.decode(b), v, "responder mismatch at ({i}, {j})");
             }
         }
+    }
+
+    #[test]
+    fn dense_backup_codec_round_trips_and_bisimulates_the_dense_delta() {
+        // The AgentCodec surface on pure index arithmetic: exhaustive over
+        // the whole (reachable) index space — encode(decode(i)) == i, and
+        // decode → native Protocol::interact → encode equals `transition`.
+        use ppsim::stint::AgentCodec;
+        use ppsim::DenseProtocol;
+        let d = DenseApproximateBackup::with_max_k(5);
+        let q = DenseProtocol::num_states(&d);
+        for i in 0..q {
+            assert_eq!(d.encode_agent(&d.decode_agent(i)), i);
+            assert_eq!(d.try_decode_agent(i), Some(d.decode_agent(i)));
+        }
+        assert_eq!(d.try_decode_agent(q), None);
+        let native = d.native();
+        let mut rng = ppsim::seeded_rng(0);
+        for i in 0..q {
+            for j in 0..q {
+                let mut u = d.decode_agent(i);
+                let mut v = d.decode_agent(j);
+                ppsim::Protocol::interact(&native, &mut u, &mut v, &mut rng);
+                assert_eq!(
+                    (d.encode_agent(&u), d.encode_agent(&v)),
+                    d.transition(i, j),
+                    "codec path diverged from δ at ({i}, {j})"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn dense_backup_hands_the_hybrid_engine_a_decoded_stint() {
+        use ppsim::DenseProtocol;
+        let d = DenseApproximateBackup::with_max_k(8);
+        let counts = {
+            let mut c = vec![0u64; DenseProtocol::num_states(&d)];
+            c[DenseProtocol::initial_state(&d)] = 600;
+            c
+        };
+        let mut stint = d
+            .agent_stint(&counts, 3)
+            .expect("the dense backup counter carries a codec");
+        assert_eq!(stint.kind(), "decoded");
+        stint.run(20_000);
+        let tallied = stint.counts();
+        assert_eq!(tallied.iter().sum::<u64>(), 600);
+        assert_eq!(
+            dense_approximate_backup_tokens(&d, &tallied),
+            600,
+            "tokens conserved through the decoded stint"
+        );
     }
 
     #[test]

@@ -33,6 +33,12 @@
 //! the *configuration* (the multiset of states), which is transferred
 //! verbatim; only the schedule's randomness source changes, exactly as it
 //! does between the batched and sequential engines in the equivalence suite.
+//!
+//! Since the agent-state codec landed ([`ppsim::stint`]), the per-agent leg
+//! steps **native structs** — `DenseCountExact` hands the hybrid engine a
+//! decoded stint, so the refinement loop carries no interner traffic at all
+//! (the PR 4 interned stint cost a measured ~40 % of that leg at `n = 10⁵`).
+//! [`StintMode::Interned`] keeps the old stepping path measurable.
 
 use ppsim::{Engine, HybridConfig, HybridSimulator, HybridSubstrate, SimError, Simulator};
 
@@ -41,7 +47,7 @@ use crate::params::CountExactParams;
 use super::count_exact::{CountExact, DenseCountExact};
 
 /// Outcome of a staged (hybrid) dense `CountExact` run.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct StagedCountOutcome {
     /// Total interactions executed across the run.
     pub interactions: u64,
@@ -51,17 +57,45 @@ pub struct StagedCountOutcome {
     /// `interactions - dense_interactions`: the phase counters partition the
     /// total exactly (no interaction is counted in both phases at a switch).
     pub agent_interactions: u64,
+    /// Wall-clock seconds spent on the count-based substrate (per-leg
+    /// throughput accounting; 0 for runs that resolved to the sequential
+    /// engine).
+    pub dense_seconds: f64,
+    /// Wall-clock seconds spent on per-agent stints.
+    pub agent_seconds: f64,
     /// Total-interaction counts at which the hybrid engine migrated between
     /// representations (the measured switch points; empty when the run never
     /// left the dense substrate or ran entirely per-agent).
     pub switch_interactions: Vec<u64>,
     /// Distinct dense states the run interned (0 when the whole run stayed
-    /// on the per-agent engine with struct states).
+    /// on the per-agent engine with struct states).  Decoded stints intern
+    /// only at migration boundaries, so this census covers the dense legs
+    /// plus each boundary configuration — far below the `Θ(n)` transient
+    /// states the refinement mints (which the interned-stint baseline pushes
+    /// through the interner one by one).
     pub states_discovered: usize,
+    /// The per-agent stepping representation the hybrid engine used
+    /// (`Some("decoded")` with the codec, `Some("interned")` under
+    /// [`StintMode::Interned`], `None` if no stint ran).
+    pub stint_kind: Option<&'static str>,
     /// The unanimous output, if the run converged (`Some(n)` when correct).
     pub output: Option<u64>,
     /// Whether a unanimous output was reached within the budget.
     pub converged: bool,
+}
+
+/// Which representation the hybrid engine's per-agent stints step (the
+/// decoded-vs-interned comparison lever of experiment E20 and
+/// `bench_batched_json --interned-stints`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum StintMode {
+    /// Native structs through the protocol's agent-state codec — the fast
+    /// path, no interner traffic per interaction.
+    #[default]
+    Decoded,
+    /// Interned `u32` indices through `DenseProtocol::transition` — the PR 4
+    /// behaviour, kept measurable as the comparison baseline.
+    Interned,
 }
 
 /// Run `CountExact` to a unanimous output at population scale on the hybrid
@@ -110,12 +144,33 @@ pub fn count_exact_dense_staged(
     engine: Engine,
     budget: u64,
 ) -> Result<StagedCountOutcome, SimError> {
+    count_exact_dense_staged_with(params, n, seed, engine, budget, StintMode::Decoded)
+}
+
+/// [`count_exact_dense_staged`] with an explicit per-agent stepping mode:
+/// [`StintMode::Interned`] pins the PR 4 interned-index stint as the
+/// comparison baseline (experiment E20's decoded-vs-interned column and the
+/// bench tooling's `--interned-stints` flag run through here).
+///
+/// # Errors
+///
+/// Propagates the engine constructors' errors
+/// ([`SimError::PopulationTooSmall`], [`SimError::InvalidParameter`]).
+pub fn count_exact_dense_staged_with(
+    params: CountExactParams,
+    n: usize,
+    seed: u64,
+    engine: Engine,
+    budget: u64,
+    stints: StintMode,
+) -> Result<StagedCountOutcome, SimError> {
     let check_every = (n as u64).max(1) * 20;
 
     let substrate = match engine.resolve(n) {
         Engine::Sequential => {
             // Small populations: the per-agent engine serves every stage.
             let mut sim = Simulator::new(CountExact::new(params), n, seed)?;
+            let started = std::time::Instant::now();
             let outcome = sim.run_until(
                 |s| s.output_stats().unanimous().is_some_and(|o| o.is_some()),
                 check_every,
@@ -126,8 +181,11 @@ pub fn count_exact_dense_staged(
                 interactions: sim.interactions(),
                 dense_interactions: 0,
                 agent_interactions: sim.interactions(),
+                dense_seconds: 0.0,
+                agent_seconds: started.elapsed().as_secs_f64(),
                 switch_interactions: Vec::new(),
                 states_discovered: 0,
+                stint_kind: None,
                 output,
                 converged: outcome.converged(),
             });
@@ -137,8 +195,10 @@ pub fn count_exact_dense_staged(
         Engine::Auto => unreachable!("resolve() never returns Auto"),
     };
 
-    // The hybrid engine keeps interning through its per-agent phase, so the
-    // index space must hold the refinement's Θ(n) load values.
+    // The interned-stint baseline keeps interning through its per-agent
+    // phase, so the index space must hold the refinement's Θ(n) load values.
+    // The decoded stint only interns boundary configurations, but sizing for
+    // the worst case keeps the two modes byte-comparable.
     let proto = DenseCountExact::with_capacity(params, CountExactParams::dense_capacity(n));
     let handle = proto.clone(); // shares the interner: state census + decode
     let mut sim = HybridSimulator::with_config(
@@ -147,6 +207,7 @@ pub fn count_exact_dense_staged(
         seed,
         HybridConfig {
             substrate,
+            interned_stints: stints == StintMode::Interned,
             ..HybridConfig::default()
         },
     )?;
@@ -165,8 +226,11 @@ pub fn count_exact_dense_staged(
         interactions: sim.interactions(),
         dense_interactions: sim.dense_interactions(),
         agent_interactions: sim.agent_interactions(),
+        dense_seconds: sim.dense_seconds(),
+        agent_seconds: sim.agent_seconds(),
         switch_interactions: sim.switches().iter().map(|e| e.interactions).collect(),
         states_discovered: handle.states_discovered(),
+        stint_kind: sim.stint_kind(),
         output,
         converged: outcome.converged(),
     })

@@ -145,6 +145,8 @@ pub use exact::count_exact::{
     all_counted, CountExact, CountExactAgent, CountExactComponent, CountExactCore, DenseCountExact,
 };
 pub use exact::stable::{all_exact, StableCountExact, StableCountExactAgent};
-pub use exact::staged::{count_exact_dense_staged, StagedCountOutcome};
+pub use exact::staged::{
+    count_exact_dense_staged, count_exact_dense_staged_with, StagedCountOutcome, StintMode,
+};
 pub use params::{ApproximateParams, CountExactParams};
 pub use search::{search_interact, SearchContext, SearchState};

@@ -456,4 +456,97 @@ proptest! {
             prop_assert_eq!(dense.encode(dense.decode(idx)), idx);
         }
     }
+
+    /// Codec bisimulation for the dense Approximate: over reachable indices,
+    /// `encode(decode(i)) == i` through the `AgentCodec` surface, and
+    /// decode → native `Protocol::interact` → encode agrees with the interned
+    /// δ path — the law that makes the hybrid engine's decoded per-agent
+    /// stint an exact substitute for interned stepping.
+    #[test]
+    fn dense_approximate_codec_bisimulates_the_interned_delta(
+        seed in any::<u64>(),
+        steps in 1_000u64..40_000,
+        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 32..33),
+    ) {
+        use ppsim::AgentCodec;
+        let dense = DenseApproximate::new(ApproximateParams::default());
+        let mut sim = Simulator::new(DenseAdapter(dense.clone()), 512, seed).unwrap();
+        sim.run(steps);
+        let discovered = dense.states_discovered();
+        for idx in 0..discovered {
+            prop_assert_eq!(dense.encode_agent(&dense.decode_agent(idx)), idx);
+            prop_assert_eq!(dense.try_decode_agent(idx), Some(dense.decode_agent(idx)));
+        }
+        let native = dense.native();
+        let mut rng = ppsim::seeded_rng(seed);
+        for (a, b) in pairs {
+            let (i, j) = ((a % discovered as u64) as usize, (b % discovered as u64) as usize);
+            let mut u = dense.decode_agent(i);
+            let mut v = dense.decode_agent(j);
+            ppsim::Protocol::interact(&native, &mut u, &mut v, &mut rng);
+            let codec_path = (dense.encode_agent(&u), dense.encode_agent(&v));
+            prop_assert_eq!(codec_path, ppsim::DenseProtocol::transition(&dense, i, j));
+        }
+    }
+
+    /// The same codec bisimulation law for the dense CountExact.
+    #[test]
+    fn dense_count_exact_codec_bisimulates_the_interned_delta(
+        seed in any::<u64>(),
+        steps in 1_000u64..40_000,
+        pairs in proptest::collection::vec((any::<u64>(), any::<u64>()), 32..33),
+    ) {
+        use ppsim::AgentCodec;
+        let dense = DenseCountExact::new(CountExactParams::default());
+        let mut sim = Simulator::new(DenseAdapter(dense.clone()), 512, seed).unwrap();
+        sim.run(steps);
+        let discovered = dense.states_discovered();
+        for idx in 0..discovered {
+            prop_assert_eq!(dense.encode_agent(&dense.decode_agent(idx)), idx);
+        }
+        let native = dense.native();
+        let mut rng = ppsim::seeded_rng(seed);
+        for (a, b) in pairs {
+            let (i, j) = ((a % discovered as u64) as usize, (b % discovered as u64) as usize);
+            let mut u = dense.decode_agent(i);
+            let mut v = dense.decode_agent(j);
+            ppsim::Protocol::interact(&native, &mut u, &mut v, &mut rng);
+            let codec_path = (dense.encode_agent(&u), dense.encode_agent(&v));
+            prop_assert_eq!(codec_path, ppsim::DenseProtocol::transition(&dense, i, j));
+        }
+    }
+
+    /// Decoded vs interned stints on the real protocol: starting from the
+    /// same mid-run configuration and stint seed, the native-struct stint and
+    /// the interned-index stint must advance the *identical* trajectory (the
+    /// pair schedule is a pure function of the seed, and the codec
+    /// bisimulates δ), so their tallied configurations agree interaction for
+    /// interaction.
+    #[test]
+    fn decoded_and_interned_stints_advance_the_same_trajectory(
+        seed in any::<u64>(),
+        warmup in 10_000u64..100_000,
+    ) {
+        let n = 2_000usize;
+        let proto = DenseCountExact::new(quick_count_exact_params());
+        let mut warm = HybridSimulator::new(proto.clone(), n, seed).unwrap();
+        warm.run(warmup);
+        let counts = warm.counts();
+        let stint_seed = seed ^ 0xDEC0;
+        let mut decoded = ppsim::DenseProtocol::agent_stint(&proto, &counts, stint_seed)
+            .expect("DenseCountExact carries a codec");
+        prop_assert_eq!(decoded.kind(), "decoded");
+        let mut interned = ppsim::DecodedStint::boxed(
+            ppsim::IndexCodec(proto.clone()),
+            &counts,
+            stint_seed,
+        );
+        prop_assert_eq!(interned.kind(), "interned");
+        for _ in 0..4 {
+            decoded.run(2_500);
+            interned.run(2_500);
+            prop_assert_eq!(decoded.counts(), interned.counts());
+            prop_assert_eq!(decoded.occupied_states(), interned.occupied_states());
+        }
+    }
 }

@@ -112,6 +112,31 @@ pub trait DenseProtocol {
     fn discovered_states(&self) -> Option<usize> {
         None
     }
+
+    /// Build a **decoded per-agent stint** over this configuration, if the
+    /// protocol carries a typed agent-state codec
+    /// ([`AgentCodec`](crate::stint::AgentCodec)).
+    ///
+    /// The hybrid engine calls this at every dense → per-agent migration;
+    /// `counts` is the configuration to expand and `seed` drives the stint's
+    /// schedule RNG.  The default `None` makes the engine fall back to
+    /// stepping interned `u32` indices through [`Self::transition`]
+    /// (the [`IndexCodec`](crate::stint::IndexCodec) path).  Codec-bearing
+    /// protocols override it in three lines:
+    ///
+    /// ```rust,ignore
+    /// fn agent_stint(&self, counts: &[u64], seed: u64) -> Option<BoxedAgentStint<Self::Output>> {
+    ///     Some(DecodedStint::boxed(self.clone(), counts, seed))
+    /// }
+    /// ```
+    fn agent_stint(
+        &self,
+        counts: &[u64],
+        seed: u64,
+    ) -> Option<crate::stint::BoxedAgentStint<Self::Output>> {
+        let _ = (counts, seed);
+        None
+    }
 }
 
 /// Blanket implementation so `&P` can be used wherever a dense protocol is
@@ -139,6 +164,13 @@ impl<P: DenseProtocol + ?Sized> DenseProtocol for &P {
     }
     fn discovered_states(&self) -> Option<usize> {
         (**self).discovered_states()
+    }
+    fn agent_stint(
+        &self,
+        counts: &[u64],
+        seed: u64,
+    ) -> Option<crate::stint::BoxedAgentStint<Self::Output>> {
+        (**self).agent_stint(counts, seed)
     }
 }
 

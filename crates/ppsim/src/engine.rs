@@ -25,7 +25,7 @@ use crate::config::ConfigurationStats;
 use crate::convergence::RunOutcome;
 use crate::dense::{DenseAdapter, DenseProtocol};
 use crate::error::SimError;
-use crate::hybrid::HybridSimulator;
+use crate::hybrid::{HybridLegs, HybridSimulator};
 use crate::sharded::{ShardedBatchedSimulator, ShardedConfig};
 use crate::simulator::Simulator;
 
@@ -159,11 +159,13 @@ pub enum DenseSimulator<P: DenseProtocol + Clone + Send> {
     Batched(BatchedSimulator<P>),
     /// Sharded batched execution.
     Sharded(ShardedBatchedSimulator<P>),
-    /// Hybrid dense ↔ per-agent execution.
-    Hybrid(HybridSimulator<P>),
+    /// Hybrid dense ↔ per-agent execution (boxed: the hybrid simulator
+    /// carries both representations' bookkeeping and would otherwise
+    /// dominate the enum's size).
+    Hybrid(Box<HybridSimulator<P>>),
 }
 
-impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
+impl<P: DenseProtocol + Clone + Send + 'static> DenseSimulator<P> {
     /// Create a simulator for `n` agents on the engine `engine` resolves to.
     ///
     /// # Errors
@@ -192,9 +194,9 @@ impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
                     },
                 )?))
             }
-            Engine::Hybrid => Ok(DenseSimulator::Hybrid(HybridSimulator::new(
+            Engine::Hybrid => Ok(DenseSimulator::Hybrid(Box::new(HybridSimulator::new(
                 protocol, n, seed,
-            )?)),
+            )?))),
             Engine::Auto => unreachable!("resolve_for() never returns Auto"),
         }
     }
@@ -224,6 +226,19 @@ impl<P: DenseProtocol + Clone + Send> DenseSimulator<P> {
         match self {
             DenseSimulator::Hybrid(s) => s.switches().iter().map(|e| e.interactions).collect(),
             _ => Vec::new(),
+        }
+    }
+
+    /// Per-leg accounting of the hybrid engine ([`HybridLegs`]: interaction
+    /// counts, wall-clock seconds and the stint kind per representation).
+    /// `None` on every other engine (they have a single leg, reported by the
+    /// overall counters).  The bench tooling turns this into the per-leg
+    /// throughput columns (`dense_mips`, `agent_mips`).
+    #[must_use]
+    pub fn hybrid_legs(&self) -> Option<HybridLegs> {
+        match self {
+            DenseSimulator::Hybrid(s) => Some(s.legs()),
+            _ => None,
         }
     }
 

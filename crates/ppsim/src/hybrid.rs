@@ -28,12 +28,33 @@
 //! keep oscillating workloads from thrashing (see [`OccupancyMonitor`] for
 //! the isolated, property-tested decision rule).
 //!
+//! # The per-agent stint: decoded structs, not interned indices
+//!
+//! The per-agent leg is a [`stint`](crate::stint): a `Vec` of **native
+//! per-agent structs** stepped with the protocol's monomorphic
+//! [`Protocol::interact`](crate::Protocol::interact), obtained through the
+//! protocol's [`AgentCodec`](crate::stint::AgentCodec) (the
+//! [`DenseProtocol::agent_stint`] hook).  For interned protocols this keeps
+//! the state interner **out of the hot loop entirely**: it is consulted only
+//! at the migration boundaries — decode each occupied index once on
+//! dense → agent, tally + intern once per distinct state on agent → dense —
+//! instead of four locked probes per interaction, which cost the PR 4
+//! interned stint a measured ~40 % of the `CountExact` refinement leg at
+//! `n = 10⁵`.  Protocols without a codec fall back to stepping interned
+//! `u32` indices through [`DenseProtocol::transition`]
+//! ([`IndexCodec`]); setting
+//! [`HybridConfig::interned_stints`] forces that fallback for every
+//! protocol, which is the comparison baseline E20 and the bench tooling
+//! measure against.  The stint also maintains its occupancy census
+//! incrementally, so agent-mode monitor observations are `O(1)` instead of
+//! an `O(n log n)` sort of the state vector.
+//!
 //! # Exactness
 //!
 //! Migration is the Markov-in-configuration hand-off: the population process
 //! is a Markov chain in the *configuration* (the multiset of states), which
 //! both representations encode losslessly.  Dense → per-agent expands the
-//! counts into a state-index vector (in state-index order); per-agent →
+//! counts into a native-state vector (in state-index order); per-agent →
 //! dense tallies the vector back into counts.  Only the schedule's
 //! randomness source changes at a switch — exactly as it does between the
 //! batched and sequential engines in the equivalence suites — so a hybrid
@@ -69,14 +90,16 @@
 //! # }
 //! ```
 
+use std::time::Instant;
+
 use crate::batched::BatchedSimulator;
 use crate::config::ConfigurationStats;
 use crate::convergence::RunOutcome;
-use crate::dense::{DenseAdapter, DenseProtocol};
+use crate::dense::DenseProtocol;
 use crate::error::SimError;
 use crate::rng::derive_seed;
 use crate::sharded::{ShardedBatchedSimulator, ShardedConfig};
-use crate::simulator::Simulator;
+use crate::stint::{BoxedAgentStint, DecodedStint, IndexCodec};
 
 /// Seed-derivation salt for the engine constructed at the `k`-th migration
 /// (the initial engine uses the caller's seed verbatim).
@@ -114,11 +137,19 @@ pub struct HybridConfig {
     /// Consecutive observations a threshold crossing must persist for before
     /// a migration fires.
     pub window: u32,
-    /// Interactions between occupancy observations in dense mode (`None` =
-    /// `max(n/4, 256)`).  Per-agent mode observes at 4× this spacing: its
-    /// census costs a sort of the agent vector, so it is amortised over a
-    /// longer stretch.
+    /// Interactions between occupancy observations (`None` =
+    /// `max(n/4, 256)`).  Both modes observe at this spacing: the dense
+    /// engines keep an occupied-state list and the per-agent stint maintains
+    /// its census incrementally, so an observation is `O(q_occ)` resp.
+    /// `O(1)` in either representation.
     pub monitor_every: Option<u64>,
+    /// Run per-agent stints on **interned `u32` indices** through
+    /// [`DenseProtocol::transition`] even when the protocol carries an
+    /// [`AgentCodec`](crate::stint::AgentCodec) — the PR 4 stepping path,
+    /// kept as a measurable baseline for the decoded-vs-interned comparison
+    /// (experiment E20, `bench_batched_json --interned-stints`).  Default
+    /// `false`: codec-bearing protocols run their stints on native structs.
+    pub interned_stints: bool,
 }
 
 impl Default for HybridConfig {
@@ -129,6 +160,7 @@ impl Default for HybridConfig {
             switch_down: 8.0,
             window: 2,
             monitor_every: None,
+            interned_stints: false,
         }
     }
 }
@@ -140,6 +172,51 @@ pub enum SwitchDirection {
     ToAgent,
     /// Per-agent states tallied back into counts.
     ToDense,
+}
+
+/// Per-leg accounting of a hybrid run: how many interactions each
+/// representation executed and how long it took, plus which stepping
+/// representation the per-agent stints used.  Returned by
+/// [`HybridSimulator::legs`] and
+/// [`DenseSimulator::hybrid_legs`](crate::DenseSimulator::hybrid_legs); the
+/// bench tooling derives its `dense_mips` / `agent_mips` columns from it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HybridLegs {
+    /// Interactions executed on the count-based substrate.
+    pub dense_interactions: u64,
+    /// Wall-clock seconds spent on the count-based substrate.
+    pub dense_seconds: f64,
+    /// Interactions executed on per-agent stints.
+    pub agent_interactions: u64,
+    /// Wall-clock seconds spent on per-agent stints.
+    pub agent_seconds: f64,
+    /// The most recent stint's stepping representation (`"decoded"` or
+    /// `"interned"`); `None` if the run never left dense mode.
+    pub stint_kind: Option<&'static str>,
+}
+
+impl HybridLegs {
+    /// Per-agent-leg throughput in interactions per second (`0.0` when no
+    /// stint ran).
+    #[must_use]
+    pub fn agent_throughput(&self) -> f64 {
+        if self.agent_seconds > 0.0 {
+            self.agent_interactions as f64 / self.agent_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Dense-leg throughput in interactions per second (`0.0` when the run
+    /// executed no dense leg).
+    #[must_use]
+    pub fn dense_throughput(&self) -> f64 {
+        if self.dense_seconds > 0.0 {
+            self.dense_interactions as f64 / self.dense_seconds
+        } else {
+            0.0
+        }
+    }
 }
 
 /// One recorded representation migration.
@@ -241,7 +318,7 @@ impl OccupancyMonitor {
 enum Mode<P: DenseProtocol + Clone + Send> {
     Batched(BatchedSimulator<P>),
     Sharded(ShardedBatchedSimulator<P>),
-    Agent(Simulator<DenseAdapter<P>>),
+    Agent(BoxedAgentStint<<P as DenseProtocol>::Output>),
 }
 
 /// A dense protocol on the auto-switching hybrid engine: count-based blocks
@@ -269,15 +346,20 @@ pub struct HybridSimulator<P: DenseProtocol + Clone + Send> {
     completed: u64,
     dense_total: u64,
     agent_total: u64,
+    /// Wall-clock seconds accumulated in each representation (per-leg
+    /// throughput accounting for the bench tooling).
+    dense_secs: f64,
+    agent_secs: f64,
     /// Absolute interaction count of the next occupancy observation.
     next_observation: u64,
     monitor_every: u64,
     switches: Vec<SwitchEvent>,
-    /// Scratch for the per-agent census (sorted copy of the state vector).
-    census: Vec<u32>,
+    /// The stepping representation of the most recent per-agent stint
+    /// (`"decoded"` or `"interned"`); `None` before the first migration.
+    stint_kind: Option<&'static str>,
 }
 
-impl<P: DenseProtocol + Clone + Send> HybridSimulator<P> {
+impl<P: DenseProtocol + Clone + Send + 'static> HybridSimulator<P> {
     /// Create a hybrid simulator with the default configuration (batched
     /// substrate, `64/8·√n` thresholds, window 2).
     ///
@@ -344,10 +426,12 @@ impl<P: DenseProtocol + Clone + Send> HybridSimulator<P> {
             completed: 0,
             dense_total: 0,
             agent_total: 0,
+            dense_secs: 0.0,
+            agent_secs: 0.0,
             next_observation: monitor_every,
             monitor_every,
             switches: Vec::new(),
-            census: Vec::new(),
+            stint_kind: None,
         })
     }
 
@@ -396,22 +480,14 @@ impl<P: DenseProtocol + Clone + Send> HybridSimulator<P> {
     /// The protocol being executed.
     #[must_use]
     pub fn protocol(&self) -> &P {
-        match &self.mode {
-            Mode::Batched(s) => s.protocol(),
-            Mode::Sharded(s) => s.protocol(),
-            Mode::Agent(s) => &s.protocol().0,
-        }
+        &self.protocol
     }
 
     /// The number of states `q` of the protocol (the index-space capacity
     /// for interned protocols).
     #[must_use]
     pub fn num_states(&self) -> usize {
-        match &self.mode {
-            Mode::Batched(s) => s.num_states(),
-            Mode::Sharded(s) => s.num_states(),
-            Mode::Agent(s) => s.protocol().0.num_states(),
-        }
+        self.protocol.num_states()
     }
 
     /// The number of interactions executed so far, across both
@@ -449,10 +525,45 @@ impl<P: DenseProtocol + Clone + Send> HybridSimulator<P> {
         }
     }
 
+    /// Wall-clock seconds this simulator has spent executing on the
+    /// count-based substrate (per-leg throughput accounting).
+    #[must_use]
+    pub fn dense_seconds(&self) -> f64 {
+        self.dense_secs
+    }
+
+    /// Wall-clock seconds this simulator has spent executing per-agent
+    /// stints.
+    #[must_use]
+    pub fn agent_seconds(&self) -> f64 {
+        self.agent_secs
+    }
+
+    /// The per-leg accounting in one struct (interaction counts, wall-clock
+    /// seconds and the stint kind — see [`HybridLegs`]).
+    #[must_use]
+    pub fn legs(&self) -> HybridLegs {
+        HybridLegs {
+            dense_interactions: self.dense_interactions(),
+            dense_seconds: self.dense_secs,
+            agent_interactions: self.agent_interactions(),
+            agent_seconds: self.agent_secs,
+            stint_kind: self.stint_kind,
+        }
+    }
+
     /// Whether the run is currently on the count-based substrate.
     #[must_use]
     pub fn is_dense(&self) -> bool {
         !matches!(self.mode, Mode::Agent(_))
+    }
+
+    /// The stepping representation of the most recent per-agent stint
+    /// (`"decoded"` for native-struct stints, `"interned"` for the `u32`
+    /// index fallback), or `None` if the run has never left dense mode.
+    #[must_use]
+    pub fn stint_kind(&self) -> Option<&'static str> {
+        self.stint_kind
     }
 
     /// The representation migrations performed so far, in order.
@@ -463,20 +574,15 @@ impl<P: DenseProtocol + Clone + Send> HybridSimulator<P> {
 
     /// The number of currently occupied states `q_occ` (distinct states
     /// holding ≥ 1 agent) — the monitor's signal.  `O(q_occ)` in dense mode;
-    /// in per-agent mode it sorts a copy of the state vector
-    /// (`O(n log n)`, which is why that mode observes less frequently).
+    /// `O(1)` in per-agent mode, where the stint maintains its census
+    /// incrementally (exact up to 64-bit state-hash collisions, which can
+    /// only undercount by `~q_occ²/2⁶⁴`).
     #[must_use]
-    pub fn occupied_states(&mut self) -> usize {
+    pub fn occupied_states(&self) -> usize {
         match &self.mode {
             Mode::Batched(s) => s.occupied_states(),
             Mode::Sharded(s) => s.occupied_states(),
-            Mode::Agent(s) => {
-                self.census.clear();
-                self.census.extend_from_slice(s.states());
-                self.census.sort_unstable();
-                self.census.dedup();
-                self.census.len()
-            }
+            Mode::Agent(s) => s.occupied_states(),
         }
     }
 
@@ -493,30 +599,15 @@ impl<P: DenseProtocol + Clone + Send> HybridSimulator<P> {
         }
     }
 
-    /// Borrow the per-agent state vector while the run is on the per-agent
-    /// engine (`None` in dense mode).
-    #[must_use]
-    pub fn agent_states(&self) -> Option<&[u32]> {
-        match &self.mode {
-            Mode::Agent(s) => Some(s.states()),
-            Mode::Batched(_) | Mode::Sharded(_) => None,
-        }
-    }
-
-    /// The current configuration as state counts (owned; assembled by
-    /// scanning in per-agent mode).
+    /// The current configuration as state counts (owned; in per-agent mode
+    /// the stint tallies its native states back through the codec, interning
+    /// any state minted since the stint began).
     #[must_use]
     pub fn counts(&self) -> Vec<u64> {
         match &self.mode {
             Mode::Batched(s) => s.counts().to_vec(),
             Mode::Sharded(s) => s.counts().to_vec(),
-            Mode::Agent(s) => {
-                let mut counts = vec![0u64; s.protocol().0.num_states()];
-                for &st in s.states() {
-                    counts[st as usize] += 1;
-                }
-                counts
-            }
+            Mode::Agent(s) => s.counts(),
         }
     }
 
@@ -526,11 +617,7 @@ impl<P: DenseProtocol + Clone + Send> HybridSimulator<P> {
         match &self.mode {
             Mode::Batched(s) => s.count_of(state),
             Mode::Sharded(s) => s.count_of(state),
-            Mode::Agent(s) => s
-                .states()
-                .iter()
-                .filter(|&&st| st as usize == state)
-                .count() as u64,
+            Mode::Agent(s) => s.count_of(state),
         }
     }
 
@@ -554,35 +641,7 @@ impl<P: DenseProtocol + Clone + Send> HybridSimulator<P> {
         match &mut self.mode {
             Mode::Batched(s) => s.transfer(from, to, k),
             Mode::Sharded(s) => s.transfer(from, to, k),
-            Mode::Agent(s) => {
-                let q = s.protocol().0.num_states();
-                if from >= q || to >= q {
-                    return Err(SimError::InvalidParameter {
-                        name: "transfer",
-                        reason: format!("states ({from}, {to}) outside the state space 0..{q}"),
-                    });
-                }
-                let available = s.states().iter().filter(|&&st| st as usize == from).count() as u64;
-                if available < k {
-                    return Err(SimError::InvalidParameter {
-                        name: "transfer",
-                        reason: format!(
-                            "cannot move {k} agents out of state {from} holding {available}"
-                        ),
-                    });
-                }
-                let mut moved = 0u64;
-                for st in s.states_mut() {
-                    if moved == k {
-                        break;
-                    }
-                    if *st as usize == from {
-                        *st = to as u32;
-                        moved += 1;
-                    }
-                }
-                Ok(())
-            }
+            Mode::Agent(s) => s.transfer(from, to, k),
         }
     }
 
@@ -623,28 +682,27 @@ impl<P: DenseProtocol + Clone + Send> HybridSimulator<P> {
         match direction {
             SwitchDirection::ToAgent => {
                 let counts = self.counts();
-                let mut sim = Simulator::new(
-                    DenseAdapter(self.protocol.clone()),
-                    self.n as usize,
-                    switch_seed,
-                )
-                .expect("population already validated at construction");
-                // Expand in state-index order: a fixed, representation-
-                // independent layout, so the hand-off is a pure function of
-                // the configuration.
-                let states = sim.states_mut();
-                let mut slot = 0usize;
-                for (s, &c) in counts.iter().enumerate() {
-                    for _ in 0..c {
-                        states[slot] = s as u32;
-                        slot += 1;
-                    }
-                }
+                // Decoded stint if the protocol carries a codec (unless the
+                // configuration pins the interned baseline); otherwise step
+                // interned u32 indices through `transition` as PR 4 did.
+                // Either stint expands in state-index order: a fixed,
+                // representation-independent layout, so the hand-off is a
+                // pure function of the configuration.
+                let stint = if self.config.interned_stints {
+                    None
+                } else {
+                    self.protocol.agent_stint(&counts, switch_seed)
+                };
+                let stint = stint.unwrap_or_else(|| {
+                    DecodedStint::boxed(IndexCodec(self.protocol.clone()), &counts, switch_seed)
+                });
                 debug_assert_eq!(
-                    slot, self.n as usize,
+                    stint.population() as u64,
+                    self.n,
                     "the expansion must cover the population"
                 );
-                self.mode = Mode::Agent(sim);
+                self.stint_kind = Some(stint.kind());
+                self.mode = Mode::Agent(stint);
             }
             SwitchDirection::ToDense => {
                 let counts = self.counts();
@@ -669,18 +727,15 @@ impl<P: DenseProtocol + Clone + Send> HybridSimulator<P> {
     }
 
     /// One monitor observation at the current interaction count; schedules
-    /// the next one (sparser in per-agent mode, whose census is `O(n log n)`).
+    /// the next one.  Since the per-agent stint's census is maintained
+    /// incrementally (`O(1)` to read), both modes observe at the same
+    /// cadence.
     fn observe(&mut self) {
         let occupied = self.occupied_states();
         if let Some(direction) = self.monitor.observe(occupied) {
             self.migrate(direction, occupied);
         }
-        let spacing = if self.is_dense() {
-            self.monitor_every
-        } else {
-            self.monitor_every * 4
-        };
-        self.next_observation = self.interactions() + spacing;
+        self.next_observation = self.interactions() + self.monitor_every;
     }
 
     /// Execute `budget` further interactions unconditionally, observing the
@@ -691,10 +746,26 @@ impl<P: DenseProtocol + Clone + Send> HybridSimulator<P> {
             let slice = (target - self.interactions())
                 .min(self.next_observation.saturating_sub(self.interactions()))
                 .max(1);
-            match &mut self.mode {
-                Mode::Batched(s) => s.run(slice),
-                Mode::Sharded(s) => s.run(slice),
-                Mode::Agent(s) => s.run(slice),
+            let started = Instant::now();
+            let dense_leg = match &mut self.mode {
+                Mode::Batched(s) => {
+                    s.run(slice);
+                    true
+                }
+                Mode::Sharded(s) => {
+                    s.run(slice);
+                    true
+                }
+                Mode::Agent(s) => {
+                    s.run(slice);
+                    false
+                }
+            };
+            let elapsed = started.elapsed().as_secs_f64();
+            if dense_leg {
+                self.dense_secs += elapsed;
+            } else {
+                self.agent_secs += elapsed;
             }
             if self.interactions() >= self.next_observation {
                 self.observe();

@@ -179,6 +179,20 @@ impl<S: Copy + Eq + Hash + Debug> StateInterner<S> {
             )
         })
     }
+
+    /// The state behind a dense index, or `None` if the index has not been
+    /// assigned yet — the non-panicking decode the agent-state codecs
+    /// ([`AgentCodec`](crate::stint::AgentCodec)) build their
+    /// `try_decode_agent` on.
+    #[must_use]
+    pub fn try_get(&self, index: usize) -> Option<S> {
+        self.inner
+            .read()
+            .expect("interner lock poisoned")
+            .states
+            .get(index)
+            .copied()
+    }
 }
 
 #[cfg(test)]

@@ -30,7 +30,9 @@
 //!   simulation (and back) when an occupancy monitor with hysteresis detects
 //!   that the count representation has gone degenerate — the engine for
 //!   dynamic (interned) protocols whose state census blows up mid-run, such
-//!   as the `CountExact` refinement stage ([`hybrid`]),
+//!   as the `CountExact` refinement stage ([`hybrid`]); protocols carrying a
+//!   typed agent-state codec ([`AgentCodec`], [`stint`]) run their per-agent
+//!   stints on **native structs** with no interner traffic in the hot loop,
 //! * an engine-selection layer ([`Engine`], [`DenseSimulator`]) with a
 //!   measured, protocol-aware auto heuristic, so harness code picks engines
 //!   by argument, not by code path,
@@ -87,6 +89,7 @@ pub mod sample;
 pub mod scheduler;
 pub mod sharded;
 pub mod simulator;
+pub mod stint;
 
 pub use batched::BatchedSimulator;
 pub use config::ConfigurationStats;
@@ -95,7 +98,8 @@ pub use dense::{DenseAdapter, DenseProtocol};
 pub use engine::{DenseSimulator, Engine, SEQUENTIAL_CROSSOVER};
 pub use error::SimError;
 pub use hybrid::{
-    HybridConfig, HybridSimulator, HybridSubstrate, OccupancyMonitor, SwitchDirection, SwitchEvent,
+    HybridConfig, HybridLegs, HybridSimulator, HybridSubstrate, OccupancyMonitor, SwitchDirection,
+    SwitchEvent,
 };
 pub use interned::StateInterner;
 pub use metrics::{StateSpaceTracker, TimeSeries};
@@ -105,3 +109,4 @@ pub use rng::{derive_seed, seeded_rng};
 pub use scheduler::{AllPairsScheduler, Scheduler, UniformScheduler};
 pub use sharded::{ShardedBatchedSimulator, ShardedConfig};
 pub use simulator::Simulator;
+pub use stint::{AgentCodec, AgentStint, BoxedAgentStint, DecodedStint, IndexCodec};

@@ -77,6 +77,12 @@ pub trait Protocol {
     ///
     /// Both states are updated in place; `(initiator, responder)` after the call is
     /// the pair `δ(initiator, responder)` of the paper.
+    ///
+    /// This is the hot loop of the per-agent engines: both the sequential
+    /// [`Simulator`](crate::Simulator) and the hybrid engine's decoded
+    /// per-agent stints ([`DecodedStint`](crate::stint::DecodedStint), via an
+    /// [`AgentCodec`](crate::stint::AgentCodec)'s native protocol) drive this
+    /// method monomorphically on native states — keep it allocation-free.
     fn interact(
         &self,
         initiator: &mut Self::State,

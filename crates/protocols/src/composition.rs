@@ -46,6 +46,7 @@ use std::sync::Arc;
 
 use rand::rngs::SmallRng;
 
+use ppsim::stint::{AgentCodec, BoxedAgentStint, DecodedStint};
 use ppsim::{DenseProtocol, Protocol, StateInterner};
 
 use crate::phase_clock::{sync_interact, PhaseClock, SyncState};
@@ -314,7 +315,7 @@ impl<C: SyncedComponent + Clone> DenseComposition<C> {
     }
 }
 
-impl<C: SyncedComponent + Clone> DenseProtocol for DenseComposition<C> {
+impl<C: SyncedComponent + Clone + Send + Sync + 'static> DenseProtocol for DenseComposition<C> {
     type Output = C::Output;
 
     fn num_states(&self) -> usize {
@@ -349,6 +350,38 @@ impl<C: SyncedComponent + Clone> DenseProtocol for DenseComposition<C> {
         // the interner census attributes an occupancy blow-up to the protocol
         // stage that minted the states.
         Some(self.interner.len())
+    }
+
+    fn agent_stint(&self, counts: &[u64], seed: u64) -> Option<BoxedAgentStint<C::Output>> {
+        Some(DecodedStint::boxed(self.clone(), counts, seed))
+    }
+}
+
+/// The typed agent-state codec of a composed protocol: per-agent stints of
+/// the hybrid engine decode each occupied index **once** at the migration
+/// boundary and then step native [`SyncedAgent`] structs with the identical
+/// [`SyncComposition::interact_pair`] — no interner probe per interaction.
+/// States minted during the stint reach the interner only if the run
+/// migrates back to the count-based substrate (or tallies its final
+/// configuration), so a refinement-style transient that scatters the
+/// population over `Θ(n)` loads no longer floods the index space.
+impl<C: SyncedComponent + Clone + Send + Sync + 'static> AgentCodec for DenseComposition<C> {
+    type Native = SyncComposition<C>;
+
+    fn native(&self) -> SyncComposition<C> {
+        self.base.clone()
+    }
+
+    fn decode_agent(&self, index: usize) -> SyncedAgent<C::State> {
+        self.decode(index)
+    }
+
+    fn try_decode_agent(&self, index: usize) -> Option<SyncedAgent<C::State>> {
+        self.interner.try_get(index)
+    }
+
+    fn encode_agent(&self, state: &SyncedAgent<C::State>) -> usize {
+        self.encode(*state)
     }
 }
 
@@ -436,6 +469,64 @@ mod tests {
         assert!(ctx.u_reset);
         assert_eq!(u.inner, 0, "the superseded initiator's component resets");
         assert_eq!(ctx.u_level, u.sync.junta.level);
+    }
+
+    #[test]
+    fn codec_round_trips_and_bisimulates_the_interned_delta_path() {
+        // Populate the interner with genuinely reachable states.
+        let dense = DenseComposition::new(SyncComposition::new(8, Odometer), 1 << 16);
+        let mut sim = Simulator::new(ppsim::DenseAdapter(dense.clone()), 300, 5).unwrap();
+        sim.run(30_000);
+        let discovered = dense.states_discovered();
+        assert!(discovered > 10);
+        use ppsim::stint::AgentCodec;
+        for i in 0..discovered {
+            // encode(decode(i)) == i over the whole reachable index range.
+            assert_eq!(dense.encode_agent(&dense.decode_agent(i)), i);
+            assert_eq!(dense.try_decode_agent(i), Some(dense.decode_agent(i)));
+        }
+        assert_eq!(dense.try_decode_agent(discovered + 7), None);
+        // decode → native interact → encode agrees with the interned δ.
+        let native = dense.native();
+        let mut rng = ppsim::seeded_rng(9);
+        for k in 0..200usize {
+            let (i, j) = ((k * 13) % discovered, (k * 29 + 1) % discovered);
+            let mut u = dense.decode_agent(i);
+            let mut v = dense.decode_agent(j);
+            ppsim::Protocol::interact(&native, &mut u, &mut v, &mut rng);
+            let via_codec = (dense.encode_agent(&u), dense.encode_agent(&v));
+            assert_eq!(
+                via_codec,
+                dense.transition(i, j),
+                "δ diverged at ({i}, {j})"
+            );
+        }
+    }
+
+    #[test]
+    fn composed_protocols_hand_the_hybrid_engine_a_decoded_stint() {
+        let dense = DenseComposition::new(SyncComposition::new(8, Odometer), 1 << 16);
+        let counts_probe = {
+            // Reach a non-trivial configuration first.
+            let mut sim = BatchedSimulator::new(dense.clone(), 4_000, 3).unwrap();
+            sim.run(20_000);
+            sim.into_counts()
+        };
+        let mut stint = dense
+            .agent_stint(&counts_probe, 11)
+            .expect("composed protocols carry a codec");
+        assert_eq!(stint.kind(), "decoded");
+        assert_eq!(stint.population(), 4_000);
+        let interned_before = dense.states_discovered();
+        stint.run(50_000);
+        assert_eq!(
+            dense.states_discovered(),
+            interned_before,
+            "a decoded stint must not touch the interner while stepping"
+        );
+        let tallied = stint.counts(); // the agent → dense boundary interns
+        assert_eq!(tallied.iter().sum::<u64>(), 4_000);
+        assert!(dense.states_discovered() >= interned_before);
     }
 
     #[test]
