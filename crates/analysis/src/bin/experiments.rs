@@ -6,19 +6,156 @@
 //! cargo run --release -p ppanalysis --bin experiments -- e08 e11        # selected experiments
 //! cargo run --release -p ppanalysis --bin experiments -- --quick e13    # selected, small sizes
 //! ```
+//!
+//! # Crash recovery for the long runs
+//!
+//! The multi-hour E19/E20 rows checkpoint themselves when given a scratch
+//! directory; re-running the identical command after a crash resumes from
+//! whatever survived (completed sweep trials, plus mid-trial staged-runner
+//! snapshots every `--checkpoint-every` interactions):
+//!
+//! ```text
+//! cargo run --release -p ppanalysis --bin experiments -- \
+//!     e19 e20 --checkpoint-dir ckpt/ --checkpoint-every 1000000000 --out EXPERIMENTS.tmp.md
+//! ```
+//!
+//! `--out` writes the report atomically (temp + fsync + rename), so a kill
+//! mid-write never leaves a truncated report behind.
+//!
+//! # Standalone staged run (the CI kill/resume smoke test)
+//!
+//! ```text
+//! experiments --staged-n 10000 --seed 42 --checkpoint ckpt.ppss --checkpoint-every 200000
+//! experiments --staged-n 10000 --seed 42 --resume ckpt.ppss   # after a SIGKILL
+//! ```
+//!
+//! Runs a single staged `CountExact` trial (`count_exact_dense_staged`),
+//! prints `output=<count> interactions=<total>`, and exits 0 iff the run
+//! converged to the exact population size — resuming from a snapshot yields
+//! the bit-identical trajectory, so both invocations print the same line.
 
+use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-use ppanalysis::experiments::{run_all, run_one, Effort};
+use popcount::{
+    count_exact_dense_staged_checkpointed, CountExactParams, StagedCheckpoint, StintMode,
+};
+use ppanalysis::experiments::{configure_checkpoints, run_all, run_one, CheckpointPlan, Effort};
+use ppsim::snapshot::write_bytes_atomic;
+use ppsim::Engine;
+
+/// Flags that consume the following argument (kept in sync with `main`'s
+/// dispatch so flag values are never mistaken for experiment ids).
+const VALUE_FLAGS: &[&str] = &[
+    "--checkpoint-dir",
+    "--checkpoint-every",
+    "--out",
+    "--staged-n",
+    "--seed",
+    "--engine",
+    "--budget",
+    "--checkpoint",
+    "--resume",
+];
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn parsed_flag<T: std::str::FromStr>(args: &[String], name: &str) -> Option<T> {
+    flag_value(args, name).map(|v| {
+        v.parse().unwrap_or_else(|_| {
+            eprintln!("invalid value `{v}` for {name}");
+            std::process::exit(2);
+        })
+    })
+}
+
+fn staged_main(args: &[String], n: usize) -> ! {
+    let seed = parsed_flag(args, "--seed").unwrap_or(42u64);
+    let budget = parsed_flag(args, "--budget").unwrap_or((n as u64).saturating_mul(300_000));
+    let engine = match flag_value(args, "--engine").unwrap_or("batched") {
+        "batched" => Engine::Batched,
+        "auto" => Engine::Auto,
+        "sharded" => Engine::Sharded {
+            shards: 2,
+            threads: 1,
+        },
+        other => {
+            eprintln!("unknown --engine `{other}` (expected batched|sharded|auto)");
+            std::process::exit(2);
+        }
+    };
+    let every = parsed_flag(args, "--checkpoint-every").unwrap_or((n as u64).max(1) * 20);
+    let autosave = flag_value(args, "--checkpoint").map(|p| StagedCheckpoint {
+        path: PathBuf::from(p),
+        every,
+    });
+    let resume = flag_value(args, "--resume").map(PathBuf::from);
+
+    let outcome = count_exact_dense_staged_checkpointed(
+        CountExactParams::dense_at_scale(n),
+        n,
+        seed,
+        engine,
+        budget,
+        StintMode::Decoded,
+        autosave.as_ref(),
+        resume.as_deref(),
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("staged run failed: {e}");
+        std::process::exit(2);
+    });
+    println!(
+        "staged CountExact n={n} seed={seed}: output={} interactions={} converged={}",
+        outcome
+            .output
+            .map_or_else(|| "none".into(), |o| o.to_string()),
+        outcome.interactions,
+        outcome.converged,
+    );
+    let exact = outcome.converged && outcome.output == Some(n as u64);
+    std::process::exit(i32::from(!exact));
+}
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if let Some(n) = parsed_flag(&args, "--staged-n") {
+        staged_main(&args, n);
+    }
+
+    if let Some(dir) = flag_value(&args, "--checkpoint-dir") {
+        configure_checkpoints(CheckpointPlan {
+            dir: PathBuf::from(dir),
+            every: parsed_flag(&args, "--checkpoint-every").unwrap_or(1_000_000_000),
+        });
+    }
+
     let effort = if args.iter().any(|a| a == "--quick") {
         Effort::Quick
     } else {
         Effort::Full
     };
-    let selected: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+    // Experiment ids are the positional arguments: everything that is not a
+    // flag and not the value of a value-taking flag.
+    let mut selected: Vec<&String> = Vec::new();
+    let mut skip_next = false;
+    for arg in &args {
+        if skip_next {
+            skip_next = false;
+            continue;
+        }
+        if VALUE_FLAGS.contains(&arg.as_str()) {
+            skip_next = true;
+        } else if !arg.starts_with("--") {
+            selected.push(arg);
+        }
+    }
 
     let start = Instant::now();
     let reports = if selected.is_empty() {
@@ -36,13 +173,26 @@ fn main() {
             .collect()
     };
 
-    println!("# Experiment report ({effort:?} effort)\n");
+    let mut out = String::new();
+    out.push_str(&format!("# Experiment report ({effort:?} effort)\n\n"));
     for report in &reports {
-        println!("**{} — paper claim:** {}\n", report.id, report.claim);
-        println!("{}", report.table.to_markdown());
+        out.push_str(&format!(
+            "**{} — paper claim:** {}\n\n",
+            report.id, report.claim
+        ));
+        out.push_str(&format!("{}\n", report.table.to_markdown()));
     }
-    println!(
-        "_Generated by `cargo run -p ppanalysis --bin experiments` in {:.1} s._",
+    out.push_str(&format!(
+        "_Generated by `cargo run -p ppanalysis --bin experiments` in {:.1} s._\n",
         start.elapsed().as_secs_f64()
-    );
+    ));
+
+    match flag_value(&args, "--out") {
+        // Atomic write: a crash mid-report never clobbers the previous one.
+        Some(path) => write_bytes_atomic(Path::new(path), out.as_bytes()).unwrap_or_else(|e| {
+            eprintln!("failed to write report: {e}");
+            std::process::exit(2);
+        }),
+        None => print!("{out}"),
+    }
 }

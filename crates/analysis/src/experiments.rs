@@ -8,12 +8,15 @@
 //! the paper's claim.  The exact sizes and trial counts depend on the [`Effort`]
 //! level; `EXPERIMENTS.md` records a full run.
 
+use std::path::PathBuf;
+use std::sync::OnceLock;
+
 use popcount::{
     all_counted, all_estimated, all_estimates_valid, all_exact, all_output_n,
-    count_exact_dense_staged, count_exact_dense_staged_with, valid_estimates, Approximate,
-    ApproximateBackup, ApproximateParams, CountExact, CountExactParams, DenseApproximate,
-    DenseCountExact, ExactBackup, StableApproximate, StableCountExact, StintMode,
-    TokenMergingCounter,
+    count_exact_dense_staged_checkpointed, count_exact_dense_staged_with, valid_estimates,
+    Approximate, ApproximateBackup, ApproximateParams, CountExact, CountExactParams,
+    DenseApproximate, DenseCountExact, ExactBackup, StableApproximate, StableCountExact,
+    StagedCheckpoint, StintMode, TokenMergingCounter,
 };
 use ppproto::fast_leader_election::FastLeaderElectionProtocol;
 use ppproto::junta::{all_inactive, junta_size, max_level, JuntaProtocol};
@@ -26,8 +29,96 @@ use ppsim::{BatchedSimulator, DenseAdapter, DenseSimulator, Engine, Simulator, S
 
 use crate::fit::{n_log2_n, n_log_n, n_squared};
 use crate::stats::Summary;
-use crate::sweep::{sweep, sweep_with_threads, TrialResult};
+use crate::sweep::{sweep, sweep_with_threads, sweep_with_threads_checkpointed, TrialResult};
 use crate::table::Table;
+
+/// Crash-recovery policy for the long E-series runs (E19/E20), set once by
+/// the CLI's `--checkpoint-dir` / `--checkpoint-every` flags: completed
+/// sweep trials and mid-trial staged-runner snapshots land in `dir`, and a
+/// re-run with the same flags resumes from whatever survived.
+#[derive(Debug, Clone)]
+pub struct CheckpointPlan {
+    /// Directory holding the autosave snapshot files (created on first use).
+    pub dir: PathBuf,
+    /// Minimum interactions between staged-runner autosaves.
+    pub every: u64,
+}
+
+static CHECKPOINTS: OnceLock<CheckpointPlan> = OnceLock::new();
+
+/// Install the checkpoint plan for this process (first caller wins; the
+/// E-series runners pick it up on their next sweep).
+pub fn configure_checkpoints(plan: CheckpointPlan) {
+    let _ = CHECKPOINTS.set(plan);
+}
+
+fn checkpoint_plan() -> Option<&'static CheckpointPlan> {
+    CHECKPOINTS.get()
+}
+
+/// One-worker sweep, checkpointed at trial granularity when a
+/// [`CheckpointPlan`] is installed (`tag` + master seed name the file).
+fn sweep_serial_maybe_checkpointed<F>(
+    tag: &str,
+    sizes: &[usize],
+    trials: usize,
+    master: u64,
+    job: F,
+) -> Vec<Vec<TrialResult>>
+where
+    F: Fn(usize, u64) -> TrialResult + Sync,
+{
+    match checkpoint_plan() {
+        Some(plan) => {
+            let _ = std::fs::create_dir_all(&plan.dir);
+            let path = plan.dir.join(format!("{tag}-m{master:x}.ppss"));
+            sweep_with_threads_checkpointed(sizes, trials, master, 1, &path, job)
+                .expect("sweep checkpoint read/write failed")
+        }
+        None => sweep_with_threads(sizes, trials, master, 1, job),
+    }
+}
+
+/// Staged `CountExact` trial with mid-run autosave/resume when a
+/// [`CheckpointPlan`] is installed; the snapshot is deleted once the trial
+/// completes (the sweep-level checkpoint then carries its result).
+fn staged_trial_maybe_checkpointed(
+    tag: &str,
+    params: CountExactParams,
+    n: usize,
+    seed: u64,
+    engine: Engine,
+    budget: u64,
+    stints: StintMode,
+) -> popcount::StagedCountOutcome {
+    let Some(plan) = checkpoint_plan() else {
+        return count_exact_dense_staged_with(params, n, seed, engine, budget, stints).unwrap();
+    };
+    let _ = std::fs::create_dir_all(&plan.dir);
+    let mode = match stints {
+        StintMode::Decoded => "",
+        StintMode::Interned => "-interned",
+    };
+    let path = plan.dir.join(format!("{tag}-n{n}-s{seed:x}{mode}.ppss"));
+    let spec = StagedCheckpoint {
+        path: path.clone(),
+        every: plan.every,
+    };
+    let resume = path.exists().then_some(path.as_path());
+    let outcome = count_exact_dense_staged_checkpointed(
+        params,
+        n,
+        seed,
+        engine,
+        budget,
+        stints,
+        Some(&spec),
+        resume,
+    )
+    .unwrap();
+    let _ = std::fs::remove_file(&path);
+    outcome
+}
 
 /// How much work to spend per experiment.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -1131,7 +1222,7 @@ pub fn e19_dense_counting(effort: Effort) -> ExperimentReport {
     // that value is valid separately: waiting for a unanimous *valid* value
     // would spin forever on the rare run whose search overshoots.
     let run_approximate = |engine: Engine, n: usize, master: u64, trials: usize| {
-        sweep_with_threads(&[n], trials, master, 1, |n, seed| {
+        sweep_serial_maybe_checkpointed("e19-approximate", &[n], trials, master, |n, seed| {
             let start = Instant::now();
             let proto = DenseApproximate::new(ApproximateParams::default());
             let handle = proto.clone(); // shares the interner: reads the state census
@@ -1164,16 +1255,17 @@ pub fn e19_dense_counting(effort: Effort) -> ExperimentReport {
     // PR 3 numbers counted only the stage-1–2 window (~7·10⁴ at n = 10⁶)
     // because the struct-based refinement never touched the interner.
     let run_count_exact = |engine: Engine, n: usize, master: u64, trials: usize| {
-        sweep_with_threads(&[n], trials, master, 1, |n, seed| {
+        sweep_serial_maybe_checkpointed("e19-countexact", &[n], trials, master, |n, seed| {
             let start = Instant::now();
-            let outcome = count_exact_dense_staged(
+            let outcome = staged_trial_maybe_checkpointed(
+                "e19-countexact-staged",
                 CountExactParams::dense_at_scale(n),
                 n,
                 seed,
                 engine,
                 (n as u64).saturating_mul(300_000),
-            )
-            .unwrap();
+                StintMode::Decoded,
+            );
             TrialResult {
                 n,
                 seed,
@@ -1393,15 +1485,15 @@ pub fn e20_hybrid_counting(effort: Effort) -> ExperimentReport {
     let run_auto = |n: usize, master: u64, stints: StintMode| -> RichOutcome {
         run_rich(n, master, &|n, seed| {
             let start = Instant::now();
-            let o = count_exact_dense_staged_with(
+            let o = staged_trial_maybe_checkpointed(
+                "e20-auto",
                 CountExactParams::dense_at_scale(n),
                 n,
                 seed,
                 Engine::Batched,
                 (n as u64).saturating_mul(300_000),
                 stints,
-            )
-            .unwrap();
+            );
             RichOutcome {
                 n,
                 converged: o.converged && o.output == Some(n as u64),
@@ -1460,7 +1552,7 @@ pub fn e20_hybrid_counting(effort: Effort) -> ExperimentReport {
                 budget,
             );
             let converged = stage12.converged() && {
-                sim.switch_to_agent();
+                sim.switch_to_agent().expect("manual migration");
                 let o = sim.run_until(
                     |s| s.output_stats().unanimous().is_some_and(|o| o.is_some()),
                     check_every,

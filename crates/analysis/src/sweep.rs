@@ -1,7 +1,26 @@
 //! Parameter sweeps: repeated seeded trials across population sizes, run on worker
 //! threads.
+//!
+//! Long sweeps can checkpoint at trial granularity
+//! ([`sweep_with_threads_checkpointed`]): every completed [`TrialResult`] is
+//! appended to an atomically-written snapshot file, and a resumed sweep
+//! replays completed trials from the file instead of re-running them.  A
+//! trial is deterministic in `(n, seed)` and its seed is derived from the
+//! sweep geometry, so a replayed result is bitwise the result the re-run
+//! would produce — resuming changes wall-clock, never data.
 
-use ppsim::{derive_seed, run_trials_with_threads};
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Mutex;
+
+use ppsim::snapshot::ENGINE_COMPOSITE_BASE;
+use ppsim::{
+    derive_seed, run_trials_with_threads, EngineSnapshot, PersistState, SimError, SnapshotReader,
+};
+
+/// Engine tag of the composite sweep snapshot: sweep geometry plus the
+/// completed trials so far.
+pub const ENGINE_SWEEP: u8 = ENGINE_COMPOSITE_BASE + 1;
 
 /// The result of one trial of an experiment.
 #[derive(Debug, Clone, PartialEq)]
@@ -70,6 +89,159 @@ where
     grouped
 }
 
+/// Snapshot codec: fields in declaration order (see [`ppsim::snapshot`]).
+impl PersistState for TrialResult {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.n.persist(out);
+        self.seed.persist(out);
+        self.converged.persist(out);
+        self.interactions.persist(out);
+        self.metric.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, SimError> {
+        Ok(TrialResult {
+            n: usize::unpersist(r)?,
+            seed: u64::unpersist(r)?,
+            converged: bool::unpersist(r)?,
+            interactions: u64::unpersist(r)?,
+            metric: f64::unpersist(r)?,
+        })
+    }
+}
+
+fn sweep_snapshot(
+    sizes: &[usize],
+    trials: usize,
+    master_seed: u64,
+    completed: &HashMap<usize, TrialResult>,
+) -> EngineSnapshot {
+    let mut payload = Vec::new();
+    sizes.to_vec().persist(&mut payload);
+    trials.persist(&mut payload);
+    master_seed.persist(&mut payload);
+    let mut done: Vec<(usize, TrialResult)> =
+        completed.iter().map(|(&i, r)| (i, r.clone())).collect();
+    done.sort_by_key(|(i, _)| *i);
+    (done.len()).persist(&mut payload);
+    for (i, r) in done {
+        i.persist(&mut payload);
+        r.persist(&mut payload);
+    }
+    EngineSnapshot::new(ENGINE_SWEEP, payload)
+}
+
+fn read_sweep_snapshot(
+    path: &Path,
+    sizes: &[usize],
+    trials: usize,
+    master_seed: u64,
+) -> Result<HashMap<usize, TrialResult>, SimError> {
+    let snap = EngineSnapshot::read_file(path)?;
+    snap.expect_engine(ENGINE_SWEEP, "parameter sweep")?;
+    let mut r = snap.reader();
+    let saved_sizes = Vec::<usize>::unpersist(&mut r)?;
+    let saved_trials = usize::unpersist(&mut r)?;
+    let saved_master = u64::unpersist(&mut r)?;
+    if saved_sizes != sizes || saved_trials != trials || saved_master != master_seed {
+        return Err(SimError::SnapshotMismatch {
+            reason: format!(
+                "sweep snapshot was taken with (sizes {saved_sizes:?}, trials {saved_trials}, \
+                 master seed {saved_master}) but this sweep asked for (sizes {sizes:?}, trials \
+                 {trials}, master seed {master_seed}) — per-trial seeds derive from that \
+                 geometry, so the completed results are not transferable"
+            ),
+        });
+    }
+    let count = usize::unpersist(&mut r)?;
+    let total = sizes.len() * trials;
+    let mut completed = HashMap::with_capacity(count);
+    for _ in 0..count {
+        let i = usize::unpersist(&mut r)?;
+        let result = TrialResult::unpersist(&mut r)?;
+        if i >= total || completed.insert(i, result).is_some() {
+            return Err(SimError::SnapshotCorrupt {
+                reason: format!("sweep snapshot names trial {i} outside or twice in 0..{total}"),
+            });
+        }
+    }
+    r.finish()?;
+    Ok(completed)
+}
+
+/// [`sweep_with_threads`] with trial-granular crash recovery: completed
+/// trials are checkpointed to `checkpoint` (written atomically after every
+/// finished trial), and if the file already exists the sweep resumes from
+/// it, re-running only the missing trials.
+///
+/// The file's sweep geometry (`sizes`, `trials`, `master_seed`) must match
+/// the arguments — trial seeds derive from the geometry, so results from a
+/// different sweep are rejected with [`SimError::SnapshotMismatch`] rather
+/// than silently mixed in.
+///
+/// # Errors
+///
+/// Fails on an unreadable/mismatched checkpoint or when a checkpoint write
+/// fails (the first write error aborts the sweep — a long sweep silently
+/// losing its checkpoints would defeat the point).
+pub fn sweep_with_threads_checkpointed<F>(
+    sizes: &[usize],
+    trials: usize,
+    master_seed: u64,
+    threads: usize,
+    checkpoint: &Path,
+    job: F,
+) -> Result<Vec<Vec<TrialResult>>, SimError>
+where
+    F: Fn(usize, u64) -> TrialResult + Sync,
+{
+    let completed = if checkpoint.exists() {
+        read_sweep_snapshot(checkpoint, sizes, trials, master_seed)?
+    } else {
+        HashMap::new()
+    };
+
+    let mut jobs = Vec::new();
+    for (si, &n) in sizes.iter().enumerate() {
+        for t in 0..trials {
+            jobs.push((si, n, derive_seed(master_seed, (si * trials + t) as u64)));
+        }
+    }
+    let pending: Vec<usize> = (0..jobs.len())
+        .filter(|i| !completed.contains_key(i))
+        .collect();
+
+    // Workers funnel finished trials through the ledger, which rewrites the
+    // checkpoint after every insertion.  Write amplification is irrelevant
+    // at sweep scale (a trial takes seconds to hours; the file is tiny).
+    let ledger = Mutex::new((completed, None::<SimError>));
+    run_trials_with_threads(pending.len(), threads, |k| {
+        let i = pending[k];
+        let (_, n, seed) = jobs[i];
+        let result = job(n, seed);
+        let mut guard = ledger.lock().expect("ledger poisoned");
+        let (completed, error) = &mut *guard;
+        completed.insert(i, result);
+        if error.is_none() {
+            if let Err(e) =
+                sweep_snapshot(sizes, trials, master_seed, completed).write_atomic(checkpoint)
+            {
+                *error = Some(e);
+            }
+        }
+    });
+
+    let (completed, error) = ledger.into_inner().expect("ledger poisoned");
+    if let Some(e) = error {
+        return Err(e);
+    }
+    let mut grouped: Vec<Vec<TrialResult>> = sizes.iter().map(|_| Vec::new()).collect();
+    for (i, (si, _, _)) in jobs.iter().enumerate() {
+        grouped[*si].push(completed[&i].clone());
+    }
+    Ok(grouped)
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -125,6 +297,59 @@ mod tests {
             serial, parallel,
             "results are seed-determined, not thread-determined"
         );
+    }
+
+    fn scratch_path(tag: &str) -> std::path::PathBuf {
+        std::env::temp_dir().join(format!("ppsim-sweep-{tag}-{}.ppss", std::process::id()))
+    }
+
+    #[test]
+    fn checkpointed_sweep_resumes_without_rerunning_completed_trials() {
+        use std::sync::atomic::{AtomicUsize, Ordering};
+
+        let path = scratch_path("resume");
+        let _ = std::fs::remove_file(&path);
+        let sizes = [16usize, 32];
+        let ran = AtomicUsize::new(0);
+        let job = |n: usize, seed: u64| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            TrialResult {
+                n,
+                seed,
+                converged: true,
+                interactions: seed % 1_000,
+                metric: n as f64 / 3.0,
+            }
+        };
+        let full = sweep_with_threads_checkpointed(&sizes, 3, 9, 1, &path, job).unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 6);
+        assert_eq!(full, sweep_with_threads(&sizes, 3, 9, 1, job));
+        assert_eq!(ran.load(Ordering::Relaxed), 12);
+
+        // Resume from a complete checkpoint: zero re-runs, identical data.
+        let resumed = sweep_with_threads_checkpointed(&sizes, 3, 9, 1, &path, job).unwrap();
+        assert_eq!(ran.load(Ordering::Relaxed), 12);
+        assert_eq!(resumed, full);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn checkpointed_sweep_rejects_a_foreign_geometry() {
+        let path = scratch_path("geometry");
+        let _ = std::fs::remove_file(&path);
+        let job = |n: usize, seed: u64| TrialResult {
+            n,
+            seed,
+            converged: true,
+            interactions: 1,
+            metric: 0.0,
+        };
+        sweep_with_threads_checkpointed(&[8], 2, 5, 1, &path, job).unwrap();
+        let err = sweep_with_threads_checkpointed(&[8], 2, 6, 1, &path, job).unwrap_err();
+        assert!(matches!(err, SimError::SnapshotMismatch { .. }), "{err}");
+        let err = sweep_with_threads_checkpointed(&[8, 16], 2, 5, 1, &path, job).unwrap_err();
+        assert!(matches!(err, SimError::SnapshotMismatch { .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -21,6 +21,12 @@
 //!     --workload countexact --engines hybrid --sizes 1e5 > BENCH_countexact.json
 //! cargo run --release -p ppbench --bin bench_batched_json -- \
 //!     --workload countexact --engines hybrid --sizes 1e5 --interned-stints
+//!
+//! # Crash-safe output: write the JSON atomically (temp + fsync + rename)
+//! # instead of redirecting stdout, so a kill mid-write never truncates a
+//! # checked-in benchmark file:
+//! cargo run --release -p ppbench --bin bench_batched_json -- \
+//!     --full --out BENCH_batched.json
 //! ```
 //!
 //! Hybrid rows additionally emit `dense_mips` / `agent_mips` (per-leg
@@ -37,6 +43,8 @@
 //! below 10⁸, 2 below 10⁹, then 1); the sequential engine is skipped above
 //! 2·10⁶ where a single converged run takes minutes.
 
+use std::fmt::Write as _;
+use std::path::Path;
 use std::time::Instant;
 
 use popcount::{
@@ -44,6 +52,7 @@ use popcount::{
     DenseApproximate, StintMode,
 };
 use ppproto::DenseEpidemic;
+use ppsim::snapshot::write_bytes_atomic;
 use ppsim::{derive_seed, DenseSimulator, Engine, HybridLegs};
 
 /// Which protocol the benchmark drives to convergence.
@@ -366,15 +375,20 @@ fn main() {
         }
     }
 
-    // Hand-rolled JSON (the workspace deliberately carries no serde).
-    println!("{{");
-    println!("  \"benchmark\": \"{name}\",");
+    // Hand-rolled JSON (the workspace deliberately carries no serde),
+    // buffered so `--out` can land it atomically in one rename.
+    let mut out = String::new();
+    let _ = writeln!(out, "{{");
+    let _ = writeln!(out, "  \"benchmark\": \"{name}\",");
     if let Some(note) = note {
-        println!("  \"note\": \"{note}\",");
+        let _ = writeln!(out, "  \"note\": \"{note}\",");
     }
-    println!("  \"workload\": \"{}\",", workload.describe());
-    println!("  \"units\": {{ \"time\": \"seconds\", \"throughput\": \"interactions/second\" }},");
-    println!("  \"results\": [");
+    let _ = writeln!(out, "  \"workload\": \"{}\",", workload.describe());
+    let _ = writeln!(
+        out,
+        "  \"units\": {{ \"time\": \"seconds\", \"throughput\": \"interactions/second\" }},"
+    );
+    let _ = writeln!(out, "  \"results\": [");
     for (i, m) in measurements.iter().enumerate() {
         let comma = if i + 1 == measurements.len() { "" } else { "," };
         // Switch points ride along as a note field on hybrid rows: the
@@ -392,7 +406,8 @@ fn main() {
                     .join(", ")
             )
         };
-        println!(
+        let _ = writeln!(
+            out,
             "    {{ \"n\": {}, {}, \"trials\": {}, \"mean_seconds\": {:.6}, \
              \"min_seconds\": {:.6}, \"mean_interactions\": {:.0}, \
              \"interactions_per_second\": {:.0}{}{} }}{}",
@@ -408,8 +423,8 @@ fn main() {
             comma
         );
     }
-    println!("  ],");
-    println!("  \"speedups\": [");
+    let _ = writeln!(out, "  ],");
+    let _ = writeln!(out, "  \"speedups\": [");
     let find = |n: usize, name: &str| {
         measurements
             .iter()
@@ -436,7 +451,14 @@ fn main() {
             ));
         }
     }
-    println!("{}", speedups.join(",\n"));
-    println!("  ]");
-    println!("}}");
+    let _ = writeln!(out, "{}", speedups.join(",\n"));
+    let _ = writeln!(out, "  ]");
+    let _ = writeln!(out, "}}");
+
+    match flag_value(&args, "--out") {
+        // Atomic write: a kill mid-write never leaves a truncated JSON file.
+        Some(path) => write_bytes_atomic(Path::new(path), out.as_bytes())
+            .unwrap_or_else(|e| panic!("failed to write {path}: {e}")),
+        None => print!("{out}"),
+    }
 }

@@ -24,7 +24,7 @@ use ppproto::composition::{
 use ppproto::leader_election::{LeaderElection, LeaderState};
 use ppproto::phase_clock::SyncState;
 use ppsim::stint::{AgentCodec, BoxedAgentStint};
-use ppsim::{DenseProtocol, Protocol};
+use ppsim::{DenseProtocol, PersistState, Protocol, SnapshotReader};
 
 use crate::params::ApproximateParams;
 use crate::search::{search_interact, SearchContext, SearchState};
@@ -38,6 +38,24 @@ pub struct ApproximateAgent {
     pub election: LeaderState,
     /// Search Protocol component (`k_v`, `searchDone_v`).
     pub search: SearchState,
+}
+
+/// Snapshot codec: fields in declaration order (see [`ppsim::snapshot`]) —
+/// lets [`ppsim::Checkpointable`] snapshot a sequential `Approximate` run.
+impl PersistState for ApproximateAgent {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.sync.persist(out);
+        self.election.persist(out);
+        self.search.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, ppsim::SimError> {
+        Ok(ApproximateAgent {
+            sync: SyncState::unpersist(r)?,
+            election: LeaderState::unpersist(r)?,
+            search: SearchState::unpersist(r)?,
+        })
+    }
 }
 
 impl ApproximateAgent {
@@ -91,6 +109,21 @@ pub struct ApproximateCore {
     pub election: LeaderState,
     /// Search Protocol component (`k_v`, `searchDone_v`).
     pub search: SearchState,
+}
+
+/// Snapshot codec: fields in declaration order (see [`ppsim::snapshot`]).
+impl PersistState for ApproximateCore {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.election.persist(out);
+        self.search.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, ppsim::SimError> {
+        Ok(ApproximateCore {
+            election: LeaderState::unpersist(r)?,
+            search: SearchState::unpersist(r)?,
+        })
+    }
 }
 
 /// The stages of protocol `Approximate` as a [`SyncedComponent`]: the part of
@@ -508,6 +541,21 @@ impl DenseProtocol for DenseApproximate {
         // through the composition's codec — no interner probe per
         // interaction (see `ppsim::stint`).
         self.inner.agent_stint(counts, seed)
+    }
+
+    fn save_protocol_state(&self) -> Vec<u8> {
+        self.inner.save_protocol_state()
+    }
+
+    fn restore_protocol_state(&self, bytes: &[u8]) -> Result<(), ppsim::SimError> {
+        self.inner.restore_protocol_state(bytes)
+    }
+
+    fn restore_agent_stint(
+        &self,
+        bytes: &[u8],
+    ) -> Option<Result<BoxedAgentStint<Option<i32>>, ppsim::SimError>> {
+        self.inner.restore_agent_stint(bytes)
     }
 }
 

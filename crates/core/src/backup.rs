@@ -14,7 +14,7 @@
 
 use rand::rngs::SmallRng;
 
-use ppsim::Protocol;
+use ppsim::{PersistState, Protocol, SimError, SnapshotReader};
 
 /// Per-agent state of the approximate backup protocol (Appendix C.1):
 /// `(k_v, kmax_v)`.
@@ -37,6 +37,21 @@ impl ApproximateBackupState {
 impl Default for ApproximateBackupState {
     fn default() -> Self {
         Self::new()
+    }
+}
+
+/// Snapshot codec: fields in declaration order (see [`ppsim::snapshot`]).
+impl PersistState for ApproximateBackupState {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.k.persist(out);
+        self.k_max.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, SimError> {
+        Ok(ApproximateBackupState {
+            k: i32::unpersist(r)?,
+            k_max: i32::unpersist(r)?,
+        })
     }
 }
 
@@ -335,6 +350,15 @@ impl ppsim::DenseProtocol for DenseApproximateBackup {
 
     fn agent_stint(&self, counts: &[u64], seed: u64) -> Option<ppsim::stint::BoxedAgentStint<i32>> {
         Some(ppsim::stint::DecodedStint::boxed(*self, counts, seed))
+    }
+
+    fn restore_agent_stint(
+        &self,
+        bytes: &[u8],
+    ) -> Option<Result<ppsim::stint::BoxedAgentStint<i32>, SimError>> {
+        // No interner here, so the default (empty) protocol-state hooks
+        // apply; only the stint itself needs restoring.
+        Some(ppsim::stint::DecodedStint::restore_boxed(*self, bytes))
     }
 }
 

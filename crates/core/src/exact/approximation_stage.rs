@@ -34,6 +34,7 @@
 //! (see [`CountExactParams::level_offset`](crate::params::CountExactParams)).
 
 use ppproto::load_balancing::split_evenly;
+use ppsim::{PersistState, SimError, SnapshotReader};
 
 /// Per-agent state shared by the approximation and refinement stages
 /// (`i_v`, `k_v`, `ℓ_v`, `ApxDone_v` plus bookkeeping for the refinement phases).
@@ -215,6 +216,35 @@ pub fn approximation_interact(
     }
     raised |= false;
     raised
+}
+
+/// Snapshot codec: fields in declaration order (see [`ppsim::snapshot`]).
+impl PersistState for ExactStageState {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.tag.persist(out);
+        self.origin_phase.persist(out);
+        self.seeded.persist(out);
+        self.k.persist(out);
+        self.l.persist(out);
+        self.l_min.persist(out);
+        self.apx_done.persist(out);
+        self.start_phase.persist(out);
+        self.multiplied.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, SimError> {
+        Ok(ExactStageState {
+            tag: u32::unpersist(r)?,
+            origin_phase: u32::unpersist(r)?,
+            seeded: bool::unpersist(r)?,
+            k: i64::unpersist(r)?,
+            l: u64::unpersist(r)?,
+            l_min: u64::unpersist(r)?,
+            apx_done: bool::unpersist(r)?,
+            start_phase: u32::unpersist(r)?,
+            multiplied: bool::unpersist(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

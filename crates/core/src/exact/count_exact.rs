@@ -18,7 +18,7 @@ use ppproto::composition::{
 use ppproto::fast_leader_election::{FastLeaderElection, FastLeaderState};
 use ppproto::phase_clock::SyncState;
 use ppsim::stint::{AgentCodec, BoxedAgentStint};
-use ppsim::{DenseProtocol, Protocol};
+use ppsim::{DenseProtocol, PersistState, Protocol, SnapshotReader};
 
 use crate::params::CountExactParams;
 
@@ -34,6 +34,24 @@ pub struct CountExactAgent {
     pub election: FastLeaderState,
     /// Approximation- and refinement-stage state (`i_u`, `k_u`, `ℓ_u`, `ApxDone_u`).
     pub stage: ExactStageState,
+}
+
+/// Snapshot codec: fields in declaration order (see [`ppsim::snapshot`]) —
+/// lets [`ppsim::Checkpointable`] snapshot a sequential `CountExact` run.
+impl PersistState for CountExactAgent {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.sync.persist(out);
+        self.election.persist(out);
+        self.stage.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, ppsim::SimError> {
+        Ok(CountExactAgent {
+            sync: SyncState::unpersist(r)?,
+            election: FastLeaderState::unpersist(r)?,
+            stage: ExactStageState::unpersist(r)?,
+        })
+    }
 }
 
 impl CountExactAgent {
@@ -104,6 +122,21 @@ pub struct CountExactCore {
     pub election: FastLeaderState,
     /// Approximation- and refinement-stage state (`i_u`, `k_u`, `ℓ_u`, `ApxDone_u`).
     pub stage: ExactStageState,
+}
+
+/// Snapshot codec: fields in declaration order (see [`ppsim::snapshot`]).
+impl PersistState for CountExactCore {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.election.persist(out);
+        self.stage.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, ppsim::SimError> {
+        Ok(CountExactCore {
+            election: FastLeaderState::unpersist(r)?,
+            stage: ExactStageState::unpersist(r)?,
+        })
+    }
 }
 
 /// The stages of protocol `CountExact` as a [`SyncedComponent`]: the part of
@@ -476,6 +509,21 @@ impl DenseProtocol for DenseCountExact {
         // traffic confined to the migration boundaries (see `ppsim::stint`) —
         // the Θ(n) transient loads of Lemma 11 never flood the index space.
         self.inner.agent_stint(counts, seed)
+    }
+
+    fn save_protocol_state(&self) -> Vec<u8> {
+        self.inner.save_protocol_state()
+    }
+
+    fn restore_protocol_state(&self, bytes: &[u8]) -> Result<(), ppsim::SimError> {
+        self.inner.restore_protocol_state(bytes)
+    }
+
+    fn restore_agent_stint(
+        &self,
+        bytes: &[u8],
+    ) -> Option<Result<BoxedAgentStint<Option<u64>>, ppsim::SimError>> {
+        self.inner.restore_agent_stint(bytes)
     }
 }
 

@@ -40,11 +40,22 @@
 //! (the PR 4 interned stint cost a measured ~40 % of that leg at `n = 10⁵`).
 //! [`StintMode::Interned`] keeps the old stepping path measurable.
 
-use ppsim::{Engine, HybridConfig, HybridSimulator, HybridSubstrate, SimError, Simulator};
+use std::path::{Path, PathBuf};
+
+use ppsim::snapshot::ENGINE_COMPOSITE_BASE;
+use ppsim::{
+    Checkpointable, Engine, EngineSnapshot, HybridConfig, HybridSimulator, HybridSubstrate,
+    PersistState, SimError, Simulator,
+};
 
 use crate::params::CountExactParams;
 
 use super::count_exact::{CountExact, DenseCountExact};
+
+/// Engine tag of the composite staged-runner snapshot: a
+/// [`count_exact_dense_staged`] checkpoint wraps the inner engine snapshot
+/// together with the run parameters that shape its trajectory.
+pub const ENGINE_STAGED: u8 = ENGINE_COMPOSITE_BASE;
 
 /// Outcome of a staged (hybrid) dense `CountExact` run.
 #[derive(Debug, Clone, PartialEq)]
@@ -164,18 +175,86 @@ pub fn count_exact_dense_staged_with(
     budget: u64,
     stints: StintMode,
 ) -> Result<StagedCountOutcome, SimError> {
+    count_exact_dense_staged_checkpointed(params, n, seed, engine, budget, stints, None, None)
+}
+
+/// Autosave policy for [`count_exact_dense_staged_checkpointed`]: write an
+/// atomic checkpoint to `path` whenever at least `every` interactions have
+/// elapsed since the last save (checked at the runner's convergence-probe
+/// boundaries, so the cadence is rounded up to the probe granularity
+/// `n · 20`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct StagedCheckpoint {
+    /// Where to write the snapshot (atomically: temp + fsync + rename).
+    pub path: PathBuf,
+    /// Minimum interactions between consecutive autosaves.
+    pub every: u64,
+}
+
+/// [`count_exact_dense_staged_with`] plus crash recovery: optional periodic
+/// autosaves and an optional snapshot to resume from.
+///
+/// Determinism: `run_until` chunks its work at **absolute** interaction
+/// counts (`min(check_every, budget − interactions())`), so a resumed run —
+/// whose restored interaction counter sits on a probe boundary — issues
+/// exactly the chunk sequence the uninterrupted run would have issued from
+/// that point, and the continued trajectory is bit-identical.  Checkpoints
+/// are taken only at those probe boundaries, never mid-chunk.
+///
+/// The snapshot is a composite frame (tag [`ENGINE_STAGED`]) wrapping the
+/// inner engine snapshot with the run parameters that shape the trajectory
+/// (`params`, `n`, `seed`, stint mode, engine kind); `resume` fails with
+/// [`SimError::SnapshotMismatch`] when those disagree with the arguments.
+///
+/// # Errors
+///
+/// Propagates the engine constructors' errors, snapshot decode/IO errors
+/// from `resume`, and the first autosave write failure (a long run silently
+/// losing its checkpoints would defeat the point).
+#[allow(clippy::too_many_arguments, clippy::too_many_lines)]
+pub fn count_exact_dense_staged_checkpointed(
+    params: CountExactParams,
+    n: usize,
+    seed: u64,
+    engine: Engine,
+    budget: u64,
+    stints: StintMode,
+    autosave: Option<&StagedCheckpoint>,
+    resume: Option<&Path>,
+) -> Result<StagedCountOutcome, SimError> {
     let check_every = (n as u64).max(1) * 20;
+
+    let resumed = match resume {
+        Some(path) => Some(read_staged_snapshot(path, &params, n, seed, stints)?),
+        None => None,
+    };
 
     let substrate = match engine.resolve(n) {
         Engine::Sequential => {
             // Small populations: the per-agent engine serves every stage.
             let mut sim = Simulator::new(CountExact::new(params), n, seed)?;
+            if let Some((kind, inner)) = &resumed {
+                expect_kind(*kind, KIND_SEQUENTIAL)?;
+                sim.restore_state(inner)?;
+            }
             let started = std::time::Instant::now();
+            let mut saver = Autosaver::new(autosave, sim.interactions());
             let outcome = sim.run_until(
-                |s| s.output_stats().unanimous().is_some_and(|o| o.is_some()),
+                |s| {
+                    saver.observe(
+                        s,
+                        s.interactions(),
+                        &params,
+                        n,
+                        seed,
+                        stints,
+                        KIND_SEQUENTIAL,
+                    ) || s.output_stats().unanimous().is_some_and(|o| o.is_some())
+                },
                 check_every,
                 budget,
             );
+            saver.into_result()?;
             let output = sim.output_stats().unanimous().cloned().flatten();
             return Ok(StagedCountOutcome {
                 interactions: sim.interactions(),
@@ -211,11 +290,20 @@ pub fn count_exact_dense_staged_with(
             ..HybridConfig::default()
         },
     )?;
+    if let Some((kind, inner)) = &resumed {
+        expect_kind(*kind, KIND_HYBRID)?;
+        sim.restore_state(inner)?;
+    }
+    let mut saver = Autosaver::new(autosave, sim.interactions());
     let outcome = sim.run_until(
-        |s| s.output_stats().unanimous().is_some_and(|o| o.is_some()),
+        |s| {
+            saver.observe(s, s.interactions(), &params, n, seed, stints, KIND_HYBRID)
+                || s.output_stats().unanimous().is_some_and(|o| o.is_some())
+        },
         check_every,
         budget,
     );
+    saver.into_result()?;
     let output = sim.output_stats().unanimous().cloned().flatten();
     debug_assert_eq!(
         sim.dense_interactions() + sim.agent_interactions(),
@@ -234,6 +322,145 @@ pub fn count_exact_dense_staged_with(
         output,
         converged: outcome.converged(),
     })
+}
+
+/// Engine-resolution kind recorded in the composite frame: per-agent
+/// [`Simulator`] (small populations under [`Engine::Auto`]).
+const KIND_SEQUENTIAL: u8 = 0;
+/// Engine-resolution kind recorded in the composite frame: [`HybridSimulator`].
+const KIND_HYBRID: u8 = 1;
+
+fn expect_kind(found: u8, expected: u8) -> Result<(), SimError> {
+    if found == expected {
+        return Ok(());
+    }
+    let name = |k| match k {
+        KIND_SEQUENTIAL => "sequential",
+        KIND_HYBRID => "hybrid",
+        _ => "unknown",
+    };
+    Err(SimError::SnapshotMismatch {
+        reason: format!(
+            "staged snapshot was taken on the {} engine but this run resolved to the {} engine \
+             (same n and engine selection reproduce the original resolution)",
+            name(found),
+            name(expected)
+        ),
+    })
+}
+
+/// Wrap the inner engine snapshot in the composite staged frame together
+/// with every run parameter that shapes the trajectory.
+fn staged_snapshot<S: Checkpointable>(
+    sim: &S,
+    params: &CountExactParams,
+    n: usize,
+    seed: u64,
+    stints: StintMode,
+    kind: u8,
+) -> EngineSnapshot {
+    let mut payload = Vec::new();
+    params.clock_hours.persist(&mut payload);
+    params.level_offset.persist(&mut payload);
+    params.election_phases.persist(&mut payload);
+    params.refinement_constant_log2.persist(&mut payload);
+    n.persist(&mut payload);
+    seed.persist(&mut payload);
+    (stints == StintMode::Interned).persist(&mut payload);
+    kind.persist(&mut payload);
+    sim.save_state().to_bytes().persist(&mut payload);
+    EngineSnapshot::new(ENGINE_STAGED, payload)
+}
+
+/// Read a composite staged checkpoint, validate the trajectory-shaping
+/// parameters against the caller's, and hand back `(kind, inner snapshot)`.
+fn read_staged_snapshot(
+    path: &Path,
+    params: &CountExactParams,
+    n: usize,
+    seed: u64,
+    stints: StintMode,
+) -> Result<(u8, EngineSnapshot), SimError> {
+    let snap = EngineSnapshot::read_file(path)?;
+    snap.expect_engine(ENGINE_STAGED, "staged CountExact runner")?;
+    let mut r = snap.reader();
+    let saved = CountExactParams {
+        clock_hours: u8::unpersist(&mut r)?,
+        level_offset: u8::unpersist(&mut r)?,
+        election_phases: u32::unpersist(&mut r)?,
+        refinement_constant_log2: u8::unpersist(&mut r)?,
+    };
+    let saved_n = usize::unpersist(&mut r)?;
+    let saved_seed = u64::unpersist(&mut r)?;
+    let saved_interned = bool::unpersist(&mut r)?;
+    let kind = u8::unpersist(&mut r)?;
+    let inner_bytes = Vec::<u8>::unpersist(&mut r)?;
+    r.finish()?;
+    let interned = stints == StintMode::Interned;
+    if saved != *params || saved_n != n || saved_seed != seed || saved_interned != interned {
+        return Err(SimError::SnapshotMismatch {
+            reason: format!(
+                "staged snapshot was taken with (params {saved:?}, n {saved_n}, seed \
+                 {saved_seed}, interned stints {saved_interned}) but this run asked for \
+                 (params {params:?}, n {n}, seed {seed}, interned stints {interned})"
+            ),
+        });
+    }
+    Ok((kind, EngineSnapshot::from_bytes(&inner_bytes)?))
+}
+
+/// Periodic autosave state threaded through `run_until`'s convergence probe:
+/// saves at probe boundaries once `every` interactions have elapsed, stashes
+/// the first write error, and asks the run to stop when one occurred (its
+/// `observe` return value is or-ed into the predicate).
+struct Autosaver<'a> {
+    spec: Option<&'a StagedCheckpoint>,
+    last_saved: u64,
+    error: Option<SimError>,
+}
+
+impl<'a> Autosaver<'a> {
+    fn new(spec: Option<&'a StagedCheckpoint>, interactions_now: u64) -> Self {
+        Autosaver {
+            spec,
+            last_saved: interactions_now,
+            error: None,
+        }
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn observe<S: Checkpointable>(
+        &mut self,
+        sim: &S,
+        interactions: u64,
+        params: &CountExactParams,
+        n: usize,
+        seed: u64,
+        stints: StintMode,
+        kind: u8,
+    ) -> bool {
+        let Some(spec) = self.spec else { return false };
+        if self.error.is_some() {
+            return true;
+        }
+        if interactions.saturating_sub(self.last_saved) < spec.every.max(1) {
+            return false;
+        }
+        match staged_snapshot(sim, params, n, seed, stints, kind).write_atomic(&spec.path) {
+            Ok(()) => {
+                self.last_saved = interactions;
+                false
+            }
+            Err(e) => {
+                self.error = Some(e);
+                true
+            }
+        }
+    }
+
+    fn into_result(self) -> Result<(), SimError> {
+        self.error.map_or(Ok(()), Err)
+    }
 }
 
 #[cfg(test)]
@@ -284,6 +511,156 @@ mod tests {
         assert_eq!(outcome.dense_interactions, 0);
         assert_eq!(outcome.agent_interactions, outcome.interactions);
         assert!(outcome.switch_interactions.is_empty());
+    }
+
+    fn scratch_path(tag: &str) -> PathBuf {
+        std::env::temp_dir().join(format!("ppsim-staged-{tag}-{}.ppss", std::process::id()))
+    }
+
+    /// The CI smoke scenario in miniature: cap the budget (the "kill"),
+    /// resume from the autosave, and compare every trajectory-determined
+    /// field against an uninterrupted run.
+    #[test]
+    fn killed_run_resumes_to_the_uninterrupted_trajectory() {
+        let n = 3_000usize;
+        let params = CountExactParams::dense_at_scale(n);
+        let budget = u64::MAX >> 1;
+        let reference = count_exact_dense_staged(params, n, 21, Engine::Batched, budget).unwrap();
+        assert!(reference.converged);
+        assert_eq!(reference.output, Some(n as u64));
+
+        // The victim autosaves at every probe boundary and dies (budget
+        // exhaustion stands in for SIGKILL — same observable: the process
+        // stops, only the snapshot file survives) somewhere mid-run.
+        let path = scratch_path("kill-resume");
+        let check_every = (n as u64) * 20;
+        let spec = StagedCheckpoint {
+            path: path.clone(),
+            every: 1,
+        };
+        let killed = count_exact_dense_staged_checkpointed(
+            params,
+            n,
+            21,
+            Engine::Batched,
+            check_every * 7,
+            StintMode::Decoded,
+            Some(&spec),
+            None,
+        )
+        .unwrap();
+        assert!(!killed.converged, "the kill must land mid-run");
+
+        let resumed = count_exact_dense_staged_checkpointed(
+            params,
+            n,
+            21,
+            Engine::Batched,
+            budget,
+            StintMode::Decoded,
+            None,
+            Some(&path),
+        )
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(resumed.interactions, reference.interactions);
+        assert_eq!(resumed.dense_interactions, reference.dense_interactions);
+        assert_eq!(resumed.agent_interactions, reference.agent_interactions);
+        assert_eq!(resumed.switch_interactions, reference.switch_interactions);
+        assert_eq!(resumed.output, reference.output);
+        assert_eq!(resumed.converged, reference.converged);
+    }
+
+    #[test]
+    fn sequential_resolution_is_checkpointable_too() {
+        let n = 400usize;
+        let params = CountExactParams::default();
+        let budget = u64::MAX >> 1;
+        let reference = count_exact_dense_staged(params, n, 5, Engine::Auto, budget).unwrap();
+        assert!(reference.converged);
+
+        let path = scratch_path("sequential");
+        let spec = StagedCheckpoint {
+            path: path.clone(),
+            every: 1,
+        };
+        let killed = count_exact_dense_staged_checkpointed(
+            params,
+            n,
+            5,
+            Engine::Auto,
+            (n as u64) * 20 * 3,
+            StintMode::Decoded,
+            Some(&spec),
+            None,
+        )
+        .unwrap();
+        assert!(!killed.converged);
+        let resumed = count_exact_dense_staged_checkpointed(
+            params,
+            n,
+            5,
+            Engine::Auto,
+            budget,
+            StintMode::Decoded,
+            None,
+            Some(&path),
+        )
+        .unwrap();
+        let _ = std::fs::remove_file(&path);
+        assert_eq!(resumed.interactions, reference.interactions);
+        assert_eq!(resumed.output, reference.output);
+    }
+
+    #[test]
+    fn resume_validates_parameters_and_engine_resolution() {
+        let n = 2_000usize;
+        let params = CountExactParams::dense_at_scale(n);
+        let path = scratch_path("validate");
+        let spec = StagedCheckpoint {
+            path: path.clone(),
+            every: 1,
+        };
+        count_exact_dense_staged_checkpointed(
+            params,
+            n,
+            9,
+            Engine::Batched,
+            (n as u64) * 20 * 2,
+            StintMode::Decoded,
+            Some(&spec),
+            None,
+        )
+        .unwrap();
+
+        // Different seed: the snapshot is for another trajectory.
+        let err = count_exact_dense_staged_checkpointed(
+            params,
+            n,
+            10,
+            Engine::Batched,
+            u64::MAX >> 1,
+            StintMode::Decoded,
+            None,
+            Some(&path),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::SnapshotMismatch { .. }), "{err}");
+
+        // Different stint mode: the per-agent legs would step differently.
+        let err = count_exact_dense_staged_checkpointed(
+            params,
+            n,
+            9,
+            Engine::Batched,
+            u64::MAX >> 1,
+            StintMode::Interned,
+            None,
+            Some(&path),
+        )
+        .unwrap_err();
+        assert!(matches!(err, SimError::SnapshotMismatch { .. }), "{err}");
+        let _ = std::fs::remove_file(&path);
     }
 
     #[test]

@@ -21,6 +21,7 @@
 
 use ppproto::load_balancing::{po2_balance, EMPTY_LOAD};
 use ppproto::max_broadcast;
+use ppsim::{PersistState, SimError, SnapshotReader};
 
 /// Number of phases in one round of the Search Protocol.
 pub const PHASES_PER_ROUND: u32 = 5;
@@ -123,6 +124,21 @@ pub fn search_interact(u: &mut SearchState, v: &mut SearchState, ctx: &SearchCon
             // Phase 3: one-way epidemics on the maximum logarithmic load.
             max_broadcast(&mut u.k, &mut v.k);
         }
+    }
+}
+
+/// Snapshot codec: fields in declaration order (see [`ppsim::snapshot`]).
+impl PersistState for SearchState {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.k.persist(out);
+        self.done.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, SimError> {
+        Ok(SearchState {
+            k: i32::unpersist(r)?,
+            done: bool::unpersist(r)?,
+        })
     }
 }
 

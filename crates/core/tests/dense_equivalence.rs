@@ -249,7 +249,7 @@ fn hybrid_round_trip_preserves_the_count_exact_configuration_at_ten_thousand() {
     let distinct = sim.output_stats().distinct_outputs();
     let interactions = sim.interactions();
 
-    sim.switch_to_agent();
+    sim.switch_to_agent().unwrap();
     assert!(!sim.is_dense());
     assert_eq!(sim.counts(), counts, "dense → per-agent must be lossless");
     assert_eq!(sim.output_stats().distinct_outputs(), distinct);
@@ -259,7 +259,7 @@ fn hybrid_round_trip_preserves_the_count_exact_configuration_at_ten_thousand() {
         "no interaction double-counted"
     );
 
-    sim.switch_to_dense();
+    sim.switch_to_dense().unwrap();
     assert!(sim.is_dense());
     assert_eq!(sim.counts(), counts, "per-agent → dense must be lossless");
     assert_eq!(sim.output_stats().distinct_outputs(), distinct);

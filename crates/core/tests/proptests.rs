@@ -7,7 +7,7 @@ use popcount::backup::{
 };
 use popcount::exact::refinement_stage::refinement_output;
 use popcount::search::{search_interact, SearchContext, SearchState};
-use popcount::ExactStageState;
+use popcount::{CountExactParams, ExactStageState};
 
 fn search_state() -> impl Strategy<Value = SearchState> {
     (-1i32..20, any::<bool>()).prop_map(|(k, done)| SearchState { k, done })
@@ -139,5 +139,45 @@ proptest! {
         };
         let out = refinement_output(&state, 256);
         prop_assert_eq!(out.is_some(), apx && mult && l > 0);
+    }
+
+    /// Killing a sequential `CountExact` run at a random budget and
+    /// resuming it from the serialized snapshot reproduces the
+    /// uninterrupted trajectory bit for bit — the full composed protocol
+    /// (junta + clock + election + stages) round-trips through the codec.
+    #[test]
+    fn count_exact_saved_at_a_random_budget_resumes_bit_identically(
+        n in 8usize..120,
+        seed in any::<u64>(),
+        kill_at in 0u64..20_000,
+        rest in 1u64..20_000,
+    ) {
+        let verdict = ppsim::faultsim::kill_and_resume(
+            || ppsim::Simulator::new(popcount::CountExact::new(CountExactParams::default()), n, seed),
+            |s, b| s.run(b),
+            &[kill_at, rest],
+            1,
+        ).unwrap();
+        prop_assert!(verdict.bit_identical());
+    }
+
+    /// The same property for `DenseCountExact` on the batched engine: the
+    /// interned state space (rebuilt from the snapshot's interner contents)
+    /// must reproduce the same dense indices in the same discovery order.
+    #[test]
+    fn dense_count_exact_resumes_bit_identically(
+        n in 8usize..120,
+        seed in any::<u64>(),
+        kill_at in 0u64..20_000,
+        rest in 1u64..20_000,
+    ) {
+        let proto = popcount::DenseCountExact::new(CountExactParams::default());
+        let verdict = ppsim::faultsim::kill_and_resume(
+            || ppsim::BatchedSimulator::new(proto.clone(), n, seed),
+            |s, b| s.run(b),
+            &[kill_at, rest],
+            1,
+        ).unwrap();
+        prop_assert!(verdict.bit_identical());
     }
 }

@@ -63,6 +63,10 @@ use crate::dense::DenseProtocol;
 use crate::error::SimError;
 use crate::rng::seeded_rng;
 use crate::sample::{multivariate_hypergeometric_sparse, CollisionSampler};
+use crate::snapshot::{
+    persist_rng, unpersist_rng, Checkpointable, EngineSnapshot, PersistState, SnapshotReader,
+    ENGINE_BATCHED,
+};
 
 /// A single execution of a [`DenseProtocol`] on the batched count-based engine.
 ///
@@ -516,6 +520,116 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
     pub fn into_counts(self) -> Vec<u64> {
         self.counts
     }
+
+    /// Serialize the engine core into `out` (shared by the top-level
+    /// [`Checkpointable`] impl and the sharded engine's per-shard
+    /// sub-snapshots, which set `include_protocol = false` because all shard
+    /// copies share one protocol whose state the sharded snapshot stores
+    /// once).
+    ///
+    /// Core layout:
+    ///
+    /// ```text
+    /// u64              population n
+    /// u64              state-space size q
+    /// [u64; 4]         RNG state
+    /// u64              interactions executed
+    /// Vec<u8>          protocol state (only if include_protocol)
+    /// Vec<(u32, u64)>  (state, count) per occupied-list entry, in the
+    ///                  list's discovery order — the order is part of the
+    ///                  trajectory (categorical draws iterate it), so it is
+    ///                  stored verbatim, zero-count entries included
+    /// ```
+    pub(crate) fn save_core(&self, include_protocol: bool, out: &mut Vec<u8>) {
+        self.n.persist(out);
+        self.q.persist(out);
+        persist_rng(&self.rng, out);
+        self.interactions.persist(out);
+        if include_protocol {
+            self.protocol.save_protocol_state().persist(out);
+        }
+        let occ: Vec<(u32, u64)> = self
+            .occupied
+            .as_slice()
+            .iter()
+            .map(|&s| (s, self.counts[s as usize]))
+            .collect();
+        occ.persist(out);
+    }
+
+    /// Restore a core written by [`Self::save_core`].  Everything derivable
+    /// is rebuilt rather than read: the collision sampler is a pure function
+    /// of `n` (validated unchanged), and the δ-table is reconstructed so a
+    /// dynamic protocol's pair memo cannot carry state indices from another
+    /// process's index assignment.
+    pub(crate) fn restore_core(
+        &mut self,
+        r: &mut SnapshotReader<'_>,
+        restore_protocol: bool,
+    ) -> Result<(), SimError> {
+        let n = r.read::<u64>()?;
+        let q = r.read::<usize>()?;
+        let rng = unpersist_rng(r)?;
+        let interactions = r.read::<u64>()?;
+        if restore_protocol {
+            let protocol_bytes = r.read::<Vec<u8>>()?;
+            self.protocol.restore_protocol_state(&protocol_bytes)?;
+        }
+        let occ = r.read::<Vec<(u32, u64)>>()?;
+        if n != self.n {
+            return Err(SimError::SnapshotMismatch {
+                reason: format!("snapshot population {n} != simulator population {}", self.n),
+            });
+        }
+        if q != self.q {
+            return Err(SimError::SnapshotMismatch {
+                reason: format!(
+                    "snapshot state space {q} != simulator state space {}",
+                    self.q
+                ),
+            });
+        }
+        let total: u64 = occ.iter().map(|&(_, c)| c).sum();
+        if total != n {
+            return Err(SimError::SnapshotCorrupt {
+                reason: format!("occupied counts sum to {total}, population is {n}"),
+            });
+        }
+        // Zero the current configuration through its own occupied list (every
+        // non-zero count is marked, so this touches all of them) before
+        // installing the snapshot's.
+        for &s in self.occupied.as_slice() {
+            self.counts[s as usize] = 0;
+        }
+        self.occupied
+            .restore_list(occ.iter().map(|&(s, _)| s).collect())?;
+        for &(s, c) in &occ {
+            self.counts[s as usize] = c;
+        }
+        self.rng = rng;
+        self.interactions = interactions;
+        self.delta = DeltaTable::new(&self.protocol)?;
+        Ok(())
+    }
+}
+
+/// Checkpointing for the batched engine: counts (sparse, in occupied-list
+/// order), RNG stream, and interaction counter, plus the protocol's own
+/// state (interner contents for dynamic protocols).  The collision sampler
+/// carries no mutable state across `run` calls and is rebuilt from `n`.
+impl<P: DenseProtocol> Checkpointable for BatchedSimulator<P> {
+    fn save_state(&self) -> EngineSnapshot {
+        let mut payload = Vec::new();
+        self.save_core(true, &mut payload);
+        EngineSnapshot::new(ENGINE_BATCHED, payload)
+    }
+
+    fn restore_state(&mut self, snapshot: &EngineSnapshot) -> Result<(), SimError> {
+        snapshot.expect_engine(ENGINE_BATCHED, "the batched engine")?;
+        let mut r = snapshot.reader();
+        self.restore_core(&mut r, true)?;
+        r.finish()
+    }
 }
 
 #[cfg(test)]
@@ -753,6 +867,48 @@ mod tests {
         );
         assert!(sim.set_counts(vec![4, 6]).is_ok());
         assert_eq!(sim.count_of(1), 6);
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_identity_and_replay_is_bit_identical() {
+        let mut sim = BatchedSimulator::new(TokenDrift, 2_000, 31).unwrap();
+        sim.run(37_501);
+        let snap = sim.save_state();
+
+        let mut copy = BatchedSimulator::new(TokenDrift, 2_000, 0).unwrap();
+        copy.restore_state(&snap).unwrap();
+        assert_eq!(copy.counts(), sim.counts());
+        assert_eq!(copy.interactions(), sim.interactions());
+        assert_eq!(copy.occupied_slice(), sim.occupied_slice());
+
+        // Resume must retrace the uninterrupted run chunk-for-chunk.
+        sim.run(10_000);
+        sim.run(3_333);
+        copy.run(10_000);
+        copy.run(3_333);
+        assert_eq!(copy.counts(), sim.counts());
+        assert_eq!(copy.save_state().to_bytes(), sim.save_state().to_bytes());
+    }
+
+    #[test]
+    fn snapshot_restore_validates_population_state_space_and_sums() {
+        let sim = BatchedSimulator::new(Rumor, 100, 0).unwrap();
+        let snap = sim.save_state();
+        let mut other_n = BatchedSimulator::new(Rumor, 101, 0).unwrap();
+        assert!(matches!(
+            other_n.restore_state(&snap),
+            Err(SimError::SnapshotMismatch { .. })
+        ));
+        let mut other_q = BatchedSimulator::new(TokenDrift, 100, 0).unwrap();
+        assert!(matches!(
+            other_q.restore_state(&snap),
+            Err(SimError::SnapshotMismatch { .. })
+        ));
+        // Corrupt the payload's counts so they no longer sum to n.
+        let mut bytes = snap.to_bytes();
+        let last = bytes.len() - 5;
+        bytes[last] ^= 0xFF;
+        assert!(crate::snapshot::EngineSnapshot::from_bytes(&bytes).is_err());
     }
 
     #[test]

@@ -244,6 +244,40 @@ impl Occupancy {
             }
         }
     }
+
+    /// Restore the occupied list **verbatim**, in the given order, rebuilding
+    /// the membership bitmap to match.
+    ///
+    /// [`Self::rebuild`] orders the list by state index, but the engines'
+    /// categorical draws ([`draw_one`], the hypergeometric splits) iterate
+    /// the list in *discovery* order — so the list order is part of the
+    /// trajectory, and a snapshot restore has to reproduce it exactly rather
+    /// than re-derive a sorted one.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SnapshotCorrupt`] if an entry is out of range for this
+    /// occupancy's state space or appears twice.
+    pub(crate) fn restore_list(&mut self, list: Vec<u32>) -> Result<(), SimError> {
+        self.flags.fill(false);
+        let q = self.flags.len();
+        for &s in &list {
+            let flag = self
+                .flags
+                .get_mut(s as usize)
+                .ok_or_else(|| SimError::SnapshotCorrupt {
+                    reason: format!("occupied state {s} outside the state space 0..{q}"),
+                })?;
+            if *flag {
+                return Err(SimError::SnapshotCorrupt {
+                    reason: format!("occupied list repeats state {s}"),
+                });
+            }
+            *flag = true;
+        }
+        self.list = list;
+        Ok(())
+    }
 }
 
 /// The multiset of agents a block has already touched, as a flat per-state
@@ -375,6 +409,22 @@ mod tests {
         assert_eq!(occ.as_slice(), &[0, 2]);
         occ.mark(0); // still marked after rebuild: no duplicate
         assert_eq!(occ.as_slice(), &[0, 2]);
+    }
+
+    #[test]
+    fn occupancy_restores_a_verbatim_list_order() {
+        let mut occ = Occupancy::new(6, 0);
+        occ.restore_list(vec![4, 1, 3]).unwrap();
+        assert_eq!(occ.as_slice(), &[4, 1, 3], "discovery order is preserved");
+        occ.mark(1); // already present: no duplicate
+        assert_eq!(occ.as_slice(), &[4, 1, 3]);
+        occ.mark(5);
+        assert_eq!(occ.as_slice(), &[4, 1, 3, 5]);
+
+        let mut occ = Occupancy::new(4, 0);
+        assert!(occ.restore_list(vec![1, 9]).is_err(), "out of range");
+        let mut occ = Occupancy::new(4, 0);
+        assert!(occ.restore_list(vec![1, 2, 1]).is_err(), "duplicate");
     }
 
     #[test]

@@ -137,6 +137,60 @@ pub trait DenseProtocol {
         let _ = (counts, seed);
         None
     }
+
+    /// Serialize the protocol's own mutable state for a checkpoint
+    /// ([`ppsim::snapshot`](crate::snapshot)).
+    ///
+    /// Static encodings have none — the default returns an empty payload.
+    /// Dynamic (interned) protocols override this to persist their
+    /// [`StateInterner`](crate::StateInterner) contents: the index ↔ state
+    /// assignment is part of the trajectory, so a resumed run must see the
+    /// checkpoint's exact assignment (and *only* it — states interned after
+    /// the checkpoint must be forgotten on restore).
+    fn save_protocol_state(&self) -> Vec<u8> {
+        Vec::new()
+    }
+
+    /// Restore state previously produced by
+    /// [`save_protocol_state`](Self::save_protocol_state).
+    ///
+    /// The default accepts only the empty payload the default save produces.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`](crate::SimError) variants describing a corrupt or
+    /// mismatched payload.
+    fn restore_protocol_state(&self, bytes: &[u8]) -> Result<(), crate::SimError> {
+        if bytes.is_empty() {
+            Ok(())
+        } else {
+            Err(crate::SimError::SnapshotMismatch {
+                reason: format!(
+                    "protocol `{}` carries no mutable state but the snapshot \
+                     holds {} bytes of it",
+                    self.name(),
+                    bytes.len()
+                ),
+            })
+        }
+    }
+
+    /// Rebuild a **decoded per-agent stint** from bytes written by
+    /// [`AgentStint::save_stint`](crate::stint::AgentStint::save_stint) —
+    /// the restore-side counterpart of [`agent_stint`](Self::agent_stint).
+    ///
+    /// Protocols that override `agent_stint` must override this too (with
+    /// `DecodedStint::restore_boxed(self.clone(), bytes)`), or their hybrid
+    /// snapshots taken mid-stint cannot be restored.  The default `None`
+    /// signals "this protocol has no codec"; the hybrid engine then reports
+    /// a [`SnapshotMismatch`](crate::SimError::SnapshotMismatch).
+    fn restore_agent_stint(
+        &self,
+        bytes: &[u8],
+    ) -> Option<Result<crate::stint::BoxedAgentStint<Self::Output>, crate::SimError>> {
+        let _ = bytes;
+        None
+    }
 }
 
 /// Blanket implementation so `&P` can be used wherever a dense protocol is
@@ -171,6 +225,18 @@ impl<P: DenseProtocol + ?Sized> DenseProtocol for &P {
         seed: u64,
     ) -> Option<crate::stint::BoxedAgentStint<Self::Output>> {
         (**self).agent_stint(counts, seed)
+    }
+    fn save_protocol_state(&self) -> Vec<u8> {
+        (**self).save_protocol_state()
+    }
+    fn restore_protocol_state(&self, bytes: &[u8]) -> Result<(), crate::SimError> {
+        (**self).restore_protocol_state(bytes)
+    }
+    fn restore_agent_stint(
+        &self,
+        bytes: &[u8],
+    ) -> Option<Result<crate::stint::BoxedAgentStint<Self::Output>, crate::SimError>> {
+        (**self).restore_agent_stint(bytes)
     }
 }
 

@@ -28,6 +28,9 @@ use crate::error::SimError;
 use crate::hybrid::{HybridLegs, HybridSimulator};
 use crate::sharded::{ShardedBatchedSimulator, ShardedConfig};
 use crate::simulator::Simulator;
+use crate::snapshot::{
+    Checkpointable, EngineSnapshot, PersistState, ENGINE_DENSE_SEQUENTIAL, ENGINE_SEQUENTIAL,
+};
 
 /// Population size below which the sequential engine out-runs the batched
 /// one: per-interaction cost beats per-block overhead while blocks are short
@@ -408,6 +411,57 @@ impl<P: DenseProtocol + Clone + Send + 'static> DenseSimulator<P> {
     }
 }
 
+/// Checkpointing through the engine-dispatch layer: each variant forwards to
+/// its engine's [`Checkpointable`] implementation, so a `DenseSimulator`
+/// snapshot carries the underlying engine's tag — restoring it into a
+/// `DenseSimulator` running a *different* engine fails with
+/// [`SimError::SnapshotMismatch`] (trajectories are engine-specific, so a
+/// cross-engine restore could never replay bit-identically).
+///
+/// The sequential variant is the one exception: its inner
+/// [`Simulator`] snapshot knows nothing about the dense protocol, whose
+/// interner contents are part of a dynamic protocol's trajectory.  It
+/// therefore wraps the sequential payload under
+/// [`ENGINE_DENSE_SEQUENTIAL`]
+/// together with the protocol state:
+///
+/// ```text
+/// Vec<u8>   protocol state (DenseProtocol::save_protocol_state)
+/// Vec<u8>   inner sequential-engine payload
+/// ```
+impl<P: DenseProtocol + Clone + Send + 'static> Checkpointable for DenseSimulator<P> {
+    fn save_state(&self) -> EngineSnapshot {
+        match self {
+            DenseSimulator::Sequential(s) => {
+                let mut payload = Vec::new();
+                s.protocol().0.save_protocol_state().persist(&mut payload);
+                s.save_state().payload().to_vec().persist(&mut payload);
+                EngineSnapshot::new(ENGINE_DENSE_SEQUENTIAL, payload)
+            }
+            DenseSimulator::Batched(s) => s.save_state(),
+            DenseSimulator::Sharded(s) => s.save_state(),
+            DenseSimulator::Hybrid(s) => s.save_state(),
+        }
+    }
+
+    fn restore_state(&mut self, snapshot: &EngineSnapshot) -> Result<(), SimError> {
+        match self {
+            DenseSimulator::Sequential(s) => {
+                snapshot.expect_engine(ENGINE_DENSE_SEQUENTIAL, "the sequential engine")?;
+                let mut r = snapshot.reader();
+                let protocol_bytes = r.read::<Vec<u8>>()?;
+                let inner_bytes = r.read::<Vec<u8>>()?;
+                r.finish()?;
+                s.protocol().0.restore_protocol_state(&protocol_bytes)?;
+                s.restore_state(&EngineSnapshot::new(ENGINE_SEQUENTIAL, inner_bytes))
+            }
+            DenseSimulator::Batched(s) => s.restore_state(snapshot),
+            DenseSimulator::Sharded(s) => s.restore_state(snapshot),
+            DenseSimulator::Hybrid(s) => s.restore_state(snapshot),
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -573,6 +627,51 @@ mod tests {
             assert!(sim.transfer(0, 1, 3).is_ok());
             assert_eq!(sim.count_of(1), 3);
         }
+    }
+
+    #[test]
+    fn snapshots_round_trip_on_every_engine_and_reject_cross_engine_restores() {
+        let engines = [
+            Engine::Sequential,
+            Engine::Batched,
+            Engine::Sharded {
+                shards: 4,
+                threads: 1,
+            },
+            Engine::Hybrid,
+        ];
+        for engine in engines {
+            let mut reference = DenseSimulator::new(engine, Rumor, 2_000, 7).unwrap();
+            reference.transfer(0, 1, 1).unwrap();
+            reference.run(5_000);
+            reference.run(2_003);
+
+            let mut victim = DenseSimulator::new(engine, Rumor, 2_000, 7).unwrap();
+            victim.transfer(0, 1, 1).unwrap();
+            victim.run(5_000);
+            let bytes = victim.save_state().to_bytes();
+            drop(victim);
+
+            let mut resumed = DenseSimulator::new(engine, Rumor, 2_000, 0).unwrap();
+            let snap = EngineSnapshot::from_bytes(&bytes).unwrap();
+            resumed.restore_state(&snap).unwrap();
+            resumed.run(2_003);
+            assert_eq!(
+                resumed.save_state().to_bytes(),
+                reference.save_state().to_bytes(),
+                "{} resume diverged",
+                engine.name()
+            );
+        }
+
+        // Cross-engine restores are rejected: the tags differ.
+        let sequential = DenseSimulator::new(Engine::Sequential, Rumor, 2_000, 7).unwrap();
+        let snap = sequential.save_state();
+        let mut batched = DenseSimulator::new(Engine::Batched, Rumor, 2_000, 7).unwrap();
+        assert!(matches!(
+            batched.restore_state(&snap),
+            Err(SimError::SnapshotMismatch { .. })
+        ));
     }
 
     #[test]

@@ -20,6 +20,34 @@ pub enum SimError {
         /// Human-readable description of the violated constraint.
         reason: String,
     },
+    /// A snapshot failed structural validation: truncated, bad magic, CRC
+    /// mismatch, or a payload that does not decode.
+    SnapshotCorrupt {
+        /// What failed to validate.
+        reason: String,
+    },
+    /// A snapshot was written by an unsupported format version.
+    SnapshotVersion {
+        /// The version found in the header.
+        found: u32,
+        /// The newest version this build can read.
+        supported: u32,
+    },
+    /// A structurally valid snapshot does not fit the simulator it is being
+    /// restored into (wrong engine, population size, state space, or engine
+    /// configuration).
+    SnapshotMismatch {
+        /// Which invariant the snapshot violated.
+        reason: String,
+    },
+    /// Reading or writing a snapshot file failed.
+    SnapshotIo {
+        /// The file involved.
+        path: String,
+        /// The underlying I/O error, rendered to text (the variant stays
+        /// `Clone + Eq`).
+        reason: String,
+    },
 }
 
 impl fmt::Display for SimError {
@@ -33,6 +61,21 @@ impl fmt::Display for SimError {
             }
             SimError::InvalidParameter { name, reason } => {
                 write!(f, "invalid parameter `{name}`: {reason}")
+            }
+            SimError::SnapshotCorrupt { reason } => {
+                write!(f, "corrupt snapshot: {reason}")
+            }
+            SimError::SnapshotVersion { found, supported } => {
+                write!(
+                    f,
+                    "unsupported snapshot format version {found} (this build reads up to {supported})"
+                )
+            }
+            SimError::SnapshotMismatch { reason } => {
+                write!(f, "snapshot does not fit this simulator: {reason}")
+            }
+            SimError::SnapshotIo { path, reason } => {
+                write!(f, "snapshot I/O on `{path}`: {reason}")
             }
         }
     }
@@ -58,6 +101,29 @@ mod tests {
         };
         assert!(e.to_string().contains("`m`"));
         assert!(e.to_string().contains("must be positive"));
+    }
+
+    #[test]
+    fn display_snapshot_variants() {
+        let e = SimError::SnapshotCorrupt {
+            reason: "truncated header".into(),
+        };
+        assert!(e.to_string().contains("corrupt snapshot"));
+        let e = SimError::SnapshotVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(e.to_string().contains("version 9"));
+        assert!(e.to_string().contains("up to 1"));
+        let e = SimError::SnapshotMismatch {
+            reason: "population 10 != 20".into(),
+        };
+        assert!(e.to_string().contains("does not fit"));
+        let e = SimError::SnapshotIo {
+            path: "/tmp/x.ppss".into(),
+            reason: "permission denied".into(),
+        };
+        assert!(e.to_string().contains("/tmp/x.ppss"));
     }
 
     #[test]

@@ -1,0 +1,284 @@
+//! Fault-injection harness: kill a run at an arbitrary chunk boundary,
+//! resume it from a serialized snapshot, and verify the resumed trajectory
+//! is **bit-identical** to the uninterrupted one.
+//!
+//! # What "bit-identical" means here
+//!
+//! Engine snapshots ([`crate::snapshot`]) deliberately exclude everything
+//! that is not a pure function of the trajectory (wall-clock accounting,
+//! scratch buffers, memo tables), so two simulators are in observably
+//! equivalent states **iff** their snapshot bytes are equal: same
+//! configuration in the same occupancy discovery order, same RNG states,
+//! same interaction counters, same switch log.  The harness therefore
+//! compares final snapshot bytes instead of enumerating observables.
+//!
+//! # What a "kill" means here
+//!
+//! Trajectories of the batched-family engines depend on the *chunk
+//! schedule* — `run(a); run(b)` and `run(a + b)` sample different (equally
+//! exact) block sequences — so a checkpointing driver snapshots at chunk
+//! boundaries and a resumed run replays the same remaining schedule.  The
+//! harness models the crash faithfully at that granularity: the victim is
+//! **dropped** (its process dies) and nothing survives except the snapshot
+//! bytes, which travel through the full serialization frame
+//! ([`EngineSnapshot::to_bytes`] → [`EngineSnapshot::from_bytes`]).  Kills
+//! land *inside* epoch windows, hybrid stints, or migrations simply by
+//! choosing a chunk schedule whose boundaries straddle them — e.g.
+//! prime-sized chunks via [`coprime_chunks`], which never align with an
+//! epoch grid or monitor cadence.
+//!
+//! The harness is generic over any [`Checkpointable`] engine plus a driving
+//! closure, because the engines share `run(&mut self, budget)` by
+//! convention, not by trait.
+//!
+//! ```rust
+//! use ppsim::faultsim::{coprime_chunks, kill_and_resume};
+//! use ppsim::{BatchedSimulator, DenseProtocol};
+//!
+//! #[derive(Clone)]
+//! struct Rumor;
+//! impl DenseProtocol for Rumor {
+//!     type Output = bool;
+//!     fn num_states(&self) -> usize { 2 }
+//!     fn initial_state(&self) -> usize { 0 }
+//!     fn transition(&self, u: usize, v: usize) -> (usize, usize) { (u.max(v), v) }
+//!     fn output(&self, s: usize) -> bool { s == 1 }
+//! }
+//!
+//! # fn main() -> Result<(), ppsim::SimError> {
+//! let chunks = coprime_chunks(10_000, 1_009);
+//! let verdict = kill_and_resume(
+//!     || {
+//!         let mut sim = BatchedSimulator::new(Rumor, 5_000, 7)?;
+//!         sim.transfer(0, 1, 1)?;
+//!         Ok(sim)
+//!     },
+//!     |sim, budget| sim.run(budget),
+//!     &chunks,
+//!     2, // SIGKILL after the second chunk
+//! )?;
+//! assert!(verdict.bit_identical());
+//! # Ok(())
+//! # }
+//! ```
+
+use crate::error::SimError;
+use crate::snapshot::{Checkpointable, EngineSnapshot};
+
+/// The outcome of one kill/resume experiment: the final snapshot bytes of
+/// the interrupted-and-resumed run and of the uninterrupted reference.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FaultVerdict {
+    /// Final snapshot bytes of the run that was killed and resumed.
+    pub resumed: Vec<u8>,
+    /// Final snapshot bytes of the uninterrupted reference run.
+    pub reference: Vec<u8>,
+}
+
+impl FaultVerdict {
+    /// Whether the resumed run ended in exactly the state of the
+    /// uninterrupted one (see the module docs for why byte equality is the
+    /// right check).
+    #[must_use]
+    pub fn bit_identical(&self) -> bool {
+        self.resumed == self.reference
+    }
+
+    /// Byte offset of the first divergence, if any (diagnostics).
+    #[must_use]
+    pub fn first_divergence(&self) -> Option<usize> {
+        if self.bit_identical() {
+            return None;
+        }
+        Some(
+            self.resumed
+                .iter()
+                .zip(&self.reference)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| self.resumed.len().min(self.reference.len())),
+        )
+    }
+}
+
+/// Split `total` interactions into chunks of `chunk` with a final remainder
+/// chunk — pick `chunk` prime (1009, 4999, 7919, …) so boundaries never
+/// align with an engine's epoch grid or monitor cadence and kills land
+/// mid-window.
+///
+/// # Panics
+///
+/// Panics if `chunk == 0`.
+#[must_use]
+pub fn coprime_chunks(total: u64, chunk: u64) -> Vec<u64> {
+    assert!(chunk > 0, "chunks must make progress");
+    let mut chunks = Vec::with_capacity((total / chunk) as usize + 1);
+    let mut remaining = total;
+    while remaining > 0 {
+        let c = remaining.min(chunk);
+        chunks.push(c);
+        remaining -= c;
+    }
+    chunks
+}
+
+/// Run one kill/resume experiment.
+///
+/// 1. Build a fresh engine with `make` and drive it through the whole
+///    `chunks` schedule — the uninterrupted reference.
+/// 2. Build a second engine, drive it through `chunks[..kill_after]`, take
+///    a snapshot, serialize it to bytes, and **drop the engine** — the
+///    crash.
+/// 3. Build a third engine, restore it from the deserialized bytes, drive
+///    it through `chunks[kill_after..]`, and compare final snapshots.
+///
+/// `kill_after` is clamped to the schedule length, so `0` means "killed
+/// before the first interaction" and `chunks.len()` means "killed after the
+/// finish line" — both legitimate edge cases.
+///
+/// # Errors
+///
+/// Propagates `make`'s construction errors and any snapshot
+/// encode/decode/restore error — a harness that panicked instead would hide
+/// exactly the robustness defects it exists to catch.
+pub fn kill_and_resume<S, F, R>(
+    make: F,
+    mut run: R,
+    chunks: &[u64],
+    kill_after: usize,
+) -> Result<FaultVerdict, SimError>
+where
+    S: Checkpointable,
+    F: Fn() -> Result<S, SimError>,
+    R: FnMut(&mut S, u64),
+{
+    let kill_after = kill_after.min(chunks.len());
+
+    let mut reference = make()?;
+    for &c in chunks {
+        run(&mut reference, c);
+    }
+    let reference_bytes = reference.save_state().to_bytes();
+    drop(reference);
+
+    let mut victim = make()?;
+    for &c in &chunks[..kill_after] {
+        run(&mut victim, c);
+    }
+    let snapshot_bytes = victim.save_state().to_bytes();
+    drop(victim);
+
+    let snapshot = EngineSnapshot::from_bytes(&snapshot_bytes)?;
+    let mut resumed = make()?;
+    resumed.restore_state(&snapshot)?;
+    for &c in &chunks[kill_after..] {
+        run(&mut resumed, c);
+    }
+    Ok(FaultVerdict {
+        resumed: resumed.save_state().to_bytes(),
+        reference: reference_bytes,
+    })
+}
+
+/// Run [`kill_and_resume`] with the kill point swept across **every** chunk
+/// boundary of the schedule, returning the first non-identical verdict (and
+/// its kill index), or `None` if every resume was bit-identical.
+///
+/// This is the adversarial mode the integration suite uses: whatever
+/// internal phase structure an engine has (epoch windows, monitor cadence,
+/// migrations), some kill point of a coprime schedule lands inside it.
+///
+/// # Errors
+///
+/// Propagates the first [`SimError`] any experiment hits.
+pub fn sweep_kill_points<S, F, R>(
+    make: F,
+    mut run: R,
+    chunks: &[u64],
+) -> Result<Option<(usize, FaultVerdict)>, SimError>
+where
+    S: Checkpointable,
+    F: Fn() -> Result<S, SimError>,
+    R: FnMut(&mut S, u64),
+{
+    for kill_after in 0..=chunks.len() {
+        let verdict = kill_and_resume(&make, &mut run, chunks, kill_after)?;
+        if !verdict.bit_identical() {
+            return Ok(Some((kill_after, verdict)));
+        }
+    }
+    Ok(None)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::batched::BatchedSimulator;
+    use crate::dense::DenseProtocol;
+
+    #[derive(Debug, Clone, Copy)]
+    struct Rumor;
+    impl DenseProtocol for Rumor {
+        type Output = bool;
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn initial_state(&self) -> usize {
+            0
+        }
+        fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+            (u.max(v), v)
+        }
+        fn output(&self, s: usize) -> bool {
+            s == 1
+        }
+    }
+
+    #[test]
+    fn coprime_chunks_cover_the_total_exactly() {
+        let chunks = coprime_chunks(10_000, 1_009);
+        assert_eq!(chunks.iter().sum::<u64>(), 10_000);
+        assert_eq!(chunks.len(), 10);
+        assert!(chunks[..9].iter().all(|&c| c == 1_009));
+        assert_eq!(coprime_chunks(0, 7), Vec::<u64>::new());
+    }
+
+    #[test]
+    fn kill_and_resume_detects_equivalence_and_kill_points_clamp() {
+        let make = || {
+            let mut sim = BatchedSimulator::new(Rumor, 2_000, 13)?;
+            sim.transfer(0, 1, 1)?;
+            Ok(sim)
+        };
+        let chunks = coprime_chunks(5_000, 997);
+        for kill_after in [0, 3, usize::MAX] {
+            let verdict = kill_and_resume(make, |s, b| s.run(b), &chunks, kill_after).unwrap();
+            assert!(verdict.bit_identical());
+            assert_eq!(verdict.first_divergence(), None);
+        }
+    }
+
+    #[test]
+    fn sweep_reports_no_divergence_for_a_correct_engine() {
+        let make = || BatchedSimulator::new(Rumor, 500, 3);
+        let chunks = coprime_chunks(2_000, 499);
+        assert_eq!(
+            sweep_kill_points(make, |s, b| s.run(b), &chunks).unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn first_divergence_points_at_the_corrupted_byte() {
+        let verdict = FaultVerdict {
+            resumed: vec![1, 2, 9, 4],
+            reference: vec![1, 2, 3, 4],
+        };
+        assert!(!verdict.bit_identical());
+        assert_eq!(verdict.first_divergence(), Some(2));
+        let truncated = FaultVerdict {
+            resumed: vec![1, 2],
+            reference: vec![1, 2, 3],
+        };
+        assert_eq!(truncated.first_divergence(), Some(2));
+    }
+}

@@ -99,6 +99,7 @@ use crate::dense::DenseProtocol;
 use crate::error::SimError;
 use crate::rng::derive_seed;
 use crate::sharded::{ShardedBatchedSimulator, ShardedConfig};
+use crate::snapshot::{Checkpointable, EngineSnapshot, PersistState, ENGINE_HYBRID};
 use crate::stint::{BoxedAgentStint, DecodedStint, IndexCodec};
 
 /// Seed-derivation salt for the engine constructed at the `k`-th migration
@@ -357,6 +358,8 @@ pub struct HybridSimulator<P: DenseProtocol + Clone + Send> {
     /// The stepping representation of the most recent per-agent stint
     /// (`"decoded"` or `"interned"`); `None` before the first migration.
     stint_kind: Option<&'static str>,
+    /// The first error a monitor-driven migration hit (see [`Self::fault`]).
+    fault: Option<SimError>,
 }
 
 impl<P: DenseProtocol + Clone + Send + 'static> HybridSimulator<P> {
@@ -432,6 +435,7 @@ impl<P: DenseProtocol + Clone + Send + 'static> HybridSimulator<P> {
             monitor_every,
             switches: Vec::new(),
             stint_kind: None,
+            fault: None,
         })
     }
 
@@ -649,37 +653,47 @@ impl<P: DenseProtocol + Clone + Send + 'static> HybridSimulator<P> {
     /// monitor (no-op when already per-agent).  Exposed for the round-trip
     /// tests and for experiments that want to pin the switch point; the
     /// monitor keeps running afterwards and may migrate back.
-    pub fn switch_to_agent(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the migration's [`SimError`]; the simulator keeps running
+    /// in its current representation when that happens.
+    pub fn switch_to_agent(&mut self) -> Result<(), SimError> {
         if !self.is_dense() {
-            return;
+            return Ok(());
         }
         let occupied = self.occupied_states();
-        self.migrate(SwitchDirection::ToAgent, occupied);
+        self.migrate(SwitchDirection::ToAgent, occupied)
     }
 
     /// Migrate to the count-based representation now, regardless of the
     /// monitor (no-op when already dense).
-    pub fn switch_to_dense(&mut self) {
+    ///
+    /// # Errors
+    ///
+    /// Propagates the migration's [`SimError`] (e.g. a substrate
+    /// reconstruction failure); the simulator keeps running per-agent when
+    /// that happens.
+    pub fn switch_to_dense(&mut self) -> Result<(), SimError> {
         if self.is_dense() {
-            return;
+            return Ok(());
         }
         let occupied = self.occupied_states();
-        self.migrate(SwitchDirection::ToDense, occupied);
+        self.migrate(SwitchDirection::ToDense, occupied)
     }
 
-    /// Perform one migration: fold the retiring engine's interaction counter
-    /// into the phase totals exactly once, transfer the configuration, and
-    /// record the event.  The monitor's mode flag is forced to match (manual
-    /// switches bypass its streak logic).
-    fn migrate(&mut self, direction: SwitchDirection, occupied: usize) {
-        let executed = self.mode_interactions();
-        self.completed += executed;
-        match &self.mode {
-            Mode::Batched(_) | Mode::Sharded(_) => self.dense_total += executed,
-            Mode::Agent(_) => self.agent_total += executed,
-        }
+    /// Perform one migration: build the successor engine, then fold the
+    /// retiring engine's interaction counter into the phase totals exactly
+    /// once, transfer the configuration, and record the event.  The
+    /// monitor's mode flag is forced to match (manual switches bypass its
+    /// streak logic).
+    ///
+    /// Construction happens *before* any accounting mutates, so a failed
+    /// migration leaves the simulator exactly as it was — still consistent,
+    /// still runnable in its current representation.
+    fn migrate(&mut self, direction: SwitchDirection, occupied: usize) -> Result<(), SimError> {
         let switch_seed = derive_seed(self.seed, SWITCH_SALT + 1 + self.switches.len() as u64);
-        match direction {
+        let successor = match direction {
             SwitchDirection::ToAgent => {
                 let counts = self.counts();
                 // Decoded stint if the protocol carries a codec (unless the
@@ -701,21 +715,29 @@ impl<P: DenseProtocol + Clone + Send + 'static> HybridSimulator<P> {
                     self.n,
                     "the expansion must cover the population"
                 );
-                self.stint_kind = Some(stint.kind());
-                self.mode = Mode::Agent(stint);
+                Mode::Agent(stint)
             }
             SwitchDirection::ToDense => {
                 let counts = self.counts();
-                self.mode = Self::dense_mode(
+                Self::dense_mode(
                     &self.protocol,
                     self.n as usize,
                     switch_seed,
                     self.config.substrate,
                     Some(counts),
-                )
-                .expect("configuration already validated at construction");
+                )?
             }
+        };
+        let executed = self.mode_interactions();
+        self.completed += executed;
+        match &self.mode {
+            Mode::Batched(_) | Mode::Sharded(_) => self.dense_total += executed,
+            Mode::Agent(_) => self.agent_total += executed,
         }
+        if let Mode::Agent(stint) = &successor {
+            self.stint_kind = Some(stint.kind());
+        }
+        self.mode = successor;
         self.monitor.dense = matches!(direction, SwitchDirection::ToDense);
         self.monitor.streak = 0;
         self.switches.push(SwitchEvent {
@@ -724,6 +746,21 @@ impl<P: DenseProtocol + Clone + Send + 'static> HybridSimulator<P> {
             occupied,
             discovered_states: self.protocol.discovered_states(),
         });
+        Ok(())
+    }
+
+    /// The first error a *monitor-driven* migration hit, if any.
+    ///
+    /// [`Self::run`] promises to execute its exact budget, so an automatic
+    /// migration that fails mid-run cannot propagate an error without
+    /// breaking that contract.  Instead the engine stays in its current
+    /// (still consistent) representation, keeps executing, and parks the
+    /// error here for the driver to inspect.  Manual switches
+    /// ([`Self::switch_to_agent`], [`Self::switch_to_dense`]) and snapshot
+    /// restores return their errors directly and never set this.
+    #[must_use]
+    pub fn fault(&self) -> Option<&SimError> {
+        self.fault.as_ref()
     }
 
     /// One monitor observation at the current interaction count; schedules
@@ -733,7 +770,16 @@ impl<P: DenseProtocol + Clone + Send + 'static> HybridSimulator<P> {
     fn observe(&mut self) {
         let occupied = self.occupied_states();
         if let Some(direction) = self.monitor.observe(occupied) {
-            self.migrate(direction, occupied);
+            if let Err(e) = self.migrate(direction, occupied) {
+                // The monitor already flipped its mode flag when it asked for
+                // the migration; snap it back to the representation we are
+                // actually still in and park the error (see `fault`).
+                self.monitor.dense = self.is_dense();
+                self.monitor.streak = 0;
+                if self.fault.is_none() {
+                    self.fault = Some(e);
+                }
+            }
         }
         self.next_observation = self.interactions() + self.monitor_every;
     }
@@ -815,6 +861,291 @@ impl<P: DenseProtocol + Clone + Send + 'static> HybridSimulator<P> {
             Mode::Sharded(s) => s.into_counts(),
             Mode::Agent(_) => self.counts(),
         }
+    }
+}
+
+/// Stint-kind tags in hybrid snapshots.
+const STINT_NONE: u8 = 0;
+const STINT_DECODED: u8 = 1;
+const STINT_INTERNED: u8 = 2;
+
+/// Mode tags in hybrid snapshots.
+const MODE_DENSE: u8 = 0;
+const MODE_AGENT: u8 = 1;
+
+fn stint_kind_tag(kind: Option<&'static str>) -> u8 {
+    match kind {
+        None => STINT_NONE,
+        Some("decoded") => STINT_DECODED,
+        _ => STINT_INTERNED,
+    }
+}
+
+fn stint_kind_from_tag(tag: u8) -> Result<Option<&'static str>, SimError> {
+    match tag {
+        STINT_NONE => Ok(None),
+        STINT_DECODED => Ok(Some("decoded")),
+        STINT_INTERNED => Ok(Some("interned")),
+        other => Err(SimError::SnapshotCorrupt {
+            reason: format!("unknown stint-kind tag {other}"),
+        }),
+    }
+}
+
+/// Checkpointing for the hybrid engine.
+///
+/// Payload layout (engine tag
+/// [`ENGINE_HYBRID`]):
+///
+/// ```text
+/// u64            population n
+/// u64            seed (drives future switch-seed derivation)
+/// u8             substrate tag (0 batched, 1 sharded) [+ u64 shards, u64 threads]
+/// f64 × 2        switch_up, switch_down
+/// u32            window
+/// u64            resolved monitor_every
+/// bool           interned_stints
+/// u64 × 4        completed, dense_total, agent_total, next_observation
+/// bool, u32      monitor mode flag, monitor streak
+/// switch log     count + (interactions, direction, occupied, discovered?) each
+/// u8             stint-kind tag (0 none / 1 decoded / 2 interned)
+/// Vec<u8>        protocol state (interner contents for dynamic protocols)
+/// u8 + Vec<u8>   mode tag (0 dense / 1 agent) + inner engine/stint bytes
+/// ```
+///
+/// Wall-clock accounting (`dense_seconds`, `agent_seconds`) is deliberately
+/// **not** persisted — it is the one piece of state that is not a pure
+/// function of the trajectory — and is zeroed on restore.  That exclusion is
+/// what makes snapshot-byte equality a valid trajectory-equality check (the
+/// fault-injection harness relies on it).
+///
+/// Configuration fields that shape the trajectory (population, substrate,
+/// thresholds, window, monitor cadence, stint representation) are validated
+/// against the restore target; the thread budget is not (it never shapes
+/// the trajectory).
+impl<P: DenseProtocol + Clone + Send + 'static> Checkpointable for HybridSimulator<P> {
+    fn save_state(&self) -> EngineSnapshot {
+        let mut payload = Vec::new();
+        self.n.persist(&mut payload);
+        self.seed.persist(&mut payload);
+        match self.config.substrate {
+            HybridSubstrate::Batched => 0u8.persist(&mut payload),
+            HybridSubstrate::Sharded { shards, threads } => {
+                1u8.persist(&mut payload);
+                shards.persist(&mut payload);
+                threads.persist(&mut payload);
+            }
+        }
+        self.config.switch_up.persist(&mut payload);
+        self.config.switch_down.persist(&mut payload);
+        self.config.window.persist(&mut payload);
+        self.monitor_every.persist(&mut payload);
+        self.config.interned_stints.persist(&mut payload);
+        self.completed.persist(&mut payload);
+        self.dense_total.persist(&mut payload);
+        self.agent_total.persist(&mut payload);
+        self.next_observation.persist(&mut payload);
+        self.monitor.dense.persist(&mut payload);
+        self.monitor.streak.persist(&mut payload);
+        self.switches.len().persist(&mut payload);
+        for e in &self.switches {
+            e.interactions.persist(&mut payload);
+            match e.direction {
+                SwitchDirection::ToAgent => 0u8.persist(&mut payload),
+                SwitchDirection::ToDense => 1u8.persist(&mut payload),
+            }
+            e.occupied.persist(&mut payload);
+            e.discovered_states.persist(&mut payload);
+        }
+        stint_kind_tag(self.stint_kind).persist(&mut payload);
+        self.protocol.save_protocol_state().persist(&mut payload);
+        match &self.mode {
+            Mode::Batched(s) => {
+                MODE_DENSE.persist(&mut payload);
+                s.save_state().payload().to_vec().persist(&mut payload);
+            }
+            Mode::Sharded(s) => {
+                MODE_DENSE.persist(&mut payload);
+                s.save_state().payload().to_vec().persist(&mut payload);
+            }
+            Mode::Agent(s) => {
+                MODE_AGENT.persist(&mut payload);
+                let mut stint = Vec::new();
+                s.save_stint(&mut stint);
+                stint.persist(&mut payload);
+            }
+        }
+        EngineSnapshot::new(ENGINE_HYBRID, payload)
+    }
+
+    fn restore_state(&mut self, snapshot: &EngineSnapshot) -> Result<(), SimError> {
+        snapshot.expect_engine(ENGINE_HYBRID, "the hybrid engine")?;
+        let mut r = snapshot.reader();
+        let n = r.read::<u64>()?;
+        let seed = r.read::<u64>()?;
+        let substrate_tag = r.read::<u8>()?;
+        let substrate = match substrate_tag {
+            0 => HybridSubstrate::Batched,
+            1 => HybridSubstrate::Sharded {
+                shards: r.read::<usize>()?,
+                threads: r.read::<usize>()?,
+            },
+            other => {
+                return Err(SimError::SnapshotCorrupt {
+                    reason: format!("unknown hybrid substrate tag {other}"),
+                })
+            }
+        };
+        let switch_up = r.read::<f64>()?;
+        let switch_down = r.read::<f64>()?;
+        let window = r.read::<u32>()?;
+        let monitor_every = r.read::<u64>()?;
+        let interned_stints = r.read::<bool>()?;
+        let completed = r.read::<u64>()?;
+        let dense_total = r.read::<u64>()?;
+        let agent_total = r.read::<u64>()?;
+        let next_observation = r.read::<u64>()?;
+        let monitor_dense = r.read::<bool>()?;
+        let monitor_streak = r.read::<u32>()?;
+        let num_switches = r.read::<usize>()?;
+        let mut switches = Vec::with_capacity(num_switches.min(1024));
+        for _ in 0..num_switches {
+            let interactions = r.read::<u64>()?;
+            let direction = match r.read::<u8>()? {
+                0 => SwitchDirection::ToAgent,
+                1 => SwitchDirection::ToDense,
+                other => {
+                    return Err(SimError::SnapshotCorrupt {
+                        reason: format!("unknown switch-direction tag {other}"),
+                    })
+                }
+            };
+            let occupied = r.read::<usize>()?;
+            let discovered_states = r.read::<Option<usize>>()?;
+            switches.push(SwitchEvent {
+                interactions,
+                direction,
+                occupied,
+                discovered_states,
+            });
+        }
+        let stint_kind = stint_kind_from_tag(r.read::<u8>()?)?;
+        let protocol_bytes = r.read::<Vec<u8>>()?;
+        let mode_tag = r.read::<u8>()?;
+        let mode_bytes = r.read::<Vec<u8>>()?;
+        r.finish()?;
+
+        if n != self.n {
+            return Err(SimError::SnapshotMismatch {
+                reason: format!("snapshot population {n} != simulator population {}", self.n),
+            });
+        }
+        let config_matches = match (substrate, self.config.substrate) {
+            (HybridSubstrate::Batched, HybridSubstrate::Batched) => true,
+            // The shard partition shapes the trajectory; the thread budget
+            // does not.
+            (
+                HybridSubstrate::Sharded { shards: a, .. },
+                HybridSubstrate::Sharded { shards: b, .. },
+            ) => a == b,
+            _ => false,
+        } && switch_up.to_bits() == self.config.switch_up.to_bits()
+            && switch_down.to_bits() == self.config.switch_down.to_bits()
+            && window == self.config.window
+            && monitor_every == self.monitor_every
+            && interned_stints == self.config.interned_stints;
+        if !config_matches {
+            return Err(SimError::SnapshotMismatch {
+                reason: format!(
+                    "snapshot was taken under a different hybrid configuration \
+                     (substrate/thresholds/window/cadence/stint representation): \
+                     snapshot ({substrate:?}, {switch_up}/{switch_down}, window {window}, \
+                     every {monitor_every}, interned {interned_stints}) vs simulator \
+                     ({:?}, {}/{}, window {}, every {}, interned {})",
+                    self.config.substrate,
+                    self.config.switch_up,
+                    self.config.switch_down,
+                    self.config.window,
+                    self.monitor_every,
+                    self.config.interned_stints
+                ),
+            });
+        }
+
+        // Protocol state before any engine construction: rebuilt δ-tables and
+        // restored stints must see the checkpoint's interner contents.
+        self.protocol.restore_protocol_state(&protocol_bytes)?;
+        let mode = match mode_tag {
+            MODE_DENSE => {
+                let inner = EngineSnapshot::new(
+                    match self.config.substrate {
+                        HybridSubstrate::Batched => crate::snapshot::ENGINE_BATCHED,
+                        HybridSubstrate::Sharded { .. } => crate::snapshot::ENGINE_SHARDED,
+                    },
+                    mode_bytes,
+                );
+                let mut mode = Self::dense_mode(
+                    &self.protocol,
+                    self.n as usize,
+                    seed,
+                    self.config.substrate,
+                    None,
+                )?;
+                match &mut mode {
+                    Mode::Batched(s) => s.restore_state(&inner)?,
+                    Mode::Sharded(s) => s.restore_state(&inner)?,
+                    Mode::Agent(_) => unreachable!("dense_mode never builds a stint"),
+                }
+                mode
+            }
+            MODE_AGENT => {
+                let stint = match stint_kind {
+                    Some("interned") => {
+                        DecodedStint::restore_boxed(IndexCodec(self.protocol.clone()), &mode_bytes)?
+                    }
+                    Some("decoded") => match self.protocol.restore_agent_stint(&mode_bytes) {
+                        Some(stint) => stint?,
+                        None => {
+                            return Err(SimError::SnapshotMismatch {
+                                reason: format!(
+                                    "snapshot holds a decoded per-agent stint but protocol \
+                                     `{}` does not implement restore_agent_stint",
+                                    self.protocol.name()
+                                ),
+                            })
+                        }
+                    },
+                    _ => {
+                        return Err(SimError::SnapshotCorrupt {
+                            reason: "snapshot is in per-agent mode but records no stint kind"
+                                .into(),
+                        })
+                    }
+                };
+                Mode::Agent(stint)
+            }
+            other => {
+                return Err(SimError::SnapshotCorrupt {
+                    reason: format!("unknown hybrid mode tag {other}"),
+                })
+            }
+        };
+
+        self.seed = seed;
+        self.mode = mode;
+        self.completed = completed;
+        self.dense_total = dense_total;
+        self.agent_total = agent_total;
+        // Wall-clock is not part of the trajectory and was not persisted.
+        self.dense_secs = 0.0;
+        self.agent_secs = 0.0;
+        self.next_observation = next_observation;
+        self.monitor.dense = monitor_dense;
+        self.monitor.streak = monitor_streak;
+        self.switches = switches;
+        self.stint_kind = stint_kind;
+        self.fault = None;
+        Ok(())
     }
 }
 
@@ -920,17 +1251,17 @@ mod tests {
         sim.run(10_000);
         let before = sim.counts();
         let interactions = sim.interactions();
-        sim.switch_to_agent();
+        sim.switch_to_agent().unwrap();
         assert!(!sim.is_dense());
         assert_eq!(sim.counts(), before, "dense → agent must be lossless");
         assert_eq!(sim.interactions(), interactions);
-        sim.switch_to_dense();
+        sim.switch_to_dense().unwrap();
         assert!(sim.is_dense());
         assert_eq!(sim.counts(), before, "agent → dense must be lossless");
         assert_eq!(sim.interactions(), interactions);
         assert_eq!(sim.switches().len(), 2);
         // Manual switches are no-ops when already in the target mode.
-        sim.switch_to_dense();
+        sim.switch_to_dense().unwrap();
         assert_eq!(sim.switches().len(), 2);
     }
 
@@ -996,6 +1327,128 @@ mod tests {
             }
         );
         assert_eq!(sim.interactions(), 100);
+    }
+
+    #[test]
+    fn snapshot_round_trip_replays_bit_identically_across_a_migration() {
+        // Scatter migrates dense → per-agent mid-run; cut the run at chunk
+        // boundaries on both sides of the switch and check each resume
+        // replays bit-identically against the uninterrupted reference.
+        let n = 3_000usize;
+        let chunks = [1_009u64, 40_013, 25_057];
+        let mut reference = HybridSimulator::new(Scatter { q: 1 << 14 }, n, 5).unwrap();
+        for &c in &chunks {
+            reference.run(c);
+        }
+        assert!(
+            reference
+                .switches()
+                .iter()
+                .any(|e| e.direction == SwitchDirection::ToAgent),
+            "the workload must migrate for this test to bite"
+        );
+        let reference_bytes = reference.save_state().to_bytes();
+
+        for cut in 1..chunks.len() {
+            let mut victim = HybridSimulator::new(Scatter { q: 1 << 14 }, n, 5).unwrap();
+            for &c in &chunks[..cut] {
+                victim.run(c);
+            }
+            if cut == 2 {
+                assert!(!victim.is_dense(), "the second cut should land mid-stint");
+            }
+            let bytes = victim.save_state().to_bytes();
+            drop(victim);
+
+            // A fresh simulator with a different seed: restore must overwrite
+            // every trajectory-relevant field, including the seed that drives
+            // future switch-seed derivation.
+            let mut resumed = HybridSimulator::new(Scatter { q: 1 << 14 }, n, 999).unwrap();
+            resumed.run(137);
+            let snap = EngineSnapshot::from_bytes(&bytes).unwrap();
+            resumed.restore_state(&snap).unwrap();
+            for &c in &chunks[cut..] {
+                resumed.run(c);
+            }
+            assert_eq!(resumed.interactions(), chunks.iter().sum::<u64>());
+            assert_eq!(
+                resumed.save_state().to_bytes(),
+                reference_bytes,
+                "resume from cut {cut} diverged from the uninterrupted run"
+            );
+        }
+    }
+
+    #[test]
+    fn snapshot_round_trip_works_on_the_sharded_substrate() {
+        let config = HybridConfig {
+            substrate: HybridSubstrate::Sharded {
+                shards: 2,
+                threads: 1,
+            },
+            ..HybridConfig::default()
+        };
+        // Trajectories are a function of the chunk schedule too, so the
+        // reference replays the exact `run` calls the victim + resumed pair
+        // make between them.
+        let mut reference = HybridSimulator::with_config(Rumor, 4_096, 11, config).unwrap();
+        reference.transfer(0, 1, 1).unwrap();
+        reference.run(10_000);
+        reference.run(20_000);
+
+        let mut victim = HybridSimulator::with_config(Rumor, 4_096, 11, config).unwrap();
+        victim.transfer(0, 1, 1).unwrap();
+        victim.run(10_000);
+        let snap = victim.save_state();
+        let mut resumed = HybridSimulator::with_config(Rumor, 4_096, 11, config).unwrap();
+        resumed.restore_state(&snap).unwrap();
+        resumed.run(20_000);
+        assert_eq!(
+            resumed.save_state().to_bytes(),
+            reference.save_state().to_bytes()
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_validates_population_and_configuration() {
+        let sim = HybridSimulator::new(Rumor, 1_000, 1).unwrap();
+        let snap = sim.save_state();
+
+        let mut other_n = HybridSimulator::new(Rumor, 2_000, 1).unwrap();
+        assert!(matches!(
+            other_n.restore_state(&snap),
+            Err(SimError::SnapshotMismatch { .. })
+        ));
+
+        let other_cfg = HybridConfig {
+            switch_up: 128.0,
+            ..HybridConfig::default()
+        };
+        let mut other_thresholds =
+            HybridSimulator::with_config(Rumor, 1_000, 1, other_cfg).unwrap();
+        assert!(matches!(
+            other_thresholds.restore_state(&snap),
+            Err(SimError::SnapshotMismatch { .. })
+        ));
+
+        let sharded_cfg = HybridConfig {
+            substrate: HybridSubstrate::Sharded {
+                shards: 2,
+                threads: 1,
+            },
+            ..HybridConfig::default()
+        };
+        let mut other_substrate =
+            HybridSimulator::with_config(Rumor, 1_000, 1, sharded_cfg).unwrap();
+        assert!(matches!(
+            other_substrate.restore_state(&snap),
+            Err(SimError::SnapshotMismatch { .. })
+        ));
+
+        // A failed restore leaves the target runnable.
+        other_substrate.run(500);
+        assert_eq!(other_substrate.interactions(), 500);
+        assert!(other_substrate.fault().is_none());
     }
 
     proptest! {

@@ -193,6 +193,59 @@ impl<S: Copy + Eq + Hash + Debug> StateInterner<S> {
             .get(index)
             .copied()
     }
+
+    /// All interned states in index order — the serializable contents of the
+    /// interner, used by the snapshot layer
+    /// ([`ppsim::snapshot`](crate::snapshot)).  Index `i` of the returned
+    /// vector holds the state behind dense index `i`.
+    #[must_use]
+    pub fn contents(&self) -> Vec<S> {
+        self.inner
+            .read()
+            .expect("interner lock poisoned")
+            .states
+            .clone()
+    }
+
+    /// Replace the interner's entire contents with `states` (state `i` gets
+    /// dense index `i`), discarding everything currently interned.
+    ///
+    /// This is the restore half of checkpointing: a snapshot records the
+    /// interner as of the checkpoint, and rewinding a run must also *forget*
+    /// states discovered after it — otherwise a replay would find different
+    /// indices already assigned and diverge.  The replacement propagates to
+    /// every clone of the owning protocol, since all clones share this
+    /// interner behind an `Arc` — which is exactly the whole-process rewind
+    /// semantics a restore wants.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError::SnapshotMismatch`](crate::SimError::SnapshotMismatch) if
+    /// `states` is larger than this interner's capacity or contains a
+    /// duplicate state (snapshots written by this crate contain neither).
+    pub fn replace_contents(&self, states: Vec<S>) -> Result<(), crate::SimError> {
+        if states.len() > self.capacity {
+            return Err(crate::SimError::SnapshotMismatch {
+                reason: format!(
+                    "snapshot interned {} states but this interner's capacity is {}",
+                    states.len(),
+                    self.capacity
+                ),
+            });
+        }
+        let mut index = HashMap::with_capacity(states.len());
+        for (i, &s) in states.iter().enumerate() {
+            if index.insert(s, i as u32).is_some() {
+                return Err(crate::SimError::SnapshotMismatch {
+                    reason: format!("snapshot interner contents repeat state {s:?} at index {i}"),
+                });
+            }
+        }
+        let mut inner = self.inner.write().expect("interner lock poisoned");
+        inner.states = states;
+        inner.index = index;
+        Ok(())
+    }
 }
 
 #[cfg(test)]
@@ -256,6 +309,45 @@ mod tests {
     #[should_panic(expected = "out of range")]
     fn capacity_beyond_u32_is_rejected() {
         let _ = StateInterner::<u64>::with_capacity(u32::MAX as usize + 10);
+    }
+
+    #[test]
+    fn contents_round_trip_through_replace() {
+        let interner = StateInterner::with_capacity(8);
+        let _ = interner.intern('c');
+        let _ = interner.intern('a');
+        let _ = interner.intern('b');
+        let saved = interner.contents();
+        assert_eq!(saved, vec!['c', 'a', 'b'], "contents are in index order");
+
+        // A later run discovers more states...
+        let _ = interner.intern('z');
+        assert_eq!(interner.len(), 4);
+
+        // ...and restoring rewinds the index space, forgetting 'z'.
+        let fresh = StateInterner::with_capacity(8);
+        fresh.replace_contents(saved).unwrap();
+        assert_eq!(fresh.len(), 3);
+        assert_eq!(fresh.get(0), 'c');
+        assert_eq!(fresh.get(2), 'b');
+        assert_eq!(fresh.intern('a'), 1, "restored index map is consistent");
+        assert_eq!(
+            fresh.intern('z'),
+            3,
+            "new states continue after the restored ones"
+        );
+    }
+
+    #[test]
+    fn replace_contents_validates_capacity_and_duplicates() {
+        let interner = StateInterner::with_capacity(2);
+        assert!(interner.replace_contents(vec![1u8, 2, 3]).is_err());
+        let interner = StateInterner::with_capacity(8);
+        assert!(interner.replace_contents(vec![1u8, 2, 1]).is_err());
+        // A failed replace leaves the interner untouched.
+        let _ = interner.intern(9u8);
+        assert!(interner.replace_contents(vec![5u8, 5]).is_err());
+        assert_eq!(interner.get(0), 9);
     }
 
     #[test]

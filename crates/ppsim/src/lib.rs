@@ -36,6 +36,10 @@
 //! * an engine-selection layer ([`Engine`], [`DenseSimulator`]) with a
 //!   measured, protocol-aware auto heuristic, so harness code picks engines
 //!   by argument, not by code path,
+//! * a **checkpoint/resume layer** ([`snapshot`]): a versioned, CRC-checked
+//!   binary snapshot format and the [`Checkpointable`] trait implemented by
+//!   all four engines, with bit-identical deterministic replay after restore,
+//!   plus the fault-injection harness ([`faultsim`]) that verifies it,
 //! * measurement utilities ([`metrics`]) such as empirical state-space tracking,
 //! * a multi-threaded independent-trial runner ([`parallel`]) for parameter sweeps.
 //!
@@ -79,6 +83,7 @@ pub mod convergence;
 pub mod dense;
 pub mod engine;
 pub mod error;
+pub mod faultsim;
 pub mod hybrid;
 pub mod interned;
 pub mod metrics;
@@ -89,6 +94,7 @@ pub mod sample;
 pub mod scheduler;
 pub mod sharded;
 pub mod simulator;
+pub mod snapshot;
 pub mod stint;
 
 pub use batched::BatchedSimulator;
@@ -109,4 +115,7 @@ pub use rng::{derive_seed, seeded_rng};
 pub use scheduler::{AllPairsScheduler, Scheduler, UniformScheduler};
 pub use sharded::{ShardedBatchedSimulator, ShardedConfig};
 pub use simulator::Simulator;
+pub use snapshot::{
+    Checkpointable, EngineSnapshot, PersistState, SnapshotReader, SNAPSHOT_VERSION,
+};
 pub use stint::{AgentCodec, AgentStint, BoxedAgentStint, DecodedStint, IndexCodec};

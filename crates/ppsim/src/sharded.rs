@@ -110,6 +110,9 @@ use crate::error::SimError;
 use crate::parallel::run_chunked;
 use crate::rng::{derive_seed, seeded_rng};
 use crate::sample::{conditional_class_draw, multinomial, multivariate_hypergeometric_sparse};
+use crate::snapshot::{
+    persist_rng, unpersist_rng, Checkpointable, EngineSnapshot, PersistState, ENGINE_SHARDED,
+};
 
 /// Configuration of a [`ShardedBatchedSimulator`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -737,6 +740,123 @@ impl<P: DenseProtocol + Clone + Send> ShardedBatchedSimulator<P> {
     }
 }
 
+/// Checkpointing for the sharded engine.
+///
+/// Payload layout (engine tag
+/// [`ENGINE_SHARDED`]):
+///
+/// ```text
+/// u64              population n
+/// u64              state-space size q
+/// u64              shard count S
+/// u64              epoch window length W
+/// [u64; 4]         master RNG state
+/// u64              total interactions executed
+/// Vec<u8>          protocol state (stored once: all shard copies share it)
+/// S × shard core   per-shard BatchedSimulator cores, without protocol bytes
+/// Vec<(u32, u64)>  aggregate (state, count) in occupied-list order —
+///                  rebalancing iterates this exact order, so it is stored
+///                  verbatim rather than re-derived from the shards
+/// ```
+///
+/// There is no persistent mid-epoch state: epochs are carved out of each
+/// `run` call's budget, so a snapshot taken between `run` calls sits at an
+/// epoch-window boundary of the *budget schedule*, wherever that lands
+/// relative to the `W` grid.  `S` and `W` are validated on restore (they
+/// shape the trajectory); the thread budget is not (it never does).
+impl<P: DenseProtocol + Clone + Send> Checkpointable for ShardedBatchedSimulator<P> {
+    fn save_state(&self) -> EngineSnapshot {
+        let mut payload = Vec::new();
+        self.n.persist(&mut payload);
+        self.q.persist(&mut payload);
+        self.shards.len().persist(&mut payload);
+        self.epoch_cap.persist(&mut payload);
+        persist_rng(&self.rng, &mut payload);
+        self.interactions.persist(&mut payload);
+        self.protocol.save_protocol_state().persist(&mut payload);
+        for shard in &self.shards {
+            shard.save_core(false, &mut payload);
+        }
+        let occ: Vec<(u32, u64)> = self
+            .occupied
+            .as_slice()
+            .iter()
+            .map(|&st| (st, self.counts[st as usize]))
+            .collect();
+        occ.persist(&mut payload);
+        EngineSnapshot::new(ENGINE_SHARDED, payload)
+    }
+
+    fn restore_state(&mut self, snapshot: &EngineSnapshot) -> Result<(), SimError> {
+        snapshot.expect_engine(ENGINE_SHARDED, "the sharded engine")?;
+        let mut r = snapshot.reader();
+        let n = r.read::<u64>()?;
+        let q = r.read::<usize>()?;
+        let s = r.read::<usize>()?;
+        let epoch_cap = r.read::<u64>()?;
+        let rng = unpersist_rng(&mut r)?;
+        let interactions = r.read::<u64>()?;
+        let protocol_bytes = r.read::<Vec<u8>>()?;
+        if n != self.n {
+            return Err(SimError::SnapshotMismatch {
+                reason: format!("snapshot population {n} != simulator population {}", self.n),
+            });
+        }
+        if q != self.q {
+            return Err(SimError::SnapshotMismatch {
+                reason: format!(
+                    "snapshot state space {q} != simulator state space {}",
+                    self.q
+                ),
+            });
+        }
+        if s != self.shards.len() {
+            return Err(SimError::SnapshotMismatch {
+                reason: format!(
+                    "snapshot has {s} shards, simulator has {} — the partition \
+                     shapes the trajectory",
+                    self.shards.len()
+                ),
+            });
+        }
+        if epoch_cap != self.epoch_cap {
+            return Err(SimError::SnapshotMismatch {
+                reason: format!(
+                    "snapshot epoch window {epoch_cap} != simulator epoch window {} \
+                     — the window shapes the trajectory",
+                    self.epoch_cap
+                ),
+            });
+        }
+        // Protocol state first: the shard cores rebuild their δ-tables
+        // against the restored interner contents.
+        self.protocol.restore_protocol_state(&protocol_bytes)?;
+        for shard in &mut self.shards {
+            shard.restore_core(&mut r, false)?;
+        }
+        let occ = r.read::<Vec<(u32, u64)>>()?;
+        r.finish()?;
+        let total: u64 = occ.iter().map(|&(_, c)| c).sum();
+        if total != n {
+            return Err(SimError::SnapshotCorrupt {
+                reason: format!("aggregate counts sum to {total}, population is {n}"),
+            });
+        }
+        for &st in self.occupied.as_slice() {
+            self.counts[st as usize] = 0;
+        }
+        self.occupied
+            .restore_list(occ.iter().map(|&(st, _)| st).collect())?;
+        for &(st, c) in &occ {
+            self.counts[st as usize] = c;
+        }
+        self.rng = rng;
+        self.interactions = interactions;
+        self.delta = DeltaTable::new(&self.protocol)?;
+        Ok(())
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -987,5 +1107,79 @@ mod tests {
         sim.transfer(0, 1, 1).unwrap();
         let outcome = sim.run_until(|s| s.count_of(1) == 4096, 4096, u64::MAX >> 1);
         assert!(outcome.converged());
+    }
+
+    #[test]
+    fn snapshot_round_trip_is_identity_and_replay_is_bit_identical() {
+        // Reference: one uninterrupted run.  Victim: same chunk schedule, but
+        // serialized through bytes and restored into a fresh simulator at a
+        // mid-run boundary that does not align with the epoch-window grid.
+        let cfg = ShardedConfig {
+            shards: 4,
+            threads: 2,
+            epoch_interactions: Some(997),
+        };
+        let chunks = [10_007u64, 5_003, 7_919];
+        let mut reference = ShardedBatchedSimulator::new(TokenDrift, 2048, 99, cfg).unwrap();
+        for &c in &chunks {
+            reference.run(c);
+        }
+
+        let mut victim = ShardedBatchedSimulator::new(TokenDrift, 2048, 99, cfg).unwrap();
+        victim.run(chunks[0]);
+        let bytes = victim.save_state().to_bytes();
+        drop(victim);
+
+        let mut resumed = ShardedBatchedSimulator::new(TokenDrift, 2048, 1234, cfg).unwrap();
+        resumed.run(41); // desync before restore to prove restore overwrites everything
+        let snap = EngineSnapshot::from_bytes(&bytes).unwrap();
+        resumed.restore_state(&snap).unwrap();
+        assert_eq!(resumed.interactions(), chunks[0]);
+
+        for &c in &chunks[1..] {
+            resumed.run(c);
+        }
+        assert_eq!(resumed.interactions(), reference.interactions());
+        assert_eq!(resumed.counts(), reference.counts());
+        // Snapshot bytes are a pure function of the trajectory, so byte
+        // equality certifies full observable-state equality (RNGs, per-shard
+        // configurations, occupancy order — everything).
+        assert_eq!(
+            resumed.save_state().to_bytes(),
+            reference.save_state().to_bytes()
+        );
+    }
+
+    #[test]
+    fn snapshot_restore_validates_population_partition_and_window() {
+        let sim = ShardedBatchedSimulator::new(TokenDrift, 1024, 5, config(4, 1)).unwrap();
+        let snap = sim.save_state();
+
+        let mut other_n = ShardedBatchedSimulator::new(TokenDrift, 2048, 5, config(4, 1)).unwrap();
+        assert!(matches!(
+            other_n.restore_state(&snap),
+            Err(SimError::SnapshotMismatch { .. })
+        ));
+
+        let mut other_s = ShardedBatchedSimulator::new(TokenDrift, 1024, 5, config(8, 1)).unwrap();
+        assert!(matches!(
+            other_s.restore_state(&snap),
+            Err(SimError::SnapshotMismatch { .. })
+        ));
+
+        let cfg_w = ShardedConfig {
+            shards: 4,
+            threads: 1,
+            epoch_interactions: Some(64),
+        };
+        let mut other_w = ShardedBatchedSimulator::new(TokenDrift, 1024, 5, cfg_w).unwrap();
+        assert!(matches!(
+            other_w.restore_state(&snap),
+            Err(SimError::SnapshotMismatch { .. })
+        ));
+
+        // A failed restore must leave the target able to keep running.
+        other_w.run(100);
+        assert_eq!(other_w.interactions(), 100);
     }
 }

@@ -48,7 +48,8 @@
 //!
 //! ```rust
 //! use ppsim::stint::{AgentCodec, AgentStint, DecodedStint};
-//! use ppsim::{DenseProtocol, Protocol};
+//! use ppsim::snapshot::SnapshotReader;
+//! use ppsim::{DenseProtocol, PersistState, Protocol};
 //! use rand::rngs::SmallRng;
 //!
 //! /// Parity counter: dense index = (count, flag) packed as 2*count + flag.
@@ -56,6 +57,18 @@
 //! struct Packed;
 //! #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 //! struct Native { count: u8, flag: bool }
+//!
+//! // Native states are checkpointable field-by-field, so stints taken
+//! // mid-run can be persisted (see `ppsim::snapshot`).
+//! impl PersistState for Native {
+//!     fn persist(&self, out: &mut Vec<u8>) {
+//!         self.count.persist(out);
+//!         self.flag.persist(out);
+//!     }
+//!     fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, ppsim::SimError> {
+//!         Ok(Native { count: r.read()?, flag: r.read()? })
+//!     }
+//! }
 //!
 //! impl Protocol for Packed {
 //!     type State = Native;
@@ -113,6 +126,7 @@ use crate::error::SimError;
 use crate::protocol::Protocol;
 use crate::rng::seeded_rng;
 use crate::scheduler::{Scheduler, UniformScheduler};
+use crate::snapshot::{persist_rng, unpersist_rng, PersistState, SnapshotReader};
 
 use rand::rngs::SmallRng;
 
@@ -273,6 +287,15 @@ pub trait AgentStint<O>: fmt::Debug + Send {
     fn kind(&self) -> &'static str;
     /// Clone into a fresh box (object-safe `Clone`).
     fn box_clone(&self) -> BoxedAgentStint<O>;
+    /// Append this stint's full replay state — interaction count, schedule
+    /// RNG, per-agent native states — to `out` (see [`crate::snapshot`]).
+    ///
+    /// The bytes are restored by
+    /// [`DenseProtocol::restore_agent_stint`]
+    /// (for codec-bearing protocols, via [`DecodedStint::restore_boxed`]).
+    /// The census and hashes are *not* serialized: they are pure functions of
+    /// the state vector and are rebuilt on restore.
+    fn save_stint(&self, out: &mut Vec<u8>);
 }
 
 /// A boxed per-agent stint, the form [`DenseProtocol::agent_stint`] returns
@@ -362,8 +385,62 @@ impl<P: AgentCodec> DecodedStint<P> {
     where
         <P as DenseProtocol>::Output: 'static,
         P::Native: 'static,
+        <P::Native as Protocol>::State: PersistState,
     {
         Box::new(Self::from_counts(codec, counts, seed))
+    }
+
+    /// Rebuild a stint from bytes written by [`AgentStint::save_stint`] — the
+    /// three-line body of
+    /// [`DenseProtocol::restore_agent_stint`]
+    /// overrides.
+    ///
+    /// The census, hashes, and occupancy counter are pure functions of the
+    /// state vector and are rebuilt here rather than trusted from the bytes.
+    ///
+    /// # Errors
+    ///
+    /// [`SimError`] variants describing truncated, trailing, or
+    /// population-degenerate payloads.
+    pub fn restore_boxed(
+        codec: P,
+        bytes: &[u8],
+    ) -> Result<BoxedAgentStint<<P as DenseProtocol>::Output>, SimError>
+    where
+        <P as DenseProtocol>::Output: 'static,
+        P::Native: 'static,
+        <P::Native as Protocol>::State: PersistState,
+    {
+        let mut r = SnapshotReader::new(bytes);
+        let interactions = r.read::<u64>()?;
+        let rng = unpersist_rng(&mut r)?;
+        let states = r.read::<Vec<<P::Native as Protocol>::State>>()?;
+        r.finish()?;
+        if states.len() < 2 {
+            return Err(SimError::SnapshotCorrupt {
+                reason: format!("per-agent stint population {} is below 2", states.len()),
+            });
+        }
+        let native = codec.native();
+        let mut hashes = Vec::with_capacity(states.len());
+        let mut census = Census::default();
+        for state in &states {
+            let h = state_hash(state);
+            hashes.push(h);
+            *census.entry(h).or_insert(0) += 1;
+        }
+        let occupied = census.len();
+        Ok(Box::new(DecodedStint {
+            codec,
+            native,
+            states,
+            hashes,
+            census,
+            occupied,
+            scheduler: UniformScheduler::new(),
+            rng,
+            interactions,
+        }))
     }
 
     /// The codec this stint decodes/encodes through.
@@ -459,6 +536,7 @@ where
     P: AgentCodec,
     P::Native: 'static,
     <P as DenseProtocol>::Output: 'static,
+    <P::Native as Protocol>::State: PersistState,
 {
     fn run(&mut self, budget: u64) {
         for _ in 0..budget {
@@ -549,6 +627,12 @@ where
 
     fn box_clone(&self) -> BoxedAgentStint<<P as DenseProtocol>::Output> {
         Box::new(self.clone())
+    }
+
+    fn save_stint(&self, out: &mut Vec<u8>) {
+        self.interactions.persist(out);
+        persist_rng(&self.rng, out);
+        self.states.persist(out);
     }
 }
 
@@ -739,6 +823,54 @@ mod tests {
         copy.run(100);
         assert_eq!(stint.interactions(), 0, "clone is independent");
         assert_eq!(copy.interactions(), 100);
+    }
+
+    #[test]
+    fn save_stint_restore_boxed_round_trips_and_replays_bit_identically() {
+        let counts = vec![499u64, 1];
+        let mut reference = DecodedStint::from_counts(IndexCodec(Rumor), &counts, 11);
+        reference.run(1_000);
+        let mut bytes = Vec::new();
+        reference.save_stint(&mut bytes);
+
+        let mut restored = DecodedStint::restore_boxed(IndexCodec(Rumor), &bytes).unwrap();
+        assert_eq!(restored.interactions(), 1_000);
+        assert_eq!(restored.occupied_states(), reference.occupied_states());
+        assert_eq!(restored.counts(), reference.counts());
+
+        reference.run(2_000);
+        restored.run(2_000);
+        let (mut a, mut b) = (Vec::new(), Vec::new());
+        reference.save_stint(&mut a);
+        restored.save_stint(&mut b);
+        assert_eq!(a, b, "resumed stint diverged from the uninterrupted one");
+    }
+
+    #[test]
+    fn restore_boxed_rejects_truncated_and_degenerate_payloads() {
+        let counts = vec![3u64, 1];
+        let stint = DecodedStint::from_counts(IndexCodec(Rumor), &counts, 0);
+        let mut bytes = Vec::new();
+        stint.save_stint(&mut bytes);
+        assert!(DecodedStint::restore_boxed(IndexCodec(Rumor), &bytes[..bytes.len() - 1]).is_err());
+
+        let lonely = DecodedStint {
+            codec: IndexCodec(Rumor),
+            native: IndexCodec(Rumor),
+            states: vec![0u32],
+            hashes: vec![state_hash(&0u32)],
+            census: Census::default(),
+            occupied: 1,
+            scheduler: UniformScheduler::new(),
+            rng: seeded_rng(0),
+            interactions: 0,
+        };
+        let mut bytes = Vec::new();
+        lonely.save_stint(&mut bytes);
+        assert!(matches!(
+            DecodedStint::restore_boxed(IndexCodec(Rumor), &bytes),
+            Err(SimError::SnapshotCorrupt { .. })
+        ));
     }
 
     #[test]

@@ -3,8 +3,44 @@
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
 
+use ppsim::faultsim::kill_and_resume;
 use ppsim::scheduler::{AllPairsScheduler, Scheduler, UniformScheduler};
-use ppsim::{derive_seed, seeded_rng, Protocol, Simulator, StateSpaceTracker};
+use ppsim::{
+    derive_seed, seeded_rng, BatchedSimulator, Checkpointable, DenseProtocol, EngineSnapshot,
+    HybridSimulator, Protocol, ShardedBatchedSimulator, ShardedConfig, Simulator,
+    StateSpaceTracker,
+};
+
+/// One-way epidemic on two dense states, for the count-based engines.
+#[derive(Debug, Clone, Copy)]
+struct DenseRumor;
+
+impl DenseProtocol for DenseRumor {
+    type Output = bool;
+    fn num_states(&self) -> usize {
+        2
+    }
+    fn initial_state(&self) -> usize {
+        0
+    }
+    fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+        (u.max(v), v)
+    }
+    fn output(&self, s: usize) -> bool {
+        s == 1
+    }
+}
+
+/// Assert `restore(save(sim))` is the identity on observable state: the
+/// restored engine's own snapshot reproduces the original bytes exactly
+/// (snapshot bytes are a pure function of the trajectory, so byte equality
+/// is observable-state equality — see `ppsim::faultsim`).
+fn assert_roundtrip_identity<S: Checkpointable>(sim: &S, mut fresh: S) {
+    let bytes = sim.save_state().to_bytes();
+    let snapshot = EngineSnapshot::from_bytes(&bytes).unwrap();
+    fresh.restore_state(&snapshot).unwrap();
+    assert_eq!(fresh.save_state().to_bytes(), bytes);
+}
 
 /// A protocol that conserves the sum of its (numeric) states: tokens are moved from
 /// the responder to the initiator, one at a time.
@@ -108,5 +144,58 @@ proptest! {
         let par = ppsim::run_trials_with_threads(trials, threads, |i| derive_seed(1, i as u64));
         let seq: Vec<u64> = (0..trials).map(|i| derive_seed(1, i as u64)).collect();
         prop_assert_eq!(par, seq);
+    }
+
+    /// `restore(save)` is the identity on observable state for all four
+    /// engines, at arbitrary points of arbitrary trajectories.
+    #[test]
+    fn snapshot_roundtrip_is_identity_on_every_engine(
+        n in 3usize..400,
+        seed in any::<u64>(),
+        steps in 0u64..3_000,
+    ) {
+        let mut seq = Simulator::new(TokenDrift, n, seed).unwrap();
+        seq.run(steps);
+        assert_roundtrip_identity(&seq, Simulator::new(TokenDrift, n, seed).unwrap());
+
+        let mut batched = BatchedSimulator::new(DenseRumor, n, seed).unwrap();
+        batched.transfer(0, 1, 1).unwrap();
+        batched.run(steps);
+        assert_roundtrip_identity(&batched, BatchedSimulator::new(DenseRumor, n, seed).unwrap());
+
+        let config = ShardedConfig { shards: 2, threads: 1, epoch_interactions: Some(512) };
+        let mut sharded = ShardedBatchedSimulator::new(DenseRumor, n.max(4), seed, config).unwrap();
+        sharded.run(steps);
+        assert_roundtrip_identity(
+            &sharded,
+            ShardedBatchedSimulator::new(DenseRumor, n.max(4), seed, config).unwrap(),
+        );
+
+        let mut hybrid = HybridSimulator::new(DenseRumor, n, seed).unwrap();
+        hybrid.run(steps);
+        assert_roundtrip_identity(&hybrid, HybridSimulator::new(DenseRumor, n, seed).unwrap());
+    }
+
+    /// Saving the epidemic at a random budget and resuming from the
+    /// serialized snapshot yields the bit-identical trajectory the
+    /// uninterrupted run (over the same chunk schedule) produces.
+    #[test]
+    fn epidemic_saved_at_a_random_budget_resumes_bit_identically(
+        n in 4usize..500,
+        seed in any::<u64>(),
+        kill_at in 0u64..4_000,
+        rest in 1u64..4_000,
+    ) {
+        let verdict = kill_and_resume(
+            || {
+                let mut sim = BatchedSimulator::new(DenseRumor, n, seed)?;
+                sim.transfer(0, 1, 1)?;
+                Ok(sim)
+            },
+            |s, b| s.run(b),
+            &[kill_at, rest],
+            1,
+        ).unwrap();
+        prop_assert!(verdict.bit_identical());
     }
 }

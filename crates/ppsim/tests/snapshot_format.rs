@@ -1,0 +1,154 @@
+//! Golden-file tests pinning the `ppsim::snapshot` binary format (v1).
+//!
+//! These bytes are a compatibility contract: checkpoints written by one
+//! build must restore in the next.  If a change here is intentional, bump
+//! [`SNAPSHOT_VERSION`] and teach `EngineSnapshot::from_bytes` to migrate
+//! (or reject) the old version — never silently repin the golden bytes.
+
+use ppsim::snapshot::{crc32, ENGINE_BATCHED, ENGINE_SEQUENTIAL, SNAPSHOT_MAGIC};
+use ppsim::{
+    BatchedSimulator, Checkpointable, DenseProtocol, EngineSnapshot, Protocol, SimError, Simulator,
+    SNAPSHOT_VERSION,
+};
+use rand::rngs::SmallRng;
+
+#[derive(Debug, Clone, Copy)]
+struct Rumor;
+impl DenseProtocol for Rumor {
+    type Output = bool;
+    fn num_states(&self) -> usize {
+        2
+    }
+    fn initial_state(&self) -> usize {
+        0
+    }
+    fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+        (u.max(v), v)
+    }
+    fn output(&self, s: usize) -> bool {
+        s == 1
+    }
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Flip;
+impl Protocol for Flip {
+    type State = u8;
+    type Output = u8;
+    fn initial_state(&self) -> u8 {
+        0
+    }
+    fn interact(&self, u: &mut u8, _v: &mut u8, _rng: &mut SmallRng) {
+        *u ^= 1;
+    }
+    fn output(&self, s: &u8) -> u8 {
+        *s
+    }
+}
+
+fn hex(bytes: &[u8]) -> String {
+    bytes.iter().map(|b| format!("{b:02x}")).collect()
+}
+
+/// The full serialized frame of a tiny batched run, byte for byte.  The
+/// trajectory is deterministic (fixed protocol, n, seed, budget), so any
+/// deviation is a format change, not noise.
+#[test]
+fn golden_batched_snapshot_bytes_are_pinned() {
+    let mut sim = BatchedSimulator::new(Rumor, 4, 1).unwrap();
+    sim.transfer(0, 1, 1).unwrap();
+    sim.run(7);
+    let bytes = sim.save_state().to_bytes();
+    assert_eq!(
+        hex(&bytes),
+        "505053530100000002540000000000000004000000000000000200000000000000\
+         c3dd56fdc1235e8d08856fa2f7082263d0f294247e8601088c51c766153e44b3\
+         070000000000000000000000000000000100000000000000010000000400000000000000401433f7"
+    );
+}
+
+/// The sequential engine's frame, pinned the same way.
+#[test]
+fn golden_sequential_snapshot_bytes_are_pinned() {
+    let mut sim = Simulator::new(Flip, 3, 2).unwrap();
+    sim.run(5);
+    let bytes = sim.save_state().to_bytes();
+    assert_eq!(
+        hex(&bytes),
+        "50505353010000000133000000000000008f436e9f7f8923b7242c7e619ea14086\
+         8a485b8924b6737ea2782fa36be47f9905000000000000000300000000000000010000703754fb"
+    );
+}
+
+/// The frame layout: magic, little-endian version, engine tag, u64 payload
+/// length, payload, trailing CRC32 of the payload.
+#[test]
+fn frame_layout_is_the_documented_one() {
+    let snapshot = EngineSnapshot::new(ENGINE_BATCHED, vec![0xAB, 0xCD, 0xEF]);
+    let bytes = snapshot.to_bytes();
+    assert_eq!(&bytes[0..4], &SNAPSHOT_MAGIC);
+    assert_eq!(
+        u32::from_le_bytes(bytes[4..8].try_into().unwrap()),
+        SNAPSHOT_VERSION
+    );
+    assert_eq!(bytes[8], ENGINE_BATCHED);
+    assert_eq!(u64::from_le_bytes(bytes[9..17].try_into().unwrap()), 3);
+    assert_eq!(&bytes[17..20], &[0xAB, 0xCD, 0xEF]);
+    let crc = u32::from_le_bytes(bytes[20..24].try_into().unwrap());
+    assert_eq!(crc, crc32(&bytes[17..20]));
+    assert_eq!(bytes.len(), 24);
+}
+
+/// Every single-byte corruption of a frame is rejected, except the engine
+/// tag — which the CRC deliberately does not cover (it is validated by
+/// `expect_engine` against what the *caller* expects, a stronger check
+/// than self-consistency).
+#[test]
+fn any_flipped_byte_is_detected() {
+    let bytes = EngineSnapshot::new(ENGINE_SEQUENTIAL, vec![1, 2, 3, 4]).to_bytes();
+    assert!(EngineSnapshot::from_bytes(&bytes).is_ok());
+    for i in 0..bytes.len() {
+        let mut corrupt = bytes.clone();
+        corrupt[i] ^= 0x40;
+        if i == 8 {
+            // The engine-tag byte: decodes, but no longer passes the
+            // caller-side engine check.
+            let decoded = EngineSnapshot::from_bytes(&corrupt).unwrap();
+            assert!(decoded
+                .expect_engine(ENGINE_SEQUENTIAL, "sequential")
+                .is_err());
+        } else {
+            assert!(
+                EngineSnapshot::from_bytes(&corrupt).is_err(),
+                "flipping byte {i} must not decode"
+            );
+        }
+    }
+}
+
+/// Truncations at every length are rejected, never panicking.
+#[test]
+fn truncations_are_rejected() {
+    let bytes = EngineSnapshot::new(ENGINE_BATCHED, vec![9; 16]).to_bytes();
+    for len in 0..bytes.len() {
+        assert!(EngineSnapshot::from_bytes(&bytes[..len]).is_err());
+    }
+}
+
+/// A frame from a future format version is refused up front (with a
+/// version-mismatch error, not a CRC or decode failure downstream).
+#[test]
+fn future_versions_are_refused() {
+    let mut bytes = EngineSnapshot::new(ENGINE_BATCHED, vec![7; 8]).to_bytes();
+    let future = (SNAPSHOT_VERSION + 1).to_le_bytes();
+    bytes[4..8].copy_from_slice(&future);
+    let crc_at = bytes.len() - 4;
+    let crc = crc32(&bytes[..crc_at]).to_le_bytes();
+    bytes[crc_at..].copy_from_slice(&crc);
+    match EngineSnapshot::from_bytes(&bytes) {
+        Err(SimError::SnapshotVersion { found, .. }) => {
+            assert_eq!(found, SNAPSHOT_VERSION + 1);
+        }
+        other => panic!("expected a version mismatch, got {other:?}"),
+    }
+}

@@ -47,7 +47,7 @@ use std::sync::Arc;
 use rand::rngs::SmallRng;
 
 use ppsim::stint::{AgentCodec, BoxedAgentStint, DecodedStint};
-use ppsim::{DenseProtocol, Protocol, StateInterner};
+use ppsim::{DenseProtocol, PersistState, Protocol, SimError, SnapshotReader, StateInterner};
 
 use crate::phase_clock::{sync_interact, PhaseClock, SyncState};
 
@@ -84,8 +84,10 @@ pub struct SyncCtx {
 pub trait SyncedComponent {
     /// Per-agent component state (election flags, search exponent, stage
     /// loads, …).  `Copy + Eq + Hash` so the dense composition can intern it;
-    /// `Send + Sync` so shard copies can ride along to worker threads.
-    type State: Copy + Eq + Hash + Debug + Send + Sync;
+    /// `Send + Sync` so shard copies can ride along to worker threads;
+    /// [`PersistState`] so engine snapshots can carry interner contents and
+    /// per-agent stints across a crash (see [`ppsim::snapshot`]).
+    type State: Copy + Eq + Hash + Debug + Send + Sync + PersistState;
     /// The output domain of the composed protocol.
     type Output: Clone + Debug + PartialEq + Send;
 
@@ -115,6 +117,22 @@ pub struct SyncedAgent<S> {
     pub sync: SyncState,
     /// The component state (lines 5+).
     pub inner: S,
+}
+
+/// Snapshot codec: synchronisation base, then component state (see
+/// [`ppsim::snapshot`]).
+impl<S: PersistState> PersistState for SyncedAgent<S> {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.sync.persist(out);
+        self.inner.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, SimError> {
+        Ok(SyncedAgent {
+            sync: SyncState::unpersist(r)?,
+            inner: S::unpersist(r)?,
+        })
+    }
 }
 
 /// A composed protocol: the shared synchronisation base driving a
@@ -354,6 +372,29 @@ impl<C: SyncedComponent + Clone + Send + Sync + 'static> DenseProtocol for Dense
 
     fn agent_stint(&self, counts: &[u64], seed: u64) -> Option<BoxedAgentStint<C::Output>> {
         Some(DecodedStint::boxed(self.clone(), counts, seed))
+    }
+
+    fn save_protocol_state(&self) -> Vec<u8> {
+        // The interner's discovery order IS protocol state: dense indices in
+        // a snapshot are meaningless without the exact index → state table
+        // that minted them.
+        let mut out = Vec::new();
+        self.interner.contents().persist(&mut out);
+        out
+    }
+
+    fn restore_protocol_state(&self, bytes: &[u8]) -> Result<(), SimError> {
+        let mut r = SnapshotReader::new(bytes);
+        let states = Vec::<SyncedAgent<C::State>>::unpersist(&mut r)?;
+        r.finish()?;
+        self.interner.replace_contents(states)
+    }
+
+    fn restore_agent_stint(
+        &self,
+        bytes: &[u8],
+    ) -> Option<Result<BoxedAgentStint<C::Output>, SimError>> {
+        Some(DecodedStint::restore_boxed(self.clone(), bytes))
     }
 }
 

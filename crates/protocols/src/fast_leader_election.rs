@@ -19,7 +19,7 @@
 
 use rand::rngs::SmallRng;
 
-use ppsim::Protocol;
+use ppsim::{PersistState, Protocol, SimError, SnapshotReader};
 
 use crate::phase_clock::{sync_interact, PhaseClock, SyncState};
 use crate::synthetic_coin::{coin_interact, CoinState};
@@ -298,6 +298,29 @@ impl Protocol for FastLeaderElectionProtocol {
 
     fn name(&self) -> &'static str {
         "fast-leader-election"
+    }
+}
+
+/// Snapshot codec: fields in declaration order (see [`ppsim::snapshot`]).
+impl PersistState for FastLeaderState {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.contender.persist(out);
+        self.done.persist(out);
+        self.coin.persist(out);
+        self.value.persist(out);
+        self.bits_sampled.persist(out);
+        self.round.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, SimError> {
+        Ok(FastLeaderState {
+            contender: bool::unpersist(r)?,
+            done: bool::unpersist(r)?,
+            coin: CoinState::unpersist(r)?,
+            value: u64::unpersist(r)?,
+            bits_sampled: u32::unpersist(r)?,
+            round: u32::unpersist(r)?,
+        })
     }
 }
 

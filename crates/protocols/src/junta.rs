@@ -22,7 +22,7 @@
 
 use rand::rngs::SmallRng;
 
-use ppsim::Protocol;
+use ppsim::{PersistState, Protocol, SimError, SnapshotReader};
 
 /// Per-agent state of the junta process: `(level, active, junta)`.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -281,6 +281,23 @@ pub fn dense_all_inactive(protocol: &DenseJunta, counts: &[u64]) -> bool {
         .iter()
         .enumerate()
         .all(|(s, &c)| c == 0 || !protocol.decode(s).active)
+}
+
+/// Snapshot codec: fields in declaration order (see [`ppsim::snapshot`]).
+impl PersistState for JuntaState {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.level.persist(out);
+        self.active.persist(out);
+        self.junta.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, SimError> {
+        Ok(JuntaState {
+            level: u8::unpersist(r)?,
+            active: bool::unpersist(r)?,
+            junta: bool::unpersist(r)?,
+        })
+    }
 }
 
 #[cfg(test)]

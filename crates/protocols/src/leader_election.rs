@@ -23,7 +23,7 @@
 
 use rand::rngs::SmallRng;
 
-use ppsim::Protocol;
+use ppsim::{PersistState, Protocol, SimError, SnapshotReader};
 
 use crate::phase_clock::{sync_interact, PhaseClock, PhaseClockState, SyncState};
 use crate::synthetic_coin::{coin_interact, CoinState};
@@ -285,6 +285,31 @@ impl Protocol for LeaderElectionProtocol {
 
     fn name(&self) -> &'static str {
         "leader-election"
+    }
+}
+
+/// Snapshot codec: fields in declaration order (see [`ppsim::snapshot`]).
+impl PersistState for LeaderState {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.contender.persist(out);
+        self.done.persist(out);
+        self.coin.persist(out);
+        self.outer.persist(out);
+        self.bit.persist(out);
+        self.heads_seen.persist(out);
+        self.heads_parity.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, SimError> {
+        Ok(LeaderState {
+            contender: bool::unpersist(r)?,
+            done: bool::unpersist(r)?,
+            coin: CoinState::unpersist(r)?,
+            outer: PhaseClockState::unpersist(r)?,
+            bit: bool::unpersist(r)?,
+            heads_seen: bool::unpersist(r)?,
+            heads_parity: bool::unpersist(r)?,
+        })
     }
 }
 

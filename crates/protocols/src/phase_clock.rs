@@ -23,7 +23,7 @@
 
 use rand::rngs::SmallRng;
 
-use ppsim::Protocol;
+use ppsim::{PersistState, Protocol, SimError, SnapshotReader};
 
 use crate::junta::{junta_interact, JuntaState};
 
@@ -468,6 +468,38 @@ impl ppsim::DenseProtocol for DenseSyncClock {
 
     fn name(&self) -> &'static str {
         "dense-junta-phase-clock"
+    }
+}
+
+/// Snapshot codec: fields in declaration order (see [`ppsim::snapshot`]).
+impl PersistState for PhaseClockState {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.hour.persist(out);
+        self.phase.persist(out);
+        self.first_tick.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, SimError> {
+        Ok(PhaseClockState {
+            hour: u8::unpersist(r)?,
+            phase: u32::unpersist(r)?,
+            first_tick: bool::unpersist(r)?,
+        })
+    }
+}
+
+/// Snapshot codec: junta state, then clock state (see [`ppsim::snapshot`]).
+impl PersistState for SyncState {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.junta.persist(out);
+        self.clock.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, SimError> {
+        Ok(SyncState {
+            junta: JuntaState::unpersist(r)?,
+            clock: PhaseClockState::unpersist(r)?,
+        })
     }
 }
 

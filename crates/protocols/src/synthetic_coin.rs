@@ -14,6 +14,8 @@
 use rand::rngs::SmallRng;
 use rand::RngCore;
 
+use ppsim::{PersistState, SimError, SnapshotReader};
+
 /// The per-agent state of the synthetic coin: a single parity bit.
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq, Hash)]
 pub struct CoinState {
@@ -77,6 +79,19 @@ impl CoinMode {
             CoinMode::Synthetic => synthetic,
             CoinMode::Rng => rng.next_u32() & 1 == 1,
         }
+    }
+}
+
+/// Snapshot codec: the single parity bit (see [`ppsim::snapshot`]).
+impl PersistState for CoinState {
+    fn persist(&self, out: &mut Vec<u8>) {
+        self.parity.persist(out);
+    }
+
+    fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, SimError> {
+        Ok(CoinState {
+            parity: bool::unpersist(r)?,
+        })
     }
 }
 
