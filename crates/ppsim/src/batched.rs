@@ -289,6 +289,59 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
         Ok(())
     }
 
+    /// Corrupt `k` agents chosen uniformly without replacement: each victim's
+    /// state is replaced by `new_state(current, rng)` — the count-based
+    /// analogue of an adversary overwriting `k` agents' memories
+    /// ([`crate::adversary`]).
+    ///
+    /// All randomness (the hypergeometric victim draw and whatever
+    /// `new_state` consumes) comes from the caller's `rng`, never from the
+    /// engine's own stream, so injecting a fault does not perturb the
+    /// scheduled trajectory beyond the corruption itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if `k` exceeds the population
+    /// or `new_state` returns a state outside `0..q`.
+    pub fn corrupt(
+        &mut self,
+        k: u64,
+        rng: &mut SmallRng,
+        new_state: &mut dyn FnMut(usize, &mut SmallRng) -> usize,
+    ) -> Result<(), SimError> {
+        if k > self.n {
+            return Err(SimError::InvalidParameter {
+                name: "corrupt",
+                reason: format!("cannot corrupt {k} of {} agents", self.n),
+            });
+        }
+        let mut victims = Vec::new();
+        multivariate_hypergeometric_sparse(
+            rng,
+            &self.counts,
+            self.occupied.as_slice(),
+            self.n,
+            k,
+            &mut victims,
+        );
+        for (state, hit) in victims {
+            let from = state as usize;
+            for _ in 0..hit {
+                let to = new_state(from, rng);
+                if to >= self.q {
+                    return Err(SimError::InvalidParameter {
+                        name: "corrupt",
+                        reason: format!("target state {to} outside the state space 0..{}", self.q),
+                    });
+                }
+                self.counts[from] -= 1;
+                self.counts[to] += 1;
+                self.occupied.mark(to);
+            }
+        }
+        Ok(())
+    }
+
     /// Output histogram of the current configuration, computed in `O(q)` over
     /// the occupied states — the batched engine's convergence checks do not
     /// touch `n` at all.

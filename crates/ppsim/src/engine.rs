@@ -32,6 +32,9 @@ use crate::snapshot::{
     Checkpointable, EngineSnapshot, PersistState, ENGINE_DENSE_SEQUENTIAL, ENGINE_SEQUENTIAL,
 };
 
+use rand::rngs::SmallRng;
+use rand::Rng;
+
 /// Population size below which the sequential engine out-runs the batched
 /// one: per-interaction cost beats per-block overhead while blocks are short
 /// (`BENCH_batched.json` measures batched at 0.56× sequential at `n = 10³`
@@ -363,6 +366,125 @@ impl<P: DenseProtocol + Clone + Send + 'static> DenseSimulator<P> {
             DenseSimulator::Batched(s) => s.transfer(from, to, k),
             DenseSimulator::Sharded(s) => s.transfer(from, to, k),
             DenseSimulator::Hybrid(s) => s.transfer(from, to, k),
+        }
+    }
+
+    /// The protocol's state-space size `q` (capacity for dynamic protocols).
+    #[must_use]
+    pub fn num_states(&self) -> usize {
+        match self {
+            DenseSimulator::Sequential(s) => s.protocol().0.num_states(),
+            DenseSimulator::Batched(s) => s.num_states(),
+            DenseSimulator::Sharded(s) => s.num_states(),
+            DenseSimulator::Hybrid(s) => s.num_states(),
+        }
+    }
+
+    /// Replace the whole configuration — the entry point of adversarial
+    /// initialization ([`crate::adversary::InitStrategy`]).  The sequential
+    /// engine rewrites its per-agent states in state-index order (the same
+    /// fixed layout the hybrid hand-off uses); the counts engines swap their
+    /// count vectors.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if `counts` has the wrong
+    /// length or does not sum to the population size.
+    pub fn set_counts(&mut self, counts: Vec<u64>) -> Result<(), SimError> {
+        match self {
+            DenseSimulator::Sequential(s) => {
+                let q = s.protocol().0.num_states();
+                if counts.len() != q {
+                    return Err(SimError::InvalidParameter {
+                        name: "counts",
+                        reason: format!("expected {q} state counts, got {}", counts.len()),
+                    });
+                }
+                let n = s.population() as u64;
+                let total: u64 = counts.iter().sum();
+                if total != n {
+                    return Err(SimError::InvalidParameter {
+                        name: "counts",
+                        reason: format!("counts sum to {total}, the population is {n}"),
+                    });
+                }
+                let mut slots = s.states_mut().iter_mut();
+                for (state, &c) in counts.iter().enumerate() {
+                    for _ in 0..c {
+                        *slots.next().expect("counts sum to the population") = state as u32;
+                    }
+                }
+                Ok(())
+            }
+            DenseSimulator::Batched(s) => s.set_counts(counts),
+            DenseSimulator::Sharded(s) => s.set_counts(counts),
+            DenseSimulator::Hybrid(s) => s.set_counts(counts),
+        }
+    }
+
+    /// Corrupt `k` agents chosen uniformly without replacement: each
+    /// victim's state is replaced by `new_state(current, rng)` — transient
+    /// fault injection ([`crate::adversary::FaultPlan`]), exact in every
+    /// representation (count mass moves, shard-split draws, native-struct
+    /// overwrites through the codec).
+    ///
+    /// All randomness comes from the caller's `rng`; the engine's own
+    /// scheduling streams are untouched.  On the hybrid engine the occupancy
+    /// monitor's in-progress streak is discarded.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if `k` exceeds the population
+    /// or `new_state` returns a state outside the state space.
+    pub fn corrupt(
+        &mut self,
+        k: u64,
+        rng: &mut SmallRng,
+        new_state: &mut dyn FnMut(usize, &mut SmallRng) -> usize,
+    ) -> Result<(), SimError> {
+        match self {
+            DenseSimulator::Sequential(s) => {
+                let q = s.protocol().0.num_states();
+                let n = s.population();
+                if k > n as u64 {
+                    return Err(SimError::InvalidParameter {
+                        name: "corrupt",
+                        reason: format!("cannot corrupt {k} of {n} agents"),
+                    });
+                }
+                // Partial Fisher–Yates: after `k` swap steps the prefix of
+                // `idx` is a uniform k-subset of the agents.
+                let mut idx: Vec<usize> = (0..n).collect();
+                for v in 0..k as usize {
+                    let swap = v + rng.gen_range(0..n - v);
+                    idx.swap(v, swap);
+                    let victim = idx[v];
+                    let current = s.states()[victim] as usize;
+                    let to = new_state(current, rng);
+                    if to >= q {
+                        return Err(SimError::InvalidParameter {
+                            name: "corrupt",
+                            reason: format!("target state {to} outside the state space 0..{q}"),
+                        });
+                    }
+                    s.states_mut()[victim] = to as u32;
+                }
+                Ok(())
+            }
+            DenseSimulator::Batched(s) => s.corrupt(k, rng, new_state),
+            DenseSimulator::Sharded(s) => s.corrupt(k, rng, new_state),
+            DenseSimulator::Hybrid(s) => s.corrupt(k, rng, new_state),
+        }
+    }
+
+    /// Reset any convergence-probing state that predates a fault event: on
+    /// the hybrid engine this discards the occupancy monitor's in-progress
+    /// observation streak; the other engines carry no such state and this is
+    /// a no-op.  [`crate::adversary::AdversarialRun`] calls this at every
+    /// injection.
+    pub fn reset_monitor(&mut self) {
+        if let DenseSimulator::Hybrid(s) = self {
+            s.reset_monitor();
         }
     }
 

@@ -66,13 +66,20 @@ use crate::error::SimError;
 use crate::snapshot::{Checkpointable, EngineSnapshot};
 
 /// The outcome of one kill/resume experiment: the final snapshot bytes of
-/// the interrupted-and-resumed run and of the uninterrupted reference.
+/// the interrupted-and-resumed run and of the uninterrupted reference,
+/// plus where the kill landed and which engine was under test — enough to
+/// reproduce a divergence from the verdict alone.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultVerdict {
     /// Final snapshot bytes of the run that was killed and resumed.
     pub resumed: Vec<u8>,
     /// Final snapshot bytes of the uninterrupted reference run.
     pub reference: Vec<u8>,
+    /// The engine tag of the reference's final snapshot (one of the
+    /// `ENGINE_*` constants in [`crate::snapshot`]).
+    pub engine_tag: u8,
+    /// The (clamped) chunk index the victim was killed after.
+    pub kill_after: usize,
 }
 
 impl FaultVerdict {
@@ -97,6 +104,30 @@ impl FaultVerdict {
                 .position(|(a, b)| a != b)
                 .unwrap_or_else(|| self.resumed.len().min(self.reference.len())),
         )
+    }
+
+    /// One line of diagnostics: engine tag, kill point, and the byte offset
+    /// of the first divergence — what an `assert!` message should carry so
+    /// a CI failure is actionable without re-running locally.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self.first_divergence() {
+            None => format!(
+                "engine tag {} killed after chunk {}: resume bit-identical ({} bytes)",
+                self.engine_tag,
+                self.kill_after,
+                self.reference.len()
+            ),
+            Some(offset) => format!(
+                "engine tag {} killed after chunk {}: first divergence at byte {} \
+                 (resumed {} bytes, reference {} bytes)",
+                self.engine_tag,
+                self.kill_after,
+                offset,
+                self.resumed.len(),
+                self.reference.len()
+            ),
+        }
     }
 }
 
@@ -157,7 +188,9 @@ where
     for &c in chunks {
         run(&mut reference, c);
     }
-    let reference_bytes = reference.save_state().to_bytes();
+    let reference_snapshot = reference.save_state();
+    let engine_tag = reference_snapshot.engine();
+    let reference_bytes = reference_snapshot.to_bytes();
     drop(reference);
 
     let mut victim = make()?;
@@ -176,6 +209,8 @@ where
     Ok(FaultVerdict {
         resumed: resumed.save_state().to_bytes(),
         reference: reference_bytes,
+        engine_tag,
+        kill_after,
     })
 }
 
@@ -243,6 +278,15 @@ mod tests {
     }
 
     #[test]
+    fn coprime_chunks_degenerate_budget_below_chunk_is_one_chunk() {
+        // budget < chunk: the whole budget is a single (short) chunk, not
+        // zero chunks and not a chunk-sized overshoot.
+        assert_eq!(coprime_chunks(500, 997), vec![500]);
+        assert_eq!(coprime_chunks(1, 997), vec![1]);
+        assert_eq!(coprime_chunks(997, 997), vec![997]);
+    }
+
+    #[test]
     fn kill_and_resume_detects_equivalence_and_kill_points_clamp() {
         let make = || {
             let mut sim = BatchedSimulator::new(Rumor, 2_000, 13)?;
@@ -252,8 +296,11 @@ mod tests {
         let chunks = coprime_chunks(5_000, 997);
         for kill_after in [0, 3, usize::MAX] {
             let verdict = kill_and_resume(make, |s, b| s.run(b), &chunks, kill_after).unwrap();
-            assert!(verdict.bit_identical());
+            assert!(verdict.bit_identical(), "{}", verdict.describe());
             assert_eq!(verdict.first_divergence(), None);
+            assert_eq!(verdict.engine_tag, crate::snapshot::ENGINE_BATCHED);
+            assert_eq!(verdict.kill_after, kill_after.min(chunks.len()));
+            assert!(verdict.describe().contains("bit-identical"));
         }
     }
 
@@ -272,12 +319,20 @@ mod tests {
         let verdict = FaultVerdict {
             resumed: vec![1, 2, 9, 4],
             reference: vec![1, 2, 3, 4],
+            engine_tag: crate::snapshot::ENGINE_BATCHED,
+            kill_after: 3,
         };
         assert!(!verdict.bit_identical());
         assert_eq!(verdict.first_divergence(), Some(2));
+        let description = verdict.describe();
+        assert!(description.contains("tag 2"), "{description}");
+        assert!(description.contains("chunk 3"), "{description}");
+        assert!(description.contains("byte 2"), "{description}");
         let truncated = FaultVerdict {
             resumed: vec![1, 2],
             reference: vec![1, 2, 3],
+            engine_tag: crate::snapshot::ENGINE_BATCHED,
+            kill_after: 0,
         };
         assert_eq!(truncated.first_divergence(), Some(2));
     }

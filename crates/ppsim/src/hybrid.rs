@@ -102,9 +102,17 @@ use crate::sharded::{ShardedBatchedSimulator, ShardedConfig};
 use crate::snapshot::{Checkpointable, EngineSnapshot, PersistState, ENGINE_HYBRID};
 use crate::stint::{BoxedAgentStint, DecodedStint, IndexCodec};
 
+use rand::rngs::SmallRng;
+
 /// Seed-derivation salt for the engine constructed at the `k`-th migration
 /// (the initial engine uses the caller's seed verbatim).
 const SWITCH_SALT: u64 = 0x48_59_42;
+
+/// Seed-derivation salt for the per-agent stint rebuilt by
+/// [`HybridSimulator::set_counts`] in agent mode, mixed with the interaction
+/// count at replacement time so repeated replacements get distinct streams
+/// while staying a pure function of snapshot-persisted state.
+const SETCOUNT_SALT: u64 = 0x53_43_43;
 
 /// Which count-based substrate the hybrid engine's dense mode runs on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -311,6 +319,15 @@ impl OccupancyMonitor {
         } else {
             SwitchDirection::ToAgent
         })
+    }
+
+    /// Discard the in-progress observation streak without touching the mode
+    /// belief.  Called at fault injection ([`crate::adversary`]): the
+    /// streak's observations describe the pre-fault configuration, so
+    /// letting them complete a migration window against the post-fault one
+    /// would switch representations on stale evidence.
+    pub fn reset_window(&mut self) {
+        self.streak = 0;
     }
 }
 
@@ -647,6 +664,89 @@ impl<P: DenseProtocol + Clone + Send + 'static> HybridSimulator<P> {
             Mode::Sharded(s) => s.transfer(from, to, k),
             Mode::Agent(s) => s.transfer(from, to, k),
         }
+    }
+
+    /// Replace the whole configuration.  In dense mode this delegates to the
+    /// substrate; in per-agent mode the running stint is retired (its
+    /// interaction count folded into the per-leg totals, exactly like a
+    /// migration) and a fresh stint is expanded from `counts`, seeded as a
+    /// pure function of snapshot-persisted state so a restored run replaces
+    /// identically.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if `counts` has the wrong
+    /// length or does not sum to the population size.
+    pub fn set_counts(&mut self, counts: Vec<u64>) -> Result<(), SimError> {
+        match &mut self.mode {
+            Mode::Batched(s) => s.set_counts(counts),
+            Mode::Sharded(s) => s.set_counts(counts),
+            Mode::Agent(_) => {
+                let q = self.protocol.num_states();
+                if counts.len() != q {
+                    return Err(SimError::InvalidParameter {
+                        name: "counts",
+                        reason: format!("expected {q} state counts, got {}", counts.len()),
+                    });
+                }
+                let total: u64 = counts.iter().sum();
+                if total != self.n {
+                    return Err(SimError::InvalidParameter {
+                        name: "counts",
+                        reason: format!("counts sum to {total}, the population is {}", self.n),
+                    });
+                }
+                let stint_seed = derive_seed(self.seed, SETCOUNT_SALT + self.interactions());
+                let stint = if self.config.interned_stints {
+                    None
+                } else {
+                    self.protocol.agent_stint(&counts, stint_seed)
+                };
+                let stint = stint.unwrap_or_else(|| {
+                    DecodedStint::boxed(IndexCodec(self.protocol.clone()), &counts, stint_seed)
+                });
+                let executed = self.mode_interactions();
+                self.completed += executed;
+                self.agent_total += executed;
+                self.stint_kind = Some(stint.kind());
+                self.mode = Mode::Agent(stint);
+                self.monitor.reset_window();
+                Ok(())
+            }
+        }
+    }
+
+    /// Corrupt `k` agents chosen uniformly without replacement, in whichever
+    /// representation is live: count mass moves on the dense substrate,
+    /// native structs are overwritten through the codec in per-agent mode
+    /// (see [`crate::adversary`]).  The monitor's in-progress streak is
+    /// discarded either way — its observations describe the pre-fault
+    /// configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if `k` exceeds the population
+    /// or `new_state` returns a state outside the assigned state space.
+    pub fn corrupt(
+        &mut self,
+        k: u64,
+        rng: &mut SmallRng,
+        new_state: &mut dyn FnMut(usize, &mut SmallRng) -> usize,
+    ) -> Result<(), SimError> {
+        let result = match &mut self.mode {
+            Mode::Batched(s) => s.corrupt(k, rng, new_state),
+            Mode::Sharded(s) => s.corrupt(k, rng, new_state),
+            Mode::Agent(s) => s.corrupt(k, rng, new_state),
+        };
+        self.monitor.reset_window();
+        result
+    }
+
+    /// Discard the occupancy monitor's in-progress observation streak
+    /// ([`OccupancyMonitor::reset_window`]) — restart-safe probing after a
+    /// fault event.
+    pub fn reset_monitor(&mut self) {
+        self.monitor.reset_window();
     }
 
     /// Migrate to the per-agent representation now, regardless of the

@@ -40,6 +40,10 @@
 //!   binary snapshot format and the [`Checkpointable`] trait implemented by
 //!   all four engines, with bit-identical deterministic replay after restore,
 //!   plus the fault-injection harness ([`faultsim`]) that verifies it,
+//! * an **adversarial fault model** ([`adversary`]): arbitrary and worst-case
+//!   initializations, deterministic fault plans (state corruption, agent
+//!   silencing) injected exactly in every representation, and recovery-time
+//!   probing for self-stabilization experiments,
 //! * measurement utilities ([`metrics`]) such as empirical state-space tracking,
 //! * a multi-threaded independent-trial runner ([`parallel`]) for parameter sweeps.
 //!
@@ -76,6 +80,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod adversary;
 pub mod batched;
 mod block;
 pub mod config;
@@ -97,6 +102,10 @@ pub mod simulator;
 pub mod snapshot;
 pub mod stint;
 
+pub use adversary::{
+    reconvergence_time, AdversarialRun, CorruptionTarget, FaultEvent, FaultKind, FaultPlan,
+    InitStrategy, RecoveryRecord, WorstCaseReport, WorstCaseSearch,
+};
 pub use batched::BatchedSimulator;
 pub use config::ConfigurationStats;
 pub use convergence::RunOutcome;

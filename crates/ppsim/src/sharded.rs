@@ -439,6 +439,54 @@ impl<P: DenseProtocol + Clone + Send> ShardedBatchedSimulator<P> {
         Ok(())
     }
 
+    /// Corrupt `k` agents chosen uniformly without replacement across the
+    /// whole population: the victim count is split over the shards
+    /// hypergeometrically (each shard is an equal-probability container for
+    /// any given agent), then delegated to
+    /// [`BatchedSimulator::corrupt`] per shard — so the corrupted
+    /// configuration is distributed exactly as if the shards were one flat
+    /// count vector.  Victims stay in their shard; the next epoch's
+    /// rebalance re-partitions as usual.
+    ///
+    /// All randomness comes from the caller's `rng` — the engine's own
+    /// stream (which drives epoch allocation) is untouched, so a fault plan
+    /// perturbs the trajectory only through the corruption itself.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if `k` exceeds the population
+    /// or `new_state` returns a state outside `0..q`.
+    pub fn corrupt(
+        &mut self,
+        k: u64,
+        rng: &mut SmallRng,
+        new_state: &mut dyn FnMut(usize, &mut SmallRng) -> usize,
+    ) -> Result<(), SimError> {
+        if k > self.n {
+            return Err(SimError::InvalidParameter {
+                name: "corrupt",
+                reason: format!("cannot corrupt {k} of {} agents", self.n),
+            });
+        }
+        let mut remaining_total = self.n;
+        let mut need = k;
+        for shard in &mut self.shards {
+            if need == 0 {
+                break;
+            }
+            let c = shard.population();
+            let take = conditional_class_draw(rng, c, remaining_total, need);
+            if take > 0 {
+                shard.corrupt(take, rng, &mut *new_state)?;
+            }
+            need -= take;
+            remaining_total -= c;
+        }
+        debug_assert_eq!(need, 0);
+        self.aggregate_counts();
+        Ok(())
+    }
+
     /// Execute one epoch window of exactly `w` interactions.
     fn run_epoch(&mut self, w: u64) {
         debug_assert!(w >= 1);

@@ -87,6 +87,9 @@ pub const ENGINE_HYBRID: u8 = 4;
 /// (a [`crate::Simulator`] payload prefixed by the protocol's own state,
 /// so dynamic protocols restore their interner).
 pub const ENGINE_DENSE_SEQUENTIAL: u8 = 5;
+/// Engine tag: [`crate::adversary::AdversarialRun`] (a fault-plan cursor
+/// wrapped around an inner engine snapshot).
+pub const ENGINE_ADVERSARY: u8 = 6;
 
 /// First engine tag reserved for composite snapshots defined by downstream
 /// crates (staged runners, sweep drivers).  Tags below this value belong to

@@ -129,6 +129,7 @@ use crate::scheduler::{Scheduler, UniformScheduler};
 use crate::snapshot::{persist_rng, unpersist_rng, PersistState, SnapshotReader};
 
 use rand::rngs::SmallRng;
+use rand::Rng;
 
 /// A multiplicative word hasher (FxHash-style) for the stint's census: state
 /// structs are hashed word-at-a-time far faster than SipHash, and the census
@@ -283,6 +284,24 @@ pub trait AgentStint<O>: fmt::Debug + Send {
     /// Returns [`SimError::InvalidParameter`] if either index has no state
     /// behind it or fewer than `k` agents are in `from`.
     fn transfer(&mut self, from: usize, to: usize, k: u64) -> Result<(), SimError>;
+    /// Corrupt `k` agents chosen uniformly without replacement: each
+    /// victim's state is replaced by the state behind the dense index
+    /// `new_state(current_index, rng)`, decoded through the codec — the
+    /// per-agent arm of [`crate::adversary`] fault injection.  All
+    /// randomness comes from the caller's `rng`, never from the stint's
+    /// schedule RNG.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidParameter`] if `k` exceeds the population
+    /// or `new_state` returns an index with no state behind it (the
+    /// configuration may be partially corrupted in that case).
+    fn corrupt(
+        &mut self,
+        k: u64,
+        rng: &mut SmallRng,
+        new_state: &mut dyn FnMut(usize, &mut SmallRng) -> usize,
+    ) -> Result<(), SimError>;
     /// Which representation this stint steps (`"decoded"` or `"interned"`).
     fn kind(&self) -> &'static str;
     /// Clone into a fresh box (object-safe `Clone`).
@@ -617,6 +636,44 @@ where
                 moved += 1;
                 self.refresh_census(idx);
             }
+        }
+        Ok(())
+    }
+
+    fn corrupt(
+        &mut self,
+        k: u64,
+        rng: &mut SmallRng,
+        new_state: &mut dyn FnMut(usize, &mut SmallRng) -> usize,
+    ) -> Result<(), SimError> {
+        let n = self.states.len();
+        if k > n as u64 {
+            return Err(SimError::InvalidParameter {
+                name: "corrupt",
+                reason: format!("cannot corrupt {k} of {n} agents"),
+            });
+        }
+        // Partial Fisher–Yates: after `k` swap steps the prefix of `idx` is
+        // a uniform k-subset of the agents, in a uniform order.
+        let mut idx: Vec<usize> = (0..n).collect();
+        for v in 0..k as usize {
+            let swap = v + rng.gen_range(0..n - v);
+            idx.swap(v, swap);
+            let victim = idx[v];
+            let current = self.codec.encode_agent(&self.states[victim]);
+            let target = new_state(current, rng);
+            let state =
+                self.codec
+                    .try_decode_agent(target)
+                    .ok_or_else(|| SimError::InvalidParameter {
+                        name: "corrupt",
+                        reason: format!(
+                            "target state {target} outside the assigned state space 0..{}",
+                            self.codec.num_states()
+                        ),
+                    })?;
+            self.states[victim] = state;
+            self.refresh_census(victim);
         }
         Ok(())
     }

@@ -2,13 +2,15 @@
 
 use proptest::prelude::*;
 use rand::rngs::SmallRng;
+use rand::Rng;
 
 use ppsim::faultsim::kill_and_resume;
 use ppsim::scheduler::{AllPairsScheduler, Scheduler, UniformScheduler};
 use ppsim::{
-    derive_seed, seeded_rng, BatchedSimulator, Checkpointable, DenseProtocol, EngineSnapshot,
-    HybridSimulator, Protocol, ShardedBatchedSimulator, ShardedConfig, Simulator,
-    StateSpaceTracker,
+    derive_seed, seeded_rng, AdversarialRun, BatchedSimulator, Checkpointable, CorruptionTarget,
+    DecodedStint, DenseProtocol, Engine, EngineSnapshot, FaultEvent, FaultKind, FaultPlan,
+    HybridSimulator, IndexCodec, InitStrategy, Protocol, ShardedBatchedSimulator, ShardedConfig,
+    Simulator, StateSpaceTracker,
 };
 
 /// One-way epidemic on two dense states, for the count-based engines.
@@ -197,5 +199,83 @@ proptest! {
             1,
         ).unwrap();
         prop_assert!(verdict.bit_identical());
+    }
+
+    /// Fault injection moves mass between states but never creates or
+    /// destroys it, in every representation: dense counts (batched), shard
+    /// splits (sharded), and decoded per-agent stints.
+    #[test]
+    fn corruption_conserves_mass_in_every_representation(
+        n in 4usize..1_500,
+        seed in any::<u64>(),
+        steps in 0u64..2_000,
+        k_raw in 0u64..2_000,
+        shards in 1usize..5,
+    ) {
+        let k = k_raw % (n as u64 + 1);
+        let mut rng = seeded_rng(derive_seed(seed, 0xFA));
+        let mut scribble = |_: usize, r: &mut SmallRng| r.gen_range(0..2usize);
+
+        let mut batched = BatchedSimulator::new(DenseRumor, n, seed).unwrap();
+        batched.transfer(0, 1, 1).unwrap();
+        batched.run(steps);
+        batched.corrupt(k, &mut rng, &mut scribble).unwrap();
+        prop_assert_eq!(batched.counts().iter().sum::<u64>(), n as u64);
+
+        let config = ShardedConfig { shards, threads: 1, epoch_interactions: Some(256) };
+        let mut sharded = ShardedBatchedSimulator::new(DenseRumor, n, seed, config).unwrap();
+        sharded.transfer(0, 1, 1).unwrap();
+        sharded.run(steps);
+        sharded.corrupt(k, &mut rng, &mut scribble).unwrap();
+        prop_assert_eq!(sharded.counts().iter().sum::<u64>(), n as u64);
+
+        let counts = vec![n as u64 - 1, 1];
+        let mut stint = DecodedStint::boxed(IndexCodec(DenseRumor), &counts, seed);
+        stint.run(steps);
+        stint.corrupt(k, &mut rng, &mut scribble).unwrap();
+        prop_assert_eq!(stint.counts().iter().sum::<u64>(), n as u64);
+    }
+
+    /// Killing an adversarial run at an arbitrary point of its fault plan —
+    /// before, between, or inside fault events — and resuming from the
+    /// snapshot replays the identical fault sequence bit-for-bit.
+    #[test]
+    fn fault_plan_saved_mid_plan_resumes_bit_identically(
+        n in 20usize..400,
+        seed in any::<u64>(),
+        kill_at in 0u64..6_000,
+        rest in 1u64..6_000,
+        kill_after in 0usize..3,
+        engine_pick in 0usize..3,
+    ) {
+        let engine = [Engine::Sequential, Engine::Batched, Engine::Hybrid][engine_pick];
+        let plan = FaultPlan::new(vec![
+            FaultEvent {
+                at: 900,
+                kind: FaultKind::Corrupt { agents: 7, target: CorruptionTarget::Uniform { states: 2 } },
+            },
+            FaultEvent {
+                at: 2_500,
+                kind: FaultKind::Silence { agents: 4, window: 600 },
+            },
+            FaultEvent {
+                at: 4_800,
+                kind: FaultKind::Corrupt { agents: 3, target: CorruptionTarget::State(0) },
+            },
+        ]).unwrap();
+        let verdict = kill_and_resume(
+            || AdversarialRun::new(
+                engine,
+                DenseRumor,
+                n,
+                seed,
+                InitStrategy::SeededArbitrary { states: 2, seed: derive_seed(seed, 21) },
+                plan.clone(),
+            ),
+            |r, b| r.run(b).unwrap(),
+            &[kill_at, rest],
+            kill_after,
+        ).unwrap();
+        prop_assert!(verdict.bit_identical(), "{}", verdict.describe());
     }
 }

@@ -17,6 +17,7 @@
 //! | [`fast_leader_election`] | Lemma 7 / Appendix D / \[8\] | unique leader in `O(n log n)` interactions |
 //! | [`load_balancing`] | Lemma 8 / \[10\] | classical and powers-of-two load balancing |
 //! | [`composition`] | Algorithms 2/3, lines 1–4 | the shared junta + phase-clock base the composed counting protocols run on, sequential and dense (interned) |
+//! | [`ranking`] | self-stabilization (related work, PAPERS.md) | reconvergence to distinct ranks from arbitrary configurations — the standing workload of [`ppsim::adversary`] |
 //!
 //! All components are uniform: none of their transition rules depends on the
 //! population size.  Constants that the paper fixes for asymptotic convenience
@@ -33,6 +34,7 @@ pub mod junta;
 pub mod leader_election;
 pub mod load_balancing;
 pub mod phase_clock;
+pub mod ranking;
 pub mod synthetic_coin;
 
 pub use composition::{DenseComposition, SyncComposition, SyncCtx, SyncedAgent, SyncedComponent};
@@ -57,4 +59,5 @@ pub use phase_clock::{
     sync_interact, DenseSyncClock, PhaseClock, PhaseClockState, SyncOutcome, SyncState,
     SynchronizedClockProtocol,
 };
+pub use ranking::{RankAgent, RankingNative, SelfStabRanking};
 pub use synthetic_coin::{coin_interact, CoinMode, CoinState};
