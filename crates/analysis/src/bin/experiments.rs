@@ -61,6 +61,21 @@
 //! `--checkpoint-every` logical interactions.  Killing the checkpointing
 //! run mid-plan and resuming replays the identical fault sequence: all
 //! three invocations print the same final line.
+//!
+//! # The scenario-matrix conformance gate
+//!
+//! ```text
+//! experiments --scenario-matrix --out matrix.md           # CI tier, n_big = 10^4
+//! experiments --scenario-matrix --quick                   # debug tier, n_big = 10^3
+//! ```
+//!
+//! Runs the standard conformance matrix (`ppproto::scenarios`): every
+//! ported protocol × engine × init × fault-plan cell, each checked for
+//! population/mass conservation, reconvergence within the scenario bound
+//! with every fault fired, and a mid-run checkpoint round-trip that must
+//! replay the reference trajectory bit-identically.  Prints one line per
+//! cell as it completes, writes the per-cell markdown table to `--out`
+//! when given, and exits non-zero unless every cell passes.
 
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -69,7 +84,9 @@ use popcount::{
     count_exact_dense_staged_checkpointed, CountExactParams, StagedCheckpoint, StintMode,
 };
 use ppanalysis::experiments::{configure_checkpoints, run_all, run_one, CheckpointPlan, Effort};
+use ppproto::scenarios::{standard_matrix, MatrixConfig};
 use ppproto::DenseEpidemic;
+use ppsim::run_matrix;
 use ppsim::snapshot::write_bytes_atomic;
 use ppsim::{
     derive_seed, AdversarialRun, Checkpointable, CorruptionTarget, Engine, EngineSnapshot,
@@ -342,9 +359,58 @@ fn adversarial_resume_main(args: &[String], n: usize) -> ! {
     std::process::exit(i32::from(run.events_fired() != events));
 }
 
+/// The conformance gate behind `--scenario-matrix`: run the standard
+/// protocol × engine × fault matrix (CI tier by default, the debug tier
+/// under `--quick`), print one line per cell, optionally write the
+/// markdown table, and exit 0 iff every cell passed.
+fn scenario_matrix_main(args: &[String]) -> ! {
+    let cfg = if args.iter().any(|a| a == "--quick") {
+        MatrixConfig::test_tier()
+    } else {
+        MatrixConfig::quick()
+    };
+    println!(
+        "scenario matrix: n_big={} n_small={} seed={:#x}",
+        cfg.n_big, cfg.n_small, cfg.seed
+    );
+    let start = Instant::now();
+    let cells = standard_matrix(&cfg);
+    let total = cells.len();
+    let mut done = 0usize;
+    let summary = run_matrix(&cells, |cell| {
+        done += 1;
+        println!(
+            "[{done}/{total}] {}/{} n={} … {}",
+            cell.scenario,
+            cell.engine,
+            cell.n,
+            if cell.passed() {
+                "pass".to_string()
+            } else {
+                format!("FAIL: {}", cell.failures.join("; "))
+            }
+        );
+    });
+    println!(
+        "{} in {:.1} s",
+        summary.summary_line(),
+        start.elapsed().as_secs_f64()
+    );
+    if let Some(path) = flag_value(args, "--out") {
+        write_bytes_atomic(Path::new(path), summary.markdown().as_bytes()).unwrap_or_else(|e| {
+            eprintln!("failed to write matrix report: {e}");
+            std::process::exit(2);
+        });
+    }
+    std::process::exit(i32::from(!summary.passed()));
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
 
+    if args.iter().any(|a| a == "--scenario-matrix") {
+        scenario_matrix_main(&args);
+    }
     if let Some(n) = parsed_flag(&args, "--staged-n") {
         staged_main(&args, n);
     }
@@ -392,7 +458,7 @@ fn main() {
             .filter_map(|id| {
                 let r = run_one(&id.to_lowercase(), effort);
                 if r.is_none() {
-                    eprintln!("unknown experiment id `{id}` (expected e01..e21)");
+                    eprintln!("unknown experiment id `{id}` (expected e01..e22)");
                 }
                 r
             })

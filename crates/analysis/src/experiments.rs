@@ -1,8 +1,11 @@
-//! Experiments E01–E21: one per quantitative claim of the paper, plus the
+//! Experiments E01–E22: one per quantitative claim of the paper, plus the
 //! engine experiments (E16 batched scale, E17 engine equivalence, E18
 //! sharded scale, E19 dense counting — Theorems 1/2 on the count-based
 //! engines, E20 hybrid engine switch points, E21 adversarial recovery —
-//! reconvergence time after in-run fault injection on all four engines).
+//! reconvergence time after in-run fault injection on all four engines,
+//! E22 scenario-matrix conformance — the ported related-work protocols,
+//! Herman's tolerance-banded stabilization time, and the standard
+//! protocol × engine × fault matrix).
 //!
 //! Each experiment sweeps population sizes, runs several seeded trials per size on
 //! worker threads and renders a markdown [`Table`] comparing the measurement with
@@ -22,14 +25,16 @@ use popcount::{
 use ppproto::fast_leader_election::FastLeaderElectionProtocol;
 use ppproto::junta::{all_inactive, junta_size, max_level, JuntaProtocol};
 use ppproto::leader_election::LeaderElectionProtocol;
-use ppproto::SelfStabRanking;
+use ppproto::scenarios::{standard_matrix, MatrixConfig};
 use ppproto::{
     dense_all_inactive, dense_max_level, DenseEpidemic, DenseJunta, FastLeaderElectionConfig,
     LeaderElectionConfig, OneWayEpidemic, PowersOfTwoLoadBalancing, SynchronizedClockProtocol,
 };
+use ppproto::{HermanTokens, SelfStabRanking, StochasticCoalescence, TradeoffElection};
 use ppsim::{
-    derive_seed, AdversarialRun, BatchedSimulator, CorruptionTarget, DenseAdapter, DenseSimulator,
-    Engine, FaultEvent, FaultKind, FaultPlan, InitStrategy, Simulator, StateSpaceTracker,
+    derive_seed, run_matrix, AdversarialRun, BatchedSimulator, CorruptionTarget, DenseAdapter,
+    DenseSimulator, Engine, FaultEvent, FaultKind, FaultPlan, InitStrategy, Simulator,
+    StateSpaceTracker,
 };
 
 use crate::fit::{n_log2_n, n_log_n, n_squared};
@@ -1851,6 +1856,268 @@ pub fn e21_adversarial_recovery(effort: Effort) -> ExperimentReport {
     }
 }
 
+/// E22 — scenario-matrix conformance: Herman's tolerance-banded expected
+/// stabilization, coalescence recovery from a resurrection fault, election
+/// dispersal across the probe-alphabet trade-off `K`, and the standard
+/// protocol × engine × fault matrix of [`ppproto::scenarios`].
+pub fn e22_scenario_matrix(effort: Effort) -> ExperimentReport {
+    const ENGINES: [(Engine, &str); 4] = [
+        (Engine::Sequential, "sequential"),
+        (Engine::Batched, "batched"),
+        (
+            Engine::Sharded {
+                shards: 4,
+                threads: 1,
+            },
+            "sharded",
+        ),
+        (Engine::Hybrid, "hybrid"),
+    ];
+
+    let mut table = Table::new(
+        "E22 — scenario-matrix conformance: Herman's expected stabilization (reference \
+         0.64n², the issue's 15% band; the mean-field telescope predicts 0.614n²), \
+         coalescence recovery from a resurrection fault (reference n²), election \
+         dispersal milestones across the probe-alphabet trade-off K (reference n²/64), \
+         and the standard protocol × engine × fault matrix, one row per cell",
+        &[
+            "workload",
+            "engine",
+            "n",
+            "detail",
+            "ok",
+            "interactions",
+            "reference",
+            "ratio",
+        ],
+    );
+
+    // Herman: the measured expected stabilization from an odd near-full
+    // token load (n − 1 tokens on even n, so annihilation ends at exactly
+    // one token) against the 0.64n² target.  The chain is identical on
+    // every engine, so the acceptance quantity is the per-n mean pooled
+    // across all four engines; the per-engine rows show the (noisier)
+    // per-engine sample means for cross-engine sanity.
+    let herman_sizes = effort.sizes(&[1_000], &[1_000, 10_000]);
+    let herman_trials = effort.trials(8, 32);
+    for &n in &herman_sizes {
+        let reference = 0.64 * n_squared(n);
+        let mut pooled: Vec<u64> = Vec::new();
+        let mut pooled_trials = 0usize;
+        for (ei, &(engine, label)) in ENGINES.iter().enumerate() {
+            let p = HermanTokens::new();
+            let cap = 10 * (n as u64) * (n as u64);
+            let mut times: Vec<u64> = Vec::new();
+            for t in 0..herman_trials {
+                let seed = derive_seed(0xE2201, (ei * 1_000 + t) as u64 * 100 + n as u64 % 97);
+                let mut sim = DenseSimulator::new(engine, p, n, seed).unwrap();
+                let mut counts = vec![0u64; 4];
+                counts[2] = n as u64 - 1;
+                counts[0] = 1;
+                sim.set_counts(counts).unwrap();
+                let outcome = sim.run_until(|s| s.with_counts(|c| p.is_stable(c)), 2_048, cap);
+                if outcome.converged() {
+                    times.push(sim.interactions());
+                }
+            }
+            let mean = times.iter().sum::<u64>() as f64 / times.len().max(1) as f64;
+            table.push_row(vec![
+                "herman stabilization".into(),
+                label.to_string(),
+                n.to_string(),
+                format!("mean of {herman_trials} odd near-full starts"),
+                format!("{}/{herman_trials}", times.len()),
+                format!("{mean:.0}"),
+                format!("{reference:.0}"),
+                format!("{:.2}", mean / reference),
+            ]);
+            pooled_trials += herman_trials;
+            pooled.extend(times);
+        }
+        let pooled_mean = pooled.iter().sum::<u64>() as f64 / pooled.len().max(1) as f64;
+        table.push_row(vec![
+            "herman stabilization".into(),
+            "all engines".into(),
+            n.to_string(),
+            format!("pooled mean, {pooled_trials} starts (15% band check)"),
+            format!("{}/{pooled_trials}", pooled.len()),
+            format!("{pooled_mean:.0}"),
+            format!("{reference:.0}"),
+            format!("{:.2}", pooled_mean / reference),
+        ]);
+    }
+
+    // Coalescence: recovery after resurrecting n/8 singletons near full
+    // coalescence — the merge telescope makes reconvergence Θ(n²).  The
+    // resurrected soup occupies Θ(k) distinct sizes, so the count engines
+    // stay on the population where their dense blocks are affordable.
+    let coalescence_sizes = effort.sizes(&[1_000], &[1_000, 10_000]);
+    let coalescence_trials = effort.trials(3, 5);
+    for (ei, &(engine, label)) in ENGINES.iter().enumerate() {
+        for &n in &coalescence_sizes {
+            if n > 2_000 && !matches!(engine, Engine::Sequential | Engine::Hybrid) {
+                continue;
+            }
+            let p = StochasticCoalescence::new(n);
+            let nn = (n as u64) * (n as u64);
+            let fault_at = nn;
+            let cap = fault_at + 16 * nn;
+            let check = (nn / 64).max(256);
+            let mut recoveries: Vec<u64> = Vec::new();
+            for t in 0..coalescence_trials {
+                let seed = derive_seed(0xE2202, (ei * 1_000 + t) as u64 * 100 + n as u64 % 89);
+                let plan = FaultPlan::new(vec![FaultEvent {
+                    at: fault_at,
+                    kind: FaultKind::Corrupt {
+                        agents: (n as u64 / 8).max(1),
+                        // Dense index 2 = (size 1, tails): resurrect singletons.
+                        target: CorruptionTarget::State(2),
+                    },
+                }])
+                .unwrap();
+                let mut run =
+                    AdversarialRun::new(engine, p, n, seed, InitStrategy::Clean, plan).unwrap();
+                let outcome = run
+                    .run_until(|s| s.with_counts(|c| p.is_coalesced(c)), check, cap)
+                    .unwrap();
+                if outcome.converged() {
+                    recoveries.push(run.records()[0].recovery_time().unwrap());
+                }
+            }
+            let (median, ratio) = if recoveries.is_empty() {
+                ("—".to_string(), "—".to_string())
+            } else {
+                let s = Summary::of_u64(&recoveries);
+                (
+                    format!("{:.0}", s.median),
+                    format!("{:.2}", s.median / n_squared(n)),
+                )
+            };
+            table.push_row(vec![
+                "coalescence recovery".into(),
+                label.to_string(),
+                n.to_string(),
+                "n/8 resurrected at n²".into(),
+                format!("{}/{coalescence_trials}", recoveries.len()),
+                median,
+                format!("{:.0}", n_squared(n)),
+                ratio,
+            ]);
+        }
+    }
+
+    // Election: interactions until n/64 distinct ranks are occupied from
+    // the clean pile, across the probe-alphabet trade-off K — the cascade
+    // out of the pile costs Θ(n·K^g) per generation, so the milestone is
+    // affordable while full stabilization is ω(n²).  The dispersed soup is
+    // occupancy-hostile (q = 8K live indices per rank), hence the
+    // per-agent engines.
+    let election_sizes = effort.sizes(&[1_000], &[10_000]);
+    let election_trials = effort.trials(3, 8);
+    for (ei, &(engine, label)) in [
+        (Engine::Sequential, "sequential"),
+        (Engine::Hybrid, "hybrid"),
+    ]
+    .iter()
+    .enumerate()
+    {
+        for &n in &election_sizes {
+            for &k in &[2usize, 4, 8] {
+                let p = TradeoffElection::new(n, k);
+                let milestone = (n as u64 / 64).max(2);
+                let nn = (n as u64) * (n as u64);
+                let mut times: Vec<u64> = Vec::new();
+                for t in 0..election_trials {
+                    let seed = derive_seed(
+                        0xE2203,
+                        ((ei * 10 + k) * 1_000 + t) as u64 * 100 + n as u64 % 83,
+                    );
+                    let mut sim = DenseSimulator::new(engine, p, n, seed).unwrap();
+                    let outcome = sim.run_until(
+                        |s| s.with_counts(|c| p.distinct_ranks(c) as u64 >= milestone),
+                        4 * n as u64,
+                        4 * nn,
+                    );
+                    if outcome.converged() {
+                        times.push(sim.interactions());
+                    }
+                }
+                let (median, ratio) = if times.is_empty() {
+                    ("—".to_string(), "—".to_string())
+                } else {
+                    let s = Summary::of_u64(&times);
+                    (
+                        format!("{:.0}", s.median),
+                        format!("{:.2}", s.median / (n_squared(n) / 64.0)),
+                    )
+                };
+                table.push_row(vec![
+                    format!("election dispersal K={k}"),
+                    label.to_string(),
+                    n.to_string(),
+                    "distinct ranks ≥ n/64".into(),
+                    format!("{}/{election_trials}", times.len()),
+                    median,
+                    format!("{:.0}", n_squared(n) / 64.0),
+                    ratio,
+                ]);
+            }
+        }
+    }
+
+    // The standard conformance matrix: Quick runs the debug tier
+    // (n_big = 10³), Full the CI release tier (n_big = 10⁴).  Every cell
+    // carries the full invariant battery — mass conservation at each grid
+    // point, reconvergence within the scenario bound with every fault
+    // fired, and a mid-run checkpoint round-trip replaying the reference
+    // trajectory bit-identically.
+    let cfg = match effort {
+        Effort::Quick => MatrixConfig::test_tier(),
+        Effort::Full => MatrixConfig::quick(),
+    };
+    let cells = standard_matrix(&cfg);
+    let summary = run_matrix(&cells, |_| {});
+    for cell in &summary.cells {
+        table.push_row(vec![
+            cell.scenario.clone(),
+            cell.engine.to_string(),
+            cell.n.to_string(),
+            "matrix cell".into(),
+            if cell.passed() {
+                "pass".into()
+            } else {
+                format!("FAIL: {}", cell.failures.join("; "))
+            },
+            cell.converged_at
+                .map_or_else(|| "—".to_string(), |t| t.to_string()),
+            "—".into(),
+            "—".into(),
+        ]);
+    }
+    let passed = summary.cells.iter().filter(|c| c.passed()).count();
+    table.push_row(vec![
+        "matrix total".into(),
+        "all".into(),
+        format!("{}/{}", cfg.n_small, cfg.n_big),
+        "protocol × engine × fault".into(),
+        format!("{passed}/{}", summary.cells.len()),
+        "—".into(),
+        "—".into(),
+        "—".into(),
+    ]);
+
+    ExperimentReport {
+        id: "E22",
+        claim: "the ported related-work protocols behave like their analyses on every engine — \
+                Herman's expected stabilization lands within 15% of 0.64n², coalescence \
+                recovers from resurrection faults in Θ(n²), election dispersal milestones \
+                track the K-cascade — and the standard scenario matrix (protocol × engine × \
+                init × fault, with conservation, reconvergence, and checkpoint-replay checks \
+                per cell) passes wall to wall",
+        table,
+    }
+}
+
 /// An experiment entry point: takes the effort level, returns the report.
 type ExperimentFn = fn(Effort) -> ExperimentReport;
 
@@ -1879,6 +2146,7 @@ const EXPERIMENTS: &[(&str, ExperimentFn)] = &[
     ("e19", e19_dense_counting),
     ("e20", e20_hybrid_counting),
     ("e21", e21_adversarial_recovery),
+    ("e22", e22_scenario_matrix),
 ];
 
 /// Resolve a lower-case experiment id to its runner without executing it.
@@ -1913,13 +2181,13 @@ mod tests {
         // integration tests and by the experiments binary).
         for id in [
             "e01", "e02", "e03", "e04", "e05", "e06", "e07", "e08", "e09", "e10", "e11", "e12",
-            "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21",
+            "e13", "e14", "e15", "e16", "e17", "e18", "e19", "e20", "e21", "e22",
         ] {
             assert!(resolve(id).is_some(), "experiment id {id} must resolve");
         }
         assert!(resolve("zzz").is_none());
         assert!(resolve("E01").is_none(), "ids are matched lower-case");
-        assert_eq!(EXPERIMENTS.len(), 20, "one registry entry per experiment");
+        assert_eq!(EXPERIMENTS.len(), 21, "one registry entry per experiment");
         assert!(run_one("zzz", Effort::Quick).is_none());
     }
 }

@@ -1,0 +1,636 @@
+//! The scenario-matrix conformance runner: declarative protocol × engine ×
+//! init × fault cells with a fixed per-cell invariant battery.
+//!
+//! A [`Scenario`] names one *row* of a conformance matrix — a protocol, a
+//! population size, an [`InitStrategy`], a [`FaultPlan`], a convergence
+//! predicate with an interaction bound, and any conserved quantities the
+//! protocol promises.  Binding a row to an [`Engine`] yields a *cell*
+//! ([`BoundCell`]); [`run_cell`] executes a cell and checks, in one pass:
+//!
+//! 1. **Convergence within the bound** — the predicate holds (and every
+//!    plan event has fired) within `bound` logical interactions.
+//! 2. **Population conservation** — `Σ counts == n` at every probe point.
+//! 3. **Conserved quantities** — each [`ConservedQuantity`] obeys its
+//!    [`ConservationLaw`] at every probe point once the plan's corruption
+//!    events have all fired (faults may legitimately break a conservation
+//!    law *while* they are being injected, so the probe starts after the
+//!    last one).
+//! 4. **Recovery bookkeeping** — every fired fault has a closed
+//!    [`RecoveryRecord`](crate::adversary::RecoveryRecord).
+//! 5. **Determinism and checkpoint round-trip** — a second run of the same
+//!    cell is driven to the midpoint of the first run's trajectory,
+//!    snapshotted ([`Checkpointable::save_state`]), restored into a third,
+//!    freshly constructed run, and continued; the continuation must land on
+//!    the first run's exact final configuration, interaction count, and
+//!    recovery records, and the restored run's own snapshot must
+//!    byte-round-trip.  One leg therefore witnesses both (seed, plan)
+//!    determinism across independent constructions *and* snapshot fidelity.
+//!
+//! Both legs drive the engine with the same fixed probe grid (`check_every`
+//! chunks), so their low-level run-call pattern — and hence their sampled
+//! trajectory — is identical by construction.
+//!
+//! The standard matrix for the ported protocols lives in
+//! `ppproto::scenarios`; this module is protocol-agnostic machinery.
+
+use std::fmt::Write as _;
+use std::sync::Arc;
+
+use crate::adversary::{AdversarialRun, FaultKind, FaultPlan, InitStrategy};
+use crate::dense::DenseProtocol;
+use crate::engine::Engine;
+use crate::error::SimError;
+use crate::snapshot::{Checkpointable, EngineSnapshot};
+
+/// How a [`ConservedQuantity`] must behave along a run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConservationLaw {
+    /// The value never changes (e.g. total cluster mass below the
+    /// saturation cap).
+    Exact,
+    /// The value never increases (e.g. Herman token count, cluster mass
+    /// under saturation).
+    NonIncreasing,
+}
+
+/// A named scalar of the dense configuration (counts → value).
+pub type QuantityFn = Arc<dyn Fn(&[u64]) -> u64 + Send + Sync>;
+
+/// A convergence / legitimacy predicate on the dense configuration.
+pub type PredicateFn = Arc<dyn Fn(&[u64]) -> bool + Send + Sync>;
+
+/// A named scalar computed from the dense configuration, checked at every
+/// probe point against its [`ConservationLaw`].
+#[derive(Clone)]
+pub struct ConservedQuantity {
+    /// Short label used in failure messages (e.g. `"mass"`, `"tokens"`).
+    pub name: &'static str,
+    /// The law the quantity obeys.
+    pub law: ConservationLaw,
+    /// The quantity itself, as a function of the dense counts.
+    pub value: QuantityFn,
+}
+
+impl std::fmt::Debug for ConservedQuantity {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ConservedQuantity")
+            .field("name", &self.name)
+            .field("law", &self.law)
+            .finish_non_exhaustive()
+    }
+}
+
+/// One row of a conformance matrix: a protocol under an init strategy and
+/// fault plan, with its convergence predicate and invariants.  Bind a row
+/// to engines with [`BoundCell::new`].
+#[derive(Clone)]
+pub struct Scenario<P: DenseProtocol + Clone + Send + 'static> {
+    /// Row label, conventionally `"protocol/variant"` (e.g.
+    /// `"herman/adversarial"`).
+    pub name: String,
+    /// The protocol under test.
+    pub protocol: P,
+    /// Population size.
+    pub n: usize,
+    /// Master seed — the cell is a pure function of `(seed, plan, engine)`.
+    pub seed: u64,
+    /// Starting configuration.
+    pub init: InitStrategy,
+    /// Deterministic fault schedule ([`FaultPlan::empty`] for fault-free
+    /// rows).
+    pub plan: FaultPlan,
+    /// Convergence / legitimacy predicate on the dense counts.
+    pub predicate: PredicateFn,
+    /// Logical-interaction budget: the predicate must hold (with all plan
+    /// events fired) within this many interactions.
+    pub bound: u64,
+    /// Probe grid: the predicate and invariants are checked every this
+    /// many interactions (clamped to ≥ 1).
+    pub check_every: u64,
+    /// Conserved quantities checked once the plan's corruptions are done.
+    pub conserved: Vec<ConservedQuantity>,
+}
+
+impl<P: DenseProtocol + Clone + Send + 'static> std::fmt::Debug for Scenario<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Scenario")
+            .field("name", &self.name)
+            .field("n", &self.n)
+            .field("seed", &self.seed)
+            .field("init", &self.init)
+            .field("bound", &self.bound)
+            .finish_non_exhaustive()
+    }
+}
+
+/// The outcome of one executed cell.
+#[derive(Debug, Clone)]
+pub struct CellResult {
+    /// The scenario row label.
+    pub scenario: String,
+    /// The engine the cell ran on ([`Engine::name`]).
+    pub engine: &'static str,
+    /// Population size.
+    pub n: usize,
+    /// Logical clock at convergence (`None` if the budget was exhausted or
+    /// the cell errored before converging).
+    pub converged_at: Option<u64>,
+    /// Logical clock of the mid-cell checkpoint (leg B).
+    pub checkpoint_at: u64,
+    /// Plan events fired by the reference run.
+    pub events_fired: usize,
+    /// Every invariant violation observed; empty means the cell passed.
+    pub failures: Vec<String>,
+}
+
+impl CellResult {
+    /// Whether every per-cell invariant held.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+}
+
+/// Internal: everything leg A learns that leg B needs to replicate.
+struct Reference {
+    /// Number of whole probe chunks executed before convergence.
+    steps: u64,
+    converged_at: u64,
+    counts: Vec<u64>,
+    records_bytes: Vec<u8>,
+    events_fired: usize,
+}
+
+fn records_fingerprint<P: DenseProtocol + Clone + Send + 'static>(
+    run: &AdversarialRun<P>,
+) -> Vec<u8> {
+    use crate::snapshot::PersistState;
+    let mut out = Vec::new();
+    run.records().to_vec().persist(&mut out);
+    out
+}
+
+/// Close any still-open recovery records without advancing the clock: a
+/// zero-budget `run_until` evaluates the predicate once at the current
+/// configuration, which (when it holds) stamps every open record.
+fn close_records<P: DenseProtocol + Clone + Send + 'static>(
+    run: &mut AdversarialRun<P>,
+    pred: &PredicateFn,
+) -> Result<(), SimError> {
+    let here = run.interactions();
+    run.run_until(|s| s.with_counts(|c| pred(c)), 1, here)?;
+    Ok(())
+}
+
+/// Execute one cell of the matrix and check the full invariant battery.
+///
+/// Construction or run errors are reported as failures in the returned
+/// [`CellResult`], never panics — a broken cell must not take the rest of
+/// the matrix down with it.
+pub fn run_cell<P: DenseProtocol + Clone + Send + 'static>(
+    engine: Engine,
+    sc: &Scenario<P>,
+) -> CellResult {
+    let mut result = CellResult {
+        scenario: sc.name.clone(),
+        engine: engine.name(),
+        n: sc.n,
+        converged_at: None,
+        checkpoint_at: 0,
+        events_fired: 0,
+        failures: Vec::new(),
+    };
+    let reference = match run_reference(engine, sc, &mut result) {
+        Ok(Some(reference)) => reference,
+        Ok(None) => return result,
+        Err(e) => {
+            result.failures.push(format!("reference run: {e}"));
+            return result;
+        }
+    };
+    result.converged_at = Some(reference.converged_at);
+    result.events_fired = reference.events_fired;
+    if let Err(e) = run_checkpointed_replay(engine, sc, &reference, &mut result) {
+        result.failures.push(format!("checkpoint replay: {e}"));
+    }
+    result
+}
+
+/// Leg A: the reference trajectory, probing invariants on a fixed grid.
+fn run_reference<P: DenseProtocol + Clone + Send + 'static>(
+    engine: Engine,
+    sc: &Scenario<P>,
+    result: &mut CellResult,
+) -> Result<Option<Reference>, SimError> {
+    let grid = sc.check_every.max(1);
+    let mut run = AdversarialRun::new(
+        engine,
+        sc.protocol.clone(),
+        sc.n,
+        sc.seed,
+        sc.init.clone(),
+        sc.plan.clone(),
+    )?;
+    let corruptions = sc
+        .plan
+        .events()
+        .iter()
+        .filter(|e| matches!(e.kind, FaultKind::Corrupt { .. }))
+        .count();
+    let total_events = sc.plan.events().len();
+    let mut previous: Vec<Option<u64>> = vec![None; sc.conserved.len()];
+    let mut steps = 0u64;
+    loop {
+        let now = run.interactions();
+        let counts = run.inner().counts();
+        let population: u64 = counts.iter().sum();
+        if population != sc.n as u64 {
+            result.failures.push(format!(
+                "population not conserved at {now}: Σcounts = {population}, n = {}",
+                sc.n
+            ));
+            return Ok(None);
+        }
+        // Conserved quantities are probed once the plan can no longer
+        // legitimately perturb them.
+        let corruptions_fired = run
+            .plan()
+            .events()
+            .iter()
+            .take(run.events_fired())
+            .filter(|e| matches!(e.kind, FaultKind::Corrupt { .. }))
+            .count();
+        if corruptions_fired == corruptions {
+            for (q, prev) in sc.conserved.iter().zip(previous.iter_mut()) {
+                let value = (q.value)(&counts);
+                match (*prev, q.law) {
+                    (None, _) => *prev = Some(value),
+                    (Some(p), ConservationLaw::Exact) if value != p => {
+                        result.failures.push(format!(
+                            "conserved quantity `{}` changed at {now}: {p} → {value}",
+                            q.name
+                        ));
+                        *prev = Some(value);
+                    }
+                    (Some(p), ConservationLaw::NonIncreasing) if value > p => {
+                        result.failures.push(format!(
+                            "non-increasing quantity `{}` grew at {now}: {p} → {value}",
+                            q.name
+                        ));
+                        *prev = Some(value);
+                    }
+                    (Some(_), _) => *prev = Some(value),
+                }
+            }
+        }
+        if (sc.predicate)(&counts) && run.events_fired() == total_events {
+            close_records(&mut run, &sc.predicate)?;
+            for record in run.records() {
+                if record.reconverged_at.is_none() {
+                    result.failures.push(format!(
+                        "recovery record {} never closed",
+                        record.event_index
+                    ));
+                }
+            }
+            return Ok(Some(Reference {
+                steps,
+                converged_at: now,
+                counts,
+                records_bytes: records_fingerprint(&run),
+                events_fired: run.events_fired(),
+            }));
+        }
+        if now >= sc.bound {
+            result.failures.push(format!(
+                "did not converge within the bound: {now} ≥ {} ({} of {total_events} events fired)",
+                sc.bound,
+                run.events_fired()
+            ));
+            return Ok(None);
+        }
+        run.run(grid)?;
+        steps += 1;
+    }
+}
+
+/// Leg B: rebuild the cell from scratch, drive it to the midpoint of the
+/// reference trajectory on the same probe grid, snapshot, restore into a
+/// third fresh run, continue, and demand the reference's exact endpoint.
+fn run_checkpointed_replay<P: DenseProtocol + Clone + Send + 'static>(
+    engine: Engine,
+    sc: &Scenario<P>,
+    reference: &Reference,
+    result: &mut CellResult,
+) -> Result<(), SimError> {
+    let grid = sc.check_every.max(1);
+    let make = || {
+        AdversarialRun::new(
+            engine,
+            sc.protocol.clone(),
+            sc.n,
+            sc.seed,
+            sc.init.clone(),
+            sc.plan.clone(),
+        )
+    };
+    let midpoint = reference.steps / 2;
+    let mut second = make()?;
+    for _ in 0..midpoint {
+        second.run(grid)?;
+    }
+    result.checkpoint_at = second.interactions();
+    let bytes = second.save_state().to_bytes();
+    drop(second);
+
+    let mut resumed = make()?;
+    resumed.restore_state(&EngineSnapshot::from_bytes(&bytes)?)?;
+    if resumed.save_state().to_bytes() != bytes {
+        result
+            .failures
+            .push("snapshot does not byte-round-trip through restore".to_string());
+    }
+    for _ in midpoint..reference.steps {
+        resumed.run(grid)?;
+    }
+    if (sc.predicate)(&resumed.inner().counts()) {
+        close_records(&mut resumed, &sc.predicate)?;
+    }
+    if resumed.interactions() != reference.converged_at {
+        result.failures.push(format!(
+            "replay clock diverged: {} (replay) vs {} (reference)",
+            resumed.interactions(),
+            reference.converged_at
+        ));
+    }
+    if resumed.inner().counts() != reference.counts {
+        result
+            .failures
+            .push("replay configuration diverged from the reference run".to_string());
+    }
+    if resumed.events_fired() != reference.events_fired {
+        result.failures.push(format!(
+            "replay fired {} events, reference fired {}",
+            resumed.events_fired(),
+            reference.events_fired
+        ));
+    }
+    if records_fingerprint(&resumed) != reference.records_bytes {
+        result
+            .failures
+            .push("replay recovery records diverged from the reference run".to_string());
+    }
+    Ok(())
+}
+
+/// A scenario row bound to one engine: the type-erased unit a
+/// heterogeneous matrix is made of (rows over different protocol types mix
+/// freely in one `Vec<BoundCell>`).
+pub struct BoundCell {
+    scenario: String,
+    engine: &'static str,
+    runner: Box<dyn Fn() -> CellResult + Send + Sync>,
+}
+
+impl BoundCell {
+    /// Bind `scenario` to `engine`; the cell owns a clone of the row.
+    pub fn new<P: DenseProtocol + Clone + Send + Sync + 'static>(
+        engine: Engine,
+        scenario: &Scenario<P>,
+    ) -> Self {
+        let owned = scenario.clone();
+        BoundCell {
+            scenario: scenario.name.clone(),
+            engine: engine.name(),
+            runner: Box::new(move || run_cell(engine, &owned)),
+        }
+    }
+
+    /// The row label this cell was bound from.
+    #[must_use]
+    pub fn scenario(&self) -> &str {
+        &self.scenario
+    }
+
+    /// The engine name this cell runs on.
+    #[must_use]
+    pub fn engine(&self) -> &'static str {
+        self.engine
+    }
+
+    /// Execute the cell.
+    #[must_use]
+    pub fn run(&self) -> CellResult {
+        (self.runner)()
+    }
+}
+
+impl std::fmt::Debug for BoundCell {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("BoundCell")
+            .field("scenario", &self.scenario)
+            .field("engine", &self.engine)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Execute every cell in order, invoking `progress` after each (e.g. to
+/// print a live pass/fail line; pass `|_| {}` to stay quiet).
+pub fn run_matrix(cells: &[BoundCell], mut progress: impl FnMut(&CellResult)) -> MatrixSummary {
+    let mut results = Vec::with_capacity(cells.len());
+    for cell in cells {
+        let result = cell.run();
+        progress(&result);
+        results.push(result);
+    }
+    MatrixSummary { cells: results }
+}
+
+/// The executed matrix: per-cell results plus rendering helpers.
+#[derive(Debug, Clone)]
+pub struct MatrixSummary {
+    /// Every executed cell, in matrix order.
+    pub cells: Vec<CellResult>,
+}
+
+impl MatrixSummary {
+    /// Whether every cell passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.cells.iter().all(CellResult::passed)
+    }
+
+    /// The failing cells, in matrix order.
+    #[must_use]
+    pub fn failures(&self) -> Vec<&CellResult> {
+        self.cells.iter().filter(|c| !c.passed()).collect()
+    }
+
+    /// `"<passed>/<total> cells passed"`.
+    #[must_use]
+    pub fn summary_line(&self) -> String {
+        let passed = self.cells.iter().filter(|c| c.passed()).count();
+        format!("{passed}/{} cells passed", self.cells.len())
+    }
+
+    /// A GitHub-flavoured markdown table of every cell — the CI artifact.
+    #[must_use]
+    pub fn markdown(&self) -> String {
+        let mut out = String::new();
+        out.push_str("| scenario | engine | n | converged at | checkpoint | events | result |\n");
+        out.push_str("|---|---|---:|---:|---:|---:|---|\n");
+        for cell in &self.cells {
+            let converged = cell
+                .converged_at
+                .map_or_else(|| "—".to_string(), |t| t.to_string());
+            let verdict = if cell.passed() {
+                "pass".to_string()
+            } else {
+                format!("FAIL: {}", cell.failures.join("; "))
+            };
+            let _ = writeln!(
+                out,
+                "| {} | {} | {} | {} | {} | {} | {} |",
+                cell.scenario,
+                cell.engine,
+                cell.n,
+                converged,
+                cell.checkpoint_at,
+                cell.events_fired,
+                verdict
+            );
+        }
+        let _ = writeln!(out, "\n{}", self.summary_line());
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::adversary::{CorruptionTarget, FaultEvent};
+
+    /// Two-state rumor: informed tells uninformed; state 1 is informed.
+    #[derive(Debug, Clone, Copy)]
+    struct Rumor;
+    impl DenseProtocol for Rumor {
+        type Output = bool;
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn initial_state(&self) -> usize {
+            0
+        }
+        fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+            if u == 1 || v == 1 {
+                (1, 1)
+            } else {
+                (0, 0)
+            }
+        }
+        fn output(&self, state: usize) -> bool {
+            state == 1
+        }
+        fn name(&self) -> &'static str {
+            "rumor"
+        }
+    }
+
+    fn rumor_scenario(plan: FaultPlan) -> Scenario<Rumor> {
+        Scenario {
+            name: "rumor/test".into(),
+            protocol: Rumor,
+            n: 64,
+            seed: 7,
+            init: InitStrategy::Fixed(vec![63, 1]),
+            plan,
+            predicate: Arc::new(|c: &[u64]| c[0] == 0),
+            bound: 1 << 20,
+            check_every: 128,
+            conserved: vec![ConservedQuantity {
+                name: "informed-nonfalling",
+                law: ConservationLaw::NonIncreasing,
+                // Uninformed count is non-increasing in the fault-free rumor.
+                value: Arc::new(|c: &[u64]| c[0]),
+            }],
+        }
+    }
+
+    #[test]
+    fn a_clean_cell_passes_the_full_battery_on_every_engine() {
+        let sc = rumor_scenario(FaultPlan::empty());
+        for engine in [
+            Engine::Sequential,
+            Engine::Batched,
+            Engine::Sharded {
+                shards: 4,
+                threads: 1,
+            },
+            Engine::Hybrid,
+        ] {
+            let cell = run_cell(engine, &sc);
+            assert!(cell.passed(), "{engine:?}: {:?}", cell.failures);
+            assert!(cell.converged_at.is_some());
+            assert!(cell.checkpoint_at <= cell.converged_at.unwrap());
+        }
+    }
+
+    #[test]
+    fn a_faulted_cell_fires_and_closes_its_records() {
+        let plan = FaultPlan::new(vec![FaultEvent {
+            at: 256,
+            kind: FaultKind::Corrupt {
+                agents: 16,
+                target: CorruptionTarget::State(0),
+            },
+        }])
+        .unwrap();
+        let cell = run_cell(Engine::Sequential, &rumor_scenario(plan));
+        assert!(cell.passed(), "{:?}", cell.failures);
+        assert_eq!(cell.events_fired, 1);
+    }
+
+    #[test]
+    fn an_unreachable_predicate_fails_the_bound_check() {
+        let mut sc = rumor_scenario(FaultPlan::empty());
+        sc.predicate = Arc::new(|_: &[u64]| false);
+        sc.bound = 4096;
+        let cell = run_cell(Engine::Batched, &sc);
+        assert!(!cell.passed());
+        assert!(cell.failures[0].contains("did not converge"));
+    }
+
+    #[test]
+    fn a_violated_conservation_law_is_reported() {
+        let mut sc = rumor_scenario(FaultPlan::empty());
+        // The informed count strictly grows — an Exact law on it must trip.
+        sc.conserved = vec![ConservedQuantity {
+            name: "informed",
+            law: ConservationLaw::Exact,
+            value: Arc::new(|c: &[u64]| c[1]),
+        }];
+        let cell = run_cell(Engine::Sequential, &sc);
+        assert!(!cell.passed());
+        assert!(cell
+            .failures
+            .iter()
+            .any(|f| f.contains("`informed` changed")));
+    }
+
+    #[test]
+    fn the_matrix_summary_renders_every_cell() {
+        let sc = rumor_scenario(FaultPlan::empty());
+        let cells = vec![
+            BoundCell::new(Engine::Sequential, &sc),
+            BoundCell::new(Engine::Batched, &sc),
+        ];
+        let mut seen = 0;
+        let summary = run_matrix(&cells, |_| seen += 1);
+        assert_eq!(seen, 2);
+        assert!(summary.passed());
+        assert_eq!(summary.summary_line(), "2/2 cells passed");
+        let md = summary.markdown();
+        assert!(md.contains("| rumor/test | sequential |"));
+        assert!(md.contains("2/2 cells passed"));
+    }
+}

@@ -329,6 +329,17 @@ impl OccupancyMonitor {
     pub fn reset_window(&mut self) {
         self.streak = 0;
     }
+
+    /// Whether a single occupancy reading already exceeds the
+    /// dense → per-agent threshold.  The windowed [`Self::observe`] protects
+    /// against *sampled* noise; a discrete configuration replacement
+    /// (`set_counts`, fault injection) is exact evidence, so the hybrid
+    /// engine consults this to migrate immediately instead of burning
+    /// `O(q_occ²)` blocks until the next scheduled observation.
+    #[must_use]
+    pub fn over_up_threshold(&self, occupied: usize) -> bool {
+        (occupied as f64) * (occupied as f64) > self.up_threshold
+    }
 }
 
 /// The two representations a hybrid run alternates between.
@@ -679,8 +690,8 @@ impl<P: DenseProtocol + Clone + Send + 'static> HybridSimulator<P> {
     /// length or does not sum to the population size.
     pub fn set_counts(&mut self, counts: Vec<u64>) -> Result<(), SimError> {
         match &mut self.mode {
-            Mode::Batched(s) => s.set_counts(counts),
-            Mode::Sharded(s) => s.set_counts(counts),
+            Mode::Batched(s) => s.set_counts(counts)?,
+            Mode::Sharded(s) => s.set_counts(counts)?,
             Mode::Agent(_) => {
                 let q = self.protocol.num_states();
                 if counts.len() != q {
@@ -711,7 +722,40 @@ impl<P: DenseProtocol + Clone + Send + 'static> HybridSimulator<P> {
                 self.stint_kind = Some(stint.kind());
                 self.mode = Mode::Agent(stint);
                 self.monitor.reset_window();
-                Ok(())
+                return Ok(());
+            }
+        }
+        // A replacement is a discrete event: discard the monitor's stale
+        // streak and, if the new configuration is already degenerate, leave
+        // the dense representation right away (see
+        // `flee_degenerate_configuration`).
+        self.monitor.reset_window();
+        self.flee_degenerate_configuration();
+        Ok(())
+    }
+
+    /// Migrate dense → per-agent immediately when the live configuration's
+    /// occupancy already exceeds the monitor's switch-up threshold.
+    ///
+    /// The windowed monitor protects against sampled noise, but a discrete
+    /// configuration replacement ([`Self::set_counts`], [`Self::corrupt`] —
+    /// in particular an adversarial initialization at `n ≥ 10⁵`, which
+    /// occupies `Θ(n)` of the `Θ(n)` states) is exact evidence; waiting
+    /// `monitor_every = max(n/4, 256)` interactions for the next scheduled
+    /// observation would cost `O(q_occ²)` per `Θ(√n)`-interaction block in
+    /// the meantime — an effective hang, not a slowdown.  A migration
+    /// failure parks in [`Self::fault`], exactly like a monitor-driven one.
+    fn flee_degenerate_configuration(&mut self) {
+        if !self.is_dense() {
+            return;
+        }
+        let occupied = self.occupied_states();
+        if !self.monitor.over_up_threshold(occupied) {
+            return;
+        }
+        if let Err(e) = self.migrate(SwitchDirection::ToAgent, occupied) {
+            if self.fault.is_none() {
+                self.fault = Some(e);
             }
         }
     }
@@ -721,7 +765,9 @@ impl<P: DenseProtocol + Clone + Send + 'static> HybridSimulator<P> {
     /// native structs are overwritten through the codec in per-agent mode
     /// (see [`crate::adversary`]).  The monitor's in-progress streak is
     /// discarded either way — its observations describe the pre-fault
-    /// configuration.
+    /// configuration — and a fault that leaves the dense occupancy past the
+    /// switch-up threshold migrates to per-agent mode immediately (exact
+    /// evidence needs no observation window).
     ///
     /// # Errors
     ///
@@ -739,6 +785,9 @@ impl<P: DenseProtocol + Clone + Send + 'static> HybridSimulator<P> {
             Mode::Agent(s) => s.corrupt(k, rng, new_state),
         };
         self.monitor.reset_window();
+        if result.is_ok() {
+            self.flee_degenerate_configuration();
+        }
         result
     }
 

@@ -84,6 +84,7 @@ pub mod adversary;
 pub mod batched;
 mod block;
 pub mod config;
+pub mod conformance;
 pub mod convergence;
 pub mod dense;
 pub mod engine;
@@ -108,6 +109,10 @@ pub use adversary::{
 };
 pub use batched::BatchedSimulator;
 pub use config::ConfigurationStats;
+pub use conformance::{
+    run_cell, run_matrix, BoundCell, CellResult, ConservationLaw, ConservedQuantity, MatrixSummary,
+    Scenario,
+};
 pub use convergence::RunOutcome;
 pub use dense::{DenseAdapter, DenseProtocol};
 pub use engine::{DenseSimulator, Engine, SEQUENTIAL_CROSSOVER};

@@ -18,6 +18,10 @@
 //! | [`load_balancing`] | Lemma 8 / \[10\] | classical and powers-of-two load balancing |
 //! | [`composition`] | Algorithms 2/3, lines 1–4 | the shared junta + phase-clock base the composed counting protocols run on, sequential and dense (interned) |
 //! | [`ranking`] | self-stabilization (related work, PAPERS.md) | reconvergence to distinct ranks from arbitrary configurations — the standing workload of [`ppsim::adversary`] |
+//! | [`herman`] | Herman 1990 / Bruna et al. 2015 (related work, PAPERS.md) | coin-lazy token annihilation stabilizes to ≤ 1 token in `≈ 2(1−ln 2)·n²` interactions (banded assertion) |
+//! | [`coalescence`] | Loh–Lubetzky 2011 (related work, PAPERS.md) | mass-conserving cluster merges coalesce in `≈ 2n²` interactions |
+//! | [`tradeoff_election`] | Austin–Berenbrink et al. 2025 (related work, PAPERS.md) | silent self-stabilizing leader election; probe alphabet `K` trades space `K·n` against recovery time |
+//! | [`scenarios`] | — | the standard protocol × engine × init × fault conformance matrix built from all of the above |
 //!
 //! All components are uniform: none of their transition rules depends on the
 //! population size.  Constants that the paper fixes for asymptotic convenience
@@ -27,22 +31,28 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod coalescence;
 pub mod composition;
 pub mod epidemic;
 pub mod fast_leader_election;
+pub mod herman;
 pub mod junta;
 pub mod leader_election;
 pub mod load_balancing;
 pub mod phase_clock;
 pub mod ranking;
+pub mod scenarios;
 pub mod synthetic_coin;
+pub mod tradeoff_election;
 
+pub use coalescence::{ClusterAgent, CoalescenceNative, StochasticCoalescence};
 pub use composition::{DenseComposition, SyncComposition, SyncCtx, SyncedAgent, SyncedComponent};
 pub use epidemic::{max_broadcast, or_broadcast, DenseEpidemic, OneWayEpidemic};
 pub use fast_leader_election::{
     FastLeaderAgent, FastLeaderElection, FastLeaderElectionConfig, FastLeaderElectionProtocol,
     FastLeaderState,
 };
+pub use herman::{HermanAgent, HermanNative, HermanTokens};
 pub use junta::{
     all_inactive, dense_all_inactive, dense_junta_size, dense_max_level, junta_interact,
     junta_size, max_level, DenseJunta, JuntaProtocol, JuntaState,
@@ -61,3 +71,4 @@ pub use phase_clock::{
 };
 pub use ranking::{RankAgent, RankingNative, SelfStabRanking};
 pub use synthetic_coin::{coin_interact, CoinMode, CoinState};
+pub use tradeoff_election::{ElectionAgent, ElectionNative, TradeoffElection};

@@ -1,0 +1,481 @@
+//! The standard conformance scenario matrix: every ported protocol ×
+//! engine × init strategy × fault plan, as [`BoundCell`]s for
+//! `ppsim::conformance::run_matrix`.
+//!
+//! The matrix has two population tiers, because the batched/sharded count
+//! engines pay `O(q_occ²)` per `Θ(√n)`-interaction block:
+//!
+//! * **count-friendly rows** (`n_big`) run protocols whose occupancy stays
+//!   `O(√n)`-ish (Herman's four states, clean coalescence) on **all four
+//!   engines**, and occupancy-hostile adversarial variants on the
+//!   per-agent engines (sequential, hybrid — the hybrid's migration logic
+//!   is exactly what those cells exercise);
+//! * **count-hostile rows** (`n_small`) run the `q = Θ(n)` ranking and
+//!   election workloads on all four engines at a population where dense
+//!   blocks stay affordable.
+//!
+//! Two presets: [`MatrixConfig::quick`] is the CI release tier
+//! (`n_big = 10⁴`), [`MatrixConfig::test_tier`] the debug `cargo test`
+//! tier (`n_big = 10³`).  Both enumerate the same 38 cells; every cell is
+//! a pure function of `(seed, plan, engine)`.
+//!
+//! ```
+//! use ppproto::scenarios::{standard_matrix, MatrixConfig};
+//!
+//! let cells = standard_matrix(&MatrixConfig::test_tier());
+//! assert!(cells.len() >= 36);
+//! // Each cell knows its row and engine; running one returns the full
+//! // invariant battery's verdict.
+//! let cell = &cells[0];
+//! assert_eq!(cell.engine(), "sequential");
+//! assert!(cell.run().passed());
+//! ```
+
+use std::sync::Arc;
+
+use ppsim::conformance::{BoundCell, ConservationLaw, ConservedQuantity, Scenario};
+use ppsim::{
+    derive_seed, CorruptionTarget, DenseProtocol, Engine, FaultEvent, FaultKind, FaultPlan,
+    InitStrategy,
+};
+
+use crate::coalescence::StochasticCoalescence;
+use crate::herman::HermanTokens;
+use crate::ranking::SelfStabRanking;
+use crate::tradeoff_election::TradeoffElection;
+
+/// The four engines every count-friendly row runs on.
+pub const ALL_ENGINES: [Engine; 4] = [
+    Engine::Sequential,
+    Engine::Batched,
+    Engine::Sharded {
+        shards: 4,
+        threads: 1,
+    },
+    Engine::Hybrid,
+];
+
+/// The engines that keep occupancy-hostile rows affordable (the hybrid
+/// flees its dense substrate on the adversarial replacement, which is part
+/// of what these cells test).
+pub const PER_AGENT_ENGINES: [Engine; 2] = [Engine::Sequential, Engine::Hybrid];
+
+/// Population tiers and the master seed of the standard matrix.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MatrixConfig {
+    /// Count-friendly population (Herman, coalescence, dispersal rows).
+    pub n_big: usize,
+    /// Count-hostile population (full ranking/election stabilization on
+    /// all four engines).
+    pub n_small: usize,
+    /// Master seed; each row derives its own seed stream from it.
+    pub seed: u64,
+}
+
+impl MatrixConfig {
+    /// The CI release tier: `n_big = 10⁴` (ISSUE 8's quick tier).
+    #[must_use]
+    pub fn quick() -> Self {
+        MatrixConfig {
+            n_big: 10_000,
+            n_small: 64,
+            seed: 0xC0FF,
+        }
+    }
+
+    /// The debug `cargo test` tier: same cells, populations scaled so the
+    /// whole matrix stays in tens of seconds unoptimized.
+    #[must_use]
+    pub fn test_tier() -> Self {
+        MatrixConfig {
+            n_big: 1_000,
+            n_small: 48,
+            seed: 0xC0FF,
+        }
+    }
+}
+
+fn bind<P: DenseProtocol + Clone + Send + Sync + 'static>(
+    engines: &[Engine],
+    scenario: &Scenario<P>,
+    out: &mut Vec<BoundCell>,
+) {
+    for &engine in engines {
+        out.push(BoundCell::new(engine, scenario));
+    }
+}
+
+/// Herman rows: clean all-token start and an adversarial variant with
+/// token re-injection plus a silence window.  Token parity is exactly
+/// conserved by the pairwise rule; the token count never grows.
+fn herman_rows(cfg: &MatrixConfig, out: &mut Vec<BoundCell>) {
+    let n = cfg.n_big;
+    let nn = (n as u64) * (n as u64);
+    let p = HermanTokens::new();
+    let conserved = vec![
+        ConservedQuantity {
+            name: "tokens",
+            law: ConservationLaw::NonIncreasing,
+            value: Arc::new(move |c: &[u64]| p.tokens(c)),
+        },
+        ConservedQuantity {
+            name: "token-parity",
+            law: ConservationLaw::Exact,
+            value: Arc::new(move |c: &[u64]| p.tokens(c) % 2),
+        },
+    ];
+    let clean = Scenario {
+        name: "herman/clean".into(),
+        protocol: p,
+        n,
+        seed: derive_seed(cfg.seed, 0x484501),
+        init: InitStrategy::Clean,
+        plan: FaultPlan::empty(),
+        predicate: Arc::new(move |c: &[u64]| p.is_stable(c)),
+        bound: 10 * nn,
+        check_every: (nn / 8).max(256),
+        conserved: conserved.clone(),
+    };
+    bind(&ALL_ENGINES, &clean, out);
+
+    let plan = FaultPlan::new(vec![
+        FaultEvent {
+            at: nn / 4,
+            kind: FaultKind::Corrupt {
+                agents: (n as u64 / 4).max(1),
+                target: CorruptionTarget::State(2), // re-inject (token, tails)
+            },
+        },
+        FaultEvent {
+            at: nn / 2,
+            kind: FaultKind::Corrupt {
+                agents: (n as u64 / 8).max(1),
+                target: CorruptionTarget::Uniform { states: 4 },
+            },
+        },
+        FaultEvent {
+            at: nn,
+            kind: FaultKind::Silence {
+                agents: (n as u64 / 8).max(1),
+                window: nn / 8,
+            },
+        },
+    ])
+    .expect("static herman plan");
+    let adversarial = Scenario {
+        name: "herman/adversarial".into(),
+        init: InitStrategy::SeededArbitrary {
+            states: 4,
+            seed: derive_seed(cfg.seed, 0x484502),
+        },
+        plan,
+        ..clean
+    };
+    bind(&ALL_ENGINES, &adversarial, out);
+}
+
+/// Coalescence rows: clean singleton start on all engines (occupancy stays
+/// `O(√n)`), a high-occupancy adversarial start on the per-agent engines
+/// at `n_big`, and a full adversarial recovery at `n_small` on all four.
+fn coalescence_rows(cfg: &MatrixConfig, out: &mut Vec<BoundCell>) {
+    let n = cfg.n_big;
+    let nn = (n as u64) * (n as u64);
+    let p = StochasticCoalescence::new(n);
+    let threshold = 64u64.min(n as u64 / 4);
+    let clean = Scenario {
+        name: "coalescence/clean".into(),
+        protocol: p,
+        n,
+        seed: derive_seed(cfg.seed, 0x434C01),
+        init: InitStrategy::Clean,
+        plan: FaultPlan::empty(),
+        predicate: Arc::new(move |c: &[u64]| p.alive_clusters(c) <= threshold),
+        bound: nn / 2,
+        check_every: (nn / 64).max(256),
+        conserved: vec![ConservedQuantity {
+            name: "mass",
+            law: ConservationLaw::Exact, // total mass n never reaches the cap
+            value: Arc::new(move |c: &[u64]| p.mass(c)),
+        }],
+    };
+    bind(&ALL_ENGINES, &clean, out);
+
+    // Arbitrary starts scatter Θ(n) distinct sizes, so dense blocks are
+    // infeasible at n_big: per-agent engines only (the hybrid must flee
+    // its dense substrate on the init itself).  Saturation at the cap
+    // makes mass merely non-increasing here.
+    let plan = FaultPlan::new(vec![FaultEvent {
+        at: 4 * n as u64,
+        kind: FaultKind::Corrupt {
+            agents: (n as u64 / 8).max(1),
+            target: CorruptionTarget::Uniform { states: 128 },
+        },
+    }])
+    .expect("static coalescence plan");
+    let adversarial = Scenario {
+        name: "coalescence/adversarial".into(),
+        seed: derive_seed(cfg.seed, 0x434C02),
+        init: InitStrategy::SeededArbitrary {
+            states: p.num_states(),
+            seed: derive_seed(cfg.seed, 0x434C03),
+        },
+        plan,
+        conserved: vec![ConservedQuantity {
+            name: "mass",
+            law: ConservationLaw::NonIncreasing,
+            value: Arc::new(move |c: &[u64]| p.mass(c)),
+        }],
+        ..clean
+    };
+    bind(&PER_AGENT_ENGINES, &adversarial, out);
+
+    // Full coalescence (alive ≤ 1) with a resurrection fault and a silence
+    // window, small enough for every engine.
+    let n = cfg.n_small;
+    let nn = (n as u64) * (n as u64);
+    let p = StochasticCoalescence::new(n);
+    let plan = FaultPlan::new(vec![
+        FaultEvent {
+            at: 4 * nn,
+            kind: FaultKind::Corrupt {
+                agents: (n as u64 / 4).max(1),
+                target: CorruptionTarget::State(2), // resurrect singletons
+            },
+        },
+        FaultEvent {
+            at: 8 * nn,
+            kind: FaultKind::Silence {
+                agents: (n as u64 / 8).max(1),
+                window: nn,
+            },
+        },
+    ])
+    .expect("static coalescence plan");
+    let small = Scenario {
+        name: "coalescence/adversarial-small".into(),
+        protocol: p,
+        n,
+        seed: derive_seed(cfg.seed, 0x434C04),
+        init: InitStrategy::SeededArbitrary {
+            states: p.num_states(),
+            seed: derive_seed(cfg.seed, 0x434C05),
+        },
+        plan,
+        predicate: Arc::new(move |c: &[u64]| p.is_coalesced(c)),
+        bound: 64 * nn,
+        check_every: nn.max(64),
+        conserved: vec![ConservedQuantity {
+            name: "mass",
+            law: ConservationLaw::NonIncreasing,
+            value: Arc::new(move |c: &[u64]| p.mass(c)),
+        }],
+    };
+    bind(&ALL_ENGINES, &small, out);
+}
+
+/// Election rows: full stabilization (clean pile and adversarial start) at
+/// `n_small` on all engines, plus a dispersal-milestone row at `n_big` on
+/// the per-agent engines (full stabilization is `ω(n²)` and infeasible
+/// there; the distinct-rank count is non-decreasing, so the milestone is a
+/// sound monotone predicate).
+fn election_rows(cfg: &MatrixConfig, out: &mut Vec<BoundCell>) {
+    let k = 4usize;
+    let n = cfg.n_small;
+    let nn = (n as u64) * (n as u64);
+    let p = TradeoffElection::new(n, k);
+    let clean = Scenario {
+        name: "election/clean".into(),
+        protocol: p,
+        n,
+        seed: derive_seed(cfg.seed, 0x454C01),
+        init: InitStrategy::Clean,
+        plan: FaultPlan::empty(),
+        predicate: Arc::new(move |c: &[u64]| p.is_stable(c)),
+        bound: 512 * nn,
+        check_every: 2 * nn,
+        conserved: Vec::new(),
+    };
+    bind(&ALL_ENGINES, &clean, out);
+
+    let plan = FaultPlan::new(vec![
+        FaultEvent {
+            at: 16 * nn,
+            kind: FaultKind::Corrupt {
+                agents: (n as u64 / 4).max(1),
+                target: CorruptionTarget::State(7 * k), // pile onto rank 7
+            },
+        },
+        FaultEvent {
+            at: 32 * nn,
+            kind: FaultKind::Corrupt {
+                agents: (n as u64 / 8).max(1),
+                target: CorruptionTarget::Uniform {
+                    states: p.num_states(),
+                },
+            },
+        },
+    ])
+    .expect("static election plan");
+    let adversarial = Scenario {
+        name: "election/adversarial".into(),
+        seed: derive_seed(cfg.seed, 0x454C02),
+        init: InitStrategy::SeededArbitrary {
+            states: p.num_states(),
+            seed: derive_seed(cfg.seed, 0x454C03),
+        },
+        plan,
+        ..clean
+    };
+    bind(&ALL_ENGINES, &adversarial, out);
+
+    let n = cfg.n_big;
+    let nn = (n as u64) * (n as u64);
+    let p = TradeoffElection::new(n, k);
+    let mut pile = vec![0u64; 8 * k];
+    for i in 0..n {
+        pile[7 * k + (i % k)] += 1; // everyone on rank 7, probe tags spread
+    }
+    let plan = FaultPlan::new(vec![FaultEvent {
+        at: 16 * n as u64,
+        kind: FaultKind::Corrupt {
+            agents: (n as u64 / 8).max(1),
+            target: CorruptionTarget::State(7 * k), // re-pile mid-dispersal
+        },
+    }])
+    .expect("static election plan");
+    // Measured at n = 10⁴ (sequential): the n/64 milestone costs ≈ 5.4·10⁶
+    // interactions; the cascade out of the pile is Θ(n·K^g) per generation,
+    // so deeper milestones blow up fast (n/16 ≈ 10⁸, n/2 > 3·10⁹).
+    let milestone = (n as u64 / 64).max(2);
+    let dispersal = Scenario {
+        name: "election/dispersal".into(),
+        protocol: p,
+        n,
+        seed: derive_seed(cfg.seed, 0x454C04),
+        init: InitStrategy::Fixed(pile),
+        plan,
+        predicate: Arc::new(move |c: &[u64]| p.distinct_ranks(c) as u64 >= milestone),
+        bound: nn / 2,
+        check_every: (4 * n as u64).max(256),
+        conserved: Vec::new(),
+    };
+    bind(&PER_AGENT_ENGINES, &dispersal, out);
+}
+
+/// Ranking rows: the standing `SelfStabRanking` workload under the same
+/// grid — full stabilization at `n_small` on all engines (clean and the
+/// fault plan from the adversarial harness), plus a dispersal milestone at
+/// `n_big` on the per-agent engines.
+fn ranking_rows(cfg: &MatrixConfig, out: &mut Vec<BoundCell>) {
+    let n = cfg.n_small;
+    let nn = (n as u64) * (n as u64);
+    let p = SelfStabRanking::new(n);
+    let clean = Scenario {
+        name: "ranking/clean".into(),
+        protocol: p,
+        n,
+        seed: derive_seed(cfg.seed, 0x524B01),
+        init: InitStrategy::Clean,
+        plan: FaultPlan::empty(),
+        predicate: Arc::new(move |c: &[u64]| p.is_ranked(c)),
+        bound: 512 * nn,
+        check_every: 2 * nn,
+        conserved: Vec::new(),
+    };
+    bind(&ALL_ENGINES, &clean, out);
+
+    let plan = FaultPlan::new(vec![
+        FaultEvent {
+            at: 8 * nn,
+            kind: FaultKind::Corrupt {
+                agents: (n as u64 / 4).max(1),
+                target: CorruptionTarget::State(2), // pile onto (rank 1, heads)
+            },
+        },
+        FaultEvent {
+            at: 16 * nn,
+            kind: FaultKind::Silence {
+                agents: (n as u64 / 8).max(1),
+                window: 4 * nn,
+            },
+        },
+    ])
+    .expect("static ranking plan");
+    let adversarial = Scenario {
+        name: "ranking/adversarial".into(),
+        seed: derive_seed(cfg.seed, 0x524B02),
+        init: InitStrategy::SeededArbitrary {
+            states: 2 * n,
+            seed: derive_seed(cfg.seed, 0x524B03),
+        },
+        plan,
+        bound: 2000 * nn,
+        ..clean
+    };
+    bind(&ALL_ENGINES, &adversarial, out);
+
+    let n = cfg.n_big;
+    let nn = (n as u64) * (n as u64);
+    let p = SelfStabRanking::new(n);
+    let mut pile = vec![0u64; 4];
+    pile[2] = n as u64; // everyone on (rank 1, heads)
+    let plan = FaultPlan::new(vec![FaultEvent {
+        at: 16 * n as u64,
+        kind: FaultKind::Corrupt {
+            agents: (n as u64 / 8).max(1),
+            target: CorruptionTarget::State(2),
+        },
+    }])
+    .expect("static ranking plan");
+    // Measured at n = 10⁴ (sequential): the n/64 milestone costs ≈ 2.1·10⁷
+    // interactions, and the stride cascade makes deeper ones explode
+    // (n/16 ≈ 3.4·10⁸, n/4 ≈ 5.6·10⁹) — far past a CI budget.
+    let milestone = (n as u64 / 64).max(2);
+    let dispersal = Scenario {
+        name: "ranking/dispersal".into(),
+        protocol: p,
+        n,
+        seed: derive_seed(cfg.seed, 0x524B04),
+        init: InitStrategy::Fixed(pile),
+        plan,
+        predicate: Arc::new(move |c: &[u64]| p.distinct_ranks(c) as u64 >= milestone),
+        bound: nn,
+        check_every: (4 * n as u64).max(256),
+        conserved: Vec::new(),
+    };
+    bind(&PER_AGENT_ENGINES, &dispersal, out);
+}
+
+/// The standard 38-cell matrix (see the module docs for the tier layout).
+#[must_use]
+pub fn standard_matrix(cfg: &MatrixConfig) -> Vec<BoundCell> {
+    let mut out = Vec::new();
+    herman_rows(cfg, &mut out);
+    coalescence_rows(cfg, &mut out);
+    election_rows(cfg, &mut out);
+    ranking_rows(cfg, &mut out);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn the_standard_matrix_enumerates_at_least_36_cells() {
+        let cells = standard_matrix(&MatrixConfig::test_tier());
+        assert!(cells.len() >= 36, "only {} cells", cells.len());
+        assert_eq!(
+            cells.len(),
+            standard_matrix(&MatrixConfig::quick()).len(),
+            "both tiers enumerate the same cells"
+        );
+        // Every protocol family appears, and every named engine is used.
+        for family in ["herman/", "coalescence/", "election/", "ranking/"] {
+            assert!(cells.iter().any(|c| c.scenario().starts_with(family)));
+        }
+        for engine in ["sequential", "batched", "sharded", "hybrid"] {
+            assert!(cells.iter().any(|c| c.engine() == engine));
+        }
+    }
+}

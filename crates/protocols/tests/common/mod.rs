@@ -1,0 +1,111 @@
+//! Shared template for the self-stabilization recovery acceptance tests:
+//! start a workload from an adversarial configuration, corrupt it mid-run
+//! on a deterministic [`FaultPlan`], and require reconvergence — twice,
+//! bit-identically — on all four engines.
+
+use ppsim::{
+    AdversarialRun, DenseProtocol, Engine, FaultPlan, InitStrategy, RecoveryRecord, SimError,
+};
+
+pub const ALL_ENGINES: [Engine; 4] = [
+    Engine::Sequential,
+    Engine::Batched,
+    Engine::Sharded {
+        shards: 4,
+        threads: 1,
+    },
+    Engine::Hybrid,
+];
+
+/// One recovery workload: everything the template needs to drive a
+/// protocol through the adversarial harness.
+pub struct RecoveryCase<'a, P> {
+    /// Workload label for assertion messages.
+    pub label: &'a str,
+    /// The self-stabilizing protocol under test.
+    pub protocol: P,
+    /// Population size.
+    pub n: usize,
+    /// Master seed of every run (the trajectory must be a pure function of
+    /// `(seed, plan, engine)`).
+    pub seed: u64,
+    /// Adversarial starting configuration.
+    pub init: InitStrategy,
+    /// Mid-run fault schedule.
+    pub plan: FaultPlan,
+    /// The legitimacy predicate the workload must reconverge to.
+    pub predicate: fn(&P, &[u64]) -> bool,
+    /// Predicate probe spacing.
+    pub check_every: u64,
+    /// Interaction budget per run.
+    pub budget: u64,
+}
+
+/// Drive `case` on every engine: the run must reconverge within budget
+/// with every fault fired and every recovery record closed, the final
+/// configuration must satisfy the predicate and conserve the population,
+/// and a second identically-seeded run must retrace the first exactly
+/// (final counts, logical clock, and recovery records).
+pub fn assert_recovers_deterministically<P>(case: &RecoveryCase<'_, P>)
+where
+    P: DenseProtocol + Clone + Send + Sync + 'static,
+{
+    for engine in ALL_ENGINES {
+        let run_once = || -> Result<(Vec<u64>, u64, Vec<RecoveryRecord>), SimError> {
+            let mut run = AdversarialRun::new(
+                engine,
+                case.protocol.clone(),
+                case.n,
+                case.seed,
+                case.init.clone(),
+                case.plan.clone(),
+            )?;
+            let outcome = run.run_until(
+                |s| s.with_counts(|c| (case.predicate)(&case.protocol, c)),
+                case.check_every,
+                case.budget,
+            )?;
+            assert!(
+                outcome.converged(),
+                "{} on {engine:?} failed to reconverge: {outcome:?}",
+                case.label
+            );
+            assert_eq!(
+                run.events_fired(),
+                case.plan.events().len(),
+                "{} on {engine:?} did not fire the whole plan",
+                case.label
+            );
+            assert!(
+                run.records().iter().all(|r| r.recovery_time().is_some()),
+                "{} on {engine:?} left an open recovery record: {:?}",
+                case.label,
+                run.records()
+            );
+            Ok((
+                run.inner().counts(),
+                run.interactions(),
+                run.records().to_vec(),
+            ))
+        };
+
+        let first = run_once().unwrap();
+        let second = run_once().unwrap();
+        assert_eq!(
+            first, second,
+            "{} on {engine:?}: trajectory is not a deterministic function of (seed, plan)",
+            case.label
+        );
+        assert!(
+            (case.predicate)(&case.protocol, &first.0),
+            "{} on {engine:?}: final configuration is not legitimate",
+            case.label
+        );
+        assert_eq!(
+            first.0.iter().sum::<u64>(),
+            case.n as u64,
+            "{} on {engine:?}: population not conserved",
+            case.label
+        );
+    }
+}

@@ -1,0 +1,304 @@
+//! Cross-engine distributional equivalence for the ported conformance
+//! protocols (ISSUE 8 satellite), mirroring `engine_equivalence.rs`:
+//! two-sample Kolmogorov–Smirnov checks on fixed seed grids plus
+//! mean-ratio properties over random `(n, master)` pairs.
+//!
+//! Observables are chosen so every engine stays in its affordable regime:
+//!
+//! * **Herman** (`q = 4`, count-friendly): time until ≤ `n/64` tokens
+//!   remain from the all-token start, at `n = 10⁴` on all four engines.
+//! * **Coalescence** (occupancy `O(√n)` early on): surviving clusters
+//!   after exactly `2n` interactions from singletons, at `n = 10⁴` on all
+//!   four engines.
+//! * **Election** (`q = K·n`, count-hostile): time until half the ranks
+//!   are occupied from the clean pile — in full on all four engines at
+//!   `n = 64`, and sequential ↔ hybrid at `n = 10⁴` (the count engines'
+//!   `O(q_occ²)` blocks are infeasible there; the per-agent pair is the
+//!   claim that matters at that scale).
+
+use proptest::prelude::*;
+
+use ppproto::{HermanTokens, StochasticCoalescence, TradeoffElection};
+use ppsim::{derive_seed, DenseSimulator, Engine};
+
+fn mean(xs: &[f64]) -> f64 {
+    xs.iter().sum::<f64>() / xs.len() as f64
+}
+
+/// Two-sample Kolmogorov–Smirnov statistic (same as `engine_equivalence`).
+fn ks_statistic(a: &mut [u64], b: &mut [u64]) -> f64 {
+    a.sort_unstable();
+    b.sort_unstable();
+    let (na, nb) = (a.len() as f64, b.len() as f64);
+    let mut d: f64 = 0.0;
+    let (mut i, mut j) = (0usize, 0usize);
+    while i < a.len() && j < b.len() {
+        if a[i] <= b[j] {
+            i += 1;
+        } else {
+            j += 1;
+        }
+        d = d.max((i as f64 / na - j as f64 / nb).abs());
+    }
+    d
+}
+
+/// Herman: interactions until at most `n/64` tokens survive the all-token
+/// start (the `1/(k(k−1))` telescope keeps this `Θ(n²/m)`, cheap for
+/// `m = n/64`).
+fn herman_thinning_time(engine: Engine, n: usize, seed: u64) -> u64 {
+    let p = HermanTokens::new();
+    let target = (n as u64 / 64).max(1);
+    let mut sim = DenseSimulator::new(engine, p, n, seed).unwrap();
+    sim.run_until(
+        |s| s.with_counts(|c| p.tokens(c) <= target),
+        (n as u64 / 2).max(1),
+        u64::MAX >> 1,
+    )
+    .expect_converged("herman thinning")
+}
+
+/// Coalescence: surviving clusters after exactly `2n` interactions from
+/// the all-singleton start (Kingman's regime predicts `≈ n/2`).
+fn coalescence_alive_after_2n(engine: Engine, n: usize, seed: u64) -> u64 {
+    let p = StochasticCoalescence::new(n);
+    let mut sim = DenseSimulator::new(engine, p, n, seed).unwrap();
+    sim.run(2 * n as u64);
+    sim.with_counts(|c| p.alive_clusters(c))
+}
+
+/// Election: interactions until half the ranks are occupied, from the
+/// clean single-pile start (the distinct-rank count is non-decreasing).
+fn election_dispersal_time(
+    engine: Engine,
+    n: usize,
+    k: usize,
+    threshold: usize,
+    check_every: u64,
+    seed: u64,
+) -> u64 {
+    let p = TradeoffElection::new(n, k);
+    let mut sim = DenseSimulator::new(engine, p, n, seed).unwrap();
+    sim.run_until(
+        |s| s.with_counts(|c| p.distinct_ranks(c) >= threshold),
+        check_every,
+        u64::MAX >> 1,
+    )
+    .expect_converged("election dispersal")
+}
+
+/// Herman at n = 10⁴: the thinning-time distribution passes a two-sample
+/// KS test between the sequential engine and each other engine.
+#[test]
+fn herman_thinning_passes_kolmogorov_smirnov_on_every_engine() {
+    let n = 10_000usize;
+    let samples = 60usize;
+    let mut reference: Vec<u64> = (0..samples)
+        .map(|t| herman_thinning_time(Engine::Sequential, n, derive_seed(0x4845, t as u64)))
+        .collect();
+    for (e, engine) in [
+        Engine::Batched,
+        Engine::Sharded {
+            shards: 4,
+            threads: 1,
+        },
+        Engine::Hybrid,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut other: Vec<u64> = (0..samples)
+            .map(|t| herman_thinning_time(engine, n, derive_seed(0x5AAD + e as u64, t as u64)))
+            .collect();
+        let d = ks_statistic(&mut other, &mut reference);
+        // Critical value at α ≈ 0.001 for two samples of 60: 1.95·sqrt(2/60) ≈ 0.356.
+        assert!(
+            d < 0.356,
+            "KS statistic {d:.3} on {} — the engines sample different Herman \
+             thinning-time distributions",
+            engine.name()
+        );
+    }
+}
+
+/// Coalescence at n = 10⁴: the alive-after-2n distribution passes KS on
+/// every engine and the means agree within 2%.
+#[test]
+fn coalescence_survivors_agree_on_every_engine() {
+    let n = 10_000usize;
+    let samples = 60usize;
+    let mut reference: Vec<u64> = (0..samples)
+        .map(|t| coalescence_alive_after_2n(Engine::Sequential, n, derive_seed(0x434C, t as u64)))
+        .collect();
+    let reference_mean = mean(&reference.iter().map(|&x| x as f64).collect::<Vec<_>>());
+    for (e, engine) in [
+        Engine::Batched,
+        Engine::Sharded {
+            shards: 4,
+            threads: 1,
+        },
+        Engine::Hybrid,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut other: Vec<u64> = (0..samples)
+            .map(|t| {
+                coalescence_alive_after_2n(engine, n, derive_seed(0x1000 + e as u64, t as u64))
+            })
+            .collect();
+        let other_mean = mean(&other.iter().map(|&x| x as f64).collect::<Vec<_>>());
+        let ratio = other_mean / reference_mean;
+        assert!(
+            (0.98..1.02).contains(&ratio),
+            "mean survivors diverge on {}: {other_mean:.1} vs sequential {reference_mean:.1}",
+            engine.name()
+        );
+        let d = ks_statistic(&mut other, &mut reference);
+        assert!(
+            d < 0.356,
+            "KS statistic {d:.3} on {} — the engines sample different coalescence \
+             survivor distributions",
+            engine.name()
+        );
+    }
+}
+
+/// Election at n = 64: the dispersal-time distribution passes KS on every
+/// engine (full grid; the count engines are affordable at this n).
+#[test]
+fn election_dispersal_passes_kolmogorov_smirnov_on_every_engine() {
+    let n = 64usize;
+    let k = 4usize;
+    let samples = 40usize;
+    let mut reference: Vec<u64> = (0..samples)
+        .map(|t| {
+            election_dispersal_time(
+                Engine::Sequential,
+                n,
+                k,
+                n / 2,
+                32,
+                derive_seed(0x454C, t as u64),
+            )
+        })
+        .collect();
+    for (e, engine) in [
+        Engine::Batched,
+        Engine::Sharded {
+            shards: 4,
+            threads: 1,
+        },
+        Engine::Hybrid,
+    ]
+    .into_iter()
+    .enumerate()
+    {
+        let mut other: Vec<u64> = (0..samples)
+            .map(|t| {
+                election_dispersal_time(
+                    engine,
+                    n,
+                    k,
+                    n / 2,
+                    32,
+                    derive_seed(0x2000 + e as u64, t as u64),
+                )
+            })
+            .collect();
+        let d = ks_statistic(&mut other, &mut reference);
+        // Critical value at α ≈ 0.001 for two samples of 40: 1.95·sqrt(2/40) ≈ 0.436.
+        assert!(
+            d < 0.436,
+            "KS statistic {d:.3} on {} — the engines sample different election \
+             dispersal-time distributions",
+            engine.name()
+        );
+    }
+}
+
+/// Election at n = 10⁴, sequential ↔ hybrid: the per-agent engines agree
+/// on the early-dispersal milestone at the count-hostile scale.  The
+/// milestone is `n/64` occupied ranks (≈ 5.5·10⁶ interactions; the pile
+/// cascade makes deeper milestones `Θ(n·4^g)`-expensive, e.g. ≈ 4·10⁸ for
+/// `n/8` — measured, and far past a unit-test budget).
+#[test]
+fn election_dispersal_agrees_sequential_vs_hybrid_at_n_10_000() {
+    let n = 10_000usize;
+    let k = 4usize;
+    let samples = 8usize;
+    let check = 4 * n as u64;
+    let sequential: Vec<f64> = (0..samples)
+        .map(|t| {
+            election_dispersal_time(
+                Engine::Sequential,
+                n,
+                k,
+                n / 64,
+                check,
+                derive_seed(0xA11, t as u64),
+            ) as f64
+        })
+        .collect();
+    let hybrid: Vec<f64> = (0..samples)
+        .map(|t| {
+            election_dispersal_time(
+                Engine::Hybrid,
+                n,
+                k,
+                n / 64,
+                check,
+                derive_seed(0xB22, t as u64),
+            ) as f64
+        })
+        .collect();
+    let ratio = mean(&hybrid) / mean(&sequential);
+    assert!(
+        (0.8..1.25).contains(&ratio),
+        "mean dispersal diverges at n = 10⁴: hybrid {:.0} vs sequential {:.0}",
+        mean(&hybrid),
+        mean(&sequential)
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(8))]
+
+    /// Herman mean thinning times agree between the batched and sequential
+    /// engines for random populations and seed streams.
+    #[test]
+    fn herman_thinning_means_agree(n in 500usize..1500, master in any::<u64>()) {
+        let trials = 10u64;
+        let batched: Vec<f64> = (0..trials)
+            .map(|t| herman_thinning_time(Engine::Batched, n, derive_seed(master, t)) as f64)
+            .collect();
+        let sequential: Vec<f64> = (0..trials)
+            .map(|t| herman_thinning_time(Engine::Sequential, n, derive_seed(master, 1000 + t)) as f64)
+            .collect();
+        let ratio = mean(&batched) / mean(&sequential);
+        prop_assert!(
+            (0.7..1.43).contains(&ratio),
+            "herman mean thinning diverges at n = {}: batched {:.0} vs sequential {:.0}",
+            n, mean(&batched), mean(&sequential)
+        );
+    }
+
+    /// Coalescence mean survivors after 2n interactions agree between the
+    /// batched and sequential engines.
+    #[test]
+    fn coalescence_survivor_means_agree(n in 500usize..1500, master in any::<u64>()) {
+        let trials = 10u64;
+        let batched: Vec<f64> = (0..trials)
+            .map(|t| coalescence_alive_after_2n(Engine::Batched, n, derive_seed(master, t)) as f64)
+            .collect();
+        let sequential: Vec<f64> = (0..trials)
+            .map(|t| coalescence_alive_after_2n(Engine::Sequential, n, derive_seed(master, 1000 + t)) as f64)
+            .collect();
+        let ratio = mean(&batched) / mean(&sequential);
+        prop_assert!(
+            (0.9..1.12).contains(&ratio),
+            "coalescence mean survivors diverge at n = {}: batched {:.1} vs sequential {:.1}",
+            n, mean(&batched), mean(&sequential)
+        );
+    }
+}

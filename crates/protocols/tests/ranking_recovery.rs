@@ -4,33 +4,24 @@
 //! on all four engines — and every engine's trajectory is a deterministic
 //! function of `(seed, plan)`.
 //!
-//! This is the end-to-end composition of the tentpole's three pillars:
+//! This is the end-to-end composition of the fault model's three pillars:
 //! [`InitStrategy::SeededArbitrary`] (adversarial initialization),
 //! [`FaultPlan`] (in-run state corruption, injected exactly per
-//! representation), and recovery probing through
-//! [`AdversarialRun::run_until`] / [`RecoveryRecord`] on the ported
-//! self-stabilizing protocol [`SelfStabRanking`].
+//! representation), and recovery probing through `AdversarialRun::run_until`
+//! on the ported self-stabilizing protocol [`SelfStabRanking`].  The
+//! engine/determinism battery itself lives in the shared template
+//! ([`common::assert_recovers_deterministically`]), which the other three
+//! self-stabilizing workloads (`recovery_suite.rs`) reuse.
 
+mod common;
+
+use common::RecoveryCase;
 use ppproto::SelfStabRanking;
-use ppsim::{
-    AdversarialRun, CorruptionTarget, Engine, FaultEvent, FaultKind, FaultPlan, InitStrategy,
-    RecoveryRecord,
-};
-
-const ALL_ENGINES: [Engine; 4] = [
-    Engine::Sequential,
-    Engine::Batched,
-    Engine::Sharded {
-        shards: 4,
-        threads: 1,
-    },
-    Engine::Hybrid,
-];
+use ppsim::{CorruptionTarget, FaultEvent, FaultKind, FaultPlan, InitStrategy};
 
 #[test]
 fn ranking_recovers_from_arbitrary_init_and_mid_run_corruption_on_every_engine() {
     let n = 48usize;
-    let protocol = SelfStabRanking::new(n);
     // Two transient faults: a pile-up (12 agents forced onto one rank, the
     // worst shape for the collision rule) and a uniform scribble across the
     // whole state space.
@@ -51,55 +42,20 @@ fn ranking_recovers_from_arbitrary_init_and_mid_run_corruption_on_every_engine()
         },
     ])
     .unwrap();
-
-    for engine in ALL_ENGINES {
-        let run_once = || -> (Vec<u64>, u64, Vec<RecoveryRecord>) {
-            let mut run = AdversarialRun::new(
-                engine,
-                protocol,
-                n,
-                1234,
-                InitStrategy::SeededArbitrary {
-                    states: 2 * n,
-                    seed: 77,
-                },
-                plan.clone(),
-            )
-            .unwrap();
-            let outcome = run
-                .run_until(
-                    |s| s.with_counts(|c| protocol.is_ranked(c)),
-                    512,
-                    400_000_000,
-                )
-                .unwrap();
-            assert!(
-                outcome.converged(),
-                "{engine:?} failed to reconverge: {outcome:?}"
-            );
-            assert_eq!(run.events_fired(), 2, "{engine:?} did not fire the plan");
-            assert!(
-                run.records().iter().all(|r| r.recovery_time().is_some()),
-                "{engine:?} left an open recovery record: {:?}",
-                run.records()
-            );
-            (
-                run.inner().counts(),
-                run.interactions(),
-                run.records().to_vec(),
-            )
-        };
-
-        let first = run_once();
-        let second = run_once();
-        assert_eq!(
-            first, second,
-            "{engine:?} trajectory is not a deterministic function of (seed, plan)"
-        );
-
-        // The final configuration is a legal ranking: every rank held by at
-        // most one agent, hence (pigeonhole, n ranks) exactly one.
-        assert!(protocol.is_ranked(&first.0));
-        assert_eq!(first.0.iter().sum::<u64>(), n as u64);
-    }
+    common::assert_recovers_deterministically(&RecoveryCase {
+        label: "ranking",
+        protocol: SelfStabRanking::new(n),
+        n,
+        seed: 1234,
+        init: InitStrategy::SeededArbitrary {
+            states: 2 * n,
+            seed: 77,
+        },
+        plan,
+        // A legal ranking: every rank held by at most one agent, hence
+        // (pigeonhole, n ranks) exactly one.
+        predicate: |p, c| p.is_ranked(c),
+        check_every: 512,
+        budget: 400_000_000,
+    });
 }

@@ -1,0 +1,133 @@
+//! ISSUE 8 satellite: adversarial-recovery acceptance for the three ported
+//! conformance protocols, through the same shared template as the ranking
+//! workload (`ranking_recovery.rs`) — seeded-arbitrary init plus mid-run
+//! corruption must reconverge deterministically on all four engines.
+
+mod common;
+
+use common::RecoveryCase;
+use ppproto::{HermanTokens, StochasticCoalescence, TradeoffElection};
+use ppsim::{CorruptionTarget, DenseProtocol, FaultEvent, FaultKind, FaultPlan, InitStrategy};
+
+/// Herman's token ring: an arbitrary four-state soup plus a token
+/// re-injection and a coin scribble still annihilates down to ≤ 1 token.
+#[test]
+fn herman_recovers_from_arbitrary_init_and_mid_run_corruption_on_every_engine() {
+    let n = 96usize;
+    let nn = (n as u64) * (n as u64);
+    let plan = FaultPlan::new(vec![
+        FaultEvent {
+            at: nn / 2,
+            kind: FaultKind::Corrupt {
+                agents: 24,
+                target: CorruptionTarget::State(2), // fresh (token, tails) agents
+            },
+        },
+        FaultEvent {
+            at: nn,
+            kind: FaultKind::Corrupt {
+                agents: 12,
+                target: CorruptionTarget::Uniform { states: 4 },
+            },
+        },
+    ])
+    .unwrap();
+    common::assert_recovers_deterministically(&RecoveryCase {
+        label: "herman",
+        protocol: HermanTokens::new(),
+        n,
+        seed: 4321,
+        init: InitStrategy::SeededArbitrary {
+            states: 4,
+            seed: 11,
+        },
+        plan,
+        predicate: |p, c| p.is_stable(c),
+        check_every: 512,
+        budget: 40 * nn,
+    });
+}
+
+/// Stochastic coalescence: an arbitrary cluster soup plus a singleton
+/// resurrection wave still coalesces to at most one cluster.
+#[test]
+fn coalescence_recovers_from_arbitrary_init_and_mid_run_corruption_on_every_engine() {
+    let n = 48usize;
+    let nn = (n as u64) * (n as u64);
+    let protocol = StochasticCoalescence::new(n);
+    let plan = FaultPlan::new(vec![
+        FaultEvent {
+            at: 4 * nn,
+            kind: FaultKind::Corrupt {
+                agents: 12,
+                target: CorruptionTarget::State(2), // resurrect singletons
+            },
+        },
+        FaultEvent {
+            at: 8 * nn,
+            kind: FaultKind::Corrupt {
+                agents: 6,
+                target: CorruptionTarget::Uniform { states: 64 },
+            },
+        },
+    ])
+    .unwrap();
+    common::assert_recovers_deterministically(&RecoveryCase {
+        label: "coalescence",
+        n,
+        seed: 5678,
+        init: InitStrategy::SeededArbitrary {
+            states: protocol.num_states(),
+            seed: 23,
+        },
+        protocol,
+        plan,
+        predicate: |p, c| p.is_coalesced(c),
+        check_every: 512,
+        budget: 200 * nn,
+    });
+}
+
+/// Trade-off leader election: an arbitrary `(rank, tag)` soup plus a
+/// mid-run pile-up still disperses to one agent per occupied rank with a
+/// unique leader.
+#[test]
+fn election_recovers_from_arbitrary_init_and_mid_run_corruption_on_every_engine() {
+    let n = 48usize;
+    let k = 4usize;
+    let nn = (n as u64) * (n as u64);
+    let protocol = TradeoffElection::new(n, k);
+    let plan = FaultPlan::new(vec![
+        FaultEvent {
+            at: 8 * nn,
+            kind: FaultKind::Corrupt {
+                agents: 12,
+                target: CorruptionTarget::State(7 * k), // pile onto rank 7
+            },
+        },
+        FaultEvent {
+            at: 16 * nn,
+            kind: FaultKind::Corrupt {
+                agents: 6,
+                target: CorruptionTarget::Uniform {
+                    states: protocol.num_states(),
+                },
+            },
+        },
+    ])
+    .unwrap();
+    common::assert_recovers_deterministically(&RecoveryCase {
+        label: "election",
+        n,
+        seed: 8765,
+        init: InitStrategy::SeededArbitrary {
+            states: protocol.num_states(),
+            seed: 31,
+        },
+        protocol,
+        plan,
+        predicate: |p, c| p.is_stable(c),
+        check_every: 512,
+        budget: 2000 * nn,
+    });
+}

@@ -1,0 +1,31 @@
+//! ISSUE 8 tentpole gate: the standard conformance matrix — every ported
+//! protocol × engine × init × fault plan — must pass its full per-cell
+//! invariant battery (convergence within the bound, population and
+//! conserved-quantity laws, closed recovery records, determinism, and a
+//! mid-cell checkpoint round-trip).
+//!
+//! This is the debug-tier run ([`MatrixConfig::test_tier`], `n_big = 10³`);
+//! CI's `scenario-matrix` job runs the same 38 cells at the release quick
+//! tier (`n_big = 10⁴`) through `experiments --scenario-matrix`.
+
+use ppproto::scenarios::{standard_matrix, MatrixConfig};
+use ppsim::conformance::run_matrix;
+
+#[test]
+fn the_standard_matrix_passes_on_every_engine() {
+    let cells = standard_matrix(&MatrixConfig::test_tier());
+    assert!(cells.len() >= 36, "matrix shrank to {} cells", cells.len());
+    let summary = run_matrix(&cells, |cell| {
+        println!(
+            "{:<32} {:<10} {}",
+            cell.scenario,
+            cell.engine,
+            if cell.passed() { "pass" } else { "FAIL" }
+        );
+    });
+    assert!(
+        summary.passed(),
+        "conformance matrix failures:\n{}",
+        summary.markdown()
+    );
+}

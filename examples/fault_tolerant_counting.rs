@@ -93,6 +93,9 @@ fn main() -> Result<(), ppsim::SimError> {
         steps: 8,
         move_fraction: 0.25,
         seed: 1234,
+        // Maximin objective: the worst init must be slow on two independent
+        // schedules, not a fluke of one.
+        eval_seeds: 2,
     };
     let report = search.run(Engine::Batched, &protocol, n, ranked, check, cap)?;
     let occupied = report.configuration.iter().filter(|&&c| c > 0).count();
