@@ -157,6 +157,7 @@ impl Effort {
 
 /// An experiment identifier together with its generated report table.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct ExperimentReport {
     /// Experiment id, e.g. `"E01"`.
     pub id: &'static str,
@@ -184,7 +185,6 @@ fn summarise_ratio(rows: &mut Table, results: &[Vec<TrialResult>], reference: fn
 }
 
 /// E01 — Lemma 3: one-way epidemics complete within `O(n log n)` interactions.
-#[must_use]
 pub fn e01_broadcast(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[256, 1024, 4096], &[256, 1024, 4096, 16384, 65536]);
     let trials = effort.trials(5, 10);
@@ -224,7 +224,6 @@ pub fn e01_broadcast(effort: Effort) -> ExperimentReport {
 }
 
 /// E02 — Lemma 4: junta levels and junta size.
-#[must_use]
 pub fn e02_junta(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[512, 2048, 8192], &[512, 2048, 8192, 32768, 131072]);
     let trials = effort.trials(5, 10);
@@ -284,7 +283,6 @@ pub fn e02_junta(effort: Effort) -> ExperimentReport {
 }
 
 /// E03 — Lemma 5: phase lengths of the junta-driven phase clock.
-#[must_use]
 pub fn e03_phase_clock(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[512, 2048], &[512, 2048, 8192, 32768]);
     let trials = effort.trials(3, 8);
@@ -335,7 +333,6 @@ pub fn e03_phase_clock(effort: Effort) -> ExperimentReport {
 }
 
 /// E04 — Lemma 6: leader election of \[18\].
-#[must_use]
 pub fn e04_leader_election(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[256, 1024], &[256, 1024, 4096, 16384]);
     let trials = effort.trials(3, 8);
@@ -376,7 +373,6 @@ pub fn e04_leader_election(effort: Effort) -> ExperimentReport {
 }
 
 /// E05 — Lemma 7: `FastLeaderElection`.
-#[must_use]
 pub fn e05_fast_leader_election(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[256, 1024], &[256, 1024, 4096, 16384, 65536]);
     let trials = effort.trials(3, 8);
@@ -423,7 +419,6 @@ pub fn e05_fast_leader_election(effort: Effort) -> ExperimentReport {
 }
 
 /// E06 — Lemma 8: powers-of-two load balancing.
-#[must_use]
 pub fn e06_load_balancing(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[1024, 4096], &[1024, 4096, 16384, 65536]);
     let trials = effort.trials(5, 10);
@@ -472,7 +467,6 @@ fn run_approximate(n: usize, seed: u64) -> (bool, u64, Option<i32>) {
 }
 
 /// E07 — Lemma 9: the Search Protocol stops with `3n/4 < 2^k ≤ 2^⌈log n⌉`.
-#[must_use]
 pub fn e07_search(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[200, 500, 1000], &[200, 500, 1000, 2000, 5000]);
     let trials = effort.trials(3, 8);
@@ -521,7 +515,6 @@ pub fn e07_search(effort: Effort) -> ExperimentReport {
 }
 
 /// E08 — Theorem 1.1: protocol `Approximate`.
-#[must_use]
 pub fn e08_approximate(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[200, 500, 1000], &[200, 500, 1000, 2000, 5000, 10000]);
     let trials = effort.trials(3, 8);
@@ -570,7 +563,6 @@ fn run_count_exact(n: usize, seed: u64) -> (bool, u64, Option<i64>, Option<u64>)
 }
 
 /// E09 — Lemma 10: the approximation stage computes `log₂ n ± 3`.
-#[must_use]
 pub fn e09_approx_stage(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[300, 1000], &[300, 1000, 3000, 10000]);
     let trials = effort.trials(3, 8);
@@ -609,7 +601,6 @@ pub fn e09_approx_stage(effort: Effort) -> ExperimentReport {
 
 /// E10/E11 — Lemma 11 and Theorem 2: `CountExact` outputs exactly `n` within
 /// `O(n log n)` interactions.
-#[must_use]
 pub fn e11_count_exact(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[300, 1000], &[300, 1000, 3000, 10000, 30000]);
     let trials = effort.trials(3, 8);
@@ -643,7 +634,6 @@ pub fn e11_count_exact(effort: Effort) -> ExperimentReport {
 }
 
 /// E12 — Lemmas 12/13: the backup protocols.
-#[must_use]
 pub fn e12_backup(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[64, 128, 256], &[64, 128, 256, 512, 1024]);
     let trials = effort.trials(3, 8);
@@ -707,7 +697,6 @@ pub fn e12_backup(effort: Effort) -> ExperimentReport {
 }
 
 /// E13 — baseline comparison: the `Θ(n²)` token-merging counter versus `CountExact`.
-#[must_use]
 pub fn e13_baseline_comparison(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[128, 256, 512], &[128, 256, 512, 1024, 2048]);
     let trials = effort.trials(3, 6);
@@ -769,7 +758,6 @@ pub fn e13_baseline_comparison(effort: Effort) -> ExperimentReport {
 }
 
 /// E14 — Theorem 1.2/1.3 and Appendix F: the stable variants.
-#[must_use]
 pub fn e14_stable(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[200, 400], &[200, 400, 800, 1600]);
     let trials = effort.trials(3, 6);
@@ -829,7 +817,6 @@ pub fn e14_stable(effort: Effort) -> ExperimentReport {
 }
 
 /// E15 — state-space accounting (Figures 1–3): distinct states used per protocol.
-#[must_use]
 pub fn e15_state_space(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[200, 500], &[200, 500, 1000, 2000, 5000]);
     let trials = effort.trials(2, 4);
@@ -925,7 +912,6 @@ pub fn e15_state_space(effort: Effort) -> ExperimentReport {
 /// flat `median / (n log₂ n)` ratio persisting two to three orders of
 /// magnitude beyond the sequential experiments E01/E02 — the regime the
 /// related space–time-trade-off and coalescence reproductions need.
-#[must_use]
 pub fn e16_batched_scale(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(
         &[10_000, 100_000, 1_000_000],
@@ -1007,7 +993,6 @@ pub fn e16_batched_scale(effort: Effort) -> ExperimentReport {
 /// E17 — engine equivalence: the batched and sequential engines produce the
 /// same convergence-time distribution for the identical dense transition
 /// system.
-#[must_use]
 pub fn e17_engine_equivalence(effort: Effort) -> ExperimentReport {
     let sizes = effort.sizes(&[512, 2048], &[512, 2048, 8192]);
     let trials = effort.trials(8, 20);
@@ -1086,7 +1071,6 @@ pub fn e17_engine_equivalence(effort: Effort) -> ExperimentReport {
 /// configuration.  Trials run serially ([`sweep_with_threads`] with one
 /// trial-level worker): the sharded engine brings its own threads, and
 /// nesting the two parallelism levels would corrupt the wall-clock column.
-#[must_use]
 pub fn e18_sharded_scale(effort: Effort) -> ExperimentReport {
     use std::time::Instant;
 
@@ -1199,7 +1183,6 @@ pub fn e18_sharded_scale(effort: Effort) -> ExperimentReport {
 /// Trials run serially: a single dense trial at `n = 10⁶` is minutes of
 /// wall-clock (see the README's reproducing table), and the sharded engine
 /// brings its own worker threads.
-#[must_use]
 pub fn e19_dense_counting(effort: Effort) -> ExperimentReport {
     use std::time::Instant;
 
@@ -1408,7 +1391,6 @@ pub fn e19_dense_counting(effort: Effort) -> ExperimentReport {
 /// starts, the pinned policy at the stage boundary.  Trials run serially
 /// ([`sweep_with_threads`] with one worker): the hybrid engine brings its
 /// own representation churn and the wall-clocks are the measurement.
-#[must_use]
 pub fn e20_hybrid_counting(effort: Effort) -> ExperimentReport {
     use std::sync::Mutex;
     use std::time::Instant;
@@ -1675,7 +1657,6 @@ pub fn e20_hybrid_counting(effort: Effort) -> ExperimentReport {
 /// Recovery time is [`ppsim::RecoveryRecord::recovery_time`]: logical
 /// interactions from the injection to the first convergence check that
 /// holds.
-#[must_use]
 pub fn e21_adversarial_recovery(effort: Effort) -> ExperimentReport {
     let epidemic_sizes = effort.sizes(&[1_000, 10_000], &[10_000, 100_000]);
     let ranking_sizes = effort.sizes(&[48], &[64, 128]);

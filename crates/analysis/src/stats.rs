@@ -2,6 +2,7 @@
 
 /// Summary statistics of a sample (mean, median, min, max, standard deviation).
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct Summary {
     /// Number of samples.
     pub count: usize,
@@ -23,7 +24,6 @@ impl Summary {
     /// # Panics
     ///
     /// Panics if `values` is empty.
-    #[must_use]
     pub fn of(values: &[f64]) -> Self {
         assert!(!values.is_empty(), "cannot summarise an empty sample");
         let count = values.len();
@@ -55,7 +55,6 @@ impl Summary {
     /// # Panics
     ///
     /// Panics if `values` is empty.
-    #[must_use]
     pub fn of_u64(values: &[u64]) -> Self {
         let floats: Vec<f64> = values.iter().map(|&v| v as f64).collect();
         Self::of(&floats)

@@ -297,8 +297,7 @@ fn parse_size(raw: &str) -> usize {
 fn flag_value<'a>(args: &'a [String], flag: &str) -> Option<&'a str> {
     args.iter().position(|a| a == flag).map(|i| {
         args.get(i + 1)
-            .map(String::as_str)
-            .unwrap_or_else(|| panic!("{flag} needs a value"))
+            .map_or_else(|| panic!("{flag} needs a value"), String::as_str)
     })
 }
 
@@ -325,32 +324,33 @@ fn main() {
     let trials_override: Option<usize> =
         flag_value(&args, "--trials").map(|v| v.parse().expect("--trials"));
 
-    let engines: Vec<Engine> = flag_value(&args, "--engines")
-        .map(|list| {
-            list.split(',')
-                .map(|name| match name.trim() {
-                    "sequential" => Engine::Sequential,
-                    "batched" => Engine::Batched,
-                    "sharded" => Engine::Sharded { shards, threads },
-                    "hybrid" => Engine::Hybrid,
-                    "auto" => Engine::Auto,
-                    other => {
-                        panic!("unknown engine `{other}` (sequential|batched|sharded|hybrid|auto)")
-                    }
-                })
-                .collect()
-        })
-        .unwrap_or_else(|| vec![Engine::Batched, Engine::Sequential]);
+    let engines: Vec<Engine> = match flag_value(&args, "--engines") {
+        None => vec![Engine::Batched, Engine::Sequential],
+        Some(list) => list
+            .split(',')
+            .map(|name| match name.trim() {
+                "sequential" => Engine::Sequential,
+                "batched" => Engine::Batched,
+                "sharded" => Engine::Sharded { shards, threads },
+                "hybrid" => Engine::Hybrid,
+                "auto" => Engine::Auto,
+                other => {
+                    panic!("unknown engine `{other}` (sequential|batched|sharded|hybrid|auto)")
+                }
+            })
+            .collect(),
+    };
 
-    let sizes: Vec<usize> = flag_value(&args, "--sizes")
-        .map(|list| list.split(',').map(parse_size).collect())
-        .unwrap_or_else(|| {
+    let sizes: Vec<usize> = match flag_value(&args, "--sizes") {
+        Some(list) => list.split(',').map(parse_size).collect(),
+        None => {
             if full {
                 vec![1_000, 10_000, 100_000, 1_000_000, 10_000_000]
             } else {
                 vec![1_000, 10_000, 100_000, 1_000_000]
             }
-        });
+        }
+    };
 
     let workload = flag_value(&args, "--workload").map_or(Workload::Epidemic, Workload::parse);
     assert!(

@@ -74,9 +74,7 @@ fn main() {
             .find(|(a, _)| a.stage.apx_done)
             .map(|(a, _)| a.stage.k);
         let leader = occupied.iter().find(|(a, _)| a.is_leader());
-        let (li, ll) = leader
-            .map(|(a, _)| (a.stage.explosions(), a.stage.l))
-            .unwrap_or((0, 0));
+        let (li, ll) = leader.map_or((0, 0), |(a, _)| (a.stage.explosions(), a.stage.l));
         let total_l: u128 = occupied
             .iter()
             .map(|(a, c)| u128::from(a.stage.l) * u128::from(*c))

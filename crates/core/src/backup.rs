@@ -348,6 +348,59 @@ impl ppsim::DenseProtocol for DenseApproximateBackup {
         "dense-approximate-backup"
     }
 
+    fn invariants(&self) -> ppsim::ProtocolInvariants {
+        let p = *self;
+        ppsim::ProtocolInvariants {
+            // The merged bag holds exactly the tokens of its two halves, so
+            // the total token mass `Σ 2^k` over non-empty agents is exact —
+            // except at the encoding cap `k = K`, where a merge clamps and
+            // sheds tokens.  Only the non-increasing law holds on *every*
+            // index pair, which is what ppcheck verifies exhaustively.
+            conserved: vec![ppsim::ConservedQuantity {
+                name: "tokens",
+                law: ppsim::ConservationLaw::NonIncreasing,
+                value: std::sync::Arc::new(move |c: &[u64]| {
+                    c.iter()
+                        .enumerate()
+                        .map(|(s, &n)| {
+                            u32::try_from(p.decode(s).k).map_or(0, |k| {
+                                n.saturating_mul(1u64.checked_shl(k).unwrap_or(u64::MAX))
+                            })
+                        })
+                        .fold(0u64, u64::saturating_add)
+                }),
+            }],
+            // The initiator takes the merged bag; the responder empties.
+            role_symmetric: Some(false),
+        }
+    }
+
+    fn legitimate(&self, counts: &[u64]) -> Option<bool> {
+        // Silent configurations: every exponent `k ≥ 0` is held by at most
+        // one agent (no merge can fire) and all agents already agree on a
+        // `k_max` that dominates every held exponent (no update spreads).
+        let mut holders = vec![0u64; usize::try_from(self.max_k + 2).unwrap_or(0)];
+        let mut k_max: Option<i32> = None;
+        let mut top_held = -1i32;
+        for (s, &n) in counts.iter().enumerate() {
+            if n == 0 {
+                continue;
+            }
+            let st = self.decode(s);
+            if let Ok(slot) = usize::try_from(st.k + 1) {
+                holders[slot] += n;
+            }
+            top_held = top_held.max(st.k);
+            match k_max {
+                None => k_max = Some(st.k_max),
+                Some(m) if m != st.k_max => return Some(false),
+                Some(_) => {}
+            }
+        }
+        let no_merges = holders.iter().skip(1).all(|&h| h <= 1);
+        Some(no_merges && k_max.is_none_or(|m| m >= top_held))
+    }
+
     fn agent_stint(&self, counts: &[u64], seed: u64) -> Option<ppsim::stint::BoxedAgentStint<i32>> {
         Some(ppsim::stint::DecodedStint::boxed(*self, counts, seed))
     }

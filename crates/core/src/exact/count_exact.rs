@@ -495,6 +495,18 @@ impl DenseProtocol for DenseCountExact {
         "dense-count-exact"
     }
 
+    fn invariants(&self) -> ppsim::ProtocolInvariants {
+        ppsim::ProtocolInvariants {
+            // Interned indices carry no fixed meaning across instances, so
+            // no count-indexed quantity is declarable; the structure lives
+            // in the composed stages and is exercised dynamically.
+            conserved: Vec::new(),
+            // The initiator consumes its firstTick flag and drives the
+            // token split, so δ is role-asymmetric.
+            role_symmetric: Some(false),
+        }
+    }
+
     fn dynamic(&self) -> bool {
         true
     }

@@ -59,6 +59,7 @@ pub const ENGINE_STAGED: u8 = ENGINE_COMPOSITE_BASE;
 
 /// Outcome of a staged (hybrid) dense `CountExact` run.
 #[derive(Debug, Clone, PartialEq)]
+#[must_use]
 pub struct StagedCountOutcome {
     /// Total interactions executed across the run.
     pub interactions: u64,
@@ -621,7 +622,8 @@ mod tests {
             path: path.clone(),
             every: 1,
         };
-        count_exact_dense_staged_checkpointed(
+        // Only the snapshot written as a side effect matters here.
+        let _ = count_exact_dense_staged_checkpointed(
             params,
             n,
             9,

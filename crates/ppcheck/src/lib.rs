@@ -1,0 +1,97 @@
+//! `ppcheck` — ahead-of-run static analysis for the population-protocol
+//! workspace.
+//!
+//! The crate has two layers, both run by the CI `static-analysis` job:
+//!
+//! 1. **Transition-system verification** ([`verify`]): every registered
+//!    [`DenseProtocol`](ppsim::DenseProtocol) is exhaustively checked at
+//!    small parameters against its own declarations — conservation laws
+//!    over every reachable ordered pair, legitimate-set closure (silent
+//!    stability), codec soundness (`encode ∘ decode` identity plus
+//!    native/δ bisimulation), reachability and dead-state census, and an
+//!    initiator/responder role-symmetry audit.  A violation prints a
+//!    minimal counterexample pair.
+//! 2. **Workspace source lint** ([`lint`]): project-specific rules the
+//!    compiler cannot express — no panicking `unwrap`/`expect` in engine
+//!    hot paths, no iteration-order-randomized `HashMap` in simulation
+//!    code, no bare narrowing casts in count arithmetic, `#[must_use]`
+//!    on result-carrying types — with a `// ppcheck: allow(<rule>)`
+//!    escape hatch.
+//!
+//! # Declaring invariants
+//!
+//! Protocols opt in by overriding
+//! [`DenseProtocol::invariants`](ppsim::DenseProtocol::invariants) and
+//! [`DenseProtocol::legitimate`](ppsim::DenseProtocol::legitimate); the
+//! verifier then proves the declarations over the reachable state space:
+//!
+//! ```
+//! use std::sync::Arc;
+//! use ppsim::{ConservationLaw, ConservedQuantity, DenseProtocol, ProtocolInvariants};
+//!
+//! /// Two tokens annihilate on meeting: token count never increases,
+//! /// and its parity is exactly conserved.
+//! #[derive(Clone, Copy)]
+//! struct Annihilator;
+//!
+//! impl DenseProtocol for Annihilator {
+//!     type Output = bool;
+//!     fn num_states(&self) -> usize { 2 }
+//!     fn initial_state(&self) -> usize { 1 }
+//!     fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+//!         if u == 1 && v == 1 { (0, 0) } else { (u, v) }
+//!     }
+//!     fn output(&self, s: usize) -> bool { s == 1 }
+//!     fn name(&self) -> &'static str { "annihilator" }
+//!
+//!     fn invariants(&self) -> ProtocolInvariants {
+//!         ProtocolInvariants {
+//!             conserved: vec![
+//!                 ConservedQuantity {
+//!                     name: "tokens",
+//!                     law: ConservationLaw::NonIncreasing,
+//!                     value: Arc::new(|c: &[u64]| c[1]),
+//!                 },
+//!                 ConservedQuantity {
+//!                     name: "token-parity",
+//!                     law: ConservationLaw::Exact,
+//!                     value: Arc::new(|c: &[u64]| c[1] % 2),
+//!                 },
+//!             ],
+//!             role_symmetric: Some(true),
+//!         }
+//!     }
+//!
+//!     /// Silent once no meeting can change anything: at most one token.
+//!     fn legitimate(&self, counts: &[u64]) -> Option<bool> {
+//!         Some(counts[1] <= 1)
+//!     }
+//! }
+//!
+//! let report = ppcheck::verify::verify_protocol(
+//!     &Annihilator,
+//!     &ppcheck::verify::VerifyOptions::default(),
+//! );
+//! assert!(report.passed(), "{:?}", report.failures);
+//! ```
+//!
+//! # Command line
+//!
+//! ```text
+//! ppcheck verify --all          # verify every registered protocol
+//! ppcheck verify herman-tokens  # verify by registry name
+//! ppcheck lint [ROOT]           # lint the workspace sources
+//! ```
+//!
+//! Both subcommands exit non-zero on any failure, which is what gates CI.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod lint;
+pub mod registry;
+pub mod verify;
+
+pub use lint::{lint_workspace, Finding, LintReport};
+pub use registry::{standard_registry, RegisteredProtocol};
+pub use verify::{verify_protocol, verify_with_codec, ProtocolReport, VerifyOptions};

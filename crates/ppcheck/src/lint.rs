@@ -1,0 +1,502 @@
+//! The workspace source-lint pass: project-specific rules the compiler
+//! and clippy cannot express, enforced over the first-party crates.
+//!
+//! Rules (scoped by path, see `rules_for` in this module):
+//!
+//! * `no-unwrap` — no `.unwrap()` / `.expect(` in engine hot paths
+//!   (`crates/ppsim/src`); engine code returns [`SimError`] instead of
+//!   panicking mid-run.  Test modules are exempt.
+//! * `hashmap-iter` — no `std::collections::HashMap` in simulation code
+//!   paths (`ppsim`, `protocols`, `core`): its iteration order is
+//!   randomized per process, which silently breaks deterministic replay.
+//!   Use `BTreeMap` or the dense index space.
+//! * `narrowing-cast` — no bare `as` narrowing casts on lines doing
+//!   count/mass arithmetic; use `try_from` with an explicit error or a
+//!   justified allow.
+//! * `must-use-outcome` — public result-carrying types (`*Outcome`,
+//!   `*Verdict`, `*Summary`, `*Report`) must be `#[must_use]` so callers
+//!   cannot silently drop a verdict.
+//!
+//! Any finding can be silenced with `// ppcheck: allow(<rule>)` on the
+//! same or the immediately preceding line; allows are expected to carry a
+//! justification comment.
+//!
+//! [`SimError`]: ppsim::SimError
+
+use std::fmt::Write as _;
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// A single lint violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Path relative to the lint root, `/`-separated.
+    pub file: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The rule identifier (what an allow comment must name).
+    pub rule: &'static str,
+    /// The offending source line, trimmed.
+    pub excerpt: String,
+}
+
+/// The outcome of one lint pass.
+#[derive(Debug, Clone, Default)]
+#[must_use]
+pub struct LintReport {
+    /// All violations, in path-then-line order.
+    pub findings: Vec<Finding>,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+impl LintReport {
+    /// Whether the tree is clean.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.findings.is_empty()
+    }
+
+    /// Render the report in the golden output format.
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let _ = writeln!(
+            out,
+            "ppcheck lint: {} file(s) scanned, {} finding(s)",
+            self.files_scanned,
+            self.findings.len()
+        );
+        for f in &self.findings {
+            let _ = writeln!(out, "{}:{}: [{}] {}", f.file, f.line, f.rule, f.excerpt);
+        }
+        out
+    }
+}
+
+/// Which rules apply to one file.
+#[derive(Debug, Clone, Copy, Default)]
+struct RuleSet {
+    no_unwrap: bool,
+    hashmap_iter: bool,
+    narrowing_cast: bool,
+    must_use_outcome: bool,
+}
+
+/// Path-based rule scoping, on `/`-separated paths relative to the root.
+fn rules_for(rel: &str) -> RuleSet {
+    let in_sim_crate = rel.starts_with("crates/ppsim/src/")
+        || rel.starts_with("crates/protocols/src/")
+        || rel.starts_with("crates/core/src/");
+    let first_party = in_sim_crate
+        || rel.starts_with("crates/analysis/src/")
+        || rel.starts_with("crates/ppcheck/src/")
+        || rel.starts_with("src/");
+    RuleSet {
+        no_unwrap: rel.starts_with("crates/ppsim/src/"),
+        hashmap_iter: in_sim_crate,
+        narrowing_cast: in_sim_crate,
+        must_use_outcome: first_party,
+    }
+}
+
+/// Blank out comments and string/char literals, preserving line structure,
+/// so the rules never fire on prose.  Returns the sanitized text.
+fn sanitize(source: &str) -> String {
+    #[derive(Clone, Copy, PartialEq)]
+    enum Mode {
+        Code,
+        LineComment,
+        BlockComment(u32),
+        Str,
+        RawStr(u32),
+    }
+    let bytes: Vec<char> = source.chars().collect();
+    let mut out = String::with_capacity(source.len());
+    let mut mode = Mode::Code;
+    let mut i = 0;
+    while i < bytes.len() {
+        let c = bytes[i];
+        let next = bytes.get(i + 1).copied();
+        match mode {
+            Mode::Code => match c {
+                '/' if next == Some('/') => {
+                    mode = Mode::LineComment;
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '/' if next == Some('*') => {
+                    mode = Mode::BlockComment(1);
+                    out.push_str("  ");
+                    i += 2;
+                }
+                '"' => {
+                    mode = Mode::Str;
+                    out.push('"');
+                    i += 1;
+                }
+                'r' if matches!(next, Some('"' | '#')) => {
+                    // Raw string: count the hashes after `r`.
+                    let mut hashes = 0;
+                    let mut j = i + 1;
+                    while bytes.get(j) == Some(&'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if bytes.get(j) == Some(&'"') {
+                        mode = Mode::RawStr(hashes);
+                        for _ in i..=j {
+                            out.push(' ');
+                        }
+                        i = j + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                '\'' => {
+                    // Char literal vs lifetime: a literal closes with a
+                    // quote one or two (escaped) chars later.
+                    let close = match next {
+                        Some('\\') => bytes.get(i + 3) == Some(&'\''),
+                        Some(_) => bytes.get(i + 2) == Some(&'\''),
+                        None => false,
+                    };
+                    if close {
+                        let end = if next == Some('\\') { i + 3 } else { i + 2 };
+                        for &b in &bytes[i..=end] {
+                            out.push(if b == '\n' { '\n' } else { ' ' });
+                        }
+                        i = end + 1;
+                    } else {
+                        out.push(c);
+                        i += 1;
+                    }
+                }
+                _ => {
+                    out.push(c);
+                    i += 1;
+                }
+            },
+            Mode::LineComment => {
+                if c == '\n' {
+                    mode = Mode::Code;
+                    out.push('\n');
+                } else {
+                    out.push(' ');
+                }
+                i += 1;
+            }
+            Mode::BlockComment(depth) => {
+                if c == '*' && next == Some('/') {
+                    mode = if depth == 1 {
+                        Mode::Code
+                    } else {
+                        Mode::BlockComment(depth - 1)
+                    };
+                    out.push_str("  ");
+                    i += 2;
+                } else if c == '/' && next == Some('*') {
+                    mode = Mode::BlockComment(depth + 1);
+                    out.push_str("  ");
+                    i += 2;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            Mode::Str => {
+                if c == '\\' {
+                    // Keep the newline of a line-continuation escape so
+                    // line numbers stay aligned with the raw source.
+                    out.push(' ');
+                    if let Some(n) = next {
+                        out.push(if n == '\n' { '\n' } else { ' ' });
+                    }
+                    i += 2;
+                } else if c == '"' {
+                    mode = Mode::Code;
+                    out.push('"');
+                    i += 1;
+                } else {
+                    out.push(if c == '\n' { '\n' } else { ' ' });
+                    i += 1;
+                }
+            }
+            Mode::RawStr(hashes) => {
+                if c == '"' {
+                    let mut j = i + 1;
+                    let mut seen = 0;
+                    while seen < hashes && bytes.get(j) == Some(&'#') {
+                        seen += 1;
+                        j += 1;
+                    }
+                    if seen == hashes {
+                        mode = Mode::Code;
+                        for _ in i..j {
+                            out.push(' ');
+                        }
+                        i = j;
+                        continue;
+                    }
+                }
+                out.push(if c == '\n' { '\n' } else { ' ' });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Compute, per line, whether it falls inside a `#[cfg(test)]` region.
+fn test_regions(sanitized_lines: &[&str]) -> Vec<bool> {
+    let mut in_test = vec![false; sanitized_lines.len()];
+    let mut depth: i64 = 0;
+    // Depths at which an open `#[cfg(test)]` item started.
+    let mut region_stack: Vec<i64> = Vec::new();
+    let mut pending_cfg_test = false;
+    for (idx, line) in sanitized_lines.iter().enumerate() {
+        if region_stack.is_empty() && line.contains("#[cfg(test)]") {
+            pending_cfg_test = true;
+        }
+        let opens = line.matches('{').count() as i64;
+        let closes = line.matches('}').count() as i64;
+        if pending_cfg_test && opens > 0 {
+            region_stack.push(depth);
+            pending_cfg_test = false;
+        }
+        let in_region = !region_stack.is_empty() || pending_cfg_test;
+        in_test[idx] = in_region;
+        depth += opens - closes;
+        while region_stack.last().is_some_and(|&d| depth <= d) {
+            region_stack.pop();
+        }
+    }
+    in_test
+}
+
+/// Whether `line` (or the preceding raw line) carries an allow marker for
+/// `rule`.
+fn allowed(raw_lines: &[&str], idx: usize, rule: &str) -> bool {
+    let marker = format!("ppcheck: allow({rule})");
+    raw_lines[idx].contains(&marker) || (idx > 0 && raw_lines[idx - 1].contains(&marker))
+}
+
+/// Whether `needle` occurs in `hay` followed by a non-identifier char.
+fn contains_token(hay: &str, needle: &str) -> bool {
+    let mut from = 0;
+    while let Some(pos) = hay[from..].find(needle) {
+        let end = from + pos + needle.len();
+        let boundary = hay[end..]
+            .chars()
+            .next()
+            .is_none_or(|c| !c.is_alphanumeric() && c != '_');
+        if boundary {
+            return true;
+        }
+        from = end;
+    }
+    false
+}
+
+const NARROWING_TARGETS: [&str; 6] = [
+    " as u8", " as u16", " as u32", " as i8", " as i16", " as i32",
+];
+const COUNT_CONTEXT: [&str; 8] = [
+    "count",
+    "counts",
+    "mass",
+    "total",
+    "population",
+    "agents",
+    "token",
+    "size",
+];
+const MUST_USE_SUFFIXES: [&str; 4] = ["Outcome", "Verdict", "Summary", "Report"];
+
+/// Lint one file's source; `rel` is its `/`-separated path from the root.
+fn lint_source(rel: &str, source: &str, findings: &mut Vec<Finding>) {
+    let rules = rules_for(rel);
+    if !(rules.no_unwrap || rules.hashmap_iter || rules.narrowing_cast || rules.must_use_outcome) {
+        return;
+    }
+    let sanitized = sanitize(source);
+    let raw_lines: Vec<&str> = source.lines().collect();
+    let clean_lines: Vec<&str> = sanitized.lines().collect();
+    let in_test = test_regions(&clean_lines);
+    let mut push = |idx: usize, rule: &'static str| {
+        if !allowed(&raw_lines, idx, rule) {
+            findings.push(Finding {
+                file: rel.to_string(),
+                line: idx + 1,
+                rule,
+                excerpt: raw_lines[idx].trim().to_string(),
+            });
+        }
+    };
+    for (idx, line) in clean_lines.iter().enumerate() {
+        if in_test[idx] {
+            continue;
+        }
+        if rules.no_unwrap && (line.contains(".unwrap()") || line.contains(".expect(")) {
+            push(idx, "no-unwrap");
+        }
+        if rules.hashmap_iter && line.contains("collections::HashMap") {
+            push(idx, "hashmap-iter");
+        }
+        if rules.narrowing_cast
+            && NARROWING_TARGETS.iter().any(|t| contains_token(line, t))
+            && COUNT_CONTEXT.iter().any(|w| {
+                line.to_ascii_lowercase()
+                    .split(|c: char| !c.is_alphanumeric() && c != '_')
+                    .any(|tok| tok.split('_').any(|part| part == *w))
+            })
+        {
+            push(idx, "narrowing-cast");
+        }
+        if rules.must_use_outcome {
+            if let Some(name) = declared_type_name(line) {
+                if MUST_USE_SUFFIXES.iter().any(|s| name.ends_with(s))
+                    && !has_must_use_above(&clean_lines, idx)
+                {
+                    push(idx, "must-use-outcome");
+                }
+            }
+        }
+    }
+}
+
+/// The name in a `pub struct X` / `pub enum X` declaration, if any.
+fn declared_type_name(line: &str) -> Option<&str> {
+    let trimmed = line.trim_start();
+    let rest = trimmed
+        .strip_prefix("pub struct ")
+        .or_else(|| trimmed.strip_prefix("pub enum "))?;
+    let end = rest
+        .find(|c: char| !c.is_alphanumeric() && c != '_')
+        .unwrap_or(rest.len());
+    Some(&rest[..end])
+}
+
+/// Scan upward over attributes and blank lines for `#[must_use]`.
+fn has_must_use_above(lines: &[&str], idx: usize) -> bool {
+    for line in lines[..idx].iter().rev() {
+        let t = line.trim();
+        if t.contains("#[must_use") {
+            return true;
+        }
+        if t.is_empty() || t.starts_with("#[") || t.starts_with("#!") {
+            continue;
+        }
+        return false;
+    }
+    false
+}
+
+/// Directories never descended into.
+const SKIP_DIRS: [&str; 6] = ["vendor", "target", ".git", "tests", "benches", "examples"];
+
+fn walk(dir: &Path, files: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<_> = fs::read_dir(dir)?.collect::<Result<_, _>>()?;
+    entries.sort_by_key(std::fs::DirEntry::path);
+    for entry in entries {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            if !SKIP_DIRS.contains(&name.as_ref()) {
+                walk(&path, files)?;
+            }
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Lint every first-party `.rs` file under `root`.
+pub fn lint_workspace(root: &Path) -> io::Result<LintReport> {
+    let mut files = Vec::new();
+    walk(root, &mut files)?;
+    let mut report = LintReport::default();
+    for path in files {
+        let rel: String = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let source = fs::read_to_string(&path)?;
+        report.files_scanned += 1;
+        lint_source(&rel, &source, &mut report.findings);
+    }
+    report
+        .findings
+        .sort_by(|a, b| a.file.cmp(&b.file).then(a.line.cmp(&b.line)));
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sanitize_blanks_comments_and_strings() {
+        let src = "let x = \".unwrap()\"; // .expect(\nlet y = 1;";
+        let clean = sanitize(src);
+        assert!(!clean.contains(".unwrap()"));
+        assert!(!clean.contains(".expect("));
+        assert!(clean.contains("let y = 1;"));
+    }
+
+    #[test]
+    fn sanitize_keeps_lifetimes_and_blanks_char_literals() {
+        let clean = sanitize("fn f<'a>(x: &'a str) { let c = '{'; }");
+        assert!(clean.contains("fn f<'a>(x: &'a str)"));
+        assert_eq!(clean.matches('{').count(), 1, "literal brace blanked");
+    }
+
+    #[test]
+    fn unwrap_in_engine_path_is_flagged_but_tests_are_exempt() {
+        let src =
+            "fn hot() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\n";
+        let mut findings = Vec::new();
+        lint_source("crates/ppsim/src/engine.rs", src, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[0].rule, "no-unwrap");
+    }
+
+    #[test]
+    fn an_allow_marker_on_the_preceding_line_silences_the_rule() {
+        let src = "// justified: poisoning is unrecoverable\n// ppcheck: allow(no-unwrap)\nfn hot() { x.unwrap(); }\n";
+        let mut findings = Vec::new();
+        lint_source("crates/ppsim/src/engine.rs", src, &mut findings);
+        assert!(findings.is_empty(), "{findings:?}");
+    }
+
+    #[test]
+    fn narrowing_casts_need_count_context_to_fire() {
+        let mut findings = Vec::new();
+        lint_source(
+            "crates/ppsim/src/batched.rs",
+            "let a = total_count as u32;\nlet b = color as u32;\n",
+            &mut findings,
+        );
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].line, 1);
+        assert_eq!(findings[0].rule, "narrowing-cast");
+    }
+
+    #[test]
+    fn outcome_types_must_be_must_use() {
+        let src = "#[derive(Debug)]\npub struct RunOutcome { x: u32 }\n\n#[must_use]\npub struct GoodReport;\n";
+        let mut findings = Vec::new();
+        lint_source("crates/ppsim/src/convergence.rs", src, &mut findings);
+        assert_eq!(findings.len(), 1);
+        assert_eq!(findings[0].rule, "must-use-outcome");
+        assert_eq!(findings[0].line, 2);
+    }
+}

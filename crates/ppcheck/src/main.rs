@@ -1,0 +1,86 @@
+//! The `ppcheck` binary: `verify` runs the transition-system battery over
+//! the registry, `lint` runs the workspace source rules.  Non-zero exit
+//! on any failure; the rendered reports are the CI artifact.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use ppcheck::{lint_workspace, standard_registry};
+
+const USAGE: &str = "usage:\n  ppcheck verify --all\n  ppcheck verify <name>...\n  ppcheck lint [ROOT]\n  ppcheck list";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("verify") => verify(&args[1..]),
+        Some("lint") => lint(args.get(1).map(PathBuf::from)),
+        Some("list") => {
+            for entry in standard_registry() {
+                println!("{}", entry.name());
+            }
+            ExitCode::SUCCESS
+        }
+        _ => {
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+fn verify(selectors: &[String]) -> ExitCode {
+    let registry = standard_registry();
+    let all = selectors.iter().any(|s| s == "--all") || selectors.is_empty();
+    let selected: Vec<_> = if all {
+        registry.iter().collect()
+    } else {
+        let mut picked = Vec::new();
+        for name in selectors {
+            match registry.iter().find(|e| e.name() == name) {
+                Some(entry) => picked.push(entry),
+                None => {
+                    eprintln!("ppcheck: unknown protocol `{name}` (try `ppcheck list`)");
+                    return ExitCode::from(2);
+                }
+            }
+        }
+        picked
+    };
+    let mut failures = 0usize;
+    for entry in &selected {
+        let report = entry.run();
+        print!("{}", report.render());
+        if !report.passed() {
+            failures += 1;
+        }
+    }
+    println!(
+        "ppcheck verify: {} protocol(s), {} failure(s)",
+        selected.len(),
+        failures
+    );
+    if failures == 0 {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn lint(root: Option<PathBuf>) -> ExitCode {
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+    match lint_workspace(&root) {
+        Ok(report) => {
+            print!("{}", report.render());
+            if report.passed() {
+                ExitCode::SUCCESS
+            } else {
+                ExitCode::FAILURE
+            }
+        }
+        Err(err) => {
+            eprintln!("ppcheck lint: cannot walk {}: {err}", root.display());
+            ExitCode::from(2)
+        }
+    }
+}

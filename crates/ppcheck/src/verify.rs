@@ -1,0 +1,622 @@
+//! The transition-system verifier: exhaustive ahead-of-run checks of a
+//! [`DenseProtocol`]'s declared structural invariants.
+//!
+//! Where the scenario matrix ([`ppsim::conformance`]) *probes* invariants
+//! along sampled trajectories, this module *proves* them over the whole
+//! reachable transition system at small parameters:
+//!
+//! * **Reachability** — breadth-first closure of the state space under
+//!   `δ` from the common initial state, pairing every discovered state
+//!   with every other (both roles) exactly as the population model allows.
+//! * **Conservation** — every [`ConservedQuantity`] declared by
+//!   [`DenseProtocol::invariants`] is checked on *every* reachable ordered
+//!   pair: for an additive quantity, the change under `δ(u, v)` in any
+//!   configuration equals its change on the synthetic two-agent
+//!   configuration (see [`ppsim::conformance::pair_quantity`]), so the
+//!   per-pair check covers all configurations at once.
+//! * **Legitimate-set closure** — every configuration of a small
+//!   population that [`DenseProtocol::legitimate`] accepts must stay
+//!   accepted under every single interaction (silent stability).
+//! * **Codec soundness** — for protocols carrying an [`AgentCodec`]:
+//!   `encode ∘ decode` is the identity over the reachable index space and
+//!   the native `interact` bisimulates the dense `δ` on every reachable
+//!   pair, superseding the sampled property tests.
+//! * **Role-symmetry audit** — the measured initiator/responder symmetry
+//!   of `δ` is compared against the declared expectation.
+//!
+//! Violations are reported with a **minimal counterexample pair**: checks
+//! run in lexicographic index order, so the first failure is the smallest.
+
+use std::fmt::Write as _;
+
+use ppsim::conformance::{ConservationLaw, ConservedQuantity};
+use ppsim::stint::AgentCodec;
+use ppsim::{DenseProtocol, Protocol};
+
+/// Knobs of one verification run; all checks are exhaustive within these
+/// explicit budgets, and every budget that bites is reported as a note.
+#[derive(Debug, Clone)]
+pub struct VerifyOptions {
+    /// Cap on the breadth-first reachable-state closure.  Protocols whose
+    /// reachable space exceeds the cap (the interned compositions, whose
+    /// absolute phase counters grow without bound) are verified over the
+    /// first `max_reachable` states and flagged as truncated.
+    pub max_reachable: usize,
+    /// Population size for the legitimate-set closure enumeration.
+    pub closure_population: usize,
+    /// Skip the closure enumeration (with a note) when the number of
+    /// configurations `C(n + m - 1, n)` exceeds this bound.
+    pub max_closure_configs: u128,
+    /// Extra seed states for the reachability closure, for protocols
+    /// whose runs start from heterogeneous configurations (an epidemic
+    /// needs an informed source agent).  The common
+    /// [`DenseProtocol::initial_state`] is always seeded.
+    pub seed_states: Vec<usize>,
+}
+
+impl Default for VerifyOptions {
+    fn default() -> Self {
+        VerifyOptions {
+            max_reachable: 4096,
+            closure_population: 4,
+            max_closure_configs: 250_000,
+            seed_states: Vec::new(),
+        }
+    }
+}
+
+/// The outcome of verifying one protocol.
+#[derive(Debug, Clone)]
+#[must_use]
+pub struct ProtocolReport {
+    /// The protocol's [`DenseProtocol::name`].
+    pub protocol: String,
+    /// Reachable states discovered (≤ the truncation cap).
+    pub reachable: usize,
+    /// The declared index-space size ([`DenseProtocol::num_states`]);
+    /// a capacity, not a census, for dynamic protocols.
+    pub capacity: usize,
+    /// Whether the reachability closure hit [`VerifyOptions::max_reachable`].
+    pub truncated: bool,
+    /// Ordered `δ` pairs evaluated by the exhaustive pass.
+    pub pairs_checked: u64,
+    /// Indices below `capacity` never reached (static protocols only;
+    /// `None` for dynamic protocols, whose capacity is not a census).
+    pub dead_states: Option<usize>,
+    /// Reachable ordered pairs on which `δ(u, v) ≠ swap(δ(v, u))`.
+    pub asymmetric_pairs: u64,
+    /// Legitimate configurations enumerated by the closure check
+    /// (`None` if the protocol declares no legitimate set or the
+    /// enumeration was skipped).
+    pub closure_configs: Option<u64>,
+    /// Indices covered by the codec identity check (`None` when the
+    /// protocol carries no codec).
+    pub codec_indices: Option<usize>,
+    /// Non-fatal observations (truncation, skipped checks, census).
+    pub notes: Vec<String>,
+    /// Invariant violations; empty means the protocol passed.
+    pub failures: Vec<String>,
+}
+
+impl ProtocolReport {
+    /// Whether every check passed.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.failures.is_empty()
+    }
+
+    /// Render the report as indented text lines (the CI artifact format).
+    #[must_use]
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let verdict = if self.passed() { "PASS" } else { "FAIL" };
+        let _ = writeln!(out, "{}: {}", self.protocol, verdict);
+        let _ = writeln!(
+            out,
+            "  reachable {} of {} indices{}, {} delta pairs checked",
+            self.reachable,
+            self.capacity,
+            if self.truncated { " (truncated)" } else { "" },
+            self.pairs_checked
+        );
+        if let Some(dead) = self.dead_states {
+            let _ = writeln!(out, "  dead states: {dead}");
+        }
+        let _ = writeln!(out, "  asymmetric pairs: {}", self.asymmetric_pairs);
+        if let Some(configs) = self.closure_configs {
+            let _ = writeln!(out, "  legitimate closure: {configs} configurations");
+        }
+        if let Some(indices) = self.codec_indices {
+            let _ = writeln!(out, "  codec identity over {indices} indices");
+        }
+        for note in &self.notes {
+            let _ = writeln!(out, "  note: {note}");
+        }
+        for failure in &self.failures {
+            let _ = writeln!(out, "  FAIL: {failure}");
+        }
+        out
+    }
+}
+
+/// Breadth-first closure of the reachable state set under `δ`.
+///
+/// Every unordered pair of distinct reachable states — and every state
+/// with itself — is evaluated in both role orders by the time the closure
+/// finishes: a state entering the frontier is paired with everything
+/// discovered so far, and later states pair back with it when they enter.
+fn reachable_closure<P: DenseProtocol>(
+    protocol: &P,
+    cap: usize,
+    seeds: &[usize],
+) -> (Vec<usize>, bool, u64) {
+    let capacity = protocol.num_states();
+    let mut member = vec![false; capacity];
+    let mut all = Vec::new();
+    for &s in std::iter::once(&protocol.initial_state()).chain(seeds) {
+        if s < capacity && !member[s] {
+            member[s] = true;
+            all.push(s);
+        }
+    }
+    let mut frontier = all.clone();
+    let mut pairs = 0u64;
+    let mut truncated = false;
+    'grow: while !frontier.is_empty() {
+        let mut next = Vec::new();
+        // Snapshot: `all` already contains the frontier itself.
+        let known = all.clone();
+        for &u in &frontier {
+            for &v in &known {
+                for (a, b) in [protocol.transition(u, v), protocol.transition(v, u)] {
+                    pairs += 1;
+                    for s in [a, b] {
+                        if s < member.len() && !member[s] {
+                            member[s] = true;
+                            all.push(s);
+                            next.push(s);
+                            if all.len() >= cap {
+                                truncated = true;
+                                break 'grow;
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        frontier = next;
+    }
+    all.sort_unstable();
+    (all, truncated, pairs)
+}
+
+/// `C(n + m - 1, n)`: the number of `n`-agent configurations over `m`
+/// states, saturating at `u128::MAX`.
+fn multiset_count(m: usize, n: usize) -> u128 {
+    let mut result: u128 = 1;
+    for i in 0..n {
+        let numerator = (m + i) as u128;
+        let denominator = (i + 1) as u128;
+        result = match result.checked_mul(numerator) {
+            Some(r) => r / denominator,
+            None => return u128::MAX,
+        };
+    }
+    result
+}
+
+/// Render a configuration as a sparse `{state: count}` multiset.
+fn render_config(counts: &[u64], states: &[usize]) -> String {
+    let mut out = String::from("{");
+    let mut first = true;
+    for &s in states {
+        if counts[s] > 0 {
+            if !first {
+                out.push_str(", ");
+            }
+            let _ = write!(out, "{}: {}", s, counts[s]);
+            first = false;
+        }
+    }
+    out.push('}');
+    out
+}
+
+/// Exhaustive per-pair conservation and role-symmetry pass, in
+/// lexicographic pair order so the first violation is minimal.
+fn check_pairs<P: DenseProtocol>(
+    protocol: &P,
+    states: &[usize],
+    conserved: &[ConservedQuantity],
+    report: &mut ProtocolReport,
+) {
+    let capacity = protocol.num_states();
+    let mut scratch = vec![0u64; if conserved.is_empty() { 0 } else { capacity }];
+    let mut conservation_hit = vec![false; conserved.len()];
+    let mut asymmetry_example: Option<String> = None;
+    for &u in states {
+        for &v in states {
+            let (a, b) = protocol.transition(u, v);
+            report.pairs_checked += 1;
+            // Role symmetry: δ(u, v) against the swapped image of δ(v, u).
+            let (c, d) = protocol.transition(v, u);
+            if (a, b) != (d, c) {
+                report.asymmetric_pairs += 1;
+                if asymmetry_example.is_none() {
+                    asymmetry_example = Some(format!(
+                        "δ({u}, {v}) = ({a}, {b}) but swap(δ({v}, {u})) = ({d}, {c})"
+                    ));
+                }
+            }
+            if conserved.is_empty() {
+                continue;
+            }
+            for (idx, q) in conserved.iter().enumerate() {
+                if conservation_hit[idx] {
+                    continue;
+                }
+                // The synthetic two-agent configuration {u, v} before and
+                // {a, b} after — sound for the additive quantities the
+                // invariant declaration demands.
+                scratch[u] += 1;
+                scratch[v] += 1;
+                let before = (q.value)(&scratch);
+                scratch[u] -= 1;
+                scratch[v] -= 1;
+                scratch[a] += 1;
+                scratch[b] += 1;
+                let after = (q.value)(&scratch);
+                scratch[a] -= 1;
+                scratch[b] -= 1;
+                let violated = match q.law {
+                    ConservationLaw::Exact => after != before,
+                    ConservationLaw::NonIncreasing => after > before,
+                };
+                if violated {
+                    conservation_hit[idx] = true;
+                    report.failures.push(format!(
+                        "conserved quantity `{}` ({:?}) violated: minimal counterexample \
+                         pair δ({u}, {v}) = ({a}, {b}) takes the value {before} -> {after}",
+                        q.name, q.law
+                    ));
+                }
+            }
+        }
+    }
+    if report.asymmetric_pairs > 0 {
+        if let Some(example) = asymmetry_example {
+            report
+                .notes
+                .push(format!("first asymmetric pair: {example}"));
+        }
+    }
+}
+
+/// Closure of the legitimate set: no single interaction may leave it.
+fn check_legitimate_closure<P: DenseProtocol>(
+    protocol: &P,
+    states: &[usize],
+    opts: &VerifyOptions,
+    report: &mut ProtocolReport,
+) {
+    let capacity = protocol.num_states();
+    let n = opts.closure_population;
+    // Probe the declaration on the all-initial configuration.
+    let mut counts = vec![0u64; capacity];
+    counts[protocol.initial_state()] = n as u64;
+    if protocol.legitimate(&counts).is_none() {
+        report
+            .notes
+            .push("no legitimate set declared; closure check skipped".to_string());
+        return;
+    }
+    counts[protocol.initial_state()] = 0;
+    let total = multiset_count(states.len(), n);
+    if total > opts.max_closure_configs {
+        report.notes.push(format!(
+            "legitimate closure skipped: {total} configurations of {n} agents over \
+             {} states exceed the budget of {}",
+            states.len(),
+            opts.max_closure_configs
+        ));
+        return;
+    }
+    let mut configs = 0u64;
+    let mut violated = false;
+    // Enumerate every n-agent multiset over the reachable states in
+    // lexicographic order, checking each legitimate one for closure.
+    enumerate_configs(protocol, states, 0, n, &mut counts, &mut |proto, counts| {
+        if violated {
+            return;
+        }
+        if proto.legitimate(counts) != Some(true) {
+            return;
+        }
+        configs += 1;
+        for &u in states {
+            if counts[u] == 0 {
+                continue;
+            }
+            for &v in states {
+                let both = if u == v {
+                    counts[u] >= 2
+                } else {
+                    counts[v] > 0
+                };
+                if !both {
+                    continue;
+                }
+                let (a, b) = proto.transition(u, v);
+                let before = render_config(counts, states);
+                counts[u] -= 1;
+                counts[v] -= 1;
+                counts[a] += 1;
+                counts[b] += 1;
+                let still = proto.legitimate(counts) == Some(true);
+                let after = if still {
+                    String::new()
+                } else {
+                    render_config(counts, states)
+                };
+                counts[a] -= 1;
+                counts[b] -= 1;
+                counts[u] += 1;
+                counts[v] += 1;
+                if !still {
+                    violated = true;
+                    report.failures.push(format!(
+                        "legitimate set not closed: minimal counterexample pair \
+                         δ({u}, {v}) = ({a}, {b}) maps legitimate {before} to \
+                         illegitimate {after}"
+                    ));
+                    return;
+                }
+            }
+        }
+    });
+    report.closure_configs = Some(configs);
+}
+
+/// Recursive multiset enumeration over `states[from..]`, lexicographic in
+/// the per-state counts (largest count on the smallest state first).
+fn enumerate_configs<P: DenseProtocol>(
+    protocol: &P,
+    states: &[usize],
+    from: usize,
+    remaining: usize,
+    counts: &mut Vec<u64>,
+    visit: &mut impl FnMut(&P, &mut Vec<u64>),
+) {
+    if remaining == 0 {
+        visit(protocol, counts);
+        return;
+    }
+    if from == states.len() {
+        return;
+    }
+    if from == states.len() - 1 {
+        counts[states[from]] += remaining as u64;
+        visit(protocol, counts);
+        counts[states[from]] -= remaining as u64;
+        return;
+    }
+    for here in (0..=remaining).rev() {
+        counts[states[from]] += here as u64;
+        enumerate_configs(protocol, states, from + 1, remaining - here, counts, visit);
+        counts[states[from]] -= here as u64;
+    }
+}
+
+/// Verify one protocol against its own declarations; see the module docs
+/// for the battery.
+pub fn verify_protocol<P: DenseProtocol>(protocol: &P, opts: &VerifyOptions) -> ProtocolReport {
+    let (report, _states) = verify_protocol_inner(protocol, opts);
+    report
+}
+
+fn verify_protocol_inner<P: DenseProtocol>(
+    protocol: &P,
+    opts: &VerifyOptions,
+) -> (ProtocolReport, Vec<usize>) {
+    let mut report = ProtocolReport {
+        protocol: protocol.name().to_string(),
+        reachable: 0,
+        capacity: protocol.num_states(),
+        truncated: false,
+        pairs_checked: 0,
+        dead_states: None,
+        asymmetric_pairs: 0,
+        closure_configs: None,
+        codec_indices: None,
+        notes: Vec::new(),
+        failures: Vec::new(),
+    };
+    let (states, truncated, _grow_pairs) =
+        reachable_closure(protocol, opts.max_reachable, &opts.seed_states);
+    report.reachable = states.len();
+    report.truncated = truncated;
+    if truncated {
+        report.notes.push(format!(
+            "reachability truncated at {} states; checks cover the truncated prefix",
+            states.len()
+        ));
+    }
+    if protocol.dynamic() {
+        report
+            .notes
+            .push("dynamic index space: capacity is not a census, dead states not counted".into());
+    } else {
+        report.dead_states = Some(report.capacity - states.len());
+    }
+
+    let invariants = protocol.invariants();
+    check_pairs(protocol, &states, &invariants.conserved, &mut report);
+
+    // Role-symmetry audit against the declaration.
+    match invariants.role_symmetric {
+        Some(true) if report.asymmetric_pairs > 0 => {
+            report.failures.push(format!(
+                "declared role-symmetric but {} reachable pairs are asymmetric (see notes)",
+                report.asymmetric_pairs
+            ));
+        }
+        Some(false) if report.asymmetric_pairs == 0 && !report.truncated => {
+            report.failures.push(
+                "declared role-asymmetric but δ is symmetric on every reachable pair".to_string(),
+            );
+        }
+        _ => {}
+    }
+
+    if !truncated {
+        check_legitimate_closure(protocol, &states, opts, &mut report);
+    } else {
+        report
+            .notes
+            .push("legitimate closure skipped: reachability was truncated".to_string());
+    }
+    (report, states)
+}
+
+/// Verify a codec-bearing protocol: the full battery of
+/// [`verify_protocol`] plus `encode ∘ decode` identity and native/δ
+/// bisimulation over the reachable index space.
+pub fn verify_with_codec<P: AgentCodec>(protocol: &P, opts: &VerifyOptions) -> ProtocolReport {
+    let (mut report, states) = verify_protocol_inner(protocol, opts);
+
+    // Identity: over the full index space for total (static) encodings,
+    // over the discovered states for interner-backed ones.
+    let identity_domain: Vec<usize> = if protocol.dynamic() {
+        states.clone()
+    } else {
+        (0..protocol.num_states()).collect()
+    };
+    let mut identity_failed = false;
+    for &i in &identity_domain {
+        match protocol.try_decode_agent(i) {
+            None => {
+                report.failures.push(format!(
+                    "codec identity: index {i} is reachable but decodes to nothing"
+                ));
+                identity_failed = true;
+            }
+            Some(state) => {
+                let back = protocol.encode_agent(&state);
+                if back != i {
+                    report.failures.push(format!(
+                        "codec identity broken: minimal counterexample encode(decode({i})) = {back}"
+                    ));
+                    identity_failed = true;
+                }
+            }
+        }
+        if identity_failed {
+            break;
+        }
+    }
+    report.codec_indices = Some(identity_domain.len());
+
+    // Bisimulation: native interact against dense δ on every reachable
+    // ordered pair.  Dense transitions must not consult the RNG, so any
+    // seed gives the same image.
+    let native = protocol.native();
+    let mut rng = ppsim::seeded_rng(0);
+    'bisim: for &u in &states {
+        for &v in &states {
+            let (a, b) = protocol.transition(u, v);
+            let (Some(mut du), Some(mut dv)) =
+                (protocol.try_decode_agent(u), protocol.try_decode_agent(v))
+            else {
+                report.failures.push(format!(
+                    "codec bisimulation: reachable pair ({u}, {v}) cannot be decoded"
+                ));
+                break 'bisim;
+            };
+            native.interact(&mut du, &mut dv, &mut rng);
+            let (na, nb) = (protocol.encode_agent(&du), protocol.encode_agent(&dv));
+            if (na, nb) != (a, b) {
+                report.failures.push(format!(
+                    "codec bisimulation broken: minimal counterexample pair \
+                     δ({u}, {v}) = ({a}, {b}) but native interact gives ({na}, {nb})"
+                ));
+                break 'bisim;
+            }
+        }
+    }
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Two-state one-way epidemic with a correct declaration.
+    #[derive(Debug, Clone, Copy)]
+    struct Rumor;
+    impl DenseProtocol for Rumor {
+        type Output = bool;
+        fn num_states(&self) -> usize {
+            2
+        }
+        fn initial_state(&self) -> usize {
+            0
+        }
+        fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+            (u.max(v), v)
+        }
+        fn output(&self, s: usize) -> bool {
+            s == 1
+        }
+        fn name(&self) -> &'static str {
+            "rumor"
+        }
+        fn invariants(&self) -> ppsim::ProtocolInvariants {
+            ppsim::ProtocolInvariants {
+                conserved: vec![ppsim::ConservedQuantity {
+                    name: "susceptible",
+                    law: ConservationLaw::NonIncreasing,
+                    value: std::sync::Arc::new(|c: &[u64]| c[0]),
+                }],
+                role_symmetric: Some(false),
+            }
+        }
+        fn legitimate(&self, counts: &[u64]) -> Option<bool> {
+            Some(counts[0] == 0 || counts[1] == 0)
+        }
+    }
+
+    /// The epidemic only moves once a source is informed, so the closure
+    /// must be seeded with the informed state.
+    fn rumor_opts() -> VerifyOptions {
+        VerifyOptions {
+            seed_states: vec![1],
+            ..VerifyOptions::default()
+        }
+    }
+
+    #[test]
+    fn a_correct_declaration_passes_every_check() {
+        let report = verify_protocol(&Rumor, &rumor_opts());
+        assert!(report.passed(), "{:?}", report.failures);
+        assert_eq!(report.reachable, 2);
+        assert_eq!(report.dead_states, Some(0));
+        assert!(report.asymmetric_pairs > 0);
+        assert!(report.closure_configs.is_some());
+    }
+
+    #[test]
+    fn multiset_count_matches_the_binomial() {
+        assert_eq!(multiset_count(2, 3), 4); // C(4, 3)
+        assert_eq!(multiset_count(4, 6), 84); // C(9, 6)
+        assert_eq!(multiset_count(1, 5), 1);
+    }
+
+    #[test]
+    fn the_report_renders_the_verdict_and_the_census() {
+        let report = verify_protocol(&Rumor, &rumor_opts());
+        let text = report.render();
+        assert!(text.starts_with("rumor: PASS"));
+        assert!(text.contains("reachable 2 of 2 indices"));
+        assert!(text.contains("dead states: 0"));
+    }
+}

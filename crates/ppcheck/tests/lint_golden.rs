@@ -1,0 +1,96 @@
+//! Golden-output test for the lint pass: a synthetic workspace with one
+//! violation of every rule must produce exactly the expected report.
+
+use std::fs;
+use std::path::Path;
+
+use ppcheck::lint_workspace;
+
+fn write(root: &Path, rel: &str, content: &str) {
+    let path = root.join(rel);
+    fs::create_dir_all(path.parent().expect("fixture paths have parents")).expect("mkdir");
+    fs::write(path, content).expect("write fixture");
+}
+
+#[test]
+fn the_lint_report_matches_the_golden_output() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-golden");
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clean fixture root");
+    }
+
+    // One violation per rule, plus an allowed site and a test module that
+    // must both stay silent.
+    write(
+        &root,
+        "crates/ppsim/src/engine.rs",
+        r#"fn hot(x: Option<u64>) -> u64 {
+    x.unwrap()
+}
+
+fn stash(total_count: u64) -> u32 {
+    total_count as u32
+}
+
+fn allowed(x: Option<u64>) -> u64 {
+    // Poisoning means another thread panicked. ppcheck: allow(no-unwrap)
+    x.expect("justified")
+}
+
+#[cfg(test)]
+mod tests {
+    fn exempt(x: Option<u64>) -> u64 {
+        x.unwrap()
+    }
+}
+"#,
+    );
+    write(
+        &root,
+        "crates/core/src/census.rs",
+        "use std::collections::HashMap;\n",
+    );
+    write(
+        &root,
+        "crates/protocols/src/outcome.rs",
+        "/// An undecorated result type.\npub struct ElectionOutcome {\n    pub leader: usize,\n}\n",
+    );
+    // Out-of-scope trees must not be walked at all.
+    write(
+        &root,
+        "vendor/fake/src/lib.rs",
+        "fn v(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+    write(
+        &root,
+        "crates/ppsim/tests/it.rs",
+        "fn t(x: Option<u8>) -> u8 { x.unwrap() }\n",
+    );
+
+    let report = lint_workspace(&root).expect("lint walk");
+    let expected = "\
+ppcheck lint: 3 file(s) scanned, 4 finding(s)
+crates/core/src/census.rs:1: [hashmap-iter] use std::collections::HashMap;
+crates/ppsim/src/engine.rs:2: [no-unwrap] x.unwrap()
+crates/ppsim/src/engine.rs:6: [narrowing-cast] total_count as u32
+crates/protocols/src/outcome.rs:2: [must-use-outcome] pub struct ElectionOutcome {
+";
+    assert_eq!(report.render(), expected);
+    assert!(!report.passed());
+}
+
+#[test]
+fn a_clean_tree_passes() {
+    let root = Path::new(env!("CARGO_TARGET_TMPDIR")).join("lint-clean");
+    if root.exists() {
+        fs::remove_dir_all(&root).expect("clean fixture root");
+    }
+    write(
+        &root,
+        "crates/ppsim/src/lib.rs",
+        "#[must_use]\npub struct RunReport {\n    pub steps: u64,\n}\n",
+    );
+    let report = lint_workspace(&root).expect("lint walk");
+    assert!(report.passed(), "{}", report.render());
+    assert_eq!(report.files_scanned, 1);
+}

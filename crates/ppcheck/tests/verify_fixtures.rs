@@ -1,0 +1,265 @@
+//! Negative fixtures for the transition-system verifier: protocols whose
+//! declarations are deliberately wrong, each of which must fail with the
+//! expected minimal counterexample.
+
+use std::sync::Arc;
+
+use ppcheck::verify::{verify_protocol, verify_with_codec, VerifyOptions};
+use ppsim::stint::AgentCodec;
+use ppsim::{ConservationLaw, ConservedQuantity, DenseProtocol, Protocol, ProtocolInvariants};
+
+/// A token duplicator that (falsely) declares its token count conserved:
+/// state 1 infects state 0 on contact, so `c[1]` strictly grows.
+#[derive(Debug, Clone, Copy)]
+struct BrokenConservation;
+
+impl DenseProtocol for BrokenConservation {
+    type Output = bool;
+    fn num_states(&self) -> usize {
+        2
+    }
+    fn initial_state(&self) -> usize {
+        0
+    }
+    fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+        if u == 1 || v == 1 {
+            (1, 1)
+        } else {
+            (u, v)
+        }
+    }
+    fn output(&self, s: usize) -> bool {
+        s == 1
+    }
+    fn name(&self) -> &'static str {
+        "broken-conservation"
+    }
+    fn invariants(&self) -> ProtocolInvariants {
+        ProtocolInvariants {
+            conserved: vec![ConservedQuantity {
+                name: "tokens",
+                law: ConservationLaw::Exact,
+                value: Arc::new(|c: &[u64]| c[1]),
+            }],
+            role_symmetric: Some(true),
+        }
+    }
+}
+
+#[test]
+fn a_broken_conservation_law_fails_with_a_minimal_counterexample_pair() {
+    let opts = VerifyOptions {
+        seed_states: vec![1],
+        ..VerifyOptions::default()
+    };
+    let report = verify_protocol(&BrokenConservation, &opts);
+    assert!(!report.passed());
+    let failure = report
+        .failures
+        .iter()
+        .find(|f| f.contains("conserved quantity `tokens`"))
+        .expect("the conservation failure must be reported");
+    // Lexicographically first violating pair: δ(0, 1) = (1, 1).
+    assert!(
+        failure.contains("δ(0, 1) = (1, 1)") && failure.contains("1 -> 2"),
+        "unexpected counterexample: {failure}"
+    );
+}
+
+/// A protocol whose legitimate set is not closed under δ: it declares
+/// "at most one token" legitimate, but two zeros can *create* a token.
+#[derive(Debug, Clone, Copy)]
+struct LeakyLegitimate;
+
+impl DenseProtocol for LeakyLegitimate {
+    type Output = bool;
+    fn num_states(&self) -> usize {
+        2
+    }
+    fn initial_state(&self) -> usize {
+        0
+    }
+    fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+        if u == 0 && v == 0 {
+            (1, 0)
+        } else {
+            (u, v)
+        }
+    }
+    fn output(&self, s: usize) -> bool {
+        s == 1
+    }
+    fn name(&self) -> &'static str {
+        "leaky-legitimate"
+    }
+    fn legitimate(&self, counts: &[u64]) -> Option<bool> {
+        Some(counts[1] <= 1)
+    }
+}
+
+#[test]
+fn a_leaky_legitimate_set_fails_the_closure_check() {
+    let report = verify_protocol(&LeakyLegitimate, &VerifyOptions::default());
+    assert!(!report.passed());
+    let failure = report
+        .failures
+        .iter()
+        .find(|f| f.contains("legitimate set not closed"))
+        .expect("the closure failure must be reported");
+    // The legitimate configuration {0: 3, 1: 1} breaks under
+    // δ(0, 0) = (1, 0), which mints a second token.
+    assert!(
+        failure.contains("δ(0, 0) = (1, 0)") && failure.contains("illegitimate"),
+        "unexpected counterexample: {failure}"
+    );
+}
+
+/// The native side of the broken codec: a plain two-state epidemic.
+#[derive(Debug, Clone, Copy)]
+struct NativeRumor;
+
+impl Protocol for NativeRumor {
+    type State = bool;
+    type Output = bool;
+    fn initial_state(&self) -> bool {
+        false
+    }
+    fn interact(&self, u: &mut bool, v: &mut bool, _rng: &mut rand::rngs::SmallRng) {
+        let informed = *u || *v;
+        *u = informed;
+        *v = informed;
+    }
+    fn output(&self, s: &bool) -> bool {
+        *s
+    }
+}
+
+/// A codec that is not a bijection: both dense indices decode to `false`,
+/// so `encode(decode(1))` collapses to 0.
+#[derive(Debug, Clone, Copy)]
+struct BrokenCodec;
+
+impl DenseProtocol for BrokenCodec {
+    type Output = bool;
+    fn num_states(&self) -> usize {
+        2
+    }
+    fn initial_state(&self) -> usize {
+        0
+    }
+    fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+        let informed = u.max(v);
+        (informed, informed)
+    }
+    fn output(&self, s: usize) -> bool {
+        s == 1
+    }
+    fn name(&self) -> &'static str {
+        "broken-codec"
+    }
+}
+
+impl AgentCodec for BrokenCodec {
+    type Native = NativeRumor;
+    fn native(&self) -> NativeRumor {
+        NativeRumor
+    }
+    fn decode_agent(&self, _index: usize) -> bool {
+        false
+    }
+    fn encode_agent(&self, state: &bool) -> usize {
+        usize::from(*state)
+    }
+}
+
+#[test]
+fn a_non_bijective_codec_fails_the_identity_check() {
+    let opts = VerifyOptions {
+        seed_states: vec![1],
+        ..VerifyOptions::default()
+    };
+    let report = verify_with_codec(&BrokenCodec, &opts);
+    assert!(!report.passed());
+    let failure = report
+        .failures
+        .iter()
+        .find(|f| f.contains("codec identity broken"))
+        .expect("the identity failure must be reported");
+    assert!(
+        failure.contains("encode(decode(1)) = 0"),
+        "unexpected counterexample: {failure}"
+    );
+}
+
+/// A codec whose dense δ disagrees with the native dynamics: the dense
+/// side swaps the pair image, so the bisimulation check must object.
+#[derive(Debug, Clone, Copy)]
+struct DriftingCodec;
+
+impl DenseProtocol for DriftingCodec {
+    type Output = bool;
+    fn num_states(&self) -> usize {
+        2
+    }
+    fn initial_state(&self) -> usize {
+        0
+    }
+    fn transition(&self, u: usize, v: usize) -> (usize, usize) {
+        // Deliberately NOT the epidemic the native protocol implements:
+        // the initiator never learns.
+        (u, v.max(u))
+    }
+    fn output(&self, s: usize) -> bool {
+        s == 1
+    }
+    fn name(&self) -> &'static str {
+        "drifting-codec"
+    }
+}
+
+impl AgentCodec for DriftingCodec {
+    type Native = NativeRumor;
+    fn native(&self) -> NativeRumor {
+        NativeRumor
+    }
+    fn decode_agent(&self, index: usize) -> bool {
+        index == 1
+    }
+    fn encode_agent(&self, state: &bool) -> usize {
+        usize::from(*state)
+    }
+}
+
+#[test]
+fn a_dense_native_mismatch_fails_the_bisimulation_check() {
+    let opts = VerifyOptions {
+        seed_states: vec![1],
+        ..VerifyOptions::default()
+    };
+    let report = verify_with_codec(&DriftingCodec, &opts);
+    assert!(!report.passed());
+    let failure = report
+        .failures
+        .iter()
+        .find(|f| f.contains("codec bisimulation broken"))
+        .expect("the bisimulation failure must be reported");
+    // Lexicographically first disagreeing pair: the dense δ leaves the
+    // initiator ignorant on (0, 1) while the native epidemic informs both.
+    assert!(
+        failure.contains("δ(0, 1) = (0, 1)") && failure.contains("native interact gives (1, 1)"),
+        "unexpected counterexample: {failure}"
+    );
+}
+
+#[test]
+fn the_standard_registry_passes_end_to_end() {
+    for entry in ppcheck::standard_registry() {
+        let report = entry.run();
+        assert!(
+            report.passed(),
+            "{} failed verification: {:?}",
+            entry.name(),
+            report.failures
+        );
+    }
+}

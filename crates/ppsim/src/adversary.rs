@@ -497,6 +497,7 @@ pub struct WorstCaseSearch {
 
 /// The outcome of a [`WorstCaseSearch`].
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
 pub struct WorstCaseReport {
     /// The worst configuration found (zero-padded to the state space).
     pub configuration: Vec<u64>,
@@ -588,7 +589,12 @@ impl WorstCaseSearch {
                 best = Some((current, current_time));
             }
         }
-        let (configuration, interactions) = best.expect("at least one restart ran");
+        let Some((configuration, interactions)) = best else {
+            return Err(SimError::InvalidParameter {
+                name: "restarts",
+                reason: "the worst-case search needs at least one restart".to_string(),
+            });
+        };
         Ok(WorstCaseReport {
             configuration,
             interactions,

@@ -484,6 +484,12 @@ impl<P: DenseProtocol> BatchedSimulator<P> {
         self.touched
             .merge_into(&mut self.counts, &mut self.occupied);
         self.occupied.compact(&self.counts);
+        #[cfg(feature = "strict-invariants")]
+        crate::block::assert_mass_conserved(
+            &self.counts,
+            self.n,
+            "batched block delta application",
+        );
 
         self.interactions += executed;
         executed

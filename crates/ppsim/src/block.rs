@@ -20,6 +20,8 @@
 //! pairing compiles to tight index arithmetic over contiguous buffers.
 
 use std::cell::RefCell;
+// Keyed memo lookups only, with a deterministic hasher; iteration
+// order never feeds a simulation decision. ppcheck: allow(hashmap-iter)
 use std::collections::HashMap;
 use std::hash::{BuildHasherDefault, Hasher};
 
@@ -326,6 +328,19 @@ impl TouchSet {
         }
         self.list.clear();
     }
+}
+
+/// Under `strict-invariants`: assert a configuration holds exactly
+/// `expected` agents after a block's deltas are applied.  Catches any
+/// draw/merge bookkeeping bug that loses or duplicates an agent, at
+/// `O(q)` per block.
+#[cfg(feature = "strict-invariants")]
+pub(crate) fn assert_mass_conserved(counts: &[u64], expected: u64, context: &str) {
+    let total: u64 = counts.iter().sum();
+    assert!(
+        total == expected,
+        "strict-invariants: {context} lost or duplicated agents ({total} != {expected})"
+    );
 }
 
 /// Remove one uniformly random agent from the multiset `counts` restricted to

@@ -1,5 +1,7 @@
 //! Helpers for inspecting configurations (the vector of all agent states).
 
+// Keyed census lookups only; nothing iterates the map to drive the
+// simulation. ppcheck: allow(hashmap-iter)
 use std::collections::HashMap;
 use std::hash::Hash;
 

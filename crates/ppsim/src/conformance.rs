@@ -80,6 +80,44 @@ impl std::fmt::Debug for ConservedQuantity {
     }
 }
 
+/// Structural invariants a protocol declares about its own transition
+/// system, returned by
+/// [`DenseProtocol::invariants`].
+///
+/// The scenario matrix probes these along sampled trajectories; the
+/// `ppcheck` ahead-of-run verifier checks the same declarations
+/// *exhaustively* — every conservation law over every reachable transition
+/// pair, and closure of the legitimate set over every small-`n`
+/// configuration — before any simulation runs.
+#[derive(Clone, Debug, Default)]
+pub struct ProtocolInvariants {
+    /// Conserved quantities, **additive in the counts** (a sum over agents
+    /// of a per-state weight, possibly reduced mod `m`): only then is a law
+    /// that holds on every transition pair equivalent to the law holding on
+    /// every full configuration.
+    pub conserved: Vec<ConservedQuantity>,
+    /// Whether `δ` is expected to treat initiator and responder
+    /// symmetrically, i.e. `δ(u, v) = swap(δ(v, u))` for all pairs.
+    /// `None` declares no expectation (the audit reports but does not fail).
+    pub role_symmetric: Option<bool>,
+}
+
+/// Evaluate a conserved quantity on the synthetic two-agent configuration
+/// `{u, v}` of a `num_states`-state protocol.
+///
+/// This is the shared evaluation bridge between the trajectory probes above
+/// and the exhaustive per-pair check in `ppcheck`: for an additive quantity
+/// the change under `δ(u, v) = (u', v')` in *any* configuration equals
+/// `pair_quantity(q, _, u', v') - pair_quantity(q, _, u, v)`, so checking
+/// the law on every pair proves it on every configuration.
+#[must_use]
+pub fn pair_quantity(q: &ConservedQuantity, num_states: usize, u: usize, v: usize) -> u64 {
+    let mut counts = vec![0u64; num_states];
+    counts[u] += 1;
+    counts[v] += 1;
+    (q.value)(&counts)
+}
+
 /// One row of a conformance matrix: a protocol under an init strategy and
 /// fault plan, with its convergence predicate and invariants.  Bind a row
 /// to engines with [`BoundCell::new`].
@@ -178,7 +216,9 @@ fn close_records<P: DenseProtocol + Clone + Send + 'static>(
     pred: &PredicateFn,
 ) -> Result<(), SimError> {
     let here = run.interactions();
-    run.run_until(|s| s.with_counts(|c| pred(c)), 1, here)?;
+    // Only the record-stamping side effect matters here; the zero-budget
+    // outcome itself carries no information.
+    let _ = run.run_until(|s| s.with_counts(|c| pred(c)), 1, here)?;
     Ok(())
 }
 
@@ -448,6 +488,7 @@ pub fn run_matrix(cells: &[BoundCell], mut progress: impl FnMut(&CellResult)) ->
 
 /// The executed matrix: per-cell results plus rendering helpers.
 #[derive(Debug, Clone)]
+#[must_use]
 pub struct MatrixSummary {
     /// Every executed cell, in matrix order.
     pub cells: Vec<CellResult>,

@@ -11,6 +11,7 @@
 
 /// The result of driving a simulation towards a predicate.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
 pub enum RunOutcome {
     /// The predicate held at the recorded interaction count.
     Converged {

@@ -82,6 +82,32 @@ pub trait DenseProtocol {
         "dense-protocol"
     }
 
+    /// The structural invariants this protocol declares about its own
+    /// transition system — conserved quantities (additive in the counts)
+    /// and a role-symmetry expectation.
+    ///
+    /// Declared invariants are probed along trajectories by the scenario
+    /// matrix ([`conformance`](crate::conformance)) and checked
+    /// *exhaustively* ahead of any run by the `ppcheck` verifier: every
+    /// conservation law over every reachable `δ` pair.  The default
+    /// declares nothing.
+    fn invariants(&self) -> crate::conformance::ProtocolInvariants {
+        crate::conformance::ProtocolInvariants::default()
+    }
+
+    /// Membership of the protocol's **legitimate set** — the configurations
+    /// it claims to converge into and, for silent protocols, never leave.
+    ///
+    /// `None` (the default) declares no legitimate set; `Some(b)` states
+    /// whether the dense configuration `counts` is legitimate.  The
+    /// `ppcheck` verifier checks *closure*: no single interaction maps a
+    /// legitimate configuration to an illegitimate one (silent stability),
+    /// over every legitimate configuration of a small population.
+    fn legitimate(&self, counts: &[u64]) -> Option<bool> {
+        let _ = counts;
+        None
+    }
+
     /// Whether state indices are assigned **dynamically** — interned on first
     /// appearance (see [`StateInterner`](crate::StateInterner)) rather than
     /// fixed by a static encoding.
@@ -213,6 +239,12 @@ impl<P: DenseProtocol + ?Sized> DenseProtocol for &P {
     fn name(&self) -> &'static str {
         (**self).name()
     }
+    fn invariants(&self) -> crate::conformance::ProtocolInvariants {
+        (**self).invariants()
+    }
+    fn legitimate(&self, counts: &[u64]) -> Option<bool> {
+        (**self).legitimate(counts)
+    }
     fn dynamic(&self) -> bool {
         (**self).dynamic()
     }
@@ -254,6 +286,7 @@ impl<P: DenseProtocol> Protocol for DenseAdapter<P> {
     type Output = P::Output;
 
     fn initial_state(&self) -> u32 {
+        // Dense index spaces are bounded well below u32::MAX. ppcheck: allow(no-unwrap)
         u32::try_from(self.0.initial_state()).expect("dense state spaces fit in u32")
     }
 

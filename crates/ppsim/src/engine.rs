@@ -411,7 +411,15 @@ impl<P: DenseProtocol + Clone + Send + 'static> DenseSimulator<P> {
                 let mut slots = s.states_mut().iter_mut();
                 for (state, &c) in counts.iter().enumerate() {
                     for _ in 0..c {
-                        *slots.next().expect("counts sum to the population") = state as u32;
+                        let Some(slot) = slots.next() else {
+                            return Err(SimError::InvalidParameter {
+                                name: "counts",
+                                reason: format!(
+                                    "counts sum to {total} but only {n} agent slots exist"
+                                ),
+                            });
+                        };
+                        *slot = state as u32;
                     }
                 }
                 Ok(())

@@ -70,6 +70,7 @@ use crate::snapshot::{Checkpointable, EngineSnapshot};
 /// plus where the kill landed and which engine was under test — enough to
 /// reproduce a divergence from the verdict alone.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[must_use]
 pub struct FaultVerdict {
     /// Final snapshot bytes of the run that was killed and resumed.
     pub resumed: Vec<u8>,

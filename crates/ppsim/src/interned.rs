@@ -41,6 +41,8 @@
 //! assert_eq!(my_states.len(), 2);
 //! ```
 
+// The interner map serves state->index lookups; enumeration order is
+// carried by the dense Vec, not the map. ppcheck: allow(hashmap-iter)
 use std::collections::HashMap;
 use std::fmt::Debug;
 use std::hash::Hash;
@@ -116,6 +118,9 @@ impl<S: Copy + Eq + Hash + Debug> StateInterner<S> {
     pub fn len(&self) -> usize {
         self.inner
             .read()
+            // A poisoned lock means another thread already panicked mid-intern;
+            // propagating the panic is the only sound response.
+            // ppcheck: allow(no-unwrap)
             .expect("interner lock poisoned")
             .states
             .len()
@@ -139,12 +144,18 @@ impl<S: Copy + Eq + Hash + Debug> StateInterner<S> {
         if let Some(&i) = self
             .inner
             .read()
+            // A poisoned lock means another thread already panicked mid-intern;
+            // propagating the panic is the only sound response.
+            // ppcheck: allow(no-unwrap)
             .expect("interner lock poisoned")
             .index
             .get(&state)
         {
             return i as usize;
         }
+        // A poisoned lock means another thread already panicked mid-intern;
+        // propagating the panic is the only sound response.
+        // ppcheck: allow(no-unwrap)
         let mut inner = self.inner.write().expect("interner lock poisoned");
         // Re-check under the write lock: another thread may have interned the
         // state between our read and write acquisitions.
@@ -171,6 +182,9 @@ impl<S: Copy + Eq + Hash + Debug> StateInterner<S> {
     /// Panics if `index` has not been assigned yet.
     #[must_use]
     pub fn get(&self, index: usize) -> S {
+        // A poisoned lock means another thread already panicked mid-intern;
+        // propagating the panic is the only sound response.
+        // ppcheck: allow(no-unwrap)
         let inner = self.inner.read().expect("interner lock poisoned");
         *inner.states.get(index).unwrap_or_else(|| {
             panic!(
@@ -188,6 +202,9 @@ impl<S: Copy + Eq + Hash + Debug> StateInterner<S> {
     pub fn try_get(&self, index: usize) -> Option<S> {
         self.inner
             .read()
+            // A poisoned lock means another thread already panicked mid-intern;
+            // propagating the panic is the only sound response.
+            // ppcheck: allow(no-unwrap)
             .expect("interner lock poisoned")
             .states
             .get(index)
@@ -202,6 +219,9 @@ impl<S: Copy + Eq + Hash + Debug> StateInterner<S> {
     pub fn contents(&self) -> Vec<S> {
         self.inner
             .read()
+            // A poisoned lock means another thread already panicked mid-intern;
+            // propagating the panic is the only sound response.
+            // ppcheck: allow(no-unwrap)
             .expect("interner lock poisoned")
             .states
             .clone()
@@ -241,6 +261,9 @@ impl<S: Copy + Eq + Hash + Debug> StateInterner<S> {
                 });
             }
         }
+        // A poisoned lock means another thread already panicked mid-intern;
+        // propagating the panic is the only sound response.
+        // ppcheck: allow(no-unwrap)
         let mut inner = self.inner.write().expect("interner lock poisoned");
         inner.states = states;
         inner.index = index;

@@ -110,8 +110,8 @@ pub use adversary::{
 pub use batched::BatchedSimulator;
 pub use config::ConfigurationStats;
 pub use conformance::{
-    run_cell, run_matrix, BoundCell, CellResult, ConservationLaw, ConservedQuantity, MatrixSummary,
-    Scenario,
+    pair_quantity, run_cell, run_matrix, BoundCell, CellResult, ConservationLaw, ConservedQuantity,
+    MatrixSummary, ProtocolInvariants, Scenario,
 };
 pub use convergence::RunOutcome;
 pub use dense::{DenseAdapter, DenseProtocol};

@@ -77,12 +77,14 @@ where
             });
         }
     })
+    // Joining surfaces a worker panic on the caller thread. ppcheck: allow(no-unwrap)
     .expect("a simulation worker thread panicked");
 
     slots
         .into_iter()
         .map(|slot| {
             slot.into_inner()
+                // Infallible by construction: each index is sent once. ppcheck: allow(no-unwrap)
                 .expect("every trial index is processed exactly once")
         })
         .collect()
@@ -125,6 +127,7 @@ where
             });
         }
     })
+    // Joining surfaces a worker panic on the caller thread. ppcheck: allow(no-unwrap)
     .expect("a shard worker thread panicked");
 }
 

@@ -398,9 +398,7 @@ impl<P: DenseProtocol + Clone + Send> ShardedBatchedSimulator<P> {
             }
             let take = conditional_class_draw(&mut self.rng, c, remaining_total, need);
             if take > 0 {
-                shard
-                    .transfer(from, to, take)
-                    .expect("hypergeometric split stays within shard counts");
+                shard.transfer(from, to, take)?;
             }
             need -= take;
             remaining_total -= c;
@@ -628,6 +626,19 @@ impl<P: DenseProtocol + Clone + Send> ShardedBatchedSimulator<P> {
             );
             acc_k.touched.merge_into(acc_k.counts, acc_k.occupied);
             acc_l.touched.merge_into(acc_l.counts, acc_l.occupied);
+            #[cfg(feature = "strict-invariants")]
+            {
+                crate::block::assert_mass_conserved(
+                    acc_k.counts,
+                    m_k,
+                    "sharded cross-block delta (initiator shard)",
+                );
+                crate::block::assert_mass_conserved(
+                    acc_l.counts,
+                    m_l,
+                    "sharded cross-block delta (responder shard)",
+                );
+            }
             remaining -= chunk;
         }
     }

@@ -224,6 +224,7 @@ macro_rules! persist_int {
             }
             fn unpersist(r: &mut SnapshotReader<'_>) -> Result<Self, SimError> {
                 let raw = r.take(std::mem::size_of::<$t>())?;
+                // `take` returned exactly `size_of::<$t>()` bytes. ppcheck: allow(no-unwrap)
                 Ok(<$t>::from_le_bytes(raw.try_into().expect("exact-size slice")))
             }
         }

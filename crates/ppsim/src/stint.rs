@@ -116,6 +116,8 @@
 //! assert_eq!(stint.counts().iter().sum::<u64>(), 10);
 //! ```
 
+// Deterministic build hashers throughout; maps are lookup-only and
+// never iterated in replay-sensitive paths. ppcheck: allow(hashmap-iter)
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hash, Hasher};
@@ -144,6 +146,7 @@ impl Hasher for StateHasher {
     fn write(&mut self, bytes: &[u8]) {
         let mut chunks = bytes.chunks_exact(8);
         for c in &mut chunks {
+            // `chunks_exact(8)` yields 8-byte slices only. ppcheck: allow(no-unwrap)
             self.write_u64(u64::from_le_bytes(c.try_into().expect("8-byte chunk")));
         }
         let mut tail = 0u64;
@@ -607,17 +610,14 @@ where
     fn transfer(&mut self, from: usize, to: usize, k: u64) -> Result<(), SimError> {
         let from_state = self.codec.try_decode_agent(from);
         let to_state = self.codec.try_decode_agent(to);
-        let (from_state, to_state) = match (from_state, to_state) {
-            (Some(f), Some(t)) => (f, t),
-            _ => {
-                return Err(SimError::InvalidParameter {
-                    name: "transfer",
-                    reason: format!(
-                        "states ({from}, {to}) outside the assigned state space 0..{}",
-                        self.codec.num_states()
-                    ),
-                })
-            }
+        let (Some(from_state), Some(to_state)) = (from_state, to_state) else {
+            return Err(SimError::InvalidParameter {
+                name: "transfer",
+                reason: format!(
+                    "states ({from}, {to}) outside the assigned state space 0..{}",
+                    self.codec.num_states()
+                ),
+            });
         };
         let available = self.states.iter().filter(|&s| *s == from_state).count() as u64;
         if available < k {
@@ -710,6 +710,7 @@ impl<P: DenseProtocol> Protocol for IndexCodec<P> {
     type Output = <P as DenseProtocol>::Output;
 
     fn initial_state(&self) -> u32 {
+        // Dense index spaces are bounded well below u32::MAX. ppcheck: allow(no-unwrap)
         u32::try_from(self.0.initial_state()).expect("dense state spaces fit in u32")
     }
 
@@ -762,6 +763,7 @@ impl<P: DenseProtocol + Clone + Send + 'static> AgentCodec for IndexCodec<P> {
     }
 
     fn decode_agent(&self, index: usize) -> u32 {
+        // Dense index spaces are bounded well below u32::MAX. ppcheck: allow(no-unwrap)
         u32::try_from(index).expect("dense state spaces fit in u32")
     }
 

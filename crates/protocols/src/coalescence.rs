@@ -44,9 +44,13 @@
 //! full-occupancy ranking workloads; the [`AgentCodec`] implementation
 //! covers the hybrid engine's per-agent stints.
 
+use std::sync::Arc;
+
 use ppsim::snapshot::{PersistState, SnapshotReader};
 use ppsim::stint::{AgentCodec, BoxedAgentStint, DecodedStint};
-use ppsim::{DenseProtocol, Protocol, SimError};
+use ppsim::{
+    ConservationLaw, ConservedQuantity, DenseProtocol, Protocol, ProtocolInvariants, SimError,
+};
 use rand::rngs::SmallRng;
 
 /// The native per-agent state of the coalescence protocol: a cluster size
@@ -80,8 +84,9 @@ fn coalesce_interact(u: &mut ClusterAgent, v: &mut ClusterAgent, max_size: u32) 
     // The responder's *pre-flip* coin approves the merge; the responder
     // absorbs the initiator (Loh–Lubetzky's asymmetric merge).
     if u.size > 0 && v.size > 0 && v.coin {
-        let merged = (u64::from(u.size) + u64::from(v.size)).min(u64::from(max_size));
-        v.size = merged as u32;
+        // Sizes are at most `max_size < u32::MAX / 2`, so the sum cannot
+        // overflow before the cap is applied.
+        v.size = u.size.saturating_add(v.size).min(max_size);
         u.size = 0;
     }
     u.coin = !u.coin;
@@ -175,7 +180,9 @@ impl StochasticCoalescence {
     fn decode(&self, index: usize) -> ClusterAgent {
         debug_assert!(index < self.num_states());
         ClusterAgent {
-            size: (index / 2) as u32,
+            // Fits by construction: `index < 2(max_size + 1)` and
+            // `max_size < u32::MAX / 2`.
+            size: (index / 2) as u32, // ppcheck: allow(narrowing-cast)
             coin: index % 2 == 1,
         }
     }
@@ -239,6 +246,28 @@ impl DenseProtocol for StochasticCoalescence {
 
     fn name(&self) -> &'static str {
         "stochastic-coalescence"
+    }
+
+    fn invariants(&self) -> ProtocolInvariants {
+        let p = *self;
+        ProtocolInvariants {
+            // Mass is exactly conserved below the saturation cap, but the
+            // encoding admits oversized configurations whose merges
+            // saturate — so only the non-increasing law holds on *every*
+            // pair, which is what ppcheck verifies exhaustively.
+            conserved: vec![ConservedQuantity {
+                name: "mass",
+                law: ConservationLaw::NonIncreasing,
+                value: Arc::new(move |c: &[u64]| p.mass(c)),
+            }],
+            // The responder absorbs the initiator (Loh–Lubetzky's
+            // asymmetric merge), so δ is deliberately role-asymmetric.
+            role_symmetric: Some(false),
+        }
+    }
+
+    fn legitimate(&self, counts: &[u64]) -> Option<bool> {
+        Some(self.is_coalesced(counts))
     }
 
     fn agent_stint(&self, counts: &[u64], seed: u64) -> Option<BoxedAgentStint<u32>> {

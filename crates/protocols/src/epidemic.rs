@@ -146,6 +146,26 @@ impl ppsim::DenseProtocol for DenseEpidemic {
     fn name(&self) -> &'static str {
         "dense-epidemic"
     }
+
+    fn invariants(&self) -> ppsim::ProtocolInvariants {
+        ppsim::ProtocolInvariants {
+            // Information is never forgotten: the susceptible count can
+            // only shrink, under every transition pair.
+            conserved: vec![ppsim::ConservedQuantity {
+                name: "susceptible",
+                law: ppsim::ConservationLaw::NonIncreasing,
+                value: std::sync::Arc::new(|c: &[u64]| c[0]),
+            }],
+            // One-way: only the initiator learns, so δ is role-asymmetric.
+            role_symmetric: Some(false),
+        }
+    }
+
+    fn legitimate(&self, counts: &[u64]) -> Option<bool> {
+        // The epidemic is silent exactly when nobody is left to inform —
+        // either everyone holds the rumour or nobody does.
+        Some(counts[0] == 0 || counts[1] == 0)
+    }
 }
 
 #[cfg(test)]

@@ -59,9 +59,13 @@
 //! [`AgentCodec`] implementation additionally lets hybrid per-agent stints
 //! step native [`HermanAgent`] structs.
 
+use std::sync::Arc;
+
 use ppsim::snapshot::{PersistState, SnapshotReader};
 use ppsim::stint::{AgentCodec, BoxedAgentStint, DecodedStint};
-use ppsim::{DenseProtocol, Protocol, SimError};
+use ppsim::{
+    ConservationLaw, ConservedQuantity, DenseProtocol, Protocol, ProtocolInvariants, SimError,
+};
 use rand::rngs::SmallRng;
 
 /// The native per-agent state of the adapted Herman protocol: a token bit
@@ -222,6 +226,31 @@ impl DenseProtocol for HermanTokens {
 
     fn name(&self) -> &'static str {
         "herman-tokens"
+    }
+
+    fn invariants(&self) -> ProtocolInvariants {
+        let p = *self;
+        ProtocolInvariants {
+            conserved: vec![
+                ConservedQuantity {
+                    name: "tokens",
+                    law: ConservationLaw::NonIncreasing,
+                    value: Arc::new(move |c: &[u64]| p.tokens(c)),
+                },
+                ConservedQuantity {
+                    name: "token-parity",
+                    law: ConservationLaw::Exact,
+                    value: Arc::new(move |c: &[u64]| p.tokens(c) % 2),
+                },
+            ],
+            // The responder's pre-flip coin approves the annihilation, so δ
+            // is deliberately role-asymmetric.
+            role_symmetric: Some(false),
+        }
+    }
+
+    fn legitimate(&self, counts: &[u64]) -> Option<bool> {
+        Some(self.is_stable(counts))
     }
 
     fn agent_stint(&self, counts: &[u64], seed: u64) -> Option<BoxedAgentStint<bool>> {

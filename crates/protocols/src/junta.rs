@@ -244,6 +244,31 @@ impl ppsim::DenseProtocol for DenseJunta {
     fn name(&self) -> &'static str {
         "dense-junta-process"
     }
+
+    fn invariants(&self) -> ppsim::ProtocolInvariants {
+        let p = *self;
+        ppsim::ProtocolInvariants {
+            // Agents only ever *leave* the race: nothing re-activates an
+            // inactive agent, so the active census never grows.
+            conserved: vec![ppsim::ConservedQuantity {
+                name: "active-agents",
+                law: ppsim::ConservationLaw::NonIncreasing,
+                value: std::sync::Arc::new(move |c: &[u64]| {
+                    c.iter()
+                        .enumerate()
+                        .filter(|(s, _)| p.decode(*s).active)
+                        .map(|(_, &n)| n)
+                        .sum()
+                }),
+            }],
+            // Both agents update from the same pre-interaction pair.
+            role_symmetric: Some(true),
+        }
+    }
+
+    fn legitimate(&self, counts: &[u64]) -> Option<bool> {
+        Some(dense_all_inactive(self, counts))
+    }
 }
 
 /// The maximum level present in a counts configuration of [`DenseJunta`].

@@ -217,6 +217,7 @@ impl SyncState {
 
 /// Outcome of one synchronisation step for the two participants.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[must_use]
 pub struct SyncOutcome {
     /// The initiator's clock was re-initialised because it met a higher junta level.
     pub u_reset: bool,
@@ -313,7 +314,9 @@ impl Protocol for SynchronizedClockProtocol {
     }
 
     fn interact(&self, initiator: &mut SyncState, responder: &mut SyncState, _rng: &mut SmallRng) {
-        sync_interact(&self.clock, initiator, responder);
+        // The wrapping protocol exposes no per-interaction outcome; the
+        // mutated agent states carry everything downstream.
+        let _ = sync_interact(&self.clock, initiator, responder);
         // The standalone protocol has no per-phase actions, so the firstTick flags
         // are consumed immediately by the initiator.
         initiator.clock.first_tick = false;
@@ -455,7 +458,8 @@ impl ppsim::DenseProtocol for DenseSyncClock {
     fn transition(&self, initiator: usize, responder: usize) -> (usize, usize) {
         let mut u = self.decode(initiator);
         let mut v = self.decode(responder);
-        sync_interact(&self.clock, &mut u, &mut v);
+        // Only the post-interaction states matter for the dense image.
+        let _ = sync_interact(&self.clock, &mut u, &mut v);
         // As in SynchronizedClockProtocol: no per-phase actions, so the
         // initiator consumes its firstTick flag immediately.
         u.clock.first_tick = false;
@@ -468,6 +472,29 @@ impl ppsim::DenseProtocol for DenseSyncClock {
 
     fn name(&self) -> &'static str {
         "dense-junta-phase-clock"
+    }
+
+    fn invariants(&self) -> ppsim::ProtocolInvariants {
+        let p = *self;
+        ppsim::ProtocolInvariants {
+            // The embedded junta race only ever deactivates agents, so the
+            // active census never grows; the clock itself is cyclic and
+            // conserves nothing (and has no legitimate set to declare).
+            conserved: vec![ppsim::ConservedQuantity {
+                name: "active-agents",
+                law: ppsim::ConservationLaw::NonIncreasing,
+                value: std::sync::Arc::new(move |c: &[u64]| {
+                    c.iter()
+                        .enumerate()
+                        .filter(|(s, _)| p.decode(*s).junta.active)
+                        .map(|(_, &n)| n)
+                        .sum()
+                }),
+            }],
+            // The initiator consumes its firstTick flag, so δ is
+            // role-asymmetric.
+            role_symmetric: Some(false),
+        }
     }
 }
 
@@ -662,7 +689,7 @@ mod tests {
                 let (a, b) = d.transition(i, j);
                 let mut u = d.decode(i);
                 let mut v = d.decode(j);
-                sync_interact(&PhaseClock::new(8), &mut u, &mut v);
+                let _ = sync_interact(&PhaseClock::new(8), &mut u, &mut v);
                 u.clock.first_tick = false;
                 // Saturate exactly as the dense protocol documents.
                 u.junta.level = u.junta.level.min(6);

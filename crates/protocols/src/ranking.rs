@@ -248,6 +248,21 @@ impl DenseProtocol for SelfStabRanking {
         "self-stab-ranking"
     }
 
+    fn invariants(&self) -> ppsim::ProtocolInvariants {
+        ppsim::ProtocolInvariants {
+            // Ranks move on collisions, so no additive quantity survives —
+            // the protocol's structure lives in its legitimate set instead.
+            conserved: Vec::new(),
+            // Only the initiator re-ranks; the responder's coin picks the
+            // probe, so δ is deliberately role-asymmetric.
+            role_symmetric: Some(false),
+        }
+    }
+
+    fn legitimate(&self, counts: &[u64]) -> Option<bool> {
+        Some(self.is_ranked(counts))
+    }
+
     fn agent_stint(&self, counts: &[u64], seed: u64) -> Option<BoxedAgentStint<u32>> {
         Some(DecodedStint::boxed(*self, counts, seed))
     }

@@ -273,6 +273,21 @@ impl DenseProtocol for TradeoffElection {
         "tradeoff-leader-election"
     }
 
+    fn invariants(&self) -> ppsim::ProtocolInvariants {
+        ppsim::ProtocolInvariants {
+            // Ranks move on collisions and tags cycle, so no additive
+            // quantity survives; the structure lives in the absorbing set.
+            conserved: Vec::new(),
+            // Only the initiator re-ranks, on the responder's probe
+            // lattice, so δ is deliberately role-asymmetric.
+            role_symmetric: Some(false),
+        }
+    }
+
+    fn legitimate(&self, counts: &[u64]) -> Option<bool> {
+        Some(self.is_stable(counts))
+    }
+
     fn agent_stint(&self, counts: &[u64], seed: u64) -> Option<BoxedAgentStint<bool>> {
         Some(DecodedStint::boxed(*self, counts, seed))
     }
